@@ -1,0 +1,67 @@
+//===- bench/ablation_collapsed.cpp - §6.4 graph-granularity ablation -----===//
+//
+// The paper notes that Merlin's collapsed (vertex-contracted) propagation
+// graph, while unsound for taint analysis (Fig. 8), "can still be used for
+// specification learning" (§6.4). This ablation runs Seldon's linear
+// inference over both granularities of the same corpus and compares
+// prediction counts, precision, and constraint-system size.
+//
+// Expected shape: collapsing merges all occurrences of a representation
+// into one node, so constraints couple APIs that never interact in any
+// single program. The constraint system inflates by an order of magnitude
+// (every anchor sees the union of all programs' neighbours), learning
+// slows down accordingly, and the wide right-hand-side sums let the
+// optimizer satisfy constraints by spreading tiny scores across many
+// candidates — fewer predictions clear the selection threshold.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/ExperimentDriver.h"
+#include "support/StrUtil.h"
+#include "support/TablePrinter.h"
+
+#include <iostream>
+
+using namespace seldon;
+using namespace seldon::eval;
+using propgraph::Role;
+
+int main() {
+  corpus::CorpusOptions CorpusOpts = standardCorpusOptions();
+  corpus::Corpus Data = corpus::generateCorpus(CorpusOpts);
+
+  std::cout << "=== Ablation: learning on uncollapsed vs collapsed "
+               "propagation graphs (§6.4) ===\n\n";
+  TablePrinter Table({"Graph", "# Constraints", "# Predicted", "# Correct",
+                      "Precision", "Learning time (s)"});
+
+  for (bool Collapse : {false, true}) {
+    infer::PipelineOptions Opts = standardPipelineOptions();
+    Opts.CollapseForLearning = Collapse;
+    infer::PipelineResult R =
+        infer::runPipeline(Data.Projects, Data.Seed, Opts);
+
+    size_t Predicted = 0, Correct = 0;
+    for (Role Ro : {Role::Source, Role::Sanitizer, Role::Sink}) {
+      RolePrecision P = exactPrecision(R.Learned, Data.Truth, Data.Seed, Ro,
+                                       ScoreThreshold);
+      Predicted += P.Predicted;
+      Correct += P.Correct;
+    }
+    Table.addRow({Collapse ? "Collapsed" : "Uncollapsed (paper)",
+                  std::to_string(R.System.Constraints.size()),
+                  std::to_string(Predicted), std::to_string(Correct),
+                  Predicted ? percent(static_cast<double>(Correct) /
+                                      Predicted)
+                            : "n/a",
+                  formatString("%.2f", R.inferenceSeconds())});
+  }
+  Table.print(std::cout);
+
+  std::cout << "\nExpected shape: contraction inflates the constraint "
+               "system by ~10x and slows learning;\nits wide sums dilute "
+               "scores, so fewer predictions clear the threshold. The "
+               "paper\nlearns on the uncollapsed graph and keeps "
+               "contraction for the Merlin baseline (§6.4).\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+//===- bench/ablation_constants.cpp - §4.2/§4.4 constant ablations --------===//
+//
+// Sensitivity of the paper's two constants on the same corpus:
+//
+//  * the implication slack C (§4.2): the paper moved from the exact
+//    boolean relaxation C = 1 to C = 0.75 because it separates scores
+//    better ("for C = 1, most scores are quite close to 0");
+//  * the L1 regularizer λ (§4.4): the paper observed that dividing λ by 10
+//    roughly doubles the number of inferred specifications.
+//
+// Also compares projected Adam with plain projected subgradient descent
+// (the optimizer swap ablation).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/ExperimentDriver.h"
+#include "support/StrUtil.h"
+#include "support/TablePrinter.h"
+
+#include <iostream>
+
+using namespace seldon;
+using namespace seldon::eval;
+using propgraph::Role;
+
+namespace {
+
+struct Outcome {
+  size_t Predicted = 0;
+  size_t Correct = 0;
+  double MeanScore = 0.0;
+};
+
+Outcome evaluate(const infer::PipelineResult &R, const corpus::Corpus &Data) {
+  Outcome Out;
+  double ScoreSum = 0.0;
+  for (Role Ro : {Role::Source, Role::Sanitizer, Role::Sink})
+    for (const ScoredPrediction &P : predictionsAbove(
+             R.Learned, Data.Truth, Data.Seed, Ro, ScoreThreshold)) {
+      ++Out.Predicted;
+      Out.Correct += P.Correct;
+      ScoreSum += P.Score;
+    }
+  Out.MeanScore = Out.Predicted ? ScoreSum / Out.Predicted : 0.0;
+  return Out;
+}
+
+void addRow(TablePrinter &Table, const std::string &Config,
+            const Outcome &O) {
+  Table.addRow({Config, std::to_string(O.Predicted),
+                std::to_string(O.Correct),
+                O.Predicted ? percent(static_cast<double>(O.Correct) /
+                                      O.Predicted)
+                            : "n/a",
+                formatString("%.3f", O.MeanScore)});
+}
+
+} // namespace
+
+int main() {
+  corpus::CorpusOptions CorpusOpts = standardCorpusOptions();
+  corpus::Corpus Data = corpus::generateCorpus(CorpusOpts);
+
+  std::cout << "=== Ablation: slack constant C (paper default 0.75) ===\n\n";
+  {
+    TablePrinter Table({"C", "# Predicted", "# Correct", "Precision",
+                        "Mean score"});
+    for (double C : {0.5, 0.75, 1.0}) {
+      infer::PipelineOptions Opts = standardPipelineOptions();
+      Opts.Gen.C = C;
+      infer::PipelineResult R =
+          infer::runPipeline(Data.Projects, Data.Seed, Opts);
+      addRow(Table, formatString("%.2f", C), evaluate(R, Data));
+    }
+    Table.print(std::cout);
+    std::cout << "\nExpected shape: C = 1 depresses scores toward 0 and "
+                 "predicts less; C = 0.75\nseparates roles (paper §4.2).\n";
+  }
+
+  std::cout << "\n=== Ablation: regularization λ (paper default 0.1) "
+               "===\n\n";
+  {
+    TablePrinter Table({"lambda", "# Predicted", "# Correct", "Precision",
+                        "Mean score"});
+    for (double Lambda : {0.01, 0.1, 1.0}) {
+      infer::PipelineOptions Opts = standardPipelineOptions();
+      Opts.Lambda = Lambda;
+      infer::PipelineResult R =
+          infer::runPipeline(Data.Projects, Data.Seed, Opts);
+      addRow(Table, formatString("%.2f", Lambda), evaluate(R, Data));
+    }
+    Table.print(std::cout);
+    std::cout << "\nExpected shape: smaller λ inflates the number of "
+                 "inferred specifications\n(paper: 10x smaller λ ≈ 2x the "
+                 "specifications); λ = 1 suppresses learning.\n";
+  }
+
+  std::cout << "\n=== Ablation: optimizer (projected Adam vs plain PGD) "
+               "===\n\n";
+  {
+    TablePrinter Table({"Optimizer", "# Predicted", "# Correct", "Precision",
+                        "Mean score"});
+    for (bool UseAdam : {true, false}) {
+      infer::PipelineOptions Opts = standardPipelineOptions();
+      Opts.UseAdam = UseAdam;
+      if (!UseAdam)
+        Opts.Solve.LearningRate = 0.1; // PGD needs a larger base step.
+      infer::PipelineResult R =
+          infer::runPipeline(Data.Projects, Data.Seed, Opts);
+      addRow(Table, UseAdam ? "Adam (paper)" : "Projected subgradient",
+             evaluate(R, Data));
+    }
+    Table.print(std::cout);
+    std::cout << "\nExpected shape: both optimizers reach comparable "
+                 "predictions on the convex\nrelaxation.\n";
+  }
+  return 0;
+}

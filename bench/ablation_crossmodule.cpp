@@ -1,0 +1,64 @@
+//===- bench/ablation_crossmodule.cpp - Project-level call linking --------===//
+//
+// The paper treats every imported function as having an unknown body
+// (§5.2), so a flow sanitized inside a project-local helper module
+// (`from utils import sanitize_input`) looks unsanitized and either needs
+// the wrapper to be *learned* as a sanitizer or becomes a "missing
+// sanitizer" false positive (Tab. 6's biggest seed-spec row). This
+// beyond-paper ablation links calls to project-local modules
+// (BuildOptions::CrossModuleFlows) and measures the effect on seed-only
+// taint analysis.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/ExperimentDriver.h"
+#include "support/StrUtil.h"
+#include "support/TablePrinter.h"
+
+#include <iostream>
+
+using namespace seldon;
+using namespace seldon::eval;
+
+int main() {
+  corpus::CorpusOptions CorpusOpts = standardCorpusOptions();
+  // Route a substantial share of sanitized flows through utils modules so
+  // the linking effect is measurable.
+  CorpusOpts.PUtilsSanitizer = 0.5;
+  corpus::Corpus Data = corpus::generateCorpus(CorpusOpts);
+
+  std::cout << "=== Ablation: project-level call linking (beyond §5.2's "
+               "unknown-body imports) ===\n\n";
+  TablePrinter Table({"Mode", "Seed-only reports", "Missing-sanitizer FPs",
+                      "True vulnerabilities"});
+
+  for (bool Link : {false, true}) {
+    infer::PipelineOptions Opts = standardPipelineOptions();
+    Opts.Build.CrossModuleFlows = Link;
+
+    propgraph::PropagationGraph Graph;
+    for (const pysem::Project &P : Data.Projects)
+      Graph.append(propgraph::buildProjectGraph(P, Opts.Build));
+
+    taint::RoleResolver Roles(&Data.Seed.Spec, nullptr);
+    taint::TaintAnalyzer Analyzer(Graph);
+    auto Reports = Analyzer.analyze(Roles);
+    ReportBreakdown B =
+        classifyReports(Graph, Reports, Data.Truth, Data.Flows);
+
+    Table.addRow(
+        {Link ? "Linked project modules" : "Unknown-body imports (paper)",
+         std::to_string(Reports.size()),
+         std::to_string(B.count(ReportCategory::MissingSanitizer)),
+         std::to_string(B.count(ReportCategory::TrueVulnerability))});
+  }
+  Table.print(std::cout);
+
+  std::cout << "\nExpected shape: linking exposes the sanitized paths "
+               "inside utils modules, so the\nseed specification's "
+               "missing-sanitizer false positives shrink while true\n"
+               "vulnerabilities are preserved. (Learning remains the "
+               "paper's answer for *library*\nsanitizers, which have no "
+               "body in the corpus at all.)\n";
+  return 0;
+}

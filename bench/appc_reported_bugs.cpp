@@ -1,0 +1,96 @@
+//===- bench/appc_reported_bugs.cpp - Paper App. C / §7.5 Q7 --------------===//
+//
+// Regenerates the App. C view: the concrete bugs worth reporting upstream.
+// The paper's authors inspected reports "with highly scored sources and
+// sinks", built exploits, and disclosed 49 vulnerabilities across 17
+// projects (25 XSS, 18 SQLi, 3 path traversal, 2 command injection, 1 code
+// injection). We rank all corpus reports by confidence, deduplicate per
+// (source API, sink API) pair, keep true exploitable vulnerabilities (our
+// oracle plays the role of the manual exploit), and print the breakdown by
+// vulnerability class plus the top disclosures.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/ExperimentDriver.h"
+#include "support/StrUtil.h"
+#include "support/TablePrinter.h"
+#include "taint/ReportRenderer.h"
+
+#include <iostream>
+#include <map>
+#include <unordered_set>
+
+using namespace seldon;
+using namespace seldon::eval;
+
+int main() {
+  CorpusRun Run = runStandardExperiment(standardCorpusOptions(),
+                                        standardPipelineOptions());
+  auto Reports = analyzeCorpus(Run, /*UseLearned=*/true);
+
+  // Keep confirmed, exploitable, unsanitized flows (the oracle stands in
+  // for the paper's manual proof-of-concept exploits).
+  std::vector<taint::Violation> Confirmed;
+  for (const taint::Violation &V : Reports)
+    if (classifyReport(Run.Pipeline.Graph, V, Run.Data.Truth,
+                       Run.Data.Flows) ==
+        ReportCategory::TrueVulnerability)
+      Confirmed.push_back(V);
+
+  Confirmed = taint::dedupByRepPair(Run.Pipeline.Graph, Confirmed);
+  std::vector<double> Confidence =
+      taint::rankViolations(Run.Pipeline.Graph, Confirmed,
+                            &Run.Data.Seed.Spec, &Run.Pipeline.Learned,
+                            ScoreThreshold);
+
+  // Vulnerability class of each confirmed report, via the sink's class.
+  auto ClassOf = [&](const taint::Violation &V) -> std::string {
+    const propgraph::Event &Snk = Run.Pipeline.Graph.event(V.Sink);
+    for (const std::string &Rep : Snk.Reps) {
+      const std::string &Cls = Run.Data.Truth.vulnClassOf(Rep);
+      if (!Cls.empty())
+        return Cls;
+    }
+    return "other";
+  };
+
+  std::map<std::string, size_t> PerClass;
+  std::unordered_set<std::string> Projects;
+  for (const taint::Violation &V : Confirmed) {
+    ++PerClass[ClassOf(V)];
+    const std::string &Path = Run.Pipeline.Graph.files()[V.FileIdx];
+    Projects.insert(Path.substr(0, Path.find('/')));
+  }
+
+  std::cout << "=== App. C: confirmed, deduplicated vulnerabilities worth "
+               "disclosing ===\n\n";
+  TablePrinter Table({"Type of Bug", "Number of Bugs"});
+  static const std::map<std::string, std::string> Labels = {
+      {"xss", "Cross-Site Scripting"},
+      {"sqli", "SQL Injection"},
+      {"path", "Path Traversal"},
+      {"cmdi", "Command Injection"},
+      {"redirect", "Open Redirect"},
+      {"other", "Other"}};
+  for (const auto &[Cls, Count] : PerClass) {
+    auto It = Labels.find(Cls);
+    Table.addRow({It == Labels.end() ? Cls : It->second,
+                  std::to_string(Count)});
+  }
+  Table.addRow({"Total", std::to_string(Confirmed.size())});
+  Table.print(std::cout);
+  std::cout << formatString("\nAcross %zu projects.\n\n", Projects.size());
+
+  std::cout << "Top 5 disclosures by confidence:\n";
+  for (size_t I = 0; I < Confirmed.size() && I < 5; ++I) {
+    std::cout << formatString("\n[%zu] confidence %.2f, class %s\n", I + 1,
+                              Confidence[I],
+                              ClassOf(Confirmed[I]).c_str());
+    std::cout << taint::formatViolation(Run.Pipeline.Graph, Confirmed[I]);
+  }
+
+  std::cout << "\nPaper reference (App. C): 49 bugs in 17 projects — 25 "
+               "XSS, 18 SQLi, 3 path traversal,\n2 command injection, 1 "
+               "code injection; only 3 discoverable with the seed spec.\n";
+  return 0;
+}

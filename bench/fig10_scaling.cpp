@@ -1,0 +1,59 @@
+//===- bench/fig10_scaling.cpp - Paper Fig. 10 ----------------------------===//
+//
+// Regenerates Figure 10: Seldon inference time as a function of the number
+// of analyzed files. The paper shows linear scaling up to 800,000 files
+// (< 5 hours); we sweep corpus subsets of growing size and report the
+// inference time (constraint generation + solving) plus the per-file rate,
+// which must stay roughly constant for linear scaling.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/ExperimentDriver.h"
+#include "support/StrUtil.h"
+#include "support/TablePrinter.h"
+
+#include <iostream>
+
+using namespace seldon;
+using namespace seldon::eval;
+
+int main() {
+  int MaxProjects = envInt("SELDON_PROJECTS", 300) * 2;
+  infer::PipelineOptions PipelineOpts = standardPipelineOptions();
+
+  std::cout << "=== Figure 10: Seldon inference time vs number of analyzed "
+               "files ===\n\n";
+  TablePrinter Table({"# Files", "# Constraints", "Inference time (s)",
+                      "ms per file"});
+
+  double HalfRate = 0.0, LastRate = 0.0;
+  for (int Fraction = 1; Fraction <= 8; ++Fraction) {
+    corpus::CorpusOptions CorpusOpts = standardCorpusOptions();
+    CorpusOpts.NumProjects = MaxProjects * Fraction / 8;
+    if (CorpusOpts.NumProjects == 0)
+      continue;
+    corpus::Corpus Data = corpus::generateCorpus(CorpusOpts);
+    infer::PipelineResult R =
+        infer::runPipeline(Data.Projects, Data.Seed, PipelineOpts);
+    double MsPerFile = R.NumFiles == 0
+                           ? 0.0
+                           : 1000.0 * R.inferenceSeconds() /
+                                 static_cast<double>(R.NumFiles);
+    if (Fraction == 4)
+      HalfRate = MsPerFile;
+    LastRate = MsPerFile;
+    Table.addRow({std::to_string(R.NumFiles),
+                  std::to_string(R.System.Constraints.size()),
+                  formatString("%.3f", R.inferenceSeconds()),
+                  formatString("%.3f", MsPerFile)});
+  }
+  Table.print(std::cout);
+
+  std::cout << formatString(
+      "\nPer-file rate at half vs full corpus: %.3f vs %.3f ms/file — "
+      "linear scaling keeps\nthese close. (The rate climbs at the smallest "
+      "sizes while representations are still\nbelow the frequency cutoff, "
+      "then plateaus; the paper's curve is linear up to 800k\nfiles.)\n",
+      HalfRate, LastRate);
+  return 0;
+}

@@ -1,0 +1,53 @@
+//===- bench/fig11_score_precision.cpp - Paper Fig. 11 --------------------===//
+//
+// Regenerates Figure 11: for 50 sampled candidates per role, sorted by
+// predicted score, the per-sample score and the cumulative precision up to
+// that sample. The paper's observation: few samples sit near 1.0, most
+// cluster around 0.5, and higher scores correlate with higher precision.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/ExperimentDriver.h"
+#include "support/StrUtil.h"
+#include "support/TablePrinter.h"
+
+#include <iostream>
+
+using namespace seldon;
+using namespace seldon::eval;
+using propgraph::Role;
+
+int main() {
+  CorpusRun Run = runStandardExperiment(standardCorpusOptions(),
+                                        standardPipelineOptions());
+
+  std::cout << "=== Figure 11: score vs cumulative precision over 50 "
+               "sampled candidates per role ===\n";
+  for (Role R : {Role::Source, Role::Sanitizer, Role::Sink}) {
+    auto Sample =
+        sampledPredictions(Run.Pipeline.Learned, Run.Data.Truth,
+                           Run.Data.Seed, R, ScoreThreshold, 50,
+                           /*SampleSeed=*/7);
+    std::vector<double> Curve = cumulativePrecision(Sample);
+
+    std::cout << "\n--- Candidate " << propgraph::roleName(R)
+              << "s (sorted by score) ---\n";
+    TablePrinter Table({"#", "Representation", "Score", "Correct",
+                        "Cumulative precision"});
+    for (size_t I = 0; I < Sample.size(); ++I)
+      Table.addRow({std::to_string(I + 1), Sample[I].Rep,
+                    formatString("%.2f", Sample[I].Score),
+                    Sample[I].Correct ? "yes" : "no",
+                    percent(Curve[I])});
+    Table.print(std::cout);
+    if (!Curve.empty())
+      std::cout << formatString(
+          "Head precision (first 10): %s | full-sample precision: %s\n",
+          percent(Curve[std::min<size_t>(9, Curve.size() - 1)]).c_str(),
+          percent(Curve.back()).c_str());
+  }
+  std::cout << "\nPaper reference: Tab. 8-10 list the corresponding 50 "
+               "samples per role; precision\ndecreases as scores decay "
+               "toward the 0.1 threshold.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+//===- bench/table3_merlin_precision.cpp - Paper Tab. 3 -------------------===//
+//
+// Regenerates Table 3: Merlin's predictions on the small application at a
+// 95% confidence threshold, per role, for collapsed and uncollapsed
+// graphs. The paper's point: Merlin is "often overly confident, but not
+// very precise" — counts are small and precision low.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/ExperimentDriver.h"
+#include "merlin/MerlinPipeline.h"
+#include "support/StrUtil.h"
+#include "support/TablePrinter.h"
+
+#include <iostream>
+
+using namespace seldon;
+using namespace seldon::eval;
+using namespace seldon::merlin;
+using propgraph::Role;
+
+int main() {
+  corpus::ApiUniverse Universe = corpus::ApiUniverse::standard();
+  spec::SeedSpec Seed = Universe.seedSpec();
+  corpus::GroundTruth Truth = Universe.groundTruth();
+  pysem::Project Small =
+      corpus::generateSingleProject(Universe, 11, 3, 6, "flask_api_like");
+  propgraph::PropagationGraph Graph = propgraph::buildProjectGraph(Small);
+
+  std::cout << "=== Table 3: Results for Merlin on the small app, "
+               "confidence >= 95% ===\n\n";
+  TablePrinter Table(
+      {"Role", "Collapsed: Number", "Collapsed: Precision",
+       "Uncollapsed: Number", "Uncollapsed: Precision"});
+
+  const double Threshold = 0.95;
+  MerlinOptions Collapsed, Uncollapsed;
+  Collapsed.Collapsed = true;
+  Uncollapsed.Collapsed = false;
+  MerlinResult RC = runMerlin(Graph, Seed, Collapsed);
+  MerlinResult RU = runMerlin(Graph, Seed, Uncollapsed);
+
+  size_t AnyC = 0, AnyCCorrect = 0, AnyU = 0, AnyUCorrect = 0;
+  for (Role R : {Role::Source, Role::Sanitizer, Role::Sink}) {
+    RolePrecision PC = exactPrecision(RC.Learned, Truth, Seed, R, Threshold);
+    RolePrecision PU = exactPrecision(RU.Learned, Truth, Seed, R, Threshold);
+    AnyC += PC.Predicted;
+    AnyCCorrect += PC.Correct;
+    AnyU += PU.Predicted;
+    AnyUCorrect += PU.Correct;
+    std::string Name = propgraph::roleName(R);
+    Name[0] = static_cast<char>(std::toupper(Name[0]));
+    Table.addRow({Name + "s", std::to_string(PC.Predicted),
+                  PC.Predicted ? percent(PC.precision()) : "n/a",
+                  std::to_string(PU.Predicted),
+                  PU.Predicted ? percent(PU.precision()) : "n/a"});
+  }
+  Table.addRow({"Any", std::to_string(AnyC),
+                AnyC ? percent(static_cast<double>(AnyCCorrect) / AnyC)
+                     : "n/a",
+                std::to_string(AnyU),
+                AnyU ? percent(static_cast<double>(AnyUCorrect) / AnyU)
+                     : "n/a"});
+  Table.print(std::cout);
+
+  std::cout << "\nPaper reference (Flask API): collapsed 18/5/3 predictions "
+               "at 33/20/0% precision\n(27% overall); uncollapsed 9/1/3 at "
+               "22/100/0% (23% overall).\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+//===- bench/table5_seldon_precision.cpp - Paper Tab. 5 -------------------===//
+//
+// Regenerates Table 5: count and estimated precision of candidates
+// predicted by Seldon, per role and overall. The paper reports
+// 4384/1646/866 predictions (3.27% of 210,864 candidates) at 72/58/56%
+// sampled precision (66.6% overall). We print both the paper's 50-sample
+// estimate and the exact precision our ground-truth oracle permits.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/ExperimentDriver.h"
+#include "support/StrUtil.h"
+#include "support/TablePrinter.h"
+
+#include <cmath>
+#include <iostream>
+
+using namespace seldon;
+using namespace seldon::eval;
+using propgraph::Role;
+
+int main() {
+  CorpusRun Run = runStandardExperiment(standardCorpusOptions(),
+                                        standardPipelineOptions());
+  const auto &Learned = Run.Pipeline.Learned;
+  const auto &Truth = Run.Data.Truth;
+  const auto &Seed = Run.Data.Seed;
+  size_t Candidates = Run.Pipeline.System.NumCandidates;
+
+  std::cout << "=== Table 5: Count and estimated precision of candidates "
+               "predicted by Seldon ===\n\n";
+  TablePrinter Table({"Role", "# Predicted / # Candidates", "Fraction",
+                      "Precision (50-sample)", "Precision (exact)"});
+
+  size_t TotalPredicted = 0, TotalCorrectSampled = 0, TotalSampled = 0;
+  size_t TotalCorrectExact = 0;
+  for (Role R : {Role::Source, Role::Sanitizer, Role::Sink}) {
+    RolePrecision Exact =
+        exactPrecision(Learned, Truth, Seed, R, ScoreThreshold);
+    auto Sample = sampledPredictions(Learned, Truth, Seed, R, ScoreThreshold,
+                                     50, /*SampleSeed=*/7);
+    size_t SampleCorrect = 0;
+    for (const auto &S : Sample)
+      SampleCorrect += S.Correct;
+
+    TotalPredicted += Exact.Predicted;
+    TotalCorrectExact += Exact.Correct;
+    TotalSampled += Sample.size();
+    TotalCorrectSampled += SampleCorrect;
+
+    std::string RoleName = propgraph::roleName(R);
+    RoleName[0] = static_cast<char>(std::toupper(RoleName[0]));
+    Table.addRow(
+        {RoleName + "s",
+         formatString("%zu / %zu", Exact.Predicted, Candidates),
+         percent(Candidates ? static_cast<double>(Exact.Predicted) /
+                                  static_cast<double>(Candidates)
+                            : 0.0),
+         Sample.empty() ? "n/a"
+                        : percent(static_cast<double>(SampleCorrect) /
+                                  static_cast<double>(Sample.size())),
+         percent(Exact.precision())});
+  }
+  Table.addRow(
+      {"Any", formatString("%zu / %zu", TotalPredicted, Candidates),
+       percent(Candidates ? static_cast<double>(TotalPredicted) /
+                                static_cast<double>(Candidates)
+                          : 0.0),
+       TotalSampled == 0
+           ? "n/a"
+           : percent(static_cast<double>(TotalCorrectSampled) /
+                     static_cast<double>(TotalSampled)),
+       TotalPredicted == 0
+           ? "n/a"
+           : percent(static_cast<double>(TotalCorrectExact) /
+                     static_cast<double>(TotalPredicted))});
+  Table.print(std::cout);
+
+  // §7.2 Q2 stability check: the paper repeats the estimate with 200
+  // samples per role and observes a 1.1-point deviation.
+  {
+    size_t BigCorrect = 0, BigTotal = 0;
+    for (Role R : {Role::Source, Role::Sanitizer, Role::Sink}) {
+      auto Sample = sampledPredictions(Learned, Truth, Seed, R,
+                                       ScoreThreshold, 200,
+                                       /*SampleSeed=*/23);
+      for (const auto &S : Sample)
+        BigCorrect += S.Correct;
+      BigTotal += Sample.size();
+    }
+    double Small = TotalSampled == 0
+                       ? 0.0
+                       : static_cast<double>(TotalCorrectSampled) /
+                             static_cast<double>(TotalSampled);
+    double Big = BigTotal == 0 ? 0.0
+                               : static_cast<double>(BigCorrect) /
+                                     static_cast<double>(BigTotal);
+    std::cout << formatString(
+        "\nStability (paper §7.2 Q2): 50-sample estimate %s vs 200-sample "
+        "%s — deviation %.1f\npoints (paper: 1.1).\n",
+        percent(Small).c_str(), percent(Big).c_str(),
+        100.0 * std::abs(Small - Big));
+  }
+
+  std::cout << "\nPaper reference: 4384/1646/866 predictions "
+               "(2.08/0.78/0.41% of candidates),\n"
+               "precision 72.0/58.0/56.0%, overall 66.6%.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+//===- bench/table7_vuln_totals.cpp - Paper Tab. 7 ------------------------===//
+//
+// Regenerates Table 7: total number of reports, number of projects
+// affected, and estimated number of true vulnerabilities, for the seed
+// specification versus the inferred one. The paper's headline: the
+// inferred specification multiplies reports (662 -> 21,318) and estimated
+// true vulnerabilities (159 -> 5,969) by an order of magnitude; 97% of
+// violations were undetectable without the inferred specifications.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/ExperimentDriver.h"
+#include "support/StrUtil.h"
+#include "support/TablePrinter.h"
+
+#include <iostream>
+
+using namespace seldon;
+using namespace seldon::eval;
+
+int main() {
+  CorpusRun Run = runStandardExperiment(standardCorpusOptions(),
+                                        standardPipelineOptions());
+
+  auto SeedReports = analyzeCorpus(Run, /*UseLearned=*/false);
+  auto FullReports = analyzeCorpus(Run, /*UseLearned=*/true);
+
+  // True-positive rate estimated exactly over ALL reports (the paper
+  // extrapolates from its 25-report sample of Tab. 6).
+  ReportBreakdown SeedB = classifyReports(Run.Pipeline.Graph, SeedReports,
+                                          Run.Data.Truth, Run.Data.Flows);
+  ReportBreakdown FullB = classifyReports(Run.Pipeline.Graph, FullReports,
+                                          Run.Data.Truth, Run.Data.Flows);
+
+  auto EstimatedVulns = [](const ReportBreakdown &B) {
+    return B.count(ReportCategory::TrueVulnerability);
+  };
+
+  std::cout << "=== Table 7: Total reports and estimated vulnerabilities "
+               "===\n\n";
+  TablePrinter Table({"Reason", "Seed spec", "Inferred spec"});
+  Table.addRow({"Number of reports", std::to_string(SeedReports.size()),
+                std::to_string(FullReports.size())});
+  Table.addRow(
+      {"Number of projects affected",
+       std::to_string(
+           taint::countAffectedProjects(Run.Pipeline.Graph, SeedReports)),
+       std::to_string(
+           taint::countAffectedProjects(Run.Pipeline.Graph, FullReports))});
+  Table.addRow({"Estimated vulnerabilities",
+                std::to_string(EstimatedVulns(SeedB)),
+                std::to_string(EstimatedVulns(FullB))});
+  Table.print(std::cout);
+
+  double Growth = SeedReports.empty()
+                      ? 0.0
+                      : static_cast<double>(FullReports.size()) /
+                            static_cast<double>(SeedReports.size());
+  size_t OnlyWithInferred =
+      FullReports.size() > SeedReports.size()
+          ? FullReports.size() - SeedReports.size()
+          : 0;
+  std::cout << formatString(
+      "\nReport growth with inferred specs: %.1fx; %zu of %zu reports "
+      "(%.0f%%) need the inferred\nspecification.\n",
+      Growth, OnlyWithInferred, FullReports.size(),
+      FullReports.empty() ? 0.0
+                          : 100.0 * static_cast<double>(OnlyWithInferred) /
+                                static_cast<double>(FullReports.size()));
+  std::cout << "Paper reference: 662 -> 21,318 reports; 192 -> 2,409 "
+               "projects; 159 -> 5,969 vulnerabilities\n(97% undetectable "
+               "without inferred specs).\n";
+  return 0;
+}

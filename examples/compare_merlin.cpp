@@ -1,0 +1,70 @@
+//===- examples/compare_merlin.cpp - Seldon vs Merlin side by side --------===//
+//
+// Runs Seldon's linear-optimization inference and the Merlin baseline
+// (factor graph + loopy belief propagation) on the same generated project
+// with the same seeds, then compares predictions, precision, and runtime —
+// a miniature of the paper's §7.4 comparison.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/CorpusGenerator.h"
+#include "eval/Precision.h"
+#include "infer/Pipeline.h"
+#include "merlin/MerlinPipeline.h"
+
+#include <cstdio>
+
+using namespace seldon;
+using propgraph::Role;
+
+int main() {
+  corpus::ApiUniverse Universe = corpus::ApiUniverse::standard();
+  spec::SeedSpec Seed = Universe.seedSpec();
+  corpus::GroundTruth Truth = Universe.groundTruth();
+
+  pysem::Project App =
+      corpus::generateSingleProject(Universe, 21, 12, 8, "demo_app");
+  std::printf("Analyzing project '%s' (%zu files) with both systems...\n\n",
+              App.name().c_str(), App.modules().size());
+  propgraph::PropagationGraph Graph = propgraph::buildProjectGraph(App);
+
+  // Seldon (single-project mode: drop the big-code frequency cutoff).
+  infer::PipelineOptions SeldonOpts;
+  SeldonOpts.Gen.RepCutoff = 1;
+  infer::PipelineResult Seldon = infer::runPipelineOnGraph(
+      propgraph::PropagationGraph(Graph), Seed, SeldonOpts);
+
+  // Merlin (collapsed graph, BP inference), bounded to one minute.
+  merlin::MerlinOptions MerlinOpts;
+  MerlinOpts.Bp.TimeoutSeconds = 60.0;
+  merlin::MerlinResult Merlin = merlin::runMerlin(Graph, Seed, MerlinOpts);
+
+  auto Report = [&](const char *Name, const spec::LearnedSpec &Learned,
+                    double Threshold, double Seconds) {
+    std::printf("%s (%.2fs):\n", Name, Seconds);
+    for (Role R : {Role::Source, Role::Sanitizer, Role::Sink}) {
+      eval::RolePrecision P =
+          eval::exactPrecision(Learned, Truth, Seed, R, Threshold);
+      std::printf("  %-10s predictions: %3zu   correct: %3zu   precision: "
+                  "%5.1f%%\n",
+                  propgraph::roleName(R), P.Predicted, P.Correct,
+                  100.0 * P.precision());
+    }
+    std::printf("\n");
+  };
+
+  Report("Seldon (linear optimization, threshold 0.1)", Seldon.Learned, 0.1,
+         Seldon.inferenceSeconds());
+  Report("Merlin (loopy BP marginals, threshold 0.5)", Merlin.Learned, 0.5,
+         Merlin.Seconds);
+
+  std::printf("Merlin factor graph: %zu factors over %zu/%zu/%zu candidates"
+              "%s.\n",
+              Merlin.NumFactors, Merlin.NumCandidates[0],
+              Merlin.NumCandidates[1], Merlin.NumCandidates[2],
+              Merlin.TimedOut ? " (timed out)" : "");
+  std::printf("Paper §7.4 finding: Merlin is confident but imprecise and "
+              "does not scale beyond a\nsingle application, while Seldon "
+              "handles the full corpus in seconds.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+//===- examples/quickstart.cpp - Minimal Seldon usage ---------------------===//
+//
+// Quickstart: infer taint specifications for a tiny inline "corpus" of
+// three Python web-app files, starting from two seed annotations, then
+// print every learned (API, role, score).
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "infer/Pipeline.h"
+
+#include <cstdio>
+
+using namespace seldon;
+
+int main() {
+  // 1. A corpus: normally thousands of repositories; here three small
+  //    files that use the same (unknown) helper APIs in different ways.
+  const char *FileA = "import web\n"
+                      "import escaping\n"
+                      "import db\n"
+                      "def save_comment():\n"
+                      "    text = web.get_field()\n"
+                      "    safe = escaping.clean_html(text)\n"
+                      "    db.store(safe)\n";
+  const char *FileB = "import web\n"
+                      "import escaping\n"
+                      "import render\n"
+                      "def show_profile():\n"
+                      "    bio = web.get_field()\n"
+                      "    render.page(escaping.clean_html(bio))\n";
+  const char *FileC = "import feeds\n"
+                      "import escaping\n"
+                      "import render\n"
+                      "def show_feed():\n"
+                      "    entry = feeds.latest()\n"
+                      "    render.page(escaping.clean_html(entry))\n";
+
+  std::vector<pysem::Project> Corpus;
+  for (int Copy = 0; Copy < 6; ++Copy) {
+    // Replicate so every representation clears the frequency cutoff of 5
+    // (paper §4.3) — stand-in for the natural repetition in big code.
+    pysem::Project P("repo" + std::to_string(Copy));
+    P.addModule("repo" + std::to_string(Copy) + "/a.py", FileA);
+    P.addModule("repo" + std::to_string(Copy) + "/b.py", FileB);
+    P.addModule("repo" + std::to_string(Copy) + "/c.py", FileC);
+    Corpus.push_back(std::move(P));
+  }
+
+  // 2. The seed specification: two hand-written labels (paper App. B
+  //    format: o: source, a: sanitizer, i: sink, b: blacklist).
+  spec::SeedSpec Seed = spec::SeedSpec::parse("o: web.get_field()\n"
+                                              "i: db.store()\n");
+
+  // 3. Run the pipeline: propagation graphs -> linear constraints ->
+  //    projected Adam -> per-(API, role) scores.
+  infer::PipelineResult Result = infer::runPipeline(Corpus, Seed);
+
+  std::printf("Learned specification (score >= 0.1):\n");
+  for (propgraph::Role R :
+       {propgraph::Role::Source, propgraph::Role::Sanitizer,
+        propgraph::Role::Sink}) {
+    for (const auto &[Rep, Score] : Result.Learned.ranked(R, 0.1)) {
+      const char *Origin = Seed.Spec.has(Rep, R) ? "seed" : "inferred";
+      std::printf("  %-9s  %-28s score %.2f  (%s)\n",
+                  propgraph::roleName(R), Rep.c_str(), Score, Origin);
+    }
+  }
+
+  std::printf("\nWhat happened: the seed labels web.get_field()/db.store(); "
+              "the flow\n  web.get_field() -> escaping.clean_html() -> "
+              "db.store()\nmakes clean_html a sanitizer (Fig. 4c); "
+              "clean_html feeding render.page() makes\nrender.page a sink "
+              "(Fig. 4b); and feeds.latest() feeding the now-known\n"
+              "sanitizer/sink pair makes it a source (Fig. 4a).\n");
+  return 0;
+}

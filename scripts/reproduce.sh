@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Reproduces every table and figure of the paper's evaluation.
+#
+# Usage: scripts/reproduce.sh [results-dir]
+# Knobs: SELDON_PROJECTS (corpus size, default 300), SELDON_SEED,
+#        SELDON_SOLVER_ITERS, SELDON_MERLIN_TIMEOUT.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RESULTS="${1:-results}"
+mkdir -p "$RESULTS"
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure | tee "$RESULTS/tests.txt"
+
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  name="$(basename "$b")"
+  echo "=== $name ==="
+  "$b" | tee "$RESULTS/$name.txt"
+  echo
+done
+
+echo "All outputs written to $RESULTS/"

@@ -1,0 +1,217 @@
+//===- constraints/ConstraintGen.cpp - Fig. 4 constraint extraction -------===//
+
+#include "constraints/ConstraintGen.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace seldon;
+using namespace seldon::constraints;
+using namespace seldon::propgraph;
+
+namespace {
+
+/// Per-file constraint extraction context. Reachability queries stay inside
+/// one file because per-file subgraphs are edge-disjoint.
+class FileExtractor {
+public:
+  FileExtractor(const PropagationGraph &Graph, ConstraintSystem &Sys,
+                const GenOptions &Opts, const std::vector<EventId> &Local)
+      : Graph(Graph), Sys(Sys), Opts(Opts), Local(Local) {}
+
+  void run() {
+    // Collect the file's candidates per role (events with surviving reps).
+    for (EventId Id : Local) {
+      if (Sys.EventReps[Id].empty())
+        continue;
+      RoleMask Mask = Graph.event(Id).Candidates;
+      if (maskHas(Mask, Role::Source))
+        Sources.push_back(Id);
+      if (maskHas(Mask, Role::Sanitizer))
+        Sanitizers.push_back(Id);
+      if (maskHas(Mask, Role::Sink))
+        Sinks.push_back(Id);
+    }
+    extractSanitizerAnchored();
+    extractSourceSinkPairs();
+  }
+
+private:
+  /// Fig. 4a and Fig. 4b share the per-sanitizer forward/backward scans.
+  void extractSanitizerAnchored() {
+    for (EventId San : Sanitizers) {
+      const std::unordered_set<EventId> &Fwd = forwardSet(San);
+      std::unordered_set<EventId> Bwd = backwardSet(San);
+
+      std::vector<EventId> SinksAfter = membersOf(Sinks, Fwd);
+      std::vector<EventId> SourcesBefore = membersOf(Sources, Bwd);
+      if (SinksAfter.empty() && SourcesBefore.empty())
+        continue;
+
+      // Fig. 4a: san(v) + snk(t) <= sum of sources into v + C.
+      std::vector<solver::Term> SourceSum = sumTerms(SourcesBefore,
+                                                     Role::Source);
+      size_t Pairs = 0;
+      for (EventId Snk : SinksAfter) {
+        if (++Pairs > Opts.MaxPairsPerAnchor)
+          break;
+        solver::LinearConstraint LC;
+        appendAvgTerms(LC.Lhs, San, Role::Sanitizer);
+        appendAvgTerms(LC.Lhs, Snk, Role::Sink);
+        LC.Rhs = SourceSum;
+        LC.C = Opts.C;
+        Sys.Constraints.push_back(std::move(LC));
+      }
+
+      // Fig. 4b: src(s) + san(v) <= sum of sinks after v + C.
+      std::vector<solver::Term> SinkSum = sumTerms(SinksAfter, Role::Sink);
+      Pairs = 0;
+      for (EventId Src : SourcesBefore) {
+        if (++Pairs > Opts.MaxPairsPerAnchor)
+          break;
+        solver::LinearConstraint LC;
+        appendAvgTerms(LC.Lhs, Src, Role::Source);
+        appendAvgTerms(LC.Lhs, San, Role::Sanitizer);
+        LC.Rhs = SinkSum;
+        LC.C = Opts.C;
+        Sys.Constraints.push_back(std::move(LC));
+      }
+    }
+  }
+
+  /// Fig. 4c: src(s) + snk(t) <= sum of sanitizers between s and t + C.
+  void extractSourceSinkPairs() {
+    for (EventId Src : Sources) {
+      const std::unordered_set<EventId> &Fwd = forwardSet(Src);
+      std::vector<EventId> SinksAfter = membersOf(Sinks, Fwd);
+      std::vector<EventId> SansAfter = membersOf(Sanitizers, Fwd);
+      size_t Pairs = 0;
+      for (EventId Snk : SinksAfter) {
+        if (Snk == Src)
+          continue;
+        if (++Pairs > Opts.MaxPairsPerAnchor)
+          break;
+        solver::LinearConstraint LC;
+        appendAvgTerms(LC.Lhs, Src, Role::Source);
+        appendAvgTerms(LC.Lhs, Snk, Role::Sink);
+        for (EventId Mid : SansAfter) {
+          if (Mid == Snk || Mid == Src)
+            continue;
+          if (forwardSet(Mid).count(Snk))
+            appendAvgTerms(LC.Rhs, Mid, Role::Sanitizer);
+        }
+        LC.C = Opts.C;
+        Sys.Constraints.push_back(std::move(LC));
+      }
+    }
+  }
+
+  /// Sorted members of \p Candidates contained in \p Set.
+  static std::vector<EventId>
+  membersOf(const std::vector<EventId> &Candidates,
+            const std::unordered_set<EventId> &Set) {
+    std::vector<EventId> Out;
+    for (EventId Id : Candidates)
+      if (Set.count(Id))
+        Out.push_back(Id);
+    return Out;
+  }
+
+  const std::unordered_set<EventId> &forwardSet(EventId Id) {
+    auto It = FwdCache.find(Id);
+    if (It != FwdCache.end())
+      return It->second;
+    std::unordered_set<EventId> Set;
+    for (EventId R : Graph.reachableFrom(Id))
+      Set.insert(R);
+    return FwdCache.emplace(Id, std::move(Set)).first->second;
+  }
+
+  std::unordered_set<EventId> backwardSet(EventId Id) const {
+    std::unordered_set<EventId> Set;
+    for (EventId R : Graph.reachingTo(Id))
+      Set.insert(R);
+    return Set;
+  }
+
+  /// Appends the backoff-averaged terms of (event, role) — paper §4.3:
+  /// (1/|Reps(v)|) · Σ over the surviving options.
+  void appendAvgTerms(std::vector<solver::Term> &Out, EventId Id, Role R) {
+    const std::vector<RepId> &Options = Sys.EventReps[Id];
+    float Coef = 1.0f / static_cast<float>(Options.size());
+    for (RepId Rep : Options)
+      Out.push_back({Sys.Vars.varFor(Rep, R), Coef});
+  }
+
+  std::vector<solver::Term> sumTerms(const std::vector<EventId> &Ids,
+                                     Role R) {
+    std::vector<solver::Term> Out;
+    for (EventId Id : Ids)
+      appendAvgTerms(Out, Id, R);
+    return Out;
+  }
+
+  const PropagationGraph &Graph;
+  ConstraintSystem &Sys;
+  const GenOptions &Opts;
+  const std::vector<EventId> &Local;
+  std::vector<EventId> Sources, Sanitizers, Sinks;
+  std::unordered_map<EventId, std::unordered_set<EventId>> FwdCache;
+};
+
+} // namespace
+
+ConstraintSystem
+seldon::constraints::generateConstraints(const PropagationGraph &Graph,
+                                         const RepTable &Reps,
+                                         const spec::SeedSpec &Seed,
+                                         const GenOptions &Opts) {
+  ConstraintSystem Sys;
+  const std::vector<Event> &Events = Graph.events();
+  Sys.EventReps.resize(Events.size());
+
+  // Surviving backoff options: frequency cutoff (§4.3) + blacklist (§7.2).
+  size_t BackoffTotal = 0;
+  for (const Event &E : Events) {
+    std::vector<RepId> Options = Reps.backoffOptions(E, Opts.RepCutoff);
+    std::vector<RepId> Kept;
+    for (RepId Id : Options)
+      if (!Seed.isBlacklisted(Reps.repString(Id)))
+        Kept.push_back(Id);
+    if (!Kept.empty()) {
+      ++Sys.NumCandidates;
+      BackoffTotal += Kept.size();
+    }
+    Sys.EventReps[E.Id] = std::move(Kept);
+  }
+  Sys.AvgBackoffOptions =
+      Sys.NumCandidates == 0
+          ? 0.0
+          : static_cast<double>(BackoffTotal) /
+                static_cast<double>(Sys.NumCandidates);
+
+  // Seed pins (§4.1): a labeled representation fixes all three of its role
+  // variables (1 for held roles, 0 for the others).
+  for (const auto &[RepStr, Mask] : Seed.Spec.entries()) {
+    RepId Id;
+    if (!Reps.lookup(RepStr, Id))
+      continue; // Seed API never occurs in this corpus.
+    for (Role R : {Role::Source, Role::Sanitizer, Role::Sink}) {
+      VarId V = Sys.Vars.varFor(Id, R);
+      Sys.Pinned.emplace_back(V, maskHas(Mask, R) ? 1.0 : 0.0);
+    }
+  }
+
+  // Group events by file and extract per file.
+  std::vector<std::vector<EventId>> ByFile(Graph.files().size());
+  for (const Event &E : Events)
+    ByFile[E.FileIdx].push_back(E.Id);
+  for (const std::vector<EventId> &Local : ByFile) {
+    if (Local.empty())
+      continue;
+    FileExtractor Extractor(Graph, Sys, Opts, Local);
+    Extractor.run();
+  }
+  return Sys;
+}

@@ -1,0 +1,62 @@
+//===- constraints/ConstraintGen.h - Fig. 4 constraint extraction -*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instantiates the three information-flow constraint templates of paper
+/// Fig. 4 over a (global) propagation graph via BFS (§4, "Algorithmic
+/// Collection of Constraints"):
+///
+///   (a) san(v) + snk(v')  ≤  Σ src(u) over u flowing into v        + C
+///       for every sanitizer candidate v reaching a sink candidate v'
+///   (b) src(s) + san(v)   ≤  Σ snk(t) over t reachable from v      + C
+///       for every source candidate s flowing into sanitizer candidate v
+///   (c) src(s) + snk(t)   ≤  Σ san(m) over m between s and t       + C
+///       for every source candidate s reaching a sink candidate t
+///
+/// Every variable occurrence is replaced by the average of the event's
+/// surviving backoff options (§4.3), and seed labels pin the corresponding
+/// fully-qualified variables (§4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_CONSTRAINTS_CONSTRAINTGEN_H
+#define SELDON_CONSTRAINTS_CONSTRAINTGEN_H
+
+#include "constraints/ConstraintSystem.h"
+#include "propgraph/PropagationGraph.h"
+#include "propgraph/RepTable.h"
+#include "spec/SeedSpec.h"
+
+namespace seldon {
+namespace constraints {
+
+/// Generation knobs.
+struct GenOptions {
+  /// Implication slack constant (paper §4.2: C = 0.75; C = 1 is the exact
+  /// boolean relaxation, used by the ablation bench).
+  double C = 0.75;
+  /// Representation frequency cutoff (§4.3: 5 occurrences).
+  size_t RepCutoff = 5;
+  /// Safety cap on (pair) constraints extracted per source/sanitizer
+  /// anchor, guarding against pathological dense files.
+  size_t MaxPairsPerAnchor = 4096;
+};
+
+/// Extracts the full constraint system from \p Graph.
+///
+/// \p Reps must already have counted occurrences over \p Graph.
+/// Blacklisted representation options never receive variables; events
+/// whose every option is blacklisted or infrequent are ignored (§4.3).
+ConstraintSystem generateConstraints(const propgraph::PropagationGraph &Graph,
+                                     const propgraph::RepTable &Reps,
+                                     const spec::SeedSpec &Seed,
+                                     const GenOptions &Opts = GenOptions());
+
+} // namespace constraints
+} // namespace seldon
+
+#endif // SELDON_CONSTRAINTS_CONSTRAINTGEN_H

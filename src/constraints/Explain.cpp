@@ -1,0 +1,91 @@
+//===- constraints/Explain.cpp - Constraint-level explanations ------------===//
+
+#include "constraints/Explain.h"
+
+#include "support/StrUtil.h"
+
+using namespace seldon;
+using namespace seldon::constraints;
+using namespace seldon::propgraph;
+
+namespace {
+
+void renderTerms(const ConstraintSystem &Sys, const RepTable &Reps,
+                 const std::vector<solver::Term> &Terms, std::string &Out) {
+  if (Terms.empty()) {
+    Out += "0";
+    return;
+  }
+  for (size_t I = 0; I < Terms.size(); ++I) {
+    if (I)
+      Out += " + ";
+    if (Terms[I].Coef != 1.0f)
+      Out += formatString("%.3g*", Terms[I].Coef);
+    Out += Reps.repString(Sys.Vars.repOf(Terms[I].Var));
+    Out += '^';
+    Out += roleName(Sys.Vars.roleOf(Terms[I].Var));
+  }
+}
+
+double evalSide(const std::vector<solver::Term> &Terms,
+                const std::vector<double> &X) {
+  double Sum = 0.0;
+  for (const solver::Term &T : Terms)
+    Sum += T.Coef * X[T.Var];
+  return Sum;
+}
+
+bool mentions(const std::vector<solver::Term> &Terms, VarId V) {
+  for (const solver::Term &T : Terms)
+    if (T.Var == V)
+      return true;
+  return false;
+}
+
+} // namespace
+
+std::string
+seldon::constraints::renderConstraint(const ConstraintSystem &Sys,
+                                      const RepTable &Reps,
+                                      const solver::LinearConstraint &C) {
+  std::string Out;
+  renderTerms(Sys, Reps, C.Lhs, Out);
+  Out += " <= ";
+  renderTerms(Sys, Reps, C.Rhs, Out);
+  Out += formatString(" + %.2f", C.C);
+  return Out;
+}
+
+Explanation seldon::constraints::explainRep(const ConstraintSystem &Sys,
+                                            const RepTable &Reps,
+                                            const std::string &Rep, Role R,
+                                            const std::vector<double> &X) {
+  Explanation Out;
+  RepId Id;
+  if (!Reps.lookup(Rep, Id))
+    return Out;
+  VarId V;
+  if (!Sys.Vars.lookup(Id, R, V))
+    return Out;
+  Out.Found = true;
+  Out.Score = V < X.size() ? X[V] : 0.0;
+  for (const auto &[PinnedVar, Value] : Sys.Pinned)
+    if (PinnedVar == V) {
+      Out.Pinned = true;
+      Out.PinnedValue = Value;
+    }
+
+  for (const solver::LinearConstraint &C : Sys.Constraints) {
+    bool Lhs = mentions(C.Lhs, V);
+    bool Rhs = mentions(C.Rhs, V);
+    if (!Lhs && !Rhs)
+      continue;
+    ExplainedConstraint EC;
+    EC.Text = renderConstraint(Sys, Reps, C);
+    EC.Residual = X.empty() ? 0.0
+                            : evalSide(C.Lhs, X) - evalSide(C.Rhs, X) - C.C;
+    EC.OnLhs = Lhs;
+    Out.Constraints.push_back(std::move(EC));
+  }
+  return Out;
+}

@@ -1,0 +1,25 @@
+//===- constraints/VarTable.cpp - (rep, role) -> variable ids -------------===//
+
+#include "constraints/VarTable.h"
+
+using namespace seldon;
+using namespace seldon::constraints;
+
+VarId VarTable::varFor(RepId Rep, Role R) {
+  uint64_t Key = keyOf(Rep, R);
+  auto It = Ids.find(Key);
+  if (It != Ids.end())
+    return It->second;
+  VarId V = static_cast<VarId>(Infos.size());
+  Ids.emplace(Key, V);
+  Infos.push_back({Rep, R});
+  return V;
+}
+
+bool VarTable::lookup(RepId Rep, Role R, VarId &Out) const {
+  auto It = Ids.find(keyOf(Rep, R));
+  if (It == Ids.end())
+    return false;
+  Out = It->second;
+  return true;
+}

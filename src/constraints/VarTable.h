@@ -1,0 +1,65 @@
+//===- constraints/VarTable.h - (rep, role) -> variable ids ------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps (representation, role) pairs to dense optimizer variable ids
+/// (paper §4.1/§4.3: one score variable per backoff option per role).
+/// Variables are created lazily, so only pairs that actually occur in a
+/// constraint or seed label consume a column.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_CONSTRAINTS_VARTABLE_H
+#define SELDON_CONSTRAINTS_VARTABLE_H
+
+#include "propgraph/RepTable.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace seldon {
+namespace constraints {
+
+using propgraph::RepId;
+using propgraph::Role;
+
+/// Dense optimizer variable id.
+using VarId = uint32_t;
+
+/// Lazily-created dense table of (representation, role) variables.
+class VarTable {
+public:
+  /// The variable for (\p Rep, \p R), created on first use.
+  VarId varFor(RepId Rep, Role R);
+
+  /// Looks up an existing variable; returns false when absent.
+  bool lookup(RepId Rep, Role R, VarId &Out) const;
+
+  size_t numVars() const { return Infos.size(); }
+
+  RepId repOf(VarId V) const { return Infos[V].Rep; }
+  Role roleOf(VarId V) const { return Infos[V].R; }
+
+private:
+  struct VarInfo {
+    RepId Rep;
+    Role R;
+  };
+
+  static uint64_t keyOf(RepId Rep, Role R) {
+    return (static_cast<uint64_t>(Rep) << 2) | static_cast<uint64_t>(R);
+  }
+
+  std::unordered_map<uint64_t, VarId> Ids;
+  std::vector<VarInfo> Infos;
+};
+
+} // namespace constraints
+} // namespace seldon
+
+#endif // SELDON_CONSTRAINTS_VARTABLE_H

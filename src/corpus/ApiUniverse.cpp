@@ -1,0 +1,296 @@
+//===- corpus/ApiUniverse.cpp - The library-API world ---------------------===//
+
+#include "corpus/ApiUniverse.h"
+
+#include "support/StrUtil.h"
+
+using namespace seldon;
+using namespace seldon::corpus;
+using namespace seldon::propgraph;
+
+std::optional<std::string>
+seldon::corpus::taintSlotSuffix(const std::string &ExprTemplate) {
+  size_t Slot = ExprTemplate.find("{}");
+  if (Slot == std::string::npos)
+    return std::nullopt;
+
+  // Innermost unclosed '(' before the slot.
+  std::vector<size_t> Opens;
+  for (size_t I = 0; I < Slot; ++I) {
+    char C = ExprTemplate[I];
+    if (C == '(')
+      Opens.push_back(I);
+    else if (C == ')' && !Opens.empty())
+      Opens.pop_back();
+  }
+  if (Opens.empty())
+    return std::nullopt; // Slot outside any call.
+  size_t Open = Opens.back();
+
+  // Keyword argument: an identifier directly followed by '=' introduces
+  // the slot's argument.
+  size_t ArgStart = Open + 1;
+  int Depth = 0;
+  size_t Commas = 0;
+  for (size_t I = Open + 1; I < Slot; ++I) {
+    char C = ExprTemplate[I];
+    if (C == '(' || C == '[' || C == '{')
+      ++Depth;
+    else if (C == ')' || C == ']' || C == '}')
+      --Depth;
+    else if (C == ',' && Depth == 0) {
+      ++Commas;
+      ArgStart = I + 1;
+    }
+  }
+  // Scan the slot's argument text for `name=` (not `==`). The slot text
+  // itself starts right after the '=', so a trailing '=' is the common
+  // case (`data={}`).
+  std::string ArgText = ExprTemplate.substr(ArgStart, Slot - ArgStart);
+  size_t Eq = ArgText.find('=');
+  if (Eq != std::string::npos &&
+      (Eq + 1 >= ArgText.size() || ArgText[Eq + 1] != '=')) {
+    std::string Name(trim(ArgText.substr(0, Eq)));
+    if (!Name.empty())
+      return "[kw:" + Name + "]";
+  }
+  return "[arg" + std::to_string(Commas) + "]";
+}
+
+const std::vector<std::string> &ApiUniverse::vulnClasses() {
+  static const std::vector<std::string> Classes = {"xss", "sqli", "path",
+                                                   "cmdi", "redirect"};
+  return Classes;
+}
+
+void ApiUniverse::addApi(ApiInfo Info) {
+  if (maskHas(Info.Roles, Role::Source)) {
+    Sources.push_back(Info);
+    return;
+  }
+  if (maskHas(Info.Roles, Role::Sanitizer)) {
+    Sanitizers.push_back(Info);
+    return;
+  }
+  if (maskHas(Info.Roles, Role::Sink)) {
+    Sinks.push_back(Info);
+    return;
+  }
+  Neutrals.push_back(std::move(Info));
+}
+
+ApiUniverse ApiUniverse::standard(const UniverseOptions &Opts) {
+  ApiUniverse U;
+
+  auto Src = [&](const char *Rep, const char *Import, const char *Expr,
+                 bool InSeed) {
+    U.addApi({Rep, Import, Expr, SourceMask, InSeed, "", true});
+  };
+  auto San = [&](const char *Rep, const char *Import, const char *Expr,
+                 bool InSeed, const char *Cls) {
+    U.addApi({Rep, Import, Expr, SanitizerMask, InSeed, Cls, true});
+  };
+  auto Snk = [&](const char *Rep, const char *Import, const char *Expr,
+                 bool InSeed, const char *Cls) {
+    U.addApi({Rep, Import, Expr, SinkMask, InSeed, Cls, true});
+  };
+  auto Neutral = [&](const char *Rep, const char *Import, const char *Expr) {
+    U.addApi({Rep, Import, Expr, 0, false, "", true});
+  };
+
+  // --- Hand-written, real-flavoured core (the seed carriers, cf. App. B).
+  // Sources: request data of the three frameworks the paper filters for.
+  Src("flask.request.args.get()", "from flask import request",
+      "request.args.get('q')", true);
+  Src("flask.request.form.get()", "from flask import request",
+      "request.form.get('name')", true);
+  Src("flask.request.form['name']", "from flask import request",
+      "request.form['name']", false);
+  Src("flask.request.files['f'].filename", "from flask import request",
+      "request.files['f'].filename", false);
+  Src("flask.request.cookies.get()", "from flask import request",
+      "request.cookies.get('session')", true);
+  Src("flask.request.headers.get()", "from flask import request",
+      "request.headers.get('Referer')", true);
+  Src("django.http.QueryDict()", "import django.http",
+      "django.http.QueryDict(raw)", true);
+  Src("req.GET.get()", "", "req.GET.get('q')", true);
+  Src("req.POST.get()", "", "req.POST.get('body')", true);
+  Src("req.GET.copy()", "", "req.GET.copy()", true);
+  Src("werkzeug.wrappers.Request().args.get()",
+      "import werkzeug.wrappers",
+      "werkzeug.wrappers.Request(environ).args.get('x')", false);
+
+  // XSS sinks & sanitizers.
+  Snk("flask.render_template_string()", "import flask",
+      "flask.render_template_string('<b>' + {} + '</b>')", true, "xss");
+  Snk("flask.make_response()", "import flask", "flask.make_response({})",
+      true, "xss");
+  Snk("flask.Response()", "import flask", "flask.Response({})", false,
+      "xss");
+  Snk("jinja2.Markup()", "import jinja2", "jinja2.Markup({})", true, "xss");
+  Snk("django.utils.safestring.mark_safe()", "import django.utils.safestring",
+      "django.utils.safestring.mark_safe({})", false, "xss");
+  San("flask.escape()", "import flask", "flask.escape({})", true, "xss");
+  San("bleach.clean()", "import bleach", "bleach.clean({})", true, "xss");
+  San("cgi.escape()", "import cgi", "cgi.escape({})", false, "xss");
+  San("django.utils.html.escape()", "import django.utils.html",
+      "django.utils.html.escape({})", true, "xss");
+  San("flask.render_template()", "import flask",
+      "flask.render_template('page.html', data={})", true, "xss");
+
+  // SQL injection.
+  Snk("sqlite3.connect().cursor().execute()", "import sqlite3",
+      "sqlite3.connect(DB).cursor().execute('SELECT ' + {})", true, "sqli");
+  Snk("sqlite3.connect().execute()", "import sqlite3",
+      "sqlite3.connect(DB).execute({})", false, "sqli");
+  Snk("MySQLdb.connect().cursor().execute()", "import MySQLdb",
+      "MySQLdb.connect().cursor().execute({})", true, "sqli");
+  Snk("psycopg2.connect().cursor().execute()", "import psycopg2",
+      "psycopg2.connect().cursor().execute({})", false, "sqli");
+  Snk("db.engine.execute()", "import db", "db.engine.execute({})", true,
+      "sqli");
+  San("MySQLdb.escape_string()", "import MySQLdb",
+      "MySQLdb.escape_string({})", true, "sqli");
+  San("psycopg2.escape_string()", "import psycopg2",
+      "psycopg2.escape_string({})", false, "sqli");
+  San("sqlite3.escape_string()", "import sqlite3",
+      "sqlite3.escape_string({})", true, "sqli");
+
+  // Path traversal.
+  Snk("flask.send_file()", "import flask", "flask.send_file({})", true,
+      "path");
+  Snk("flask.send_from_directory()", "import flask",
+      "flask.send_from_directory(ROOT, {})", true, "path");
+  San("werkzeug.utils.secure_filename()", "import werkzeug.utils",
+      "werkzeug.utils.secure_filename({})", true, "path");
+  San("os.path.basename()", "import os", "os.path.basename({})", false,
+      "path");
+
+  // Command injection.
+  Snk("os.system()", "import os", "os.system('convert ' + {})", true,
+      "cmdi");
+  Snk("subprocess.check_output()", "import subprocess",
+      "subprocess.check_output({})", true, "cmdi");
+  Snk("subprocess.call()", "import subprocess", "subprocess.call({})",
+      false, "cmdi");
+  San("shlex.quote()", "import shlex", "shlex.quote({})", true, "cmdi");
+  San("pipes.quote()", "import pipes", "pipes.quote({})", false, "cmdi");
+
+  // Open redirect.
+  Snk("flask.redirect()", "import flask", "flask.redirect({})", true,
+      "redirect");
+  Snk("django.shortcuts.redirect()", "import django.shortcuts",
+      "django.shortcuts.redirect({})", false, "redirect");
+  San("urlvalid.check_relative()", "import urlvalid",
+      "urlvalid.check_relative({})", true, "redirect");
+
+  // Neutral real-flavoured helpers (candidates without any role).
+  Neutral("flask.url_for()", "import flask", "flask.url_for('index')");
+  Neutral("flask.jsonify()", "import flask", "flask.jsonify(ok=True)");
+  Neutral("uuid.uuid4()", "import uuid", "uuid.uuid4()");
+  Neutral("random.choice()", "import random", "random.choice(items)");
+  Neutral("time.time()", "import time", "time.time()");
+  Neutral("collections.OrderedDict()", "import collections",
+          "collections.OrderedDict()");
+  Neutral("itertools.chain()", "import itertools",
+          "itertools.chain(a, b)");
+  Neutral("copy.deepcopy()", "import copy", "copy.deepcopy(cfg)");
+  Neutral("math.sqrt()", "import math", "math.sqrt(2)");
+  Neutral("functools.partial()", "import functools",
+          "functools.partial(f, 1)");
+
+  // --- Procedural long tail: unknown third-party libraries whose roles
+  // must be inferred. Representations are deterministic so the ground
+  // truth can be registered up front.
+  const auto &Classes = vulnClasses();
+  size_t CoreSrc = U.Sources.size(), CoreSan = U.Sanitizers.size(),
+         CoreSnk = U.Sinks.size(), CoreNeu = U.Neutrals.size();
+  for (int Lib = 0; Lib < Opts.NumUnknownLibs; ++Lib) {
+    std::string Mod = "weblib" + std::to_string(Lib);
+    std::string Import = "import " + Mod;
+    const std::string &Cls = Classes[Lib % Classes.size()];
+    // Sources outnumber the other roles, as in the paper's corpus where
+    // object reads and formal parameters dominate the candidates.
+    for (int I = 0; I < Opts.ApisPerRolePerLib + 2; ++I) {
+      std::string N = std::to_string(I);
+      Src((Mod + ".read_" + N + "()").c_str(), Import.c_str(),
+          (Mod + ".read_" + N + "(req)").c_str(), false);
+    }
+    for (int I = 0; I < Opts.ApisPerRolePerLib; ++I) {
+      std::string N = std::to_string(I);
+      San((Mod + ".clean_" + N + "()").c_str(), Import.c_str(),
+          (Mod + ".clean_" + N + "({})").c_str(), false, Cls.c_str());
+      Snk((Mod + ".emit_" + N + "()").c_str(), Import.c_str(),
+          (Mod + ".emit_" + N + "({})").c_str(), false, Cls.c_str());
+    }
+    for (int I = 0; I < Opts.NeutralsPerLib; ++I) {
+      std::string N = std::to_string(I);
+      Neutral((Mod + ".util_" + N + "()").c_str(), Import.c_str(),
+              (Mod + ".util_" + N + "(cfg)").c_str());
+    }
+  }
+  for (size_t I = CoreSrc; I < U.Sources.size(); ++I)
+    U.Sources[I].Core = false;
+  for (size_t I = CoreSan; I < U.Sanitizers.size(); ++I)
+    U.Sanitizers[I].Core = false;
+  for (size_t I = CoreSnk; I < U.Sinks.size(); ++I)
+    U.Sinks[I].Core = false;
+  for (size_t I = CoreNeu; I < U.Neutrals.size(); ++I)
+    U.Neutrals[I].Core = false;
+  return U;
+}
+
+std::vector<const ApiInfo *>
+ApiUniverse::sanitizersOf(const std::string &Cls) const {
+  std::vector<const ApiInfo *> Out;
+  for (const ApiInfo &A : Sanitizers)
+    if (A.VulnClass == Cls)
+      Out.push_back(&A);
+  return Out;
+}
+
+std::vector<const ApiInfo *>
+ApiUniverse::sinksOf(const std::string &Cls) const {
+  std::vector<const ApiInfo *> Out;
+  for (const ApiInfo &A : Sinks)
+    if (A.VulnClass == Cls)
+      Out.push_back(&A);
+  return Out;
+}
+
+spec::SeedSpec ApiUniverse::seedSpec() const {
+  spec::SeedSpec Seed;
+  auto AddSeeded = [&](const std::vector<ApiInfo> &Apis, Role R) {
+    for (const ApiInfo &A : Apis)
+      if (A.InSeed)
+        Seed.Spec.add(A.Rep, R);
+  };
+  AddSeeded(Sources, Role::Source);
+  AddSeeded(Sanitizers, Role::Sanitizer);
+  AddSeeded(Sinks, Role::Sink);
+
+  // The builtin blacklist (a subset of App. B's `b:` entries that the
+  // generator's noise statements actually produce).
+  for (const char *Pattern :
+       {"*.split()*", "*.strip()", "*.lower()", "*.upper()", "*.format()",
+        "*.replace()*", "*.join()", "*.encode()", "*.decode()",
+        "*.startswith()", "*.endswith()", "*.keys()", "*.values()",
+        "*.items()", "*.append()", "*.copy()", "len()", "str()", "int()",
+        "list()", "dict()", "range()", "enumerate()", "sorted()", "print()",
+        "isinstance()", "*logging*", "*logger*", "math.*", "time.time()",
+        "uuid.uuid4()", "*__name__*"})
+    Seed.Blacklist.add(Pattern);
+  return Seed;
+}
+
+GroundTruth ApiUniverse::groundTruth() const {
+  GroundTruth Truth;
+  for (const ApiInfo &A : Sources)
+    Truth.add(A.Rep, A.Roles, A.VulnClass);
+  for (const ApiInfo &A : Sanitizers)
+    Truth.add(A.Rep, A.Roles, A.VulnClass);
+  for (const ApiInfo &A : Sinks)
+    Truth.add(A.Rep, A.Roles, A.VulnClass);
+  return Truth;
+}

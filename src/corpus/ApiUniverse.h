@@ -1,0 +1,108 @@
+//===- corpus/ApiUniverse.h - The library-API world --------------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The universe of library APIs the synthetic web-app corpus draws from.
+/// It mirrors the structure of the paper's dataset:
+///
+///  * a hand-written core of real-flavoured web APIs (flask / django /
+///    werkzeug / DB drivers) carrying the ~100-entry seed specification
+///    (App. B);
+///  * a much larger procedurally generated long tail of "third-party"
+///    libraries whose roles are ground truth but NOT in the seed — these
+///    are what Seldon must infer;
+///  * neutral helper APIs with no security role (the bulk of candidates).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_CORPUS_APIUNIVERSE_H
+#define SELDON_CORPUS_APIUNIVERSE_H
+
+#include "corpus/GroundTruth.h"
+#include "spec/SeedSpec.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace seldon {
+namespace corpus {
+
+/// One callable (or readable) library API.
+struct ApiInfo {
+  /// Representation string as the graph builder renders it, e.g.
+  /// "flask.request.args.get()".
+  std::string Rep;
+  /// Import line required by Expr, e.g. "from flask import request".
+  std::string Import;
+  /// Python expression template; "{}" is the tainted-argument slot for
+  /// sinks/sanitizers (absent for sources).
+  std::string Expr;
+  /// Ground-truth roles (0 for neutral helpers).
+  RoleMask Roles = 0;
+  /// Part of the seed specification handed to the learner.
+  bool InSeed = false;
+  /// Vulnerability class ("xss", "sqli", "path", "cmdi", "redirect").
+  std::string VulnClass;
+  /// Hand-written popular-framework API (true) vs procedural long tail
+  /// (false). Popular APIs are picked more often by the generator, the way
+  /// flask/django dominate real corpora.
+  bool Core = true;
+};
+
+/// Size knobs of the procedural long tail.
+struct UniverseOptions {
+  /// Number of procedurally generated third-party library families.
+  int NumUnknownLibs = 40;
+  /// Sources / sanitizers / sinks per unknown library family.
+  int ApisPerRolePerLib = 3;
+  /// Neutral helpers per unknown library family.
+  int NeutralsPerLib = 6;
+};
+
+/// Derives the argument-position suffix of the "{}" taint slot in a
+/// sink/sanitizer expression template: "[arg0]" for the first positional
+/// argument, "[kw:data]" for a keyword argument, std::nullopt when the
+/// template has no slot. Used to build argument-position-sensitive seeds
+/// and ground truth (cf. BuildOptions::ArgPositionReps).
+std::optional<std::string> taintSlotSuffix(const std::string &ExprTemplate);
+
+/// The complete API world.
+class ApiUniverse {
+public:
+  /// Builds the standard universe.
+  static ApiUniverse standard(const UniverseOptions &Opts =
+                                  UniverseOptions());
+
+  const std::vector<ApiInfo> &sources() const { return Sources; }
+  const std::vector<ApiInfo> &sanitizers() const { return Sanitizers; }
+  const std::vector<ApiInfo> &sinks() const { return Sinks; }
+  const std::vector<ApiInfo> &neutrals() const { return Neutrals; }
+
+  /// Sanitizers/sinks restricted to one vulnerability class.
+  std::vector<const ApiInfo *> sanitizersOf(const std::string &Cls) const;
+  std::vector<const ApiInfo *> sinksOf(const std::string &Cls) const;
+
+  /// The seed specification (InSeed entries + the builtin blacklist).
+  spec::SeedSpec seedSpec() const;
+
+  /// Ground truth over every API with a role.
+  GroundTruth groundTruth() const;
+
+  /// All vulnerability classes in use.
+  static const std::vector<std::string> &vulnClasses();
+
+private:
+  void addApi(ApiInfo Info);
+
+  std::vector<ApiInfo> Sources, Sanitizers, Sinks, Neutrals;
+};
+
+} // namespace corpus
+} // namespace seldon
+
+#endif // SELDON_CORPUS_APIUNIVERSE_H

@@ -1,0 +1,475 @@
+//===- corpus/CorpusGenerator.cpp - Synthetic web-app corpora -------------===//
+
+#include "corpus/CorpusGenerator.h"
+
+#include "support/Rng.h"
+#include "support/StrUtil.h"
+
+#include <set>
+#include <unordered_set>
+
+using namespace seldon;
+using namespace seldon::corpus;
+using namespace seldon::propgraph;
+
+namespace {
+
+/// Pools of realistic project-local names. Pooled names repeat across the
+/// corpus so their (backoff) representations clear the frequency cutoff.
+const char *WrapperNames[] = {"sanitize_input", "clean_value", "escape_data",
+                              "normalize_field", "filter_payload"};
+struct HandlerParam {
+  const char *Handler;
+  const char *Param;
+};
+const HandlerParam ParamHandlers[] = {
+    {"view_profile", "username"},
+    {"upload_file", "filename"},
+    {"search_items", "query"},
+    {"post_comment", "comment"},
+    {"delete_entry", "entry_id"},
+};
+const char *ClassNames[] = {"RequestHandler", "ApiController",
+                            "FormProcessor"};
+struct AttrReadSource {
+  const char *Fn;
+  const char *Param;
+  const char *Attr;
+};
+const AttrReadSource AttrReads[] = {
+    {"render_post", "post", "content"},
+    {"show_user", "user", "username"},
+    {"format_entry", "entry", "body"},
+    {"preview_comment", "comment", "text"},
+};
+const char *NoiseVars[] = {"items", "cfg", "tmp", "buf", "opts"};
+
+/// Accumulates one Python source file.
+class FileBuilder {
+public:
+  void addImport(const std::string &Import) {
+    if (!Import.empty())
+      Imports.insert(Import);
+  }
+
+  void addLine(std::string Line) { Lines.push_back(std::move(Line)); }
+
+  std::string freshVar(const char *Base) {
+    return std::string(Base) + "_" + std::to_string(VarCounter++);
+  }
+
+  bool defineOnce(const std::string &Name) {
+    return Defined.insert(Name).second;
+  }
+
+  std::string render() const {
+    std::string Out;
+    for (const std::string &I : Imports) {
+      Out += I;
+      Out += '\n';
+    }
+    if (!Imports.empty())
+      Out += '\n';
+    for (const std::string &L : Lines) {
+      Out += L;
+      Out += '\n';
+    }
+    return Out;
+  }
+
+private:
+  std::set<std::string> Imports;
+  std::vector<std::string> Lines;
+  std::unordered_set<std::string> Defined;
+  int VarCounter = 0;
+};
+
+/// Substitutes the "{}" argument slot of a sink/sanitizer template.
+std::string instantiate(const std::string &Template, const std::string &Arg) {
+  std::string Out = Template;
+  size_t Pos = Out.find("{}");
+  if (Pos != std::string::npos)
+    Out.replace(Pos, 2, Arg);
+  return Out;
+}
+
+/// Rewrites a sink call so the tainted value enters a harmless keyword
+/// parameter: the "{}" slot gets a constant and `meta=<var>` is appended.
+std::string instantiateWrongParam(const std::string &Template,
+                                  const std::string &Var) {
+  std::string Out = instantiate(Template, "'static'");
+  size_t Close = Out.rfind(')');
+  if (Close != std::string::npos)
+    Out.insert(Close, ", meta=" + Var);
+  return Out;
+}
+
+/// Generates the contents of one file plus its ground-truth flows.
+class FileGenerator {
+public:
+  FileGenerator(const ApiUniverse &U, const CorpusOptions &Opts, Rng &Random,
+                const std::string &FilePath, Corpus *Out)
+      : U(U), Opts(Opts), Random(Random), FilePath(FilePath), Out(Out) {}
+
+  std::string generate(int NumFlows, int NumNoise) {
+    for (int I = 0; I < NumFlows; ++I)
+      emitFlow(I);
+    for (int I = 0; I < NumNoise; ++I)
+      emitNoise();
+    return File.render();
+  }
+
+  /// True when some flow imported the project's shared utils module.
+  bool usedUtilsModule() const { return UsedUtils; }
+
+private:
+  /// Picks from \p Pool with a popularity bias toward core APIs (which
+  /// form a prefix of every pool).
+  const ApiInfo &pickBiased(const std::vector<ApiInfo> &Pool) {
+    size_t CoreCount = 0;
+    while (CoreCount < Pool.size() && Pool[CoreCount].Core)
+      ++CoreCount;
+    if (CoreCount > 0 && Random.nextBool(Opts.CoreBias))
+      return Pool[Random.nextBelow(CoreCount)];
+    return Pool[Random.nextBelow(Pool.size())];
+  }
+
+  const ApiInfo &pickBiasedPtr(const std::vector<const ApiInfo *> &Pool) {
+    size_t CoreCount = 0;
+    while (CoreCount < Pool.size() && Pool[CoreCount]->Core)
+      ++CoreCount;
+    if (CoreCount > 0 && Random.nextBool(Opts.CoreBias))
+      return *Pool[Random.nextBelow(CoreCount)];
+    return *Pool[Random.nextBelow(Pool.size())];
+  }
+
+  const ApiInfo &pickSource() { return pickBiased(U.sources()); }
+
+  void recordFlow(const std::string &SrcRep, const std::string &SnkRep,
+                  const std::string &Cls, bool Sanitized, bool Exploitable,
+                  bool WrongParam) {
+    if (!Out)
+      return;
+    Out->Flows.push_back(
+        {FilePath, SrcRep, SnkRep, Cls, Sanitized, Exploitable, WrongParam});
+  }
+
+  void emitFlow(int Index) {
+    const std::string &Cls = Random.pick(ApiUniverse::vulnClasses());
+    std::vector<const ApiInfo *> Sans = U.sanitizersOf(Cls);
+    std::vector<const ApiInfo *> Snks = U.sinksOf(Cls);
+    if (Sans.empty() || Snks.empty())
+      return;
+    const ApiInfo &San = pickBiasedPtr(Sans);
+    const ApiInfo &Snk = pickBiasedPtr(Snks);
+
+    double Total = Opts.PSanitized + Opts.PVulnerable + Opts.PWrongParam +
+                   Opts.PParamHandler + Opts.PAttrReadSource;
+    double Dice = Random.nextDouble() * Total;
+
+    if ((Dice -= Opts.PSanitized) < 0) {
+      emitSanitized(Index, Cls, San, Snk);
+      return;
+    }
+    if ((Dice -= Opts.PVulnerable) < 0) {
+      emitVulnerable(Index, Cls, Snk);
+      return;
+    }
+    if ((Dice -= Opts.PWrongParam) < 0) {
+      emitWrongParam(Index, Cls, Snk);
+      return;
+    }
+    if ((Dice -= Opts.PParamHandler) < 0) {
+      emitParamHandler(Cls, Snk);
+      return;
+    }
+    emitAttrReadSource(Cls, Snk);
+  }
+
+  void emitAttrReadSource(const std::string &Cls, const ApiInfo &Snk) {
+    // `post.content`-style source: an attribute read of a handler
+    // parameter, learned through the read event's backoff options.
+    const AttrReadSource &AR =
+        AttrReads[Random.nextBelow(std::size(AttrReads))];
+    std::string Name(AR.Fn);
+    if (!File.defineOnce(Name))
+      return;
+    File.addImport(Snk.Import);
+    std::string Var = File.freshVar("body");
+    File.addLine("def " + Name + "(" + AR.Param + "):");
+    File.addLine("    " + Var + " = " + std::string(AR.Param) + "." +
+                 AR.Attr);
+    // Half of these handlers sanitize: the sanitized form is what lets
+    // Fig. 4a infer the read as a source (source evidence needs a
+    // sanitizer/sink pair downstream).
+    bool Sanitized = Random.nextBool(0.5);
+    if (Sanitized) {
+      std::vector<const ApiInfo *> Sans = U.sanitizersOf(Cls);
+      if (!Sans.empty()) {
+        const ApiInfo &San = pickBiasedPtr(Sans);
+        File.addImport(San.Import);
+        std::string Clean = File.freshVar("clean");
+        File.addLine("    " + Clean + " = " + instantiate(San.Expr, Var));
+        Var = Clean;
+      } else {
+        Sanitized = false;
+      }
+    }
+    File.addLine("    " + instantiate(Snk.Expr, Var));
+    std::string SpecificRep = Name + "(param " + AR.Param + ")." + AR.Attr;
+    std::string GeneralRep = std::string(AR.Param) + "." + AR.Attr;
+    if (Out) {
+      Out->Truth.add(SpecificRep, SourceMask, Cls);
+      Out->Truth.add(GeneralRep, SourceMask, Cls);
+    }
+    recordFlow(SpecificRep, Snk.Rep, Cls, Sanitized,
+               /*Exploitable=*/!Sanitized, /*WrongParam=*/false);
+  }
+
+  void emitSanitized(int Index, const std::string &Cls, const ApiInfo &San,
+                     const ApiInfo &Snk) {
+    const ApiInfo &Src = pickSource();
+    File.addImport(Src.Import);
+    File.addImport(San.Import);
+    File.addImport(Snk.Import);
+    std::string Data = File.freshVar("data");
+    std::string Clean = File.freshVar("clean");
+
+    std::string SanCall;
+    if (Random.nextBool(Opts.PUtilsSanitizer)) {
+      // Sanitize through the project's shared utils module; the call's
+      // representation `utils.<wrapper>()` repeats across repositories.
+      std::string Wrapper =
+          WrapperNames[Random.nextBelow(std::size(WrapperNames))];
+      File.addImport("from utils import " + Wrapper);
+      SanCall = Wrapper + "(" + Data + ")";
+      UsedUtils = true;
+      if (Out)
+        Out->Truth.add("utils." + Wrapper + "()", SanitizerMask, Cls);
+    } else if (Random.nextBool(Opts.PWrapperSanitizer)) {
+      // Project-local wrapper: the learner must discover it through the
+      // `wrapper()` backoff representation.
+      std::string Wrapper =
+          Random.pick(std::vector<std::string>(std::begin(WrapperNames),
+                                               std::end(WrapperNames)));
+      if (File.defineOnce(Wrapper)) {
+        File.addLine("def " + Wrapper + "(value):");
+        File.addLine("    return " + instantiate(San.Expr, "value"));
+        if (Out)
+          Out->Truth.add(Wrapper + "()", SanitizerMask, Cls);
+      }
+      SanCall = Wrapper + "(" + Data + ")";
+    } else {
+      SanCall = instantiate(San.Expr, Data);
+    }
+
+    std::string Handler = "def handle_" + std::to_string(Index) + "():";
+    File.addLine(Handler);
+    File.addLine("    " + Data + " = " + Src.Expr);
+    emitExtraSource(Data, Snk, /*Sanitized=*/true, /*Exploitable=*/false);
+    maybeNoiseTransform(Data);
+    File.addLine("    " + Clean + " = " + SanCall);
+    File.addLine("    " + instantiate(Snk.Expr, Clean));
+    recordFlow(Src.Rep, Snk.Rep, Cls, /*Sanitized=*/true,
+               /*Exploitable=*/false, /*WrongParam=*/false);
+  }
+
+  void emitVulnerable(int Index, const std::string &Cls, const ApiInfo &Snk) {
+    const ApiInfo &Src = pickSource();
+    File.addImport(Src.Import);
+    File.addImport(Snk.Import);
+    std::string Data = File.freshVar("data");
+    bool Exploitable = Random.nextBool(Opts.PExploitable);
+
+    if (Random.nextBool(Opts.PClassHandler)) {
+      // Class-based handler: the flow crosses methods through a self field
+      // (resolved by the points-to pass).
+      std::string Cls2 = Random.pick(std::vector<std::string>(
+          std::begin(ClassNames), std::end(ClassNames)));
+      std::string Name = Cls2 + std::to_string(Index);
+      if (!File.defineOnce(Name))
+        Name += "_b";
+      File.addLine("class " + Name + "(object):");
+      File.addLine("    def collect(self, req):");
+      File.addLine("        self.payload = " + Src.Expr);
+      File.addLine("    def respond(self):");
+      File.addLine("        " + instantiate(Snk.Expr, "self.payload"));
+    } else {
+      File.addLine("def handle_" + std::to_string(Index) + "():");
+      if (!Exploitable)
+        File.addLine("    # response content-type: text/plain");
+      File.addLine("    " + Data + " = " + Src.Expr);
+      emitExtraSource(Data, Snk, /*Sanitized=*/false, Exploitable);
+      maybeNoiseTransform(Data);
+      File.addLine("    " + instantiate(Snk.Expr, Data));
+    }
+    recordFlow(Src.Rep, Snk.Rep, Cls, /*Sanitized=*/false, Exploitable,
+               /*WrongParam=*/false);
+  }
+
+  void emitWrongParam(int Index, const std::string &Cls, const ApiInfo &Snk) {
+    const ApiInfo &Src = pickSource();
+    File.addImport(Src.Import);
+    File.addImport(Snk.Import);
+    std::string Data = File.freshVar("data");
+    File.addLine("def handle_" + std::to_string(Index) + "():");
+    File.addLine("    " + Data + " = " + Src.Expr);
+    File.addLine("    " + instantiateWrongParam(Snk.Expr, Data));
+    recordFlow(Src.Rep, Snk.Rep, Cls, /*Sanitized=*/false,
+               /*Exploitable=*/false, /*WrongParam=*/true);
+  }
+
+  void emitParamHandler(const std::string &Cls, const ApiInfo &Snk) {
+    // A route handler whose formal parameter carries user input — the
+    // parameter event itself is the true source.
+    const HandlerParam &HP =
+        ParamHandlers[Random.nextBelow(std::size(ParamHandlers))];
+    std::string Name(HP.Handler);
+    if (!File.defineOnce(Name))
+      return; // One handler of each name per file.
+    File.addImport(Snk.Import);
+    if (Random.nextBool(0.5))
+      File.addLine("@route('/" + Name + "')");
+    File.addLine("def " + Name + "(" + HP.Param + "):");
+    File.addLine("    " + instantiate(Snk.Expr, HP.Param));
+    std::string SrcRep = Name + "(param " + std::string(HP.Param) + ")";
+    if (Out)
+      Out->Truth.add(SrcRep, SourceMask, Cls);
+    recordFlow(SrcRep, Snk.Rep, Cls, /*Sanitized=*/false,
+               /*Exploitable=*/true, /*WrongParam=*/false);
+  }
+
+  /// Occasionally concatenates a second source into \p Var — request
+  /// handlers typically read several fields, which makes source events the
+  /// most numerous candidates (as in the paper's corpus).
+  void emitExtraSource(const std::string &Var, const ApiInfo &Snk,
+                       bool Sanitized, bool Exploitable) {
+    if (!Random.nextBool(0.4))
+      return;
+    const ApiInfo &Extra = pickSource();
+    File.addImport(Extra.Import);
+    std::string Second = File.freshVar("field");
+    File.addLine("    " + Second + " = " + Extra.Expr);
+    File.addLine("    " + Var + " = " + Var + " + " + Second);
+    if (Out)
+      Out->Flows.push_back({FilePath, Extra.Rep, Snk.Rep, "", Sanitized,
+                            Exploitable, false});
+  }
+
+  /// Occasionally threads the tainted variable through a blacklisted
+  /// builtin or an f-string (flow is preserved; neither becomes a
+  /// candidate).
+  void maybeNoiseTransform(const std::string &Var) {
+    if (!Random.nextBool(0.3))
+      return;
+    if (Random.nextBool(0.25)) {
+      File.addLine("    " + Var + " = f'value={" + Var + "}'");
+      return;
+    }
+    static const char *Transforms[] = {".strip()", ".lower()",
+                                       ".replace('\\n', ' ')"};
+    File.addLine("    " + Var + " = " + Var +
+                 Transforms[Random.nextBelow(std::size(Transforms))]);
+  }
+
+  void emitNoise() {
+    const ApiInfo &N = Random.pick(U.neutrals());
+    File.addImport(N.Import);
+    std::string Var = File.freshVar(NoiseVars[Random.nextBelow(
+        std::size(NoiseVars))]);
+    switch (Random.nextBelow(3)) {
+    case 0:
+      File.addLine(Var + " = " + N.Expr);
+      break;
+    case 1:
+      File.addLine(Var + " = str(len(" + N.Expr + "))");
+      break;
+    default:
+      File.addLine(Var + " = [x for x in " + N.Expr + " if x]");
+      break;
+    }
+  }
+
+  const ApiUniverse &U;
+  const CorpusOptions &Opts;
+  Rng &Random;
+  std::string FilePath;
+  Corpus *Out;
+  FileBuilder File;
+  bool UsedUtils = false;
+};
+
+size_t countLines(const std::string &Text) {
+  size_t N = 0;
+  for (char C : Text)
+    N += C == '\n';
+  return N;
+}
+
+} // namespace
+
+Corpus seldon::corpus::generateCorpus(const CorpusOptions &Opts) {
+  Corpus Out;
+  ApiUniverse Universe = ApiUniverse::standard(Opts.Universe);
+  Out.Seed = Universe.seedSpec();
+  Out.Truth = Universe.groundTruth();
+
+  Rng Root(Opts.Seed);
+  for (int P = 0; P < Opts.NumProjects; ++P) {
+    Rng ProjectRng = Root.fork();
+    std::string ProjectName = "proj" + std::to_string(P);
+    pysem::Project Project(ProjectName);
+    int NumFiles = static_cast<int>(ProjectRng.nextInRange(
+        Opts.MinFilesPerProject, Opts.MaxFilesPerProject));
+    bool NeedUtils = false;
+    for (int F = 0; F < NumFiles; ++F) {
+      std::string Path =
+          ProjectName + "/app_" + std::to_string(F) + ".py";
+      FileGenerator Gen(Universe, Opts, ProjectRng, Path, &Out);
+      int Flows = static_cast<int>(ProjectRng.nextInRange(
+          Opts.MinFlowsPerFile, Opts.MaxFlowsPerFile));
+      std::string Source = Gen.generate(Flows, Opts.NoiseStatementsPerFile);
+      Out.TotalLines += countLines(Source);
+      Project.addModule(Path, Source);
+      ++Out.NumFiles;
+      NeedUtils |= Gen.usedUtilsModule();
+    }
+    if (NeedUtils) {
+      // The shared project library the flows imported from. Each wrapper
+      // delegates to a real sanitizer of its class rotation.
+      std::string Source = "import flask\nimport shlex\n"
+                           "import MySQLdb\nimport werkzeug.utils\n"
+                           "import urlvalid\n\n";
+      const char *Inner[] = {"flask.escape({})", "MySQLdb.escape_string({})",
+                             "werkzeug.utils.secure_filename({})",
+                             "shlex.quote({})", "urlvalid.check_relative({})"};
+      for (size_t W = 0; W < std::size(WrapperNames); ++W) {
+        Source += "def " + std::string(WrapperNames[W]) + "(value):\n";
+        Source += "    return " +
+                  instantiate(Inner[W % std::size(Inner)], "value") + "\n\n";
+      }
+      std::string Path = ProjectName + "/utils.py";
+      Out.TotalLines += countLines(Source);
+      Project.addModule(Path, Source);
+      ++Out.NumFiles;
+    }
+    Out.Projects.push_back(std::move(Project));
+  }
+  return Out;
+}
+
+pysem::Project
+seldon::corpus::generateSingleProject(const ApiUniverse &Universe,
+                                      uint64_t Seed, int NumFiles,
+                                      int FlowsPerFile,
+                                      const std::string &Name) {
+  CorpusOptions Opts;
+  Rng Random(Seed);
+  pysem::Project Project(Name);
+  for (int F = 0; F < NumFiles; ++F) {
+    std::string Path = Name + "/mod_" + std::to_string(F) + ".py";
+    FileGenerator Gen(Universe, Opts, Random, Path, nullptr);
+    Project.addModule(Path, Gen.generate(FlowsPerFile, 3));
+  }
+  return Project;
+}

@@ -1,0 +1,112 @@
+//===- corpus/CorpusGenerator.h - Synthetic web-app corpora ------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates a deterministic corpus of synthetic Python web applications —
+/// the stand-in for the paper's GitHub dataset (§7.2). Each project mixes:
+///
+///  * sanitized flows    source -> sanitizer -> sink (sometimes through a
+///                       project-local wrapper function, which the learner
+///                       must discover via representation backoff);
+///  * vulnerable flows   source -> sink, a fraction marked non-exploitable
+///                       (the paper's "vulnerable flow, but no bug" rows);
+///  * wrong-parameter    tainted data entering a harmless parameter of a
+///    flows              sink (Tab. 6 "Flows into wrong parameter");
+///  * route handlers     whose formal parameters are true sources;
+///  * class-based        handlers storing request data in `self` fields
+///    handlers           (exercising the points-to pass);
+///  * neutral noise      blacklisted builtins and role-less helper APIs.
+///
+/// Every generated flow is recorded with its ground truth so the
+/// evaluation can classify analyzer reports exactly (Tab. 6/7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_CORPUS_CORPUSGENERATOR_H
+#define SELDON_CORPUS_CORPUSGENERATOR_H
+
+#include "corpus/ApiUniverse.h"
+#include "pysem/Project.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seldon {
+namespace corpus {
+
+/// Generation knobs.
+struct CorpusOptions {
+  int NumProjects = 300;
+  int MinFilesPerProject = 2;
+  int MaxFilesPerProject = 5;
+  int MinFlowsPerFile = 3;
+  int MaxFlowsPerFile = 7;
+  int NoiseStatementsPerFile = 4;
+  uint64_t Seed = 42;
+  UniverseOptions Universe;
+
+  // Flow-mix probabilities (normalized internally).
+  double PSanitized = 0.50;
+  double PVulnerable = 0.30;
+  double PWrongParam = 0.08;
+  double PParamHandler = 0.12;
+  /// Flows whose source is an attribute read of a handler parameter
+  /// (`post.title`-style sources, cf. the paper's Tab. 8 samples).
+  double PAttrReadSource = 0.12;
+  /// Among sanitized flows: route through a project-local wrapper defined
+  /// in the same file.
+  double PWrapperSanitizer = 0.3;
+  /// Among sanitized flows: route through the project's shared `utils.py`
+  /// module instead (`from utils import sanitize_input`) — project-local
+  /// libraries whose representations repeat across repositories.
+  double PUtilsSanitizer = 0.15;
+  /// Among vulnerable flows: actually exploitable (Tab. 6).
+  double PExploitable = 0.7;
+  /// Chance a flow is wrapped in a class-based handler.
+  double PClassHandler = 0.15;
+  /// Probability an API pick comes from the hand-written popular core
+  /// rather than the full pool (popular frameworks dominate real corpora).
+  double CoreBias = 0.25;
+};
+
+/// Ground-truth record of one generated flow.
+struct GeneratedFlow {
+  std::string File;
+  std::string SrcRep;
+  std::string SnkRep;
+  std::string VulnClass;
+  bool Sanitized = false;
+  bool Exploitable = false;
+  bool WrongParam = false;
+};
+
+/// A generated corpus with its oracle.
+struct Corpus {
+  std::vector<pysem::Project> Projects;
+  spec::SeedSpec Seed;
+  GroundTruth Truth;
+  std::vector<GeneratedFlow> Flows;
+  size_t NumFiles = 0;
+  size_t TotalLines = 0;
+};
+
+/// Generates the corpus described by \p Opts. Deterministic in Opts.Seed.
+Corpus generateCorpus(const CorpusOptions &Opts = CorpusOptions());
+
+/// Generates one project of roughly \p NumFiles files — used by the Merlin
+/// scalability experiment (Tab. 2), which compares a small and a large
+/// application.
+pysem::Project generateSingleProject(const ApiUniverse &Universe,
+                                     uint64_t Seed, int NumFiles,
+                                     int FlowsPerFile,
+                                     const std::string &Name);
+
+} // namespace corpus
+} // namespace seldon
+
+#endif // SELDON_CORPUS_CORPUSGENERATOR_H

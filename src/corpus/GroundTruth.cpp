@@ -1,0 +1,38 @@
+//===- corpus/GroundTruth.cpp - Oracle for generated corpora --------------===//
+
+#include "corpus/GroundTruth.h"
+
+using namespace seldon;
+using namespace seldon::corpus;
+
+const std::string GroundTruth::Empty;
+
+void GroundTruth::add(const std::string &Rep, RoleMask Mask,
+                      std::string VulnClass) {
+  Entry &E = Entries[Rep];
+  E.Mask |= Mask;
+  if (!VulnClass.empty())
+    E.VulnClass = std::move(VulnClass);
+}
+
+RoleMask GroundTruth::rolesOf(const std::string &Rep) const {
+  auto It = Entries.find(Rep);
+  return It == Entries.end() ? 0 : It->second.Mask;
+}
+
+bool GroundTruth::isTrue(const std::string &Rep, Role R) const {
+  return propgraph::maskHas(rolesOf(Rep), R);
+}
+
+bool GroundTruth::anyTrue(const std::vector<std::string> &RepOptions,
+                          Role R) const {
+  for (const std::string &Rep : RepOptions)
+    if (isTrue(Rep, R))
+      return true;
+  return false;
+}
+
+const std::string &GroundTruth::vulnClassOf(const std::string &Rep) const {
+  auto It = Entries.find(Rep);
+  return It == Entries.end() ? Empty : It->second.VulnClass;
+}

@@ -1,0 +1,66 @@
+//===- corpus/GroundTruth.h - Oracle for generated corpora -------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ground-truth oracle of the synthetic corpus: which representations
+/// truly are sources, sanitizers, and sinks. The paper estimates precision
+/// by manually inspecting 50 samples per role (§7.3); our generator knows
+/// the truth exactly, so the evaluation can compute both the sampled and
+/// the exact precision.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_CORPUS_GROUNDTRUTH_H
+#define SELDON_CORPUS_GROUNDTRUTH_H
+
+#include "propgraph/Event.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace seldon {
+namespace corpus {
+
+using propgraph::Role;
+using propgraph::RoleMask;
+
+/// Representation -> true roles (and vulnerability class).
+class GroundTruth {
+public:
+  /// Registers \p Rep as truly holding the roles of \p Mask.
+  void add(const std::string &Rep, RoleMask Mask,
+           std::string VulnClass = std::string());
+
+  /// True roles of \p Rep (0 when unknown/no role).
+  RoleMask rolesOf(const std::string &Rep) const;
+
+  /// True if \p Rep truly holds \p R.
+  bool isTrue(const std::string &Rep, Role R) const;
+
+  /// True if any of \p RepOptions truly holds \p R (events carry several
+  /// backoff representations).
+  bool anyTrue(const std::vector<std::string> &RepOptions, Role R) const;
+
+  /// Vulnerability class of \p Rep ("xss", "sqli", ...; empty if none).
+  const std::string &vulnClassOf(const std::string &Rep) const;
+
+  size_t size() const { return Entries.size(); }
+
+private:
+  struct Entry {
+    RoleMask Mask = 0;
+    std::string VulnClass;
+  };
+  std::unordered_map<std::string, Entry> Entries;
+  static const std::string Empty;
+};
+
+} // namespace corpus
+} // namespace seldon
+
+#endif // SELDON_CORPUS_GROUNDTRUTH_H

@@ -1,0 +1,64 @@
+//===- eval/ExperimentDriver.h - Shared experiment plumbing ------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the benchmark binaries that regenerate the paper's
+/// tables and figures: standard corpus + pipeline runs, environment-based
+/// scaling knobs (`SELDON_PROJECTS=...` shrinks or grows every experiment),
+/// and small formatting helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_EVAL_EXPERIMENTDRIVER_H
+#define SELDON_EVAL_EXPERIMENTDRIVER_H
+
+#include "corpus/CorpusGenerator.h"
+#include "eval/Precision.h"
+#include "eval/ReportClassifier.h"
+#include "infer/Pipeline.h"
+#include "taint/TaintAnalyzer.h"
+
+#include <string>
+
+namespace seldon {
+namespace eval {
+
+/// Integer environment knob with default.
+int envInt(const char *Name, int Default);
+
+/// The score threshold the paper selects specifications at (§7.2: 0.1).
+inline constexpr double ScoreThreshold = 0.1;
+
+/// The default corpus configuration used by the table/figure benches;
+/// NumProjects scales with the SELDON_PROJECTS environment variable.
+corpus::CorpusOptions standardCorpusOptions();
+
+/// The default pipeline configuration (paper constants).
+infer::PipelineOptions standardPipelineOptions();
+
+/// A generated corpus together with the finished pipeline run on it.
+struct CorpusRun {
+  corpus::Corpus Data;
+  infer::PipelineResult Pipeline;
+};
+
+/// Generates the corpus and runs the full pipeline (memoizable by callers).
+CorpusRun runStandardExperiment(const corpus::CorpusOptions &CorpusOpts,
+                                const infer::PipelineOptions &PipelineOpts);
+
+/// Runs the taint analyzer over \p Run with the seed spec only or with the
+/// learned spec added.
+std::vector<taint::Violation> analyzeCorpus(const CorpusRun &Run,
+                                            bool UseLearned);
+
+/// Formats a ratio as "12.3%".
+std::string percent(double Fraction);
+
+} // namespace eval
+} // namespace seldon
+
+#endif // SELDON_EVAL_EXPERIMENTDRIVER_H

@@ -1,0 +1,87 @@
+//===- eval/Precision.cpp - Precision against ground truth ----------------===//
+
+#include "eval/Precision.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+
+using namespace seldon;
+using namespace seldon::eval;
+using namespace seldon::propgraph;
+
+std::vector<ScoredPrediction>
+seldon::eval::predictionsAbove(const spec::LearnedSpec &Learned,
+                               const GroundTruth &Truth,
+                               const spec::SeedSpec &Seed, Role R,
+                               double Threshold) {
+  std::vector<ScoredPrediction> Out;
+  for (const auto &[Rep, Score] : Learned.ranked(R)) {
+    if (Score < Threshold)
+      break; // ranked() is sorted descending.
+    if (Seed.Spec.rolesOf(Rep) != 0)
+      continue; // Seeds are not inferred specifications.
+    Out.push_back({Rep, Score, Truth.isTrue(Rep, R)});
+  }
+  return Out;
+}
+
+RolePrecision seldon::eval::exactPrecision(const spec::LearnedSpec &Learned,
+                                           const GroundTruth &Truth,
+                                           const spec::SeedSpec &Seed, Role R,
+                                           double Threshold) {
+  RolePrecision P;
+  for (const ScoredPrediction &Pred :
+       predictionsAbove(Learned, Truth, Seed, R, Threshold)) {
+    ++P.Predicted;
+    P.Correct += Pred.Correct;
+  }
+  return P;
+}
+
+std::vector<ScoredPrediction> seldon::eval::sampledPredictions(
+    const spec::LearnedSpec &Learned, const GroundTruth &Truth,
+    const spec::SeedSpec &Seed, Role R, double Threshold, size_t SampleSize,
+    uint64_t SampleSeed) {
+  std::vector<ScoredPrediction> All =
+      predictionsAbove(Learned, Truth, Seed, R, Threshold);
+  if (All.size() > SampleSize) {
+    Rng Random(SampleSeed);
+    Random.shuffle(All);
+    All.resize(SampleSize);
+  }
+  // Present samples sorted by score, as in Fig. 11.
+  std::sort(All.begin(), All.end(),
+            [](const ScoredPrediction &A, const ScoredPrediction &B) {
+              if (A.Score != B.Score)
+                return A.Score > B.Score;
+              return A.Rep < B.Rep;
+            });
+  return All;
+}
+
+RolePrecision seldon::eval::topKPrecision(const spec::LearnedSpec &Learned,
+                                          const GroundTruth &Truth,
+                                          const spec::SeedSpec &Seed, Role R,
+                                          size_t K) {
+  std::vector<ScoredPrediction> All =
+      predictionsAbove(Learned, Truth, Seed, R, 0.0);
+  RolePrecision P;
+  for (size_t I = 0; I < All.size() && I < K; ++I) {
+    ++P.Predicted;
+    P.Correct += All[I].Correct;
+  }
+  return P;
+}
+
+std::vector<double> seldon::eval::cumulativePrecision(
+    const std::vector<ScoredPrediction> &Sample) {
+  std::vector<double> Out;
+  size_t Correct = 0;
+  for (size_t I = 0; I < Sample.size(); ++I) {
+    Correct += Sample[I].Correct;
+    Out.push_back(static_cast<double>(Correct) /
+                  static_cast<double>(I + 1));
+  }
+  return Out;
+}

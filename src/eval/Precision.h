@@ -1,0 +1,88 @@
+//===- eval/Precision.h - Precision against ground truth ---------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Precision measurements of learned specifications against the corpus
+/// ground truth: exact precision over all predictions (possible because our
+/// oracle is exact), the paper's 50-sample estimate (§7.3/Tab. 5), top-K
+/// precision (Tab. 4), confidence-threshold precision (Tab. 3), and the
+/// cumulative score-vs-precision series of Fig. 11.
+///
+/// Seeded representations are excluded everywhere: the paper evaluates the
+/// *inferred* specification A_U, not the hand-written A_M.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_EVAL_PRECISION_H
+#define SELDON_EVAL_PRECISION_H
+
+#include "corpus/GroundTruth.h"
+#include "spec/LearnedSpec.h"
+#include "spec/SeedSpec.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seldon {
+namespace eval {
+
+using corpus::GroundTruth;
+using propgraph::Role;
+
+/// A counted precision figure.
+struct RolePrecision {
+  size_t Predicted = 0;
+  size_t Correct = 0;
+
+  double precision() const {
+    return Predicted == 0
+               ? 0.0
+               : static_cast<double>(Correct) / static_cast<double>(Predicted);
+  }
+};
+
+/// One evaluated prediction.
+struct ScoredPrediction {
+  std::string Rep;
+  double Score = 0.0;
+  bool Correct = false;
+};
+
+/// All non-seed predictions of role \p R with score >= \p Threshold,
+/// sorted by descending score.
+std::vector<ScoredPrediction>
+predictionsAbove(const spec::LearnedSpec &Learned, const GroundTruth &Truth,
+                 const spec::SeedSpec &Seed, Role R, double Threshold);
+
+/// Exact precision over every prediction above \p Threshold.
+RolePrecision exactPrecision(const spec::LearnedSpec &Learned,
+                             const GroundTruth &Truth,
+                             const spec::SeedSpec &Seed, Role R,
+                             double Threshold);
+
+/// The paper's estimate: a uniform random sample of \p SampleSize
+/// predictions above \p Threshold (deterministic in \p SampleSeed).
+std::vector<ScoredPrediction>
+sampledPredictions(const spec::LearnedSpec &Learned, const GroundTruth &Truth,
+                   const spec::SeedSpec &Seed, Role R, double Threshold,
+                   size_t SampleSize, uint64_t SampleSeed);
+
+/// Precision of the top \p K predictions by score (Tab. 4).
+RolePrecision topKPrecision(const spec::LearnedSpec &Learned,
+                            const GroundTruth &Truth,
+                            const spec::SeedSpec &Seed, Role R, size_t K);
+
+/// Fig. 11 series: given a score-sorted sample, cumulative precision after
+/// each element (entry i covers samples [0, i]).
+std::vector<double>
+cumulativePrecision(const std::vector<ScoredPrediction> &Sample);
+
+} // namespace eval
+} // namespace seldon
+
+#endif // SELDON_EVAL_PRECISION_H

@@ -1,0 +1,109 @@
+//===- eval/ReportClassifier.cpp - Tab. 6 report categories ---------------===//
+
+#include "eval/ReportClassifier.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+
+using namespace seldon;
+using namespace seldon::eval;
+using namespace seldon::propgraph;
+
+const char *seldon::eval::reportCategoryName(ReportCategory C) {
+  switch (C) {
+  case ReportCategory::TrueVulnerability:
+    return "True vulnerabilities";
+  case ReportCategory::VulnerableNoBug:
+    return "Vulnerable flow, but no bug";
+  case ReportCategory::IncorrectSink:
+    return "Incorrect sink";
+  case ReportCategory::IncorrectSource:
+    return "Incorrect source";
+  case ReportCategory::IncorrectSourceAndSink:
+    return "Incorrect source and sink";
+  case ReportCategory::MissingSanitizer:
+    return "Missing sanitizer";
+  case ReportCategory::WrongParameter:
+    return "Flows into wrong parameter";
+  }
+  return "unknown";
+}
+
+ReportCategory
+seldon::eval::classifyReport(const PropagationGraph &Graph,
+                             const taint::Violation &Report,
+                             const corpus::GroundTruth &Truth,
+                             const std::vector<corpus::GeneratedFlow> &Flows) {
+  const Event &Src = Graph.event(Report.Source);
+  const Event &Snk = Graph.event(Report.Sink);
+  bool SrcTrue = Truth.anyTrue(Src.Reps, Role::Source);
+  bool SnkTrue = Truth.anyTrue(Snk.Reps, Role::Sink);
+  if (!SrcTrue && !SnkTrue)
+    return ReportCategory::IncorrectSourceAndSink;
+  if (!SnkTrue)
+    return ReportCategory::IncorrectSink;
+  if (!SrcTrue)
+    return ReportCategory::IncorrectSource;
+
+  // Both endpoints are real. If the witness path crosses a true sanitizer,
+  // the specification missed it and the report is a false positive.
+  for (size_t I = 1; I + 1 < Report.Path.size(); ++I)
+    if (Truth.anyTrue(Graph.event(Report.Path[I]).Reps, Role::Sanitizer))
+      return ReportCategory::MissingSanitizer;
+
+  // Match the report against the generator's flow records for this file.
+  const std::string &File = Graph.files()[Src.FileIdx];
+  auto Matches = [&](const corpus::GeneratedFlow &F) {
+    if (F.File != File)
+      return false;
+    bool SrcMatch = std::find(Src.Reps.begin(), Src.Reps.end(), F.SrcRep) !=
+                    Src.Reps.end();
+    bool SnkMatch = std::find(Snk.Reps.begin(), Snk.Reps.end(), F.SnkRep) !=
+                    Snk.Reps.end();
+    return SrcMatch && SnkMatch;
+  };
+
+  bool SawWrongParam = false, SawNonExploitable = false;
+  for (const corpus::GeneratedFlow &F : Flows) {
+    if (!Matches(F) || F.Sanitized)
+      continue;
+    if (F.WrongParam) {
+      SawWrongParam = true;
+      continue;
+    }
+    if (F.Exploitable)
+      return ReportCategory::TrueVulnerability;
+    SawNonExploitable = true;
+  }
+  if (SawNonExploitable)
+    return ReportCategory::VulnerableNoBug;
+  if (SawWrongParam)
+    return ReportCategory::WrongParameter;
+  // Incidental flow (e.g. through shared state) the generator did not plan:
+  // endpoints are real but exploitability is not established.
+  return ReportCategory::VulnerableNoBug;
+}
+
+ReportBreakdown seldon::eval::classifyReports(
+    const PropagationGraph &Graph, const std::vector<taint::Violation> &Reports,
+    const corpus::GroundTruth &Truth,
+    const std::vector<corpus::GeneratedFlow> &Flows, size_t SampleSize,
+    uint64_t SampleSeed) {
+  std::vector<const taint::Violation *> Chosen;
+  Chosen.reserve(Reports.size());
+  for (const taint::Violation &R : Reports)
+    Chosen.push_back(&R);
+  if (SampleSize > 0 && Chosen.size() > SampleSize) {
+    Rng Random(SampleSeed);
+    Random.shuffle(Chosen);
+    Chosen.resize(SampleSize);
+  }
+  ReportBreakdown Out;
+  for (const taint::Violation *R : Chosen) {
+    ReportCategory C = classifyReport(Graph, *R, Truth, Flows);
+    ++Out.Counts[static_cast<size_t>(C)];
+    ++Out.Total;
+  }
+  return Out;
+}

@@ -1,0 +1,88 @@
+//===- eval/ReportClassifier.h - Tab. 6 report categories --------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classifies taint-analyzer reports into the categories of paper Tab. 6 —
+/// what the authors determined by manually inspecting 25 sampled reports,
+/// our oracle decides exactly:
+///
+///   * True vulnerabilities          — real, exploitable unsanitized flow;
+///   * Vulnerable flow, but no bug   — flow real but not exploitable
+///                                     (e.g. text/plain responses);
+///   * Incorrect sink / source /     — the inferred specification
+///     source and sink                 mislabeled an endpoint;
+///   * Missing sanitizer             — the flow passes a true sanitizer the
+///                                     specification does not know;
+///   * Flows into wrong parameter    — tainted data enters a harmless
+///                                     parameter of a real sink.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_EVAL_REPORTCLASSIFIER_H
+#define SELDON_EVAL_REPORTCLASSIFIER_H
+
+#include "corpus/CorpusGenerator.h"
+#include "taint/TaintAnalyzer.h"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace seldon {
+namespace eval {
+
+/// Tab. 6 rows.
+enum class ReportCategory : uint8_t {
+  TrueVulnerability = 0,
+  VulnerableNoBug,
+  IncorrectSink,
+  IncorrectSource,
+  IncorrectSourceAndSink,
+  MissingSanitizer,
+  WrongParameter,
+};
+
+inline constexpr size_t NumReportCategories = 7;
+
+/// The paper's row label for \p C.
+const char *reportCategoryName(ReportCategory C);
+
+/// Classifies one report against the oracle.
+ReportCategory classifyReport(const propgraph::PropagationGraph &Graph,
+                              const taint::Violation &Report,
+                              const corpus::GroundTruth &Truth,
+                              const std::vector<corpus::GeneratedFlow> &Flows);
+
+/// Category counts over a set of reports.
+struct ReportBreakdown {
+  std::array<size_t, NumReportCategories> Counts{};
+  size_t Total = 0;
+
+  size_t count(ReportCategory C) const {
+    return Counts[static_cast<size_t>(C)];
+  }
+  double fraction(ReportCategory C) const {
+    return Total == 0 ? 0.0
+                      : static_cast<double>(count(C)) /
+                            static_cast<double>(Total);
+  }
+};
+
+/// Classifies all \p Reports; when \p SampleSize > 0, classifies only a
+/// uniform random sample of that size (the paper samples 25),
+/// deterministic in \p SampleSeed.
+ReportBreakdown
+classifyReports(const propgraph::PropagationGraph &Graph,
+                const std::vector<taint::Violation> &Reports,
+                const corpus::GroundTruth &Truth,
+                const std::vector<corpus::GeneratedFlow> &Flows,
+                size_t SampleSize = 0, uint64_t SampleSeed = 1);
+
+} // namespace eval
+} // namespace seldon
+
+#endif // SELDON_EVAL_REPORTCLASSIFIER_H

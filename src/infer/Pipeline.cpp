@@ -1,0 +1,83 @@
+//===- infer/Pipeline.cpp - Seldon end-to-end inference -------------------===//
+
+#include "infer/Pipeline.h"
+
+#include "support/Timer.h"
+
+using namespace seldon;
+using namespace seldon::infer;
+using namespace seldon::propgraph;
+
+PipelineResult
+seldon::infer::runPipeline(const std::vector<pysem::Project> &Corpus,
+                           const spec::SeedSpec &Seed,
+                           const PipelineOptions &Opts) {
+  Timer BuildTimer;
+  PropagationGraph Global;
+  size_t NumFiles = 0;
+  for (const pysem::Project &Proj : Corpus) {
+    PropagationGraph G = buildProjectGraph(Proj, Opts.Build);
+    NumFiles += Proj.modules().size();
+    Global.append(G);
+  }
+  double BuildSeconds = BuildTimer.seconds();
+
+  PipelineResult Result = runPipelineOnGraph(std::move(Global), Seed, Opts);
+  Result.NumFiles = NumFiles;
+  Result.BuildSeconds = BuildSeconds;
+  return Result;
+}
+
+PipelineResult
+seldon::infer::runPipelineOnGraph(PropagationGraph Graph,
+                                  const spec::SeedSpec &Seed,
+                                  const PipelineOptions &Opts) {
+  PipelineResult Result;
+  Result.Graph = std::move(Graph);
+  Result.NumFiles = Result.Graph.files().size();
+
+  Timer GenTimer;
+  const PropagationGraph *LearnGraph = &Result.Graph;
+  PropagationGraph Collapsed;
+  if (Opts.CollapseForLearning) {
+    Collapsed = Result.Graph.collapseByRep();
+    LearnGraph = &Collapsed;
+  }
+  // Representation frequencies always come from the uncollapsed graph:
+  // contraction collapses every representation to one occurrence, which
+  // would starve the §4.3 frequency cutoff.
+  Result.Reps.countOccurrences(Result.Graph);
+  Result.System = constraints::generateConstraints(*LearnGraph, Result.Reps,
+                                                   Seed, Opts.Gen);
+  Result.GenSeconds = GenTimer.seconds();
+
+  Timer SolveTimer;
+  solver::Objective Obj = Result.System.makeObjective(Opts.Lambda);
+  std::vector<double> X0 = Obj.initialPoint();
+  if (Opts.WarmStart) {
+    // Seed each variable with the previous run's score for its
+    // (representation, role); new variables start at zero.
+    const constraints::VarTable &Vars = Result.System.Vars;
+    for (uint32_t V = 0; V < Vars.numVars(); ++V) {
+      const std::string &Rep = Result.Reps.repString(Vars.repOf(V));
+      X0[V] = Opts.WarmStart->score(Rep, Vars.roleOf(V));
+    }
+    Obj.project(X0);
+  }
+  if (Opts.UseAdam) {
+    solver::AdamOptimizer Optimizer(Opts.Solve);
+    Result.Solve = Optimizer.minimize(Obj, std::move(X0));
+  } else {
+    solver::ProjectedGradient Optimizer(Opts.Solve);
+    Result.Solve = Optimizer.minimize(Obj, std::move(X0));
+  }
+  Result.SolveSeconds = SolveTimer.seconds();
+
+  // Read scores back: one entry per (representation, role) variable.
+  const constraints::VarTable &Vars = Result.System.Vars;
+  for (uint32_t V = 0; V < Vars.numVars(); ++V) {
+    const std::string &Rep = Result.Reps.repString(Vars.repOf(V));
+    Result.Learned.setScore(Rep, Vars.roleOf(V), Result.Solve.X[V]);
+  }
+  return Result;
+}

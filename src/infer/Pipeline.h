@@ -1,0 +1,85 @@
+//===- infer/Pipeline.h - Seldon end-to-end inference ------------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end Seldon pipeline (paper §7.1): parse a corpus of projects,
+/// extract per-file propagation graphs, merge them into a global graph,
+/// build the linear constraint system, minimize the relaxed objective with
+/// projected Adam, and read the per-(representation, role) scores back into
+/// a LearnedSpec.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_INFER_PIPELINE_H
+#define SELDON_INFER_PIPELINE_H
+
+#include "constraints/ConstraintGen.h"
+#include "propgraph/GraphBuilder.h"
+#include "spec/LearnedSpec.h"
+#include "spec/SeedSpec.h"
+#include "solver/AdamOptimizer.h"
+#include "solver/ProjectedGradient.h"
+
+namespace seldon {
+namespace infer {
+
+/// All knobs of the end-to-end pipeline, defaulting to the paper's values
+/// (C = 0.75, cutoff 5, λ = 0.1, score threshold 0.1).
+struct PipelineOptions {
+  propgraph::BuildOptions Build;
+  constraints::GenOptions Gen;
+  double Lambda = 0.1;
+  solver::SolveOptions Solve;
+  /// Use projected Adam (the paper's optimizer); false switches to plain
+  /// projected subgradient descent (ablation).
+  bool UseAdam = true;
+  /// Warm-start the optimizer from a previously learned specification
+  /// (matched by representation string): retraining after the corpus
+  /// grows converges in far fewer iterations. Null starts from zero.
+  const spec::LearnedSpec *WarmStart = nullptr;
+  /// Learn over the vertex-contracted graph (paper §6.4: the collapsed
+  /// graph is unusable for taint analysis but still usable for
+  /// specification learning). The result's Graph member stays uncollapsed
+  /// so the taint client remains sound.
+  bool CollapseForLearning = false;
+};
+
+/// Everything the pipeline produced, including the intermediate artifacts
+/// the evaluation and the benches inspect.
+struct PipelineResult {
+  propgraph::PropagationGraph Graph; ///< Global propagation graph.
+  propgraph::RepTable Reps;
+  constraints::ConstraintSystem System;
+  solver::SolveResult Solve;
+  spec::LearnedSpec Learned;
+
+  size_t NumFiles = 0;
+  double BuildSeconds = 0.0;
+  double GenSeconds = 0.0;
+  double SolveSeconds = 0.0;
+
+  /// Wall time of the learning part (constraint generation + solving),
+  /// the quantity plotted in paper Fig. 10.
+  double inferenceSeconds() const { return GenSeconds + SolveSeconds; }
+};
+
+/// Runs the full pipeline over already-parsed \p Corpus with seeds \p Seed.
+PipelineResult runPipeline(const std::vector<pysem::Project> &Corpus,
+                           const spec::SeedSpec &Seed,
+                           const PipelineOptions &Opts = PipelineOptions());
+
+/// Runs constraint generation + solving over an existing global graph
+/// (used when the same graph is reused across ablation configurations).
+PipelineResult runPipelineOnGraph(propgraph::PropagationGraph Graph,
+                                  const spec::SeedSpec &Seed,
+                                  const PipelineOptions &Opts =
+                                      PipelineOptions());
+
+} // namespace infer
+} // namespace seldon
+
+#endif // SELDON_INFER_PIPELINE_H

@@ -1,0 +1,41 @@
+//===- merlin/FactorGraph.cpp - Binary factor graphs ----------------------===//
+
+#include "merlin/FactorGraph.h"
+
+using namespace seldon;
+using namespace seldon::merlin;
+
+VarIdx FactorGraph::addVar(std::string Name) {
+  Names.push_back(std::move(Name));
+  CacheValid = false;
+  return static_cast<VarIdx>(Names.size() - 1);
+}
+
+void FactorGraph::addFactor(Factor F) {
+  assert(!F.Vars.empty() && "factor must touch at least one variable");
+  assert(F.Table.size() == (size_t{1} << F.Vars.size()) &&
+         "table size must be 2^arity");
+#ifndef NDEBUG
+  for (VarIdx V : F.Vars)
+    assert(V < Names.size() && "factor references unknown variable");
+  for (double Score : F.Table)
+    assert(Score >= 0.0 && "factor scores must be non-negative");
+#endif
+  Factors.push_back(std::move(F));
+  CacheValid = false;
+}
+
+void FactorGraph::addUnary(VarIdx V, double Score0, double Score1) {
+  addFactor(Factor{{V}, {Score0, Score1}});
+}
+
+const std::vector<std::vector<uint32_t>> &FactorGraph::varToFactors() const {
+  if (!CacheValid) {
+    VarFactorsCache.assign(Names.size(), {});
+    for (uint32_t F = 0; F < Factors.size(); ++F)
+      for (VarIdx V : Factors[F].Vars)
+        VarFactorsCache[V].push_back(F);
+    CacheValid = true;
+  }
+  return VarFactorsCache;
+}

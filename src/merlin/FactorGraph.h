@@ -1,0 +1,70 @@
+//===- merlin/FactorGraph.h - Binary factor graphs ---------------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A factor graph over binary variables (paper §6.3): the probabilistic
+/// model Merlin (Livshits et al. 2009) uses to score joint role
+/// assignments, p(x) ∝ Π_s f_s(x_s). Factors are dense tables over at most
+/// a handful of variables (Merlin's constraints have arity ≤ 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_MERLIN_FACTORGRAPH_H
+#define SELDON_MERLIN_FACTORGRAPH_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seldon {
+namespace merlin {
+
+/// Index of a binary variable.
+using VarIdx = uint32_t;
+
+/// A factor: a non-negative score table over a small set of binary
+/// variables. `Table[b]` scores the assignment whose bit i of `b` is the
+/// value of `Vars[i]` (variable 0 is the least-significant bit).
+struct Factor {
+  std::vector<VarIdx> Vars;
+  std::vector<double> Table;
+
+  size_t arity() const { return Vars.size(); }
+};
+
+/// A factor graph over binary variables.
+class FactorGraph {
+public:
+  /// Adds a variable; \p Name is kept for debugging/reporting.
+  VarIdx addVar(std::string Name);
+
+  /// Adds \p F. The table size must be 2^arity and all entries >= 0.
+  void addFactor(Factor F);
+
+  /// Convenience: unary prior factor [P(x=0), P(x=1)].
+  void addUnary(VarIdx V, double Score0, double Score1);
+
+  size_t numVars() const { return Names.size(); }
+  size_t numFactors() const { return Factors.size(); }
+  const std::vector<Factor> &factors() const { return Factors; }
+  const std::string &varName(VarIdx V) const { return Names[V]; }
+
+  /// Factors touching each variable (built lazily, cached).
+  const std::vector<std::vector<uint32_t>> &varToFactors() const;
+
+private:
+  std::vector<std::string> Names;
+  std::vector<Factor> Factors;
+  mutable std::vector<std::vector<uint32_t>> VarFactorsCache;
+  mutable bool CacheValid = false;
+};
+
+} // namespace merlin
+} // namespace seldon
+
+#endif // SELDON_MERLIN_FACTORGRAPH_H

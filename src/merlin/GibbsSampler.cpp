@@ -1,0 +1,70 @@
+//===- merlin/GibbsSampler.cpp - MCMC inference fallback ------------------===//
+
+#include "merlin/GibbsSampler.h"
+
+#include "support/Rng.h"
+#include "support/Timer.h"
+
+using namespace seldon;
+using namespace seldon::merlin;
+
+InferenceResult GibbsSampler::run(const FactorGraph &Graph) const {
+  Timer Clock;
+  InferenceResult Result;
+  const std::vector<Factor> &Factors = Graph.factors();
+  const auto &VarFactors = Graph.varToFactors();
+  const size_t NumVars = Graph.numVars();
+
+  Rng Random(Options.Seed);
+  std::vector<uint8_t> State(NumVars, 0);
+  std::vector<double> Counts(NumVars, 0.0);
+  int Kept = 0;
+
+  // Conditional score of variable V taking value Val given the rest.
+  auto ConditionalScore = [&](VarIdx V, uint8_t Val) {
+    double Score = 1.0;
+    for (uint32_t F : VarFactors[V]) {
+      const Factor &Fac = Factors[F];
+      size_t Bits = 0;
+      for (size_t K = 0; K < Fac.arity(); ++K) {
+        uint8_t Value = Fac.Vars[K] == V ? Val : State[Fac.Vars[K]];
+        Bits |= static_cast<size_t>(Value) << K;
+      }
+      Score *= Fac.Table[Bits];
+      if (Score == 0.0)
+        return 0.0;
+    }
+    return Score;
+  };
+
+  int TotalSweeps = Options.BurnIn + Options.Samples;
+  for (int Sweep = 0; Sweep < TotalSweeps; ++Sweep) {
+    if (Options.TimeoutSeconds > 0.0 &&
+        Clock.seconds() > Options.TimeoutSeconds) {
+      Result.TimedOut = true;
+      break;
+    }
+    for (VarIdx V = 0; V < NumVars; ++V) {
+      double S0 = ConditionalScore(V, 0);
+      double S1 = ConditionalScore(V, 1);
+      double Sum = S0 + S1;
+      if (Sum <= 0.0)
+        continue; // Frozen by hard factors.
+      State[V] = Random.nextDouble() < S1 / Sum ? 1 : 0;
+    }
+    Result.Iterations = Sweep + 1;
+    if (Sweep >= Options.BurnIn) {
+      ++Kept;
+      for (VarIdx V = 0; V < NumVars; ++V)
+        Counts[V] += State[V];
+    }
+  }
+
+  Result.Marginals.assign(NumVars, 0.5);
+  if (Kept > 0)
+    for (VarIdx V = 0; V < NumVars; ++V)
+      Result.Marginals[V] = Counts[V] / Kept;
+  Result.Converged = !Result.TimedOut;
+  Result.Seconds = Clock.seconds();
+  return Result;
+}

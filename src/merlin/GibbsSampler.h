@@ -1,0 +1,53 @@
+//===- merlin/GibbsSampler.h - MCMC inference fallback -----------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Gibbs sampling over binary factor graphs — the fallback inference method
+/// the paper tried when Expectation Propagation timed out (§7.4). Estimates
+/// marginals as sample means after burn-in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_MERLIN_GIBBSSAMPLER_H
+#define SELDON_MERLIN_GIBBSSAMPLER_H
+
+#include "merlin/FactorGraph.h"
+#include "merlin/LoopyBeliefPropagation.h"
+
+#include <cstdint>
+
+namespace seldon {
+namespace merlin {
+
+/// Knobs for Gibbs sampling.
+struct GibbsOptions {
+  int BurnIn = 100;
+  int Samples = 400;
+  uint64_t Seed = 1;
+  /// Wall-clock budget in seconds; <= 0 means unlimited.
+  double TimeoutSeconds = 0.0;
+};
+
+/// Single-site Gibbs sampler.
+class GibbsSampler {
+public:
+  explicit GibbsSampler(GibbsOptions Options = GibbsOptions())
+      : Options(Options) {}
+
+  /// Runs the chain; marginals are means over the kept samples. A factor
+  /// assigning zero mass to both values of a variable (conditioned on the
+  /// current state) leaves the variable unchanged for that sweep.
+  InferenceResult run(const FactorGraph &Graph) const;
+
+private:
+  GibbsOptions Options;
+};
+
+} // namespace merlin
+} // namespace seldon
+
+#endif // SELDON_MERLIN_GIBBSSAMPLER_H

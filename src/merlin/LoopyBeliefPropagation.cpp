@@ -1,0 +1,139 @@
+//===- merlin/LoopyBeliefPropagation.cpp - Sum-product inference ----------===//
+
+#include "merlin/LoopyBeliefPropagation.h"
+
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace seldon;
+using namespace seldon::merlin;
+
+namespace {
+
+/// Normalizes a binary message in place; falls back to uniform when the
+/// mass vanishes (numerically dead message).
+void normalize(double &M0, double &M1) {
+  double Sum = M0 + M1;
+  if (Sum <= 0.0 || !std::isfinite(Sum)) {
+    M0 = M1 = 0.5;
+    return;
+  }
+  M0 /= Sum;
+  M1 /= Sum;
+}
+
+} // namespace
+
+InferenceResult LoopyBeliefPropagation::run(const FactorGraph &Graph) const {
+  Timer Clock;
+  InferenceResult Result;
+  const std::vector<Factor> &Factors = Graph.factors();
+  const auto &VarFactors = Graph.varToFactors();
+  const size_t NumVars = Graph.numVars();
+
+  // Message storage: one (2-value) message per factor slot, per direction.
+  // Slot offsets index the flattened arrays.
+  std::vector<size_t> SlotOffset(Factors.size() + 1, 0);
+  for (size_t F = 0; F < Factors.size(); ++F)
+    SlotOffset[F + 1] = SlotOffset[F] + Factors[F].arity();
+  size_t NumSlots = SlotOffset.back();
+
+  std::vector<double> VarToFac(2 * NumSlots, 0.5);
+  std::vector<double> FacToVar(2 * NumSlots, 0.5);
+
+  auto SlotIdx = [&](size_t F, size_t K) { return SlotOffset[F] + K; };
+
+  for (int Iter = 1; Iter <= Options.MaxIterations; ++Iter) {
+    if (Options.TimeoutSeconds > 0.0 &&
+        Clock.seconds() > Options.TimeoutSeconds) {
+      Result.TimedOut = true;
+      break;
+    }
+
+    // Variable -> factor messages: product of the other factors' messages.
+    for (size_t F = 0; F < Factors.size(); ++F) {
+      for (size_t K = 0; K < Factors[F].arity(); ++K) {
+        VarIdx V = Factors[F].Vars[K];
+        double M0 = 1.0, M1 = 1.0;
+        for (uint32_t OtherF : VarFactors[V]) {
+          if (OtherF == F)
+            continue;
+          // Locate this variable's slot in the other factor.
+          const Factor &Other = Factors[OtherF];
+          for (size_t OK = 0; OK < Other.arity(); ++OK) {
+            if (Other.Vars[OK] != V)
+              continue;
+            size_t S = SlotIdx(OtherF, OK);
+            M0 *= FacToVar[2 * S];
+            M1 *= FacToVar[2 * S + 1];
+          }
+        }
+        normalize(M0, M1);
+        size_t S = SlotIdx(F, K);
+        VarToFac[2 * S] = M0;
+        VarToFac[2 * S + 1] = M1;
+      }
+    }
+
+    // Factor -> variable messages: marginalize the table against the other
+    // slots' incoming messages.
+    double MaxChange = 0.0;
+    for (size_t F = 0; F < Factors.size(); ++F) {
+      const Factor &Fac = Factors[F];
+      size_t Arity = Fac.arity();
+      for (size_t K = 0; K < Arity; ++K) {
+        double Out[2] = {0.0, 0.0};
+        for (size_t Bits = 0; Bits < Fac.Table.size(); ++Bits) {
+          double Score = Fac.Table[Bits];
+          if (Score == 0.0)
+            continue;
+          double Weight = Score;
+          for (size_t J = 0; J < Arity; ++J) {
+            if (J == K)
+              continue;
+            size_t S = SlotIdx(F, J);
+            Weight *= VarToFac[2 * S + ((Bits >> J) & 1)];
+          }
+          Out[(Bits >> K) & 1] += Weight;
+        }
+        normalize(Out[0], Out[1]);
+        size_t S = SlotIdx(F, K);
+        double New0 = Options.Damping * FacToVar[2 * S] +
+                      (1.0 - Options.Damping) * Out[0];
+        double New1 = Options.Damping * FacToVar[2 * S + 1] +
+                      (1.0 - Options.Damping) * Out[1];
+        MaxChange = std::max(MaxChange, std::abs(New0 - FacToVar[2 * S]));
+        FacToVar[2 * S] = New0;
+        FacToVar[2 * S + 1] = New1;
+      }
+    }
+
+    Result.Iterations = Iter;
+    if (MaxChange < Options.Tolerance) {
+      Result.Converged = true;
+      break;
+    }
+  }
+
+  // Beliefs: product of incoming factor messages.
+  Result.Marginals.assign(NumVars, 0.5);
+  for (VarIdx V = 0; V < NumVars; ++V) {
+    double B0 = 1.0, B1 = 1.0;
+    for (uint32_t F : VarFactors[V]) {
+      const Factor &Fac = Factors[F];
+      for (size_t K = 0; K < Fac.arity(); ++K) {
+        if (Fac.Vars[K] != V)
+          continue;
+        size_t S = SlotIdx(F, K);
+        B0 *= FacToVar[2 * S];
+        B1 *= FacToVar[2 * S + 1];
+      }
+      normalize(B0, B1); // Renormalize eagerly to avoid underflow.
+    }
+    Result.Marginals[V] = B1;
+  }
+  Result.Seconds = Clock.seconds();
+  return Result;
+}

@@ -1,0 +1,60 @@
+//===- merlin/LoopyBeliefPropagation.h - Sum-product inference ---*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loopy belief propagation (sum-product) over binary factor graphs,
+/// standing in for the Expectation Propagation engine of Infer.NET that the
+/// paper drives Merlin with (§7.4). Damped, with a wall-clock budget so the
+/// Tab. 2 scalability experiment can report timeouts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_MERLIN_LOOPYBELIEFPROPAGATION_H
+#define SELDON_MERLIN_LOOPYBELIEFPROPAGATION_H
+
+#include "merlin/FactorGraph.h"
+
+namespace seldon {
+namespace merlin {
+
+/// Knobs for BP.
+struct BpOptions {
+  int MaxIterations = 200;
+  /// New message = Damping * old + (1 - Damping) * computed.
+  double Damping = 0.3;
+  /// Convergence threshold on the max message change.
+  double Tolerance = 1e-6;
+  /// Wall-clock budget in seconds; <= 0 means unlimited.
+  double TimeoutSeconds = 0.0;
+};
+
+/// Marginals and run metadata.
+struct InferenceResult {
+  /// P(x_v = 1) for every variable.
+  std::vector<double> Marginals;
+  bool Converged = false;
+  bool TimedOut = false;
+  int Iterations = 0;
+  double Seconds = 0.0;
+};
+
+/// Sum-product message passing.
+class LoopyBeliefPropagation {
+public:
+  explicit LoopyBeliefPropagation(BpOptions Options = BpOptions())
+      : Options(Options) {}
+
+  InferenceResult run(const FactorGraph &Graph) const;
+
+private:
+  BpOptions Options;
+};
+
+} // namespace merlin
+} // namespace seldon
+
+#endif // SELDON_MERLIN_LOOPYBELIEFPROPAGATION_H

@@ -1,0 +1,198 @@
+//===- merlin/MerlinConstraints.cpp - Fig. 6 factor construction ----------===//
+
+#include "merlin/MerlinConstraints.h"
+
+#include <unordered_set>
+
+using namespace seldon;
+using namespace seldon::merlin;
+using namespace seldon::propgraph;
+
+namespace {
+
+/// Variable-creation helper holding shared state of the construction.
+class ModelBuilder {
+public:
+  ModelBuilder(const PropagationGraph &Graph, const spec::SeedSpec &Seed,
+               const MerlinGenOptions &Opts, MerlinModel &Model)
+      : Graph(Graph), Seed(Seed), Opts(Opts), Model(Model) {}
+
+  void run() {
+    createVariables();
+    addPriors();
+    addSeedPins();
+    addEdgeFactors();
+    addTripleFactors();
+  }
+
+private:
+  /// The variable for (event's most-specific rep, role), creating it on
+  /// first use; -1 when the event is not a candidate for the role or is
+  /// blacklisted.
+  int64_t varFor(const Event &E, Role R) {
+    if (!maskHas(E.Candidates, R))
+      return -1;
+    const std::string &Rep = E.primaryRep();
+    if (Seed.isBlacklisted(Rep))
+      return -1;
+    auto It = Model.VarOf.find(Rep);
+    if (It == Model.VarOf.end())
+      It = Model.VarOf.emplace(Rep, std::array<int64_t, 3>{{-1, -1, -1}})
+               .first;
+    int64_t &Slot = It->second[static_cast<size_t>(R)];
+    if (Slot < 0) {
+      Slot = Model.Graph.addVar(Rep + "#" + roleName(R));
+      ++Model.NumCandidates[static_cast<size_t>(R)];
+    }
+    return Slot;
+  }
+
+  void createVariables() {
+    for (const Event &E : Graph.events())
+      for (Role R : {Role::Source, Role::Sanitizer, Role::Sink})
+        varFor(E, R);
+  }
+
+  void addPriors() {
+    // Uniform priors for sources and sinks; path-ratio priors for
+    // sanitizers (§6.3). Track which vars already received their prior so
+    // shared representations get exactly one.
+    std::unordered_set<int64_t> Done;
+    for (const Event &E : Graph.events()) {
+      for (Role R : {Role::Source, Role::Sink}) {
+        int64_t V = varFor(E, R);
+        if (V >= 0 && Done.insert(V).second)
+          Model.Graph.addUnary(static_cast<VarIdx>(V), 0.5, 0.5);
+      }
+      int64_t V = varFor(E, Role::Sanitizer);
+      if (V < 0 || !Done.insert(V).second)
+        continue;
+      double Prior = sanitizerPrior(E.Id);
+      Model.Graph.addUnary(static_cast<VarIdx>(V), 1.0 - Prior, Prior);
+    }
+  }
+
+  /// Fraction of (predecessor-closure, successor-closure) pairs around the
+  /// event that are (source candidate, sink candidate) — the paper's
+  /// "fraction of paths through it that start from a source and end in a
+  /// sink" (§6.3).
+  double sanitizerPrior(EventId Id) {
+    std::vector<EventId> Before = Graph.reachingTo(Id);
+    std::vector<EventId> After = Graph.reachableFrom(Id);
+    if (Before.empty() || After.empty())
+      return 0.05; // Dangling candidate: weak prior.
+    size_t SrcBefore = 0, SnkAfter = 0;
+    for (EventId B : Before)
+      SrcBefore += maskHas(Graph.event(B).Candidates, Role::Source);
+    for (EventId A : After)
+      SnkAfter += maskHas(Graph.event(A).Candidates, Role::Sink);
+    double Ratio = static_cast<double>(SrcBefore * SnkAfter) /
+                   static_cast<double>(Before.size() * After.size());
+    // Keep the prior away from the degenerate endpoints.
+    return 0.05 + 0.9 * Ratio;
+  }
+
+  void addSeedPins() {
+    // Hard unary factors: a labeled candidate must take exactly its roles.
+    std::unordered_set<int64_t> Done;
+    for (const Event &E : Graph.events()) {
+      for (const std::string &Rep : E.Reps) {
+        RoleMask Mask = Seed.Spec.rolesOf(Rep);
+        if (Mask == 0)
+          continue;
+        for (Role R : {Role::Source, Role::Sanitizer, Role::Sink}) {
+          int64_t V = varFor(E, R);
+          if (V < 0 || !Done.insert(V).second)
+            continue;
+          if (maskHas(Mask, R))
+            Model.Graph.addUnary(static_cast<VarIdx>(V), 0.0, 1.0);
+          else
+            Model.Graph.addUnary(static_cast<VarIdx>(V), 1.0, 0.0);
+        }
+      }
+    }
+  }
+
+  /// Fig. 6b/c/d: same-role adjacency penalties along every edge.
+  void addEdgeFactors() {
+    const double Low = Opts.LowScore;
+    for (const Event &E : Graph.events()) {
+      for (EventId SuccId : Graph.successors(E.Id)) {
+        const Event &S = Graph.event(SuccId);
+        struct EdgeRule {
+          Role From;
+          Role To;
+        };
+        static const EdgeRule Rules[] = {
+            {Role::Sanitizer, Role::Sanitizer}, // Fig. 6b
+            {Role::Source, Role::Source},       // Fig. 6c
+            {Role::Sink, Role::Sink},           // Fig. 6d
+        };
+        for (const EdgeRule &Rule : Rules) {
+          int64_t A = varFor(E, Rule.From);
+          int64_t B = varFor(S, Rule.To);
+          if (A < 0 || B < 0 || A == B)
+            continue;
+          // Table index: bit0 = A, bit1 = B. Penalize (1,1).
+          Model.Graph.addFactor(
+              Factor{{static_cast<VarIdx>(A), static_cast<VarIdx>(B)},
+                     {1.0, 1.0, 1.0, Low}});
+        }
+      }
+    }
+  }
+
+  /// Fig. 6a: source ⇝ mid ⇝ sink triples; (src=1, mid=0, snk=1) penalized.
+  void addTripleFactors() {
+    const double Low = Opts.LowScore;
+    for (const Event &Mid : Graph.events()) {
+      if (!maskHas(Mid.Candidates, Role::Sanitizer))
+        continue;
+      int64_t MidVar = varFor(Mid, Role::Sanitizer);
+      if (MidVar < 0)
+        continue;
+      std::vector<EventId> Before = Graph.reachingTo(Mid.Id);
+      std::vector<EventId> After = Graph.reachableFrom(Mid.Id);
+      size_t Triples = 0;
+      for (EventId B : Before) {
+        int64_t SrcVar = varFor(Graph.event(B), Role::Source);
+        if (SrcVar < 0)
+          continue;
+        for (EventId A : After) {
+          int64_t SnkVar = varFor(Graph.event(A), Role::Sink);
+          if (SnkVar < 0 || SnkVar == SrcVar)
+            continue;
+          if (SrcVar == MidVar || SnkVar == MidVar)
+            continue;
+          if (++Triples > Opts.MaxTriplesPerAnchor)
+            return;
+          // Bits: 0 = src, 1 = mid, 2 = snk. Penalize src & snk & !mid
+          // (index 0b101 = 5).
+          Factor F;
+          F.Vars = {static_cast<VarIdx>(SrcVar),
+                    static_cast<VarIdx>(MidVar),
+                    static_cast<VarIdx>(SnkVar)};
+          F.Table = {1.0, 1.0, 1.0, 1.0, 1.0, Low, 1.0, 1.0};
+          Model.Graph.addFactor(std::move(F));
+        }
+      }
+    }
+  }
+
+  const PropagationGraph &Graph;
+  const spec::SeedSpec &Seed;
+  const MerlinGenOptions &Opts;
+  MerlinModel &Model;
+};
+
+} // namespace
+
+MerlinModel
+seldon::merlin::buildMerlinModel(const PropagationGraph &Graph,
+                                 const spec::SeedSpec &Seed,
+                                 const MerlinGenOptions &Opts) {
+  MerlinModel Model;
+  ModelBuilder Builder(Graph, Seed, Opts, Model);
+  Builder.run();
+  return Model;
+}

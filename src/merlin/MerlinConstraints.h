@@ -1,0 +1,80 @@
+//===- merlin/MerlinConstraints.h - Fig. 6 factor construction ---*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds Merlin's factor graph from a propagation graph (paper §6):
+///
+///   Fig. 6a  triple (src s, mid v, snk t) on a flow s ⇝ v ⇝ t: the
+///            assignment (s=1, v=0, t=1) is penalized — a flow from a
+///            source to a sink should pass a sanitizer;
+///   Fig. 6b  edge v → w: (v.san=1, w.san=1) penalized — a sanitizer's
+///            successor is unlikely to be a sanitizer;
+///   Fig. 6c  edge v → w: (v.src=1, w.src=1) penalized;
+///   Fig. 6d  edge v → w: (v.snk=1, w.snk=1) penalized;
+///   priors   sources/sinks 0.5; a sanitizer candidate's prior is the
+///            fraction of flows through it that start at a source
+///            candidate and end at a sink candidate (§6.3);
+///   seeds    hard unary factors pinning labeled candidates.
+///
+/// Variables are per (most-specific representation, role) as in the
+/// adaptation of §6.2 — Merlin has no backoff.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_MERLIN_MERLINCONSTRAINTS_H
+#define SELDON_MERLIN_MERLINCONSTRAINTS_H
+
+#include "merlin/FactorGraph.h"
+#include "propgraph/PropagationGraph.h"
+#include "spec/SeedSpec.h"
+
+#include <array>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace seldon {
+namespace merlin {
+
+using propgraph::Role;
+
+/// Factor-construction knobs.
+struct MerlinGenOptions {
+  /// Score of penalized assignments (all others score 1).
+  double LowScore = 0.1;
+  /// Cap on Fig. 6a triples per sanitizer-candidate anchor.
+  size_t MaxTriplesPerAnchor = 100000;
+};
+
+/// The constructed model plus bookkeeping to map variables back to
+/// representations.
+struct MerlinModel {
+  FactorGraph Graph;
+  /// Variable of (representation, role), if created.
+  std::unordered_map<std::string, std::array<int64_t, 3>> VarOf;
+  /// Candidate counts per role (Tab. 2 "Candidates (src/san/sink)").
+  std::array<size_t, 3> NumCandidates{0, 0, 0};
+
+  int64_t lookup(const std::string &Rep, Role R) const {
+    auto It = VarOf.find(Rep);
+    if (It == VarOf.end())
+      return -1;
+    return It->second[static_cast<size_t>(R)];
+  }
+};
+
+/// Builds the Fig. 6 factor graph over \p Graph (which the caller collapses
+/// first for Merlin's original collapsed mode, §6.4).
+MerlinModel buildMerlinModel(const propgraph::PropagationGraph &Graph,
+                             const spec::SeedSpec &Seed,
+                             const MerlinGenOptions &Opts =
+                                 MerlinGenOptions());
+
+} // namespace merlin
+} // namespace seldon
+
+#endif // SELDON_MERLIN_MERLINCONSTRAINTS_H

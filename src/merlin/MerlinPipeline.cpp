@@ -1,0 +1,48 @@
+//===- merlin/MerlinPipeline.cpp - End-to-end Merlin baseline -------------===//
+
+#include "merlin/MerlinPipeline.h"
+
+#include "support/Timer.h"
+
+using namespace seldon;
+using namespace seldon::merlin;
+using namespace seldon::propgraph;
+
+MerlinResult seldon::merlin::runMerlin(const PropagationGraph &Graph,
+                                       const spec::SeedSpec &Seed,
+                                       const MerlinOptions &Opts) {
+  Timer Clock;
+  MerlinResult Result;
+
+  const PropagationGraph *Active = &Graph;
+  PropagationGraph Collapsed;
+  if (Opts.Collapsed) {
+    Collapsed = Graph.collapseByRep();
+    Active = &Collapsed;
+  }
+
+  MerlinModel Model = buildMerlinModel(*Active, Seed, Opts.Gen);
+  Result.NumCandidates = Model.NumCandidates;
+  Result.NumFactors = Model.Graph.numFactors();
+
+  InferenceResult Inference;
+  if (Opts.Method == InferenceMethod::BeliefPropagation) {
+    LoopyBeliefPropagation Bp(Opts.Bp);
+    Inference = Bp.run(Model.Graph);
+  } else {
+    GibbsSampler Gibbs(Opts.Gibbs);
+    Inference = Gibbs.run(Model.Graph);
+  }
+  Result.TimedOut = Inference.TimedOut;
+  Result.Converged = Inference.Converged;
+  Result.Iterations = Inference.Iterations;
+
+  for (const auto &[Rep, Slots] : Model.VarOf)
+    for (Role R : {Role::Source, Role::Sanitizer, Role::Sink}) {
+      int64_t V = Slots[static_cast<size_t>(R)];
+      if (V >= 0)
+        Result.Learned.setScore(Rep, R, Inference.Marginals[V]);
+    }
+  Result.Seconds = Clock.seconds();
+  return Result;
+}

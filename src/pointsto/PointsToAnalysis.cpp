@@ -1,0 +1,273 @@
+//===- pointsto/PointsToAnalysis.cpp - AST-driven points-to ---------------===//
+
+#include "pointsto/PointsToAnalysis.h"
+
+#include "pyast/AstPrinter.h"
+#include "support/StrUtil.h"
+
+using namespace seldon;
+using namespace seldon::pointsto;
+using namespace seldon::pyast;
+
+VarId PointsToAnalysis::varFor(const std::string &Scope,
+                               const std::string &Name) {
+  std::string Key = Scope + "::" + Name;
+  auto It = VarIds.find(Key);
+  if (It != VarIds.end())
+    return It->second;
+  VarId V = Solver.makeVar(Key);
+  VarIds.emplace(std::move(Key), V);
+  return V;
+}
+
+std::optional<VarId>
+PointsToAnalysis::lookupVar(const std::string &Scope,
+                            const std::string &Name) const {
+  auto It = VarIds.find(Scope + "::" + Name);
+  if (It == VarIds.end())
+    return std::nullopt;
+  return It->second;
+}
+
+bool PointsToAnalysis::mayAlias(const std::string &ScopeA,
+                                const std::string &NameA,
+                                const std::string &ScopeB,
+                                const std::string &NameB) const {
+  std::optional<VarId> A = lookupVar(ScopeA, NameA);
+  std::optional<VarId> B = lookupVar(ScopeB, NameB);
+  if (!A || !B)
+    return false;
+  return Solver.mayAlias(*A, *B);
+}
+
+VarId PointsToAnalysis::evalExpr(const std::string &Scope, const Expr *E) {
+  switch (E->kind()) {
+  case NodeKind::Name:
+    return varFor(Scope, cast<NameExpr>(E)->Id);
+  case NodeKind::Attribute: {
+    const auto *A = cast<AttributeExpr>(E);
+    VarId Base = evalExpr(Scope, A->Value);
+    VarId Tmp = Solver.makeVar("tmp" + std::to_string(TempCount++));
+    Solver.addLoad(Tmp, Base, A->Attr);
+    return Tmp;
+  }
+  case NodeKind::Subscript: {
+    // Model containers with a single abstract element field.
+    const auto *S = cast<SubscriptExpr>(E);
+    VarId Base = evalExpr(Scope, S->Value);
+    VarId Tmp = Solver.makeVar("tmp" + std::to_string(TempCount++));
+    Solver.addLoad(Tmp, Base, "$elem");
+    return Tmp;
+  }
+  case NodeKind::Call: {
+    // Calls to functions with unknown bodies are allocation sites (§5.2).
+    const auto *C = cast<CallExpr>(E);
+    for (const Expr *Arg : C->Args)
+      evalExpr(Scope, Arg);
+    for (const KeywordArg &K : C->Keywords)
+      evalExpr(Scope, K.Value);
+    evalExpr(Scope, C->Callee);
+    VarId Tmp = Solver.makeVar("tmp" + std::to_string(TempCount++));
+    ObjId O = Solver.makeObj("call@" + std::to_string(E->loc().Line) + ":" +
+                             std::to_string(E->loc().Col));
+    Solver.addAlloc(Tmp, O);
+    return Tmp;
+  }
+  case NodeKind::List:
+  case NodeKind::Tuple:
+  case NodeKind::Set: {
+    const std::vector<Expr *> *Elements;
+    if (const auto *L = dyn_cast<ListExpr>(E))
+      Elements = &L->Elements;
+    else if (const auto *T = dyn_cast<TupleExpr>(E))
+      Elements = &T->Elements;
+    else
+      Elements = &cast<SetExpr>(E)->Elements;
+    VarId Tmp = Solver.makeVar("tmp" + std::to_string(TempCount++));
+    ObjId O = Solver.makeObj("container@" + std::to_string(E->loc().Line));
+    Solver.addAlloc(Tmp, O);
+    for (const Expr *Elem : *Elements) {
+      VarId EV = evalExpr(Scope, Elem);
+      Solver.addStore(Tmp, "$elem", EV);
+    }
+    return Tmp;
+  }
+  case NodeKind::Dict: {
+    const auto *D = cast<DictExpr>(E);
+    VarId Tmp = Solver.makeVar("tmp" + std::to_string(TempCount++));
+    ObjId O = Solver.makeObj("dict@" + std::to_string(E->loc().Line));
+    Solver.addAlloc(Tmp, O);
+    for (const Expr *V : D->Values) {
+      VarId EV = evalExpr(Scope, V);
+      Solver.addStore(Tmp, "$elem", EV);
+    }
+    return Tmp;
+  }
+  case NodeKind::Conditional: {
+    const auto *C = cast<ConditionalExpr>(E);
+    evalExpr(Scope, C->Cond);
+    VarId Tmp = Solver.makeVar("tmp" + std::to_string(TempCount++));
+    Solver.addCopy(Tmp, evalExpr(Scope, C->Body));
+    Solver.addCopy(Tmp, evalExpr(Scope, C->OrElse));
+    return Tmp;
+  }
+  case NodeKind::BoolOp: {
+    // `a or default()` evaluates to one of its operands.
+    const auto *B = cast<BoolOpExpr>(E);
+    VarId Tmp = Solver.makeVar("tmp" + std::to_string(TempCount++));
+    for (const Expr *Op : B->Operands)
+      Solver.addCopy(Tmp, evalExpr(Scope, Op));
+    return Tmp;
+  }
+  case NodeKind::Starred:
+    return evalExpr(Scope, cast<StarredExpr>(E)->Value);
+  default: {
+    // Literals, arithmetic, comparisons, lambdas, comprehensions: no
+    // object identity we track; return a fresh empty variable.
+    return Solver.makeVar("tmp" + std::to_string(TempCount++));
+  }
+  }
+}
+
+void PointsToAnalysis::assignTo(const std::string &Scope, const Expr *Target,
+                                VarId Value) {
+  switch (Target->kind()) {
+  case NodeKind::Name:
+    Solver.addCopy(varFor(Scope, cast<NameExpr>(Target)->Id), Value);
+    return;
+  case NodeKind::Attribute: {
+    const auto *A = cast<AttributeExpr>(Target);
+    VarId Base = evalExpr(Scope, A->Value);
+    Solver.addStore(Base, A->Attr, Value);
+    return;
+  }
+  case NodeKind::Subscript: {
+    const auto *S = cast<SubscriptExpr>(Target);
+    VarId Base = evalExpr(Scope, S->Value);
+    Solver.addStore(Base, "$elem", Value);
+    return;
+  }
+  case NodeKind::Tuple:
+  case NodeKind::List: {
+    const auto &Elements = Target->kind() == NodeKind::Tuple
+                               ? cast<TupleExpr>(Target)->Elements
+                               : cast<ListExpr>(Target)->Elements;
+    // Unpacking: each element may receive any value from the right-hand
+    // side's abstract element field (or the value itself, conservatively).
+    for (const Expr *Elem : Elements) {
+      VarId Tmp = Solver.makeVar("tmp" + std::to_string(TempCount++));
+      Solver.addLoad(Tmp, Value, "$elem");
+      Solver.addCopy(Tmp, Value);
+      assignTo(Scope, Elem, Tmp);
+    }
+    return;
+  }
+  case NodeKind::Starred:
+    assignTo(Scope, cast<StarredExpr>(Target)->Value, Value);
+    return;
+  default:
+    return; // Not a valid target; ignore.
+  }
+}
+
+void PointsToAnalysis::runStmts(const std::string &Scope,
+                                const std::vector<Stmt *> &Body) {
+  for (const Stmt *S : Body) {
+    switch (S->kind()) {
+    case NodeKind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      VarId V = evalExpr(Scope, A->Value);
+      for (const Expr *T : A->Targets)
+        assignTo(Scope, T, V);
+      break;
+    }
+    case NodeKind::AugAssign: {
+      const auto *A = cast<AugAssignStmt>(S);
+      VarId V = evalExpr(Scope, A->Value);
+      assignTo(Scope, A->Target, V);
+      break;
+    }
+    case NodeKind::AnnAssign: {
+      const auto *A = cast<AnnAssignStmt>(S);
+      if (A->Value)
+        assignTo(Scope, A->Target, evalExpr(Scope, A->Value));
+      break;
+    }
+    case NodeKind::ExprStmt:
+      evalExpr(Scope, cast<ExprStmt>(S)->Value);
+      break;
+    case NodeKind::Return:
+      if (cast<ReturnStmt>(S)->Value)
+        Solver.addCopy(varFor(Scope, "$return"),
+                       evalExpr(Scope, cast<ReturnStmt>(S)->Value));
+      break;
+    case NodeKind::If: {
+      const auto *I = cast<IfStmt>(S);
+      evalExpr(Scope, I->Cond);
+      runStmts(Scope, I->Then);
+      runStmts(Scope, I->Else);
+      break;
+    }
+    case NodeKind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      evalExpr(Scope, W->Cond);
+      runStmts(Scope, W->Body);
+      runStmts(Scope, W->Else);
+      break;
+    }
+    case NodeKind::For: {
+      const auto *F = cast<ForStmt>(S);
+      VarId Iter = evalExpr(Scope, F->Iter);
+      VarId Elem = Solver.makeVar("tmp" + std::to_string(TempCount++));
+      Solver.addLoad(Elem, Iter, "$elem");
+      assignTo(Scope, F->Target, Elem);
+      runStmts(Scope, F->Body);
+      runStmts(Scope, F->Else);
+      break;
+    }
+    case NodeKind::With: {
+      const auto *W = cast<WithStmt>(S);
+      for (const WithItem &Item : W->Items) {
+        VarId Ctx = evalExpr(Scope, Item.ContextExpr);
+        if (Item.OptionalVars)
+          assignTo(Scope, Item.OptionalVars, Ctx);
+      }
+      runStmts(Scope, W->Body);
+      break;
+    }
+    case NodeKind::Try: {
+      const auto *T = cast<TryStmt>(S);
+      runStmts(Scope, T->Body);
+      for (const ExceptHandler &H : T->Handlers)
+        runStmts(Scope, H.Body);
+      runStmts(Scope, T->OrElse);
+      runStmts(Scope, T->Finally);
+      break;
+    }
+    case NodeKind::FunctionDef: {
+      const auto *F = cast<FunctionDefStmt>(S);
+      std::string Inner = Scope.empty() ? F->Name : Scope + "." + F->Name;
+      // Parameters are allocation sites: their values come from outside.
+      for (const Param &P : F->Params) {
+        VarId PV = varFor(Inner, P.Name);
+        Solver.addAlloc(PV, Solver.makeObj("param:" + Inner + "." + P.Name));
+      }
+      runStmts(Inner, F->Body);
+      break;
+    }
+    case NodeKind::ClassDef: {
+      const auto *C = cast<ClassDefStmt>(S);
+      std::string Inner = Scope.empty() ? C->Name : Scope + "." + C->Name;
+      runStmts(Inner, C->Body);
+      break;
+    }
+    default:
+      break;
+    }
+  }
+}
+
+void PointsToAnalysis::run(const ModuleNode *Module) {
+  runStmts("", Module->Body);
+  Solver.solve();
+}

@@ -1,0 +1,70 @@
+//===- pointsto/PointsToAnalysis.h - AST-driven points-to --------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs the Andersen solver over a parsed Python module (paper §5.2):
+///
+///  * every call with an unknown body is an allocation site;
+///  * list/dict/tuple/set displays are allocation sites;
+///  * assignments generate copy constraints;
+///  * attribute stores/loads generate field store/load constraints;
+///  * loops are treated as a single iteration (constraints are generated
+///    once; the solver's fixed point supplies the closure);
+///  * control flow is ignored (flow-insensitive constraint collection is a
+///    sound over-approximation of the builder's flow-sensitive use).
+///
+/// Variables are scoped as "<function>::<name>" (module level uses "").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_POINTSTO_POINTSTOANALYSIS_H
+#define SELDON_POINTSTO_POINTSTOANALYSIS_H
+
+#include "pointsto/AndersenSolver.h"
+#include "pyast/Ast.h"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace seldon {
+namespace pointsto {
+
+/// Facade tying the Andersen solver to a module AST.
+class PointsToAnalysis {
+public:
+  /// Collects constraints from \p Module and solves them.
+  void run(const pyast::ModuleNode *Module);
+
+  /// Id of the scoped variable "<scope>::<name>", if it was ever assigned.
+  std::optional<VarId> lookupVar(const std::string &Scope,
+                                 const std::string &Name) const;
+
+  /// True if the two scoped variables may point to the same object.
+  bool mayAlias(const std::string &ScopeA, const std::string &NameA,
+                const std::string &ScopeB, const std::string &NameB) const;
+
+  const AndersenSolver &solver() const { return Solver; }
+
+private:
+  VarId varFor(const std::string &Scope, const std::string &Name);
+  /// Evaluates \p E to a solver variable holding its possible objects.
+  VarId evalExpr(const std::string &Scope, const pyast::Expr *E);
+  void runStmts(const std::string &Scope,
+                const std::vector<pyast::Stmt *> &Body);
+  void assignTo(const std::string &Scope, const pyast::Expr *Target,
+                VarId Value);
+
+  AndersenSolver Solver;
+  std::unordered_map<std::string, VarId> VarIds;
+  unsigned TempCount = 0;
+};
+
+} // namespace pointsto
+} // namespace seldon
+
+#endif // SELDON_POINTSTO_POINTSTOANALYSIS_H

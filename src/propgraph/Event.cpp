@@ -1,0 +1,25 @@
+//===- propgraph/Event.cpp - Propagation-graph events ---------------------===//
+
+#include "propgraph/Event.h"
+
+using namespace seldon;
+using namespace seldon::propgraph;
+
+const char *seldon::propgraph::roleName(Role R) {
+  switch (R) {
+  case Role::Source: return "source";
+  case Role::Sanitizer: return "sanitizer";
+  case Role::Sink: return "sink";
+  }
+  return "unknown";
+}
+
+const char *seldon::propgraph::eventKindName(EventKind Kind) {
+  switch (Kind) {
+  case EventKind::Call: return "call";
+  case EventKind::ObjectRead: return "object-read";
+  case EventKind::FormalParam: return "formal-param";
+  case EventKind::CallArgument: return "call-argument";
+  }
+  return "unknown";
+}

@@ -1,0 +1,90 @@
+//===- propgraph/Event.h - Propagation-graph events --------------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Events and roles of the propagation graph (paper §3.1-§3.3, §5.1).
+///
+/// An event is a program action that can propagate information: a function
+/// call, an object read (attribute load / subscript), or a formal parameter.
+/// Each event carries its representation options Rep(v): strings ordered
+/// from most to least specific (paper §3.2, §4.3), and a mask of the roles
+/// it is a candidate for (§5.1: object reads and formal parameters can only
+/// be sources; calls can be sources, sanitizers, or sinks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_PROPGRAPH_EVENT_H
+#define SELDON_PROPGRAPH_EVENT_H
+
+#include "pyast/Ast.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seldon {
+namespace propgraph {
+
+/// The three taint roles an API can take.
+enum class Role : uint8_t { Source = 0, Sanitizer = 1, Sink = 2 };
+
+/// Number of distinct roles.
+inline constexpr int NumRoles = 3;
+
+/// Printable name ("source", "sanitizer", "sink").
+const char *roleName(Role R);
+
+/// Bitmask over roles.
+using RoleMask = uint8_t;
+
+inline constexpr RoleMask maskOf(Role R) {
+  return static_cast<RoleMask>(1u << static_cast<unsigned>(R));
+}
+inline constexpr RoleMask SourceMask = maskOf(Role::Source);
+inline constexpr RoleMask SanitizerMask = maskOf(Role::Sanitizer);
+inline constexpr RoleMask SinkMask = maskOf(Role::Sink);
+inline constexpr RoleMask AllRolesMask =
+    SourceMask | SanitizerMask | SinkMask;
+
+inline bool maskHas(RoleMask Mask, Role R) { return (Mask & maskOf(R)) != 0; }
+
+/// Kinds of propagation-graph events (§5.1). CallArgument events exist
+/// only in argument-position-sensitive mode (the differentiation of sink
+/// roles by argument that paper §3.3 leaves as future work): one per
+/// argument of a call, representing "argument i of API f".
+enum class EventKind : uint8_t { Call, ObjectRead, FormalParam, CallArgument };
+
+/// Printable name for an event kind.
+const char *eventKindName(EventKind Kind);
+
+/// Dense event identifier within one PropagationGraph.
+using EventId = uint32_t;
+
+/// Sentinel for "no event".
+inline constexpr EventId InvalidEvent = ~static_cast<EventId>(0);
+
+/// A node of the propagation graph.
+struct Event {
+  EventId Id = InvalidEvent;
+  EventKind Kind = EventKind::Call;
+  /// Representation options, ordered most specific -> least specific.
+  /// Always non-empty.
+  std::vector<std::string> Reps;
+  /// Roles this event may take (subset determined by Kind and blacklist).
+  RoleMask Candidates = 0;
+  /// Index into PropagationGraph::files().
+  uint32_t FileIdx = 0;
+  pyast::SourceLoc Loc;
+
+  /// The most specific representation.
+  const std::string &primaryRep() const { return Reps.front(); }
+};
+
+} // namespace propgraph
+} // namespace seldon
+
+#endif // SELDON_PROPGRAPH_EVENT_H

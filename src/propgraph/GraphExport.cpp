@@ -1,0 +1,68 @@
+//===- propgraph/GraphExport.cpp - Graph serialization --------------------===//
+
+#include "propgraph/GraphExport.h"
+
+#include "support/StrUtil.h"
+
+using namespace seldon;
+using namespace seldon::propgraph;
+
+namespace {
+
+/// Escapes a string for a DOT double-quoted label.
+std::string dotEscape(const std::string &Text) {
+  std::string Out;
+  for (char C : Text) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+const char *fillFor(RoleMask Mask) {
+  // Precedence mirrors how the analyzer treats multi-role events: a
+  // sanitizer intercepts flow, so its colour wins.
+  if (maskHas(Mask, Role::Sanitizer))
+    return "palegreen";
+  if (maskHas(Mask, Role::Sink))
+    return "lightcoral";
+  if (maskHas(Mask, Role::Source))
+    return "lightskyblue";
+  return "white";
+}
+
+} // namespace
+
+std::string seldon::propgraph::toDot(const PropagationGraph &Graph,
+                                     const DotOptions &Opts) {
+  std::string Out = "digraph \"" + dotEscape(Opts.Name) + "\" {\n";
+  Out += "  rankdir=LR;\n  node [shape=box, style=filled];\n";
+  for (const Event &E : Graph.events()) {
+    RoleMask Mask = E.Id < Opts.Roles.size() ? Opts.Roles[E.Id] : 0;
+    Out += formatString("  n%u [label=\"%s\", fillcolor=\"%s\"];\n", E.Id,
+                        dotEscape(E.primaryRep()).c_str(), fillFor(Mask));
+  }
+  for (const Event &E : Graph.events())
+    for (EventId To : Graph.successors(E.Id))
+      Out += formatString("  n%u -> n%u;\n", E.Id, To);
+  Out += "}\n";
+  return Out;
+}
+
+std::string seldon::propgraph::toText(const PropagationGraph &Graph) {
+  std::string Out;
+  Out += formatString("graph events=%zu edges=%zu files=%zu\n",
+                      Graph.numEvents(), Graph.numEdges(),
+                      Graph.files().size());
+  for (const Event &E : Graph.events()) {
+    Out += formatString("event %u %s %s\n", E.Id, eventKindName(E.Kind),
+                        E.primaryRep().c_str());
+    for (size_t I = 1; I < E.Reps.size(); ++I)
+      Out += formatString("  backoff %s\n", E.Reps[I].c_str());
+  }
+  for (const Event &E : Graph.events())
+    for (EventId To : Graph.successors(E.Id))
+      Out += formatString("edge %u %u\n", E.Id, To);
+  return Out;
+}

@@ -1,0 +1,48 @@
+//===- propgraph/GraphExport.h - Graph serialization -------------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes propagation graphs for inspection: Graphviz DOT (with events
+/// coloured by resolved role, reproducing the paper's Fig. 2b rendering)
+/// and a stable line-oriented text format used by tests and the CLI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_PROPGRAPH_GRAPHEXPORT_H
+#define SELDON_PROPGRAPH_GRAPHEXPORT_H
+
+#include "propgraph/PropagationGraph.h"
+
+#include <string>
+#include <vector>
+
+namespace seldon {
+namespace propgraph {
+
+/// Options for DOT rendering.
+struct DotOptions {
+  /// Role mask per event (e.g. from taint::TaintAnalyzer::resolveRoles);
+  /// empty renders all nodes neutrally. Sources are blue, sanitizers
+  /// green, sinks red (Fig. 2b's colour scheme).
+  std::vector<RoleMask> Roles;
+  /// Graph name emitted in the DOT header.
+  std::string Name = "propagation";
+};
+
+/// Renders \p Graph as a Graphviz digraph.
+std::string toDot(const PropagationGraph &Graph,
+                  const DotOptions &Opts = DotOptions());
+
+/// Renders \p Graph as stable text: one `event <id> <kind> <rep>` line per
+/// node (with indented backoff options) and one `edge <from> <to>` line
+/// per edge, in id order.
+std::string toText(const PropagationGraph &Graph);
+
+} // namespace propgraph
+} // namespace seldon
+
+#endif // SELDON_PROPGRAPH_GRAPHEXPORT_H

@@ -1,0 +1,82 @@
+//===- propgraph/GraphStats.cpp - Structural graph statistics -------------===//
+
+#include "propgraph/GraphStats.h"
+
+#include "support/StrUtil.h"
+
+#include <algorithm>
+
+using namespace seldon;
+using namespace seldon::propgraph;
+
+GraphStats seldon::propgraph::computeGraphStats(const PropagationGraph &Graph) {
+  GraphStats Stats;
+  Stats.NumEvents = Graph.numEvents();
+  Stats.NumEdges = Graph.numEdges();
+  Stats.NumFiles = Graph.files().size();
+
+  std::vector<size_t> PerFile(Graph.files().size(), 0);
+  size_t OutDegreeSum = 0;
+  for (const Event &E : Graph.events()) {
+    ++Stats.EventsByKind[static_cast<size_t>(E.Kind)];
+    ++PerFile[E.FileIdx];
+    size_t Out = Graph.successors(E.Id).size();
+    size_t In = Graph.predecessors(E.Id).size();
+    OutDegreeSum += Out;
+    Stats.MaxOutDegree = std::max(Stats.MaxOutDegree, Out);
+    Stats.MaxInDegree = std::max(Stats.MaxInDegree, In);
+    Stats.Roots += In == 0;
+    Stats.Leaves += Out == 0;
+  }
+  if (Stats.NumEvents > 0)
+    Stats.AvgOutDegree = static_cast<double>(OutDegreeSum) /
+                         static_cast<double>(Stats.NumEvents);
+  if (!PerFile.empty())
+    Stats.MaxEventsPerFile = *std::max_element(PerFile.begin(), PerFile.end());
+
+  // Longest chain via DP over a Kahn topological order; a cycle (possible
+  // after vertex contraction) leaves some nodes unpopped and yields 0.
+  std::vector<size_t> InDegree(Stats.NumEvents, 0);
+  for (const Event &E : Graph.events())
+    for (EventId To : Graph.successors(E.Id))
+      ++InDegree[To];
+  std::vector<EventId> Queue;
+  std::vector<size_t> Depth(Stats.NumEvents, 1);
+  for (EventId Id = 0; Id < Stats.NumEvents; ++Id)
+    if (InDegree[Id] == 0)
+      Queue.push_back(Id);
+  size_t Popped = 0;
+  size_t Longest = Stats.NumEvents > 0 ? 1 : 0;
+  for (size_t Head = 0; Head < Queue.size(); ++Head) {
+    EventId Cur = Queue[Head];
+    ++Popped;
+    Longest = std::max(Longest, Depth[Cur]);
+    for (EventId Next : Graph.successors(Cur)) {
+      Depth[Next] = std::max(Depth[Next], Depth[Cur] + 1);
+      if (--InDegree[Next] == 0)
+        Queue.push_back(Next);
+    }
+  }
+  Stats.LongestChain = Popped == Stats.NumEvents ? Longest : 0;
+  return Stats;
+}
+
+std::string seldon::propgraph::renderGraphStats(const GraphStats &Stats) {
+  std::string Out;
+  Out += formatString("events: %zu (%zu calls, %zu object reads, %zu formal "
+                      "params, %zu call args)\n",
+                      Stats.NumEvents, Stats.countOf(EventKind::Call),
+                      Stats.countOf(EventKind::ObjectRead),
+                      Stats.countOf(EventKind::FormalParam),
+                      Stats.countOf(EventKind::CallArgument));
+  Out += formatString("edges: %zu (avg out-degree %.2f, max out %zu, max in "
+                      "%zu)\n",
+                      Stats.NumEdges, Stats.AvgOutDegree, Stats.MaxOutDegree,
+                      Stats.MaxInDegree);
+  Out += formatString("roots: %zu, leaves: %zu, longest flow chain: %zu "
+                      "events\n",
+                      Stats.Roots, Stats.Leaves, Stats.LongestChain);
+  Out += formatString("files: %zu (densest file: %zu events)\n",
+                      Stats.NumFiles, Stats.MaxEventsPerFile);
+  return Out;
+}

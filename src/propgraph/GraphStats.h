@@ -1,0 +1,61 @@
+//===- propgraph/GraphStats.h - Structural graph statistics ------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural statistics of a propagation graph: event-kind breakdown,
+/// degree profile, and the longest flow chain. Used by the dataset-stats
+/// bench (Tab. 1 supplement) and handy when sanity-checking a corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_PROPGRAPH_GRAPHSTATS_H
+#define SELDON_PROPGRAPH_GRAPHSTATS_H
+
+#include "propgraph/PropagationGraph.h"
+
+#include <array>
+#include <string>
+
+namespace seldon {
+namespace propgraph {
+
+/// Aggregate structural statistics.
+struct GraphStats {
+  size_t NumEvents = 0;
+  size_t NumEdges = 0;
+  size_t NumFiles = 0;
+  /// Indexed by EventKind (Call, ObjectRead, FormalParam, CallArgument).
+  std::array<size_t, 4> EventsByKind{};
+  /// Events with no incoming flow (potential taint entry points).
+  size_t Roots = 0;
+  /// Events with no outgoing flow.
+  size_t Leaves = 0;
+  size_t MaxInDegree = 0;
+  size_t MaxOutDegree = 0;
+  double AvgOutDegree = 0.0;
+  /// Number of events on the longest flow chain (0 for an empty graph,
+  /// 1 for an edgeless one). Only meaningful for acyclic graphs; cyclic
+  /// graphs (collapsed mode) report 0.
+  size_t LongestChain = 0;
+  /// Events in the most event-dense file.
+  size_t MaxEventsPerFile = 0;
+
+  size_t countOf(EventKind Kind) const {
+    return EventsByKind[static_cast<size_t>(Kind)];
+  }
+};
+
+/// Computes statistics for \p Graph in O(V + E).
+GraphStats computeGraphStats(const PropagationGraph &Graph);
+
+/// Multi-line human-readable rendering.
+std::string renderGraphStats(const GraphStats &Stats);
+
+} // namespace propgraph
+} // namespace seldon
+
+#endif // SELDON_PROPGRAPH_GRAPHSTATS_H

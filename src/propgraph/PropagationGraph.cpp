@@ -1,0 +1,151 @@
+//===- propgraph/PropagationGraph.cpp - Information-flow graph ------------===//
+
+#include "propgraph/PropagationGraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace seldon;
+using namespace seldon::propgraph;
+
+uint32_t PropagationGraph::addFile(std::string Path) {
+  Files.push_back(std::move(Path));
+  return static_cast<uint32_t>(Files.size() - 1);
+}
+
+EventId PropagationGraph::addEvent(Event E) {
+  assert(!E.Reps.empty() && "events must carry at least one representation");
+  assert(E.FileIdx < Files.size() && "event references unregistered file");
+  E.Id = static_cast<EventId>(Events.size());
+  Events.push_back(std::move(E));
+  Succ.emplace_back();
+  Pred.emplace_back();
+  return Events.back().Id;
+}
+
+void PropagationGraph::addEdge(EventId From, EventId To) {
+  assert(From < Events.size() && To < Events.size());
+  if (From == To)
+    return;
+  std::vector<EventId> &Out = Succ[From];
+  if (std::find(Out.begin(), Out.end(), To) != Out.end())
+    return;
+  Out.push_back(To);
+  Pred[To].push_back(From);
+  ++EdgeCount;
+}
+
+void PropagationGraph::append(const PropagationGraph &Other) {
+  uint32_t FileOffset = static_cast<uint32_t>(Files.size());
+  EventId IdOffset = static_cast<EventId>(Events.size());
+  for (const std::string &F : Other.Files)
+    Files.push_back(F);
+  for (const Event &E : Other.Events) {
+    Event Copy = E;
+    Copy.Id = static_cast<EventId>(Events.size());
+    Copy.FileIdx += FileOffset;
+    Events.push_back(std::move(Copy));
+    Succ.emplace_back();
+    Pred.emplace_back();
+  }
+  for (EventId From = 0; From < Other.Events.size(); ++From)
+    for (EventId To : Other.Succ[From]) {
+      Succ[From + IdOffset].push_back(To + IdOffset);
+      Pred[To + IdOffset].push_back(From + IdOffset);
+      ++EdgeCount;
+    }
+}
+
+std::vector<EventId> PropagationGraph::reachableFrom(EventId Start) const {
+  std::vector<EventId> Out;
+  std::vector<bool> Seen(Events.size(), false);
+  std::vector<EventId> Queue{Start};
+  Seen[Start] = true;
+  for (size_t Head = 0; Head < Queue.size(); ++Head) {
+    EventId Cur = Queue[Head];
+    for (EventId Next : Succ[Cur]) {
+      if (Seen[Next])
+        continue;
+      Seen[Next] = true;
+      Out.push_back(Next);
+      Queue.push_back(Next);
+    }
+  }
+  return Out;
+}
+
+std::vector<EventId> PropagationGraph::reachingTo(EventId Start) const {
+  std::vector<EventId> Out;
+  std::vector<bool> Seen(Events.size(), false);
+  std::vector<EventId> Queue{Start};
+  Seen[Start] = true;
+  for (size_t Head = 0; Head < Queue.size(); ++Head) {
+    EventId Cur = Queue[Head];
+    for (EventId Prev : Pred[Cur]) {
+      if (Seen[Prev])
+        continue;
+      Seen[Prev] = true;
+      Out.push_back(Prev);
+      Queue.push_back(Prev);
+    }
+  }
+  return Out;
+}
+
+PropagationGraph PropagationGraph::collapseByRep() const {
+  PropagationGraph Out;
+  // All merged events nominally live in one synthetic file; per-file
+  // provenance is meaningless after contraction.
+  uint32_t FileIdx = Out.addFile("<collapsed>");
+
+  std::unordered_map<std::string, EventId> RepToNew;
+  std::vector<EventId> OldToNew(Events.size(), InvalidEvent);
+
+  for (const Event &E : Events) {
+    auto It = RepToNew.find(E.primaryRep());
+    if (It != RepToNew.end()) {
+      EventId NewId = It->second;
+      OldToNew[E.Id] = NewId;
+      Event &Merged = Out.event(NewId);
+      Merged.Candidates |= E.Candidates;
+      for (const std::string &R : E.Reps)
+        if (std::find(Merged.Reps.begin(), Merged.Reps.end(), R) ==
+            Merged.Reps.end())
+          Merged.Reps.push_back(R);
+      continue;
+    }
+    Event Copy = E;
+    Copy.FileIdx = FileIdx;
+    EventId NewId = Out.addEvent(std::move(Copy));
+    RepToNew.emplace(E.primaryRep(), NewId);
+    OldToNew[E.Id] = NewId;
+  }
+
+  for (EventId From = 0; From < Events.size(); ++From)
+    for (EventId To : Succ[From])
+      Out.addEdge(OldToNew[From], OldToNew[To]);
+  return Out;
+}
+
+bool PropagationGraph::isAcyclic() const {
+  // Kahn's algorithm: the graph is acyclic iff all nodes get popped.
+  std::vector<size_t> InDegree(Events.size(), 0);
+  for (const std::vector<EventId> &Out : Succ)
+    for (EventId To : Out)
+      ++InDegree[To];
+  std::vector<EventId> Queue;
+  for (EventId Id = 0; Id < Events.size(); ++Id)
+    if (InDegree[Id] == 0)
+      Queue.push_back(Id);
+  size_t Popped = 0;
+  for (size_t Head = 0; Head < Queue.size(); ++Head) {
+    EventId Cur = Queue[Head];
+    ++Popped;
+    for (EventId Next : Succ[Cur])
+      if (--InDegree[Next] == 0)
+        Queue.push_back(Next);
+  }
+  return Popped == Events.size();
+}

@@ -1,0 +1,44 @@
+//===- propgraph/RepTable.cpp - Global representation table ---------------===//
+
+#include "propgraph/RepTable.h"
+
+using namespace seldon;
+using namespace seldon::propgraph;
+
+RepId RepTable::intern(const std::string &Rep) {
+  auto It = Ids.find(Rep);
+  if (It != Ids.end())
+    return It->second;
+  RepId Id = static_cast<RepId>(Strings.size());
+  Ids.emplace(Rep, Id);
+  Strings.push_back(Rep);
+  Counts.push_back(0);
+  return Id;
+}
+
+void RepTable::countOccurrences(const PropagationGraph &Graph) {
+  for (const Event &E : Graph.events())
+    for (const std::string &Rep : E.Reps)
+      ++Counts[intern(Rep)];
+}
+
+std::vector<RepId> RepTable::backoffOptions(const Event &E,
+                                            size_t Cutoff) const {
+  std::vector<RepId> Out;
+  for (const std::string &Rep : E.Reps) {
+    auto It = Ids.find(Rep);
+    if (It == Ids.end())
+      continue;
+    if (Counts[It->second] >= Cutoff)
+      Out.push_back(It->second);
+  }
+  return Out;
+}
+
+bool RepTable::lookup(const std::string &Rep, RepId &IdOut) const {
+  auto It = Ids.find(Rep);
+  if (It == Ids.end())
+    return false;
+  IdOut = It->second;
+  return true;
+}

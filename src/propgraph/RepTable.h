@@ -1,0 +1,66 @@
+//===- propgraph/RepTable.h - Global representation table --------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns event representations across the whole corpus, counts their
+/// occurrences, and computes each event's backoff set Reps(v) (paper §4.3):
+/// representation options that occur fewer than the cutoff number of times
+/// (5 in the paper) are dropped; an event whose every option is infrequent
+/// is ignored entirely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_PROPGRAPH_REPTABLE_H
+#define SELDON_PROPGRAPH_REPTABLE_H
+
+#include "propgraph/PropagationGraph.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace seldon {
+namespace propgraph {
+
+/// Dense id of an interned representation string.
+using RepId = uint32_t;
+
+/// Corpus-wide interning and frequency table of representations.
+class RepTable {
+public:
+  /// Interns \p Rep (without counting an occurrence).
+  RepId intern(const std::string &Rep);
+
+  /// Counts every representation option of every event in \p Graph.
+  /// Call once per (global) graph.
+  void countOccurrences(const PropagationGraph &Graph);
+
+  /// Occurrences of \p Id recorded by countOccurrences.
+  size_t occurrences(RepId Id) const { return Counts[Id]; }
+
+  /// The backoff set Reps(v) for \p E: ids of its representation options
+  /// whose occurrence count is at least \p Cutoff, ordered most to least
+  /// specific. Empty result means the event should be ignored (§4.3).
+  std::vector<RepId> backoffOptions(const Event &E, size_t Cutoff) const;
+
+  const std::string &repString(RepId Id) const { return Strings[Id]; }
+  size_t size() const { return Strings.size(); }
+
+  /// Looks up an already-interned representation; returns true and sets
+  /// \p IdOut on success.
+  bool lookup(const std::string &Rep, RepId &IdOut) const;
+
+private:
+  std::unordered_map<std::string, RepId> Ids;
+  std::vector<std::string> Strings;
+  std::vector<size_t> Counts;
+};
+
+} // namespace propgraph
+} // namespace seldon
+
+#endif // SELDON_PROPGRAPH_REPTABLE_H

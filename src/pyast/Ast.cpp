@@ -1,0 +1,28 @@
+//===- pyast/Ast.cpp - Python abstract syntax tree ------------------------===//
+
+#include "pyast/Ast.h"
+
+using namespace seldon;
+using namespace seldon::pyast;
+
+// Out-of-line virtual method anchor (keeps the vtable in one object file).
+Node::~Node() = default;
+
+const char *seldon::pyast::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add: return "+";
+  case BinaryOp::Sub: return "-";
+  case BinaryOp::Mul: return "*";
+  case BinaryOp::MatMul: return "@";
+  case BinaryOp::Div: return "/";
+  case BinaryOp::FloorDiv: return "//";
+  case BinaryOp::Mod: return "%";
+  case BinaryOp::Pow: return "**";
+  case BinaryOp::LShift: return "<<";
+  case BinaryOp::RShift: return ">>";
+  case BinaryOp::BitAnd: return "&";
+  case BinaryOp::BitOr: return "|";
+  case BinaryOp::BitXor: return "^";
+  }
+  return "?";
+}

@@ -1,0 +1,35 @@
+//===- pyast/AstPrinter.h - Debug dump of the Python AST ---------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an AST as an indented s-expression-like text dump, used by the
+/// parser tests and the `explore_graph` example.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_PYAST_ASTPRINTER_H
+#define SELDON_PYAST_ASTPRINTER_H
+
+#include <string>
+
+namespace seldon {
+namespace pyast {
+
+class Node;
+class Expr;
+
+/// Returns a multi-line indented dump of \p Root.
+std::string dumpAst(const Node *Root);
+
+/// Returns a compact single-line rendering of \p E resembling the original
+/// source (lossy: operator spacing normalized, literals re-escaped).
+std::string exprToString(const Expr *E);
+
+} // namespace pyast
+} // namespace seldon
+
+#endif // SELDON_PYAST_ASTPRINTER_H

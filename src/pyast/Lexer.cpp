@@ -1,0 +1,366 @@
+//===- pyast/Lexer.cpp - Indentation-aware Python lexer -------------------===//
+
+#include "pyast/Lexer.h"
+
+#include <cassert>
+#include <cctype>
+
+using namespace seldon;
+using namespace seldon::pyast;
+
+Lexer::Lexer(std::string_view Source) : Source(Source) {}
+
+char Lexer::peek(size_t Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  assert(!atEnd() && "advance past end of input");
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+void Lexer::error(const std::string &Message) {
+  Errors.push_back({TokLine, TokCol, Message});
+}
+
+Token Lexer::makeToken(TokenKind Kind, std::string Text) const {
+  return {Kind, std::move(Text), TokLine, TokCol};
+}
+
+static bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+
+static bool isIdentCont(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+static bool isStringPrefix(const std::string &Ident) {
+  if (Ident.empty() || Ident.size() > 3)
+    return false;
+  for (char C : Ident) {
+    char L = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+    if (L != 'r' && L != 'b' && L != 'u' && L != 'f')
+      return false;
+  }
+  return true;
+}
+
+bool Lexer::handleIndentation(std::vector<Token> &Out) {
+  for (;;) {
+    int Width = 0;
+    while (!atEnd() && (peek() == ' ' || peek() == '\t')) {
+      Width = peek() == '\t' ? (Width / 8 + 1) * 8 : Width + 1;
+      advance();
+    }
+    if (atEnd())
+      return false;
+    if (peek() == '\r') {
+      advance();
+      continue;
+    }
+    // Blank lines and comment-only lines carry no indentation information.
+    if (peek() == '\n') {
+      advance();
+      continue;
+    }
+    if (peek() == '#') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    TokLine = Line;
+    TokCol = Col;
+    if (Width > IndentStack.back()) {
+      IndentStack.push_back(Width);
+      Out.push_back(makeToken(TokenKind::Indent));
+      return true;
+    }
+    while (Width < IndentStack.back()) {
+      IndentStack.pop_back();
+      Out.push_back(makeToken(TokenKind::Dedent));
+      if (Width > IndentStack.back()) {
+        error("unindent does not match any outer indentation level");
+        IndentStack.push_back(Width);
+        break;
+      }
+    }
+    return true;
+  }
+}
+
+void Lexer::lexNumber(std::vector<Token> &Out) {
+  std::string Text;
+  auto TakeWhile = [&](auto Pred) {
+    while (!atEnd() && Pred(peek()))
+      Text += advance();
+  };
+  auto IsDigitOrUnderscore = [](char C) {
+    return std::isdigit(static_cast<unsigned char>(C)) || C == '_';
+  };
+
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X' || peek(1) == 'o' ||
+                        peek(1) == 'O' || peek(1) == 'b' || peek(1) == 'B')) {
+    Text += advance();
+    Text += advance();
+    TakeWhile([](char C) {
+      return std::isxdigit(static_cast<unsigned char>(C)) || C == '_';
+    });
+    Out.push_back(makeToken(TokenKind::Number, Text));
+    return;
+  }
+
+  TakeWhile(IsDigitOrUnderscore);
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    Text += advance();
+    TakeWhile(IsDigitOrUnderscore);
+  } else if (peek() == '.' && !Text.empty() && !isIdentStart(peek(1)) &&
+             peek(1) != '.') {
+    // Trailing-dot float like `1.` — but not `1..attr` or `1.foo`.
+    Text += advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    char Sign = peek(1);
+    if (std::isdigit(static_cast<unsigned char>(Sign)) ||
+        ((Sign == '+' || Sign == '-') &&
+         std::isdigit(static_cast<unsigned char>(peek(2))))) {
+      Text += advance();
+      if (peek() == '+' || peek() == '-')
+        Text += advance();
+      TakeWhile(IsDigitOrUnderscore);
+    }
+  }
+  if (peek() == 'j' || peek() == 'J')
+    Text += advance();
+  Out.push_back(makeToken(TokenKind::Number, Text));
+}
+
+void Lexer::lexString(std::vector<Token> &Out, std::string Prefix) {
+  bool Raw = false, FString = false;
+  for (char C : Prefix) {
+    if (C == 'r' || C == 'R')
+      Raw = true;
+    if (C == 'f' || C == 'F')
+      FString = true;
+  }
+
+  char Quote = advance();
+  bool Triple = false;
+  if (peek() == Quote && peek(1) == Quote) {
+    advance();
+    advance();
+    Triple = true;
+  }
+
+  std::string Text;
+  for (;;) {
+    if (atEnd() || (!Triple && peek() == '\n')) {
+      error("unterminated string literal");
+      break;
+    }
+    char C = advance();
+    if (C == Quote) {
+      if (!Triple)
+        break;
+      if (peek() == Quote && peek(1) == Quote) {
+        advance();
+        advance();
+        break;
+      }
+      Text += C;
+      continue;
+    }
+    if (C == '\\' && !Raw && !atEnd()) {
+      char E = advance();
+      switch (E) {
+      case 'n': Text += '\n'; break;
+      case 't': Text += '\t'; break;
+      case 'r': Text += '\r'; break;
+      case '0': Text += '\0'; break;
+      case '\\': Text += '\\'; break;
+      case '\'': Text += '\''; break;
+      case '"': Text += '"'; break;
+      case '\n': break; // Line continuation inside a string.
+      default:
+        Text += '\\';
+        Text += E;
+        break;
+      }
+      continue;
+    }
+    Text += C;
+  }
+  Token Tok = makeToken(TokenKind::String, Text);
+  Tok.IsFString = FString;
+  Out.push_back(Tok);
+}
+
+void Lexer::lexOperator(std::vector<Token> &Out) {
+  struct OpEntry {
+    const char *Spelling;
+    TokenKind Kind;
+  };
+  // Ordered longest-first so the first prefix match is the longest match.
+  static const OpEntry Ops[] = {
+      {"**=", TokenKind::DoubleStarEq},
+      {"//=", TokenKind::DoubleSlashEq},
+      {"<<=", TokenKind::LShiftEq},
+      {">>=", TokenKind::RShiftEq},
+      {"->", TokenKind::Arrow},
+      {":=", TokenKind::Walrus},
+      {"**", TokenKind::DoubleStar},
+      {"//", TokenKind::DoubleSlash},
+      {"<<", TokenKind::LShift},
+      {">>", TokenKind::RShift},
+      {"==", TokenKind::EqEq},
+      {"!=", TokenKind::NotEq},
+      {"<=", TokenKind::LessEq},
+      {">=", TokenKind::GreaterEq},
+      {"+=", TokenKind::PlusEq},
+      {"-=", TokenKind::MinusEq},
+      {"*=", TokenKind::StarEq},
+      {"/=", TokenKind::SlashEq},
+      {"%=", TokenKind::PercentEq},
+      {"&=", TokenKind::AmpEq},
+      {"|=", TokenKind::PipeEq},
+      {"^=", TokenKind::CaretEq},
+      {"@=", TokenKind::AtEq},
+      {"(", TokenKind::LParen},
+      {")", TokenKind::RParen},
+      {"[", TokenKind::LBracket},
+      {"]", TokenKind::RBracket},
+      {"{", TokenKind::LBrace},
+      {"}", TokenKind::RBrace},
+      {",", TokenKind::Comma},
+      {":", TokenKind::Colon},
+      {";", TokenKind::Semicolon},
+      {".", TokenKind::Dot},
+      {"@", TokenKind::At},
+      {"=", TokenKind::Equal},
+      {"+", TokenKind::Plus},
+      {"-", TokenKind::Minus},
+      {"*", TokenKind::Star},
+      {"/", TokenKind::Slash},
+      {"%", TokenKind::Percent},
+      {"&", TokenKind::Amp},
+      {"|", TokenKind::Pipe},
+      {"^", TokenKind::Caret},
+      {"~", TokenKind::Tilde},
+      {"<", TokenKind::Less},
+      {">", TokenKind::Greater},
+  };
+
+  for (const OpEntry &Op : Ops) {
+    size_t Len = std::char_traits<char>::length(Op.Spelling);
+    if (Source.compare(Pos, Len, Op.Spelling) != 0)
+      continue;
+    for (size_t I = 0; I < Len; ++I)
+      advance();
+    switch (Op.Kind) {
+    case TokenKind::LParen:
+    case TokenKind::LBracket:
+    case TokenKind::LBrace:
+      ++BracketDepth;
+      break;
+    case TokenKind::RParen:
+    case TokenKind::RBracket:
+    case TokenKind::RBrace:
+      if (BracketDepth > 0)
+        --BracketDepth;
+      break;
+    default:
+      break;
+    }
+    Out.push_back(makeToken(Op.Kind));
+    return;
+  }
+
+  error(std::string("unexpected character '") + peek() + "'");
+  advance();
+  Out.push_back(makeToken(TokenKind::Error));
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Out;
+  bool AtLineStart = true;
+  while (!atEnd()) {
+    if (AtLineStart && BracketDepth == 0) {
+      if (!handleIndentation(Out))
+        break;
+      AtLineStart = false;
+      continue;
+    }
+    char C = peek();
+    if (C == '#') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '\n') {
+      TokLine = Line;
+      TokCol = Col;
+      advance();
+      if (BracketDepth == 0) {
+        Out.push_back(makeToken(TokenKind::Newline));
+        AtLineStart = true;
+      }
+      continue;
+    }
+    if (C == '\\' && peek(1) == '\n') {
+      advance();
+      advance();
+      continue;
+    }
+    if (C == ' ' || C == '\t' || C == '\r') {
+      advance();
+      continue;
+    }
+
+    TokLine = Line;
+    TokCol = Col;
+    if (isIdentStart(C)) {
+      std::string Ident;
+      while (!atEnd() && isIdentCont(peek()))
+        Ident += advance();
+      if (isStringPrefix(Ident) && (peek() == '"' || peek() == '\'')) {
+        lexString(Out, Ident);
+        continue;
+      }
+      TokenKind Kind = classifyIdentifier(Ident);
+      Out.push_back(makeToken(Kind, Kind == TokenKind::Name
+                                        ? std::move(Ident)
+                                        : std::string()));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      lexNumber(Out);
+      continue;
+    }
+    if (C == '"' || C == '\'') {
+      lexString(Out, "");
+      continue;
+    }
+    lexOperator(Out);
+  }
+
+  TokLine = Line;
+  TokCol = Col;
+  // Close the final logical line if the file does not end with a newline.
+  if (!Out.empty() && Out.back().isNot(TokenKind::Newline) &&
+      Out.back().isNot(TokenKind::Dedent))
+    Out.push_back(makeToken(TokenKind::Newline));
+  while (IndentStack.back() > 0) {
+    IndentStack.pop_back();
+    Out.push_back(makeToken(TokenKind::Dedent));
+  }
+  Out.push_back(makeToken(TokenKind::EndOfFile));
+  return Out;
+}

@@ -1,0 +1,85 @@
+//===- pyast/Lexer.h - Indentation-aware Python lexer ------------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An indentation-aware lexer for the Python subset analyzed by Seldon.
+///
+/// Notable behaviours, matching CPython's tokenizer:
+///  * INDENT/DEDENT tokens are synthesized from leading whitespace at
+///    logical line starts; a tab advances the column to the next multiple
+///    of 8.
+///  * Newlines inside (), [] and {} are implicit line joins and produce no
+///    NEWLINE token; `\` at end of line joins explicitly.
+///  * Blank lines and comment-only lines produce no tokens.
+///  * String prefixes (r, b, u, f, and combinations) are accepted; f-string
+///    interpolations are not parsed (the literal text is kept verbatim),
+///    which is sufficient for taint-irrelevant literals.
+///  * Triple-quoted strings are supported (docstrings).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_PYAST_LEXER_H
+#define SELDON_PYAST_LEXER_H
+
+#include "pyast/Token.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seldon {
+namespace pyast {
+
+/// A lexer diagnostic (bad character, bad indentation, unterminated string).
+struct LexError {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+  std::string Message;
+};
+
+/// Tokenizes a whole buffer in one pass.
+class Lexer {
+public:
+  explicit Lexer(std::string_view Source);
+
+  /// Lexes the entire input. The returned stream always ends with
+  /// outstanding DEDENTs followed by a single EndOfFile token.
+  std::vector<Token> lexAll();
+
+  /// Diagnostics produced while lexing (valid after lexAll()).
+  const std::vector<LexError> &errors() const { return Errors; }
+
+private:
+  // Per-logical-line lexing.
+  void lexLine(std::vector<Token> &Out);
+  void lexNumber(std::vector<Token> &Out);
+  void lexString(std::vector<Token> &Out, std::string Prefix);
+  void lexOperator(std::vector<Token> &Out);
+  bool handleIndentation(std::vector<Token> &Out);
+
+  // Character helpers.
+  char peek(size_t Ahead = 0) const;
+  char advance();
+  bool atEnd() const { return Pos >= Source.size(); }
+  void error(const std::string &Message);
+  Token makeToken(TokenKind Kind, std::string Text = std::string()) const;
+
+  std::string_view Source;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+  uint32_t TokLine = 1;
+  uint32_t TokCol = 1;
+  int BracketDepth = 0;
+  std::vector<int> IndentStack{0};
+  std::vector<LexError> Errors;
+};
+
+} // namespace pyast
+} // namespace seldon
+
+#endif // SELDON_PYAST_LEXER_H

@@ -1,0 +1,1170 @@
+//===- pyast/Parser.cpp - Recursive-descent Python parser -----------------===//
+
+#include "pyast/Parser.h"
+
+#include "pyast/Lexer.h"
+
+#include <cassert>
+
+using namespace seldon;
+using namespace seldon::pyast;
+
+Parser::Parser(AstContext &Ctx, std::vector<Token> Tokens)
+    : Ctx(Ctx), Tokens(std::move(Tokens)) {
+  assert(!this->Tokens.empty() &&
+         this->Tokens.back().is(TokenKind::EndOfFile) &&
+         "token stream must end with EndOfFile");
+}
+
+const Token &Parser::peek(size_t Ahead) const {
+  size_t Idx = Pos + Ahead;
+  if (Idx >= Tokens.size())
+    Idx = Tokens.size() - 1; // EndOfFile.
+  return Tokens[Idx];
+}
+
+Token Parser::advance() {
+  Token Tok = current();
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return Tok;
+}
+
+bool Parser::accept(TokenKind Kind) {
+  if (!check(Kind))
+    return false;
+  advance();
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (accept(Kind))
+    return true;
+  errorHere(std::string("expected '") + tokenKindName(Kind) + "' " + Context +
+            ", found '" + tokenKindName(current().Kind) + "'");
+  return false;
+}
+
+void Parser::errorHere(const std::string &Message) {
+  Errors.push_back({current().Line, current().Col, Message});
+}
+
+void Parser::synchronizeToLineEnd() {
+  while (!check(TokenKind::EndOfFile) && !check(TokenKind::Newline) &&
+         !check(TokenKind::Dedent))
+    advance();
+  accept(TokenKind::Newline);
+}
+
+SourceLoc Parser::locHere() const { return {current().Line, current().Col}; }
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+ModuleNode *Parser::parseModule() {
+  SourceLoc Loc{1, 1};
+  std::vector<Stmt *> Body = parseStatementsUntil(TokenKind::EndOfFile);
+  return Ctx.create<ModuleNode>(Loc, std::move(Body));
+}
+
+std::vector<Stmt *> Parser::parseStatementsUntil(TokenKind Terminator) {
+  std::vector<Stmt *> Out;
+  while (!check(Terminator) && !check(TokenKind::EndOfFile)) {
+    if (accept(TokenKind::Newline))
+      continue;
+    if (check(TokenKind::Indent)) {
+      errorHere("unexpected indent");
+      advance();
+      continue;
+    }
+    if (check(TokenKind::Dedent) && Terminator != TokenKind::Dedent) {
+      errorHere("unexpected dedent");
+      advance();
+      continue;
+    }
+    size_t Before = Pos;
+    if (Stmt *S = parseStatement())
+      Out.push_back(S);
+    if (Pos == Before)
+      advance(); // Guarantee progress even on a parse failure.
+  }
+  return Out;
+}
+
+Stmt *Parser::parseStatement() {
+  switch (current().Kind) {
+  case TokenKind::KwDef:
+    return parseFunctionDef({});
+  case TokenKind::KwClass:
+    return parseClassDef({});
+  case TokenKind::At:
+    return parseDecorated();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwFor:
+    return parseFor();
+  case TokenKind::KwWith:
+    return parseWith();
+  case TokenKind::KwTry:
+    return parseTry();
+  default: {
+    std::vector<Stmt *> Line;
+    parseSimpleStatementLine(Line);
+    if (Line.size() == 1)
+      return Line.front();
+    if (Line.empty())
+      return nullptr;
+    // A `a; b; c` line yields several statements where the caller expects
+    // one; wrap them in an always-taken If so execution order is preserved.
+    SourceLoc Loc = Line.front()->loc();
+    Expr *True = Ctx.create<BoolExpr>(Loc, true);
+    return Ctx.create<IfStmt>(Loc, True, std::move(Line),
+                              std::vector<Stmt *>{});
+  }
+  }
+}
+
+void Parser::parseSimpleStatementLine(std::vector<Stmt *> &Out) {
+  for (;;) {
+    if (Stmt *S = parseSmallStatement())
+      Out.push_back(S);
+    if (accept(TokenKind::Semicolon)) {
+      if (check(TokenKind::Newline) || check(TokenKind::EndOfFile)) {
+        accept(TokenKind::Newline);
+        return;
+      }
+      continue;
+    }
+    if (!accept(TokenKind::Newline) && !check(TokenKind::EndOfFile) &&
+        !check(TokenKind::Dedent)) {
+      errorHere(std::string("unexpected token '") +
+                tokenKindName(current().Kind) + "' at end of statement");
+      synchronizeToLineEnd();
+    }
+    return;
+  }
+}
+
+Stmt *Parser::parseSmallStatement() {
+  SourceLoc Loc = locHere();
+  switch (current().Kind) {
+  case TokenKind::KwPass:
+    advance();
+    return Ctx.create<PassStmt>(Loc);
+  case TokenKind::KwBreak:
+    advance();
+    return Ctx.create<BreakStmt>(Loc);
+  case TokenKind::KwContinue:
+    advance();
+    return Ctx.create<ContinueStmt>(Loc);
+  case TokenKind::KwReturn: {
+    advance();
+    Expr *Value = nullptr;
+    if (!check(TokenKind::Newline) && !check(TokenKind::Semicolon) &&
+        !check(TokenKind::EndOfFile) && !check(TokenKind::Dedent))
+      Value = parseExprOrTupleNoAssign();
+    return Ctx.create<ReturnStmt>(Loc, Value);
+  }
+  case TokenKind::KwRaise: {
+    advance();
+    Expr *Exc = nullptr, *Cause = nullptr;
+    if (!check(TokenKind::Newline) && !check(TokenKind::Semicolon) &&
+        !check(TokenKind::EndOfFile) && !check(TokenKind::Dedent)) {
+      Exc = parseTest();
+      if (accept(TokenKind::KwFrom))
+        Cause = parseTest();
+    }
+    return Ctx.create<RaiseStmt>(Loc, Exc, Cause);
+  }
+  case TokenKind::KwImport:
+    return parseImport();
+  case TokenKind::KwFrom:
+    return parseImportFrom();
+  case TokenKind::KwGlobal:
+  case TokenKind::KwNonlocal: {
+    advance();
+    std::vector<std::string> Names;
+    do {
+      if (check(TokenKind::Name))
+        Names.push_back(advance().Text);
+      else
+        errorHere("expected identifier in global/nonlocal statement");
+    } while (accept(TokenKind::Comma));
+    return Ctx.create<GlobalStmt>(Loc, std::move(Names));
+  }
+  case TokenKind::KwDel: {
+    advance();
+    std::vector<Expr *> Targets;
+    do {
+      Targets.push_back(parseTest());
+    } while (accept(TokenKind::Comma));
+    return Ctx.create<DeleteStmt>(Loc, std::move(Targets));
+  }
+  case TokenKind::KwAssert: {
+    advance();
+    Expr *Test = parseTest();
+    Expr *Msg = nullptr;
+    if (accept(TokenKind::Comma))
+      Msg = parseTest();
+    return Ctx.create<AssertStmt>(Loc, Test, Msg);
+  }
+  default:
+    return parseExprLikeStatement();
+  }
+}
+
+Stmt *Parser::parseExprLikeStatement() {
+  SourceLoc Loc = locHere();
+  Expr *First = parseExprOrTupleNoAssign();
+  if (!First) {
+    synchronizeToLineEnd();
+    return nullptr;
+  }
+
+  // Annotated assignment: `target: type [= value]`.
+  if (accept(TokenKind::Colon)) {
+    Expr *Annotation = parseTest();
+    Expr *Value = nullptr;
+    if (accept(TokenKind::Equal))
+      Value = parseExprOrTupleNoAssign();
+    return Ctx.create<AnnAssignStmt>(Loc, First, Annotation, Value);
+  }
+
+  // Augmented assignment.
+  struct AugEntry {
+    TokenKind Kind;
+    BinaryOp Op;
+  };
+  static const AugEntry AugOps[] = {
+      {TokenKind::PlusEq, BinaryOp::Add},
+      {TokenKind::MinusEq, BinaryOp::Sub},
+      {TokenKind::StarEq, BinaryOp::Mul},
+      {TokenKind::SlashEq, BinaryOp::Div},
+      {TokenKind::DoubleSlashEq, BinaryOp::FloorDiv},
+      {TokenKind::PercentEq, BinaryOp::Mod},
+      {TokenKind::DoubleStarEq, BinaryOp::Pow},
+      {TokenKind::AmpEq, BinaryOp::BitAnd},
+      {TokenKind::PipeEq, BinaryOp::BitOr},
+      {TokenKind::CaretEq, BinaryOp::BitXor},
+      {TokenKind::LShiftEq, BinaryOp::LShift},
+      {TokenKind::RShiftEq, BinaryOp::RShift},
+      {TokenKind::AtEq, BinaryOp::MatMul},
+  };
+  for (const AugEntry &E : AugOps) {
+    if (!check(E.Kind))
+      continue;
+    advance();
+    Expr *Value = parseExprOrTupleNoAssign();
+    return Ctx.create<AugAssignStmt>(Loc, First, E.Op, Value);
+  }
+
+  // Chained assignment `a = b = value`.
+  if (check(TokenKind::Equal)) {
+    std::vector<Expr *> Chain{First};
+    while (accept(TokenKind::Equal))
+      Chain.push_back(parseExprOrTupleNoAssign());
+    Expr *Value = Chain.back();
+    Chain.pop_back();
+    return Ctx.create<AssignStmt>(Loc, std::move(Chain), Value);
+  }
+
+  return Ctx.create<ExprStmt>(Loc, First);
+}
+
+std::vector<Stmt *> Parser::parseBlock() {
+  expect(TokenKind::Colon, "to introduce a block");
+  if (accept(TokenKind::Newline)) {
+    if (!expect(TokenKind::Indent, "to start an indented block"))
+      return {};
+    std::vector<Stmt *> Body = parseStatementsUntil(TokenKind::Dedent);
+    expect(TokenKind::Dedent, "to end an indented block");
+    return Body;
+  }
+  // Inline suite: `if x: do(); done()`.
+  std::vector<Stmt *> Body;
+  parseSimpleStatementLine(Body);
+  return Body;
+}
+
+Stmt *Parser::parseFunctionDef(std::vector<Expr *> Decorators) {
+  SourceLoc Loc = locHere();
+  expect(TokenKind::KwDef, "to start a function definition");
+  std::string Name;
+  if (check(TokenKind::Name))
+    Name = advance().Text;
+  else
+    errorHere("expected function name after 'def'");
+  expect(TokenKind::LParen, "after function name");
+  std::vector<Param> Params = parseParamList(TokenKind::RParen);
+  expect(TokenKind::RParen, "after parameter list");
+  Expr *ReturnAnnotation = nullptr;
+  if (accept(TokenKind::Arrow))
+    ReturnAnnotation = parseTest();
+  std::vector<Stmt *> Body = parseBlock();
+  return Ctx.create<FunctionDefStmt>(Loc, std::move(Name), std::move(Params),
+                                     std::move(Body), std::move(Decorators),
+                                     ReturnAnnotation);
+}
+
+Stmt *Parser::parseClassDef(std::vector<Expr *> Decorators) {
+  SourceLoc Loc = locHere();
+  expect(TokenKind::KwClass, "to start a class definition");
+  std::string Name;
+  if (check(TokenKind::Name))
+    Name = advance().Text;
+  else
+    errorHere("expected class name after 'class'");
+  std::vector<Expr *> Bases;
+  if (accept(TokenKind::LParen)) {
+    if (!check(TokenKind::RParen)) {
+      do {
+        // Skip metaclass= and other keyword arguments in the base list.
+        if (check(TokenKind::Name) && peek(1).is(TokenKind::Equal)) {
+          advance();
+          advance();
+          parseTest();
+          continue;
+        }
+        Bases.push_back(parseTest());
+      } while (accept(TokenKind::Comma) && !check(TokenKind::RParen));
+    }
+    expect(TokenKind::RParen, "after base class list");
+  }
+  std::vector<Stmt *> Body = parseBlock();
+  return Ctx.create<ClassDefStmt>(Loc, std::move(Name), std::move(Bases),
+                                  std::move(Body), std::move(Decorators));
+}
+
+Stmt *Parser::parseDecorated() {
+  std::vector<Expr *> Decorators;
+  while (check(TokenKind::At)) {
+    advance();
+    Decorators.push_back(parseAtomWithTrailers());
+    accept(TokenKind::Newline);
+  }
+  if (check(TokenKind::KwDef))
+    return parseFunctionDef(std::move(Decorators));
+  if (check(TokenKind::KwClass))
+    return parseClassDef(std::move(Decorators));
+  errorHere("expected 'def' or 'class' after decorators");
+  synchronizeToLineEnd();
+  return nullptr;
+}
+
+Stmt *Parser::parseIf() {
+  SourceLoc Loc = locHere();
+  advance(); // if / elif
+  Expr *Cond = parseTest();
+  std::vector<Stmt *> Then = parseBlock();
+  std::vector<Stmt *> Else;
+  if (check(TokenKind::KwElif)) {
+    if (Stmt *Nested = parseIf())
+      Else.push_back(Nested);
+  } else if (accept(TokenKind::KwElse)) {
+    Else = parseBlock();
+  }
+  return Ctx.create<IfStmt>(Loc, Cond, std::move(Then), std::move(Else));
+}
+
+Stmt *Parser::parseWhile() {
+  SourceLoc Loc = locHere();
+  advance();
+  Expr *Cond = parseTest();
+  std::vector<Stmt *> Body = parseBlock();
+  std::vector<Stmt *> Else;
+  if (accept(TokenKind::KwElse))
+    Else = parseBlock();
+  return Ctx.create<WhileStmt>(Loc, Cond, std::move(Body), std::move(Else));
+}
+
+Stmt *Parser::parseFor() {
+  SourceLoc Loc = locHere();
+  advance();
+  Expr *Target = parseTargetList();
+  expect(TokenKind::KwIn, "in for statement");
+  Expr *Iter = parseExprOrTupleNoAssign();
+  std::vector<Stmt *> Body = parseBlock();
+  std::vector<Stmt *> Else;
+  if (accept(TokenKind::KwElse))
+    Else = parseBlock();
+  return Ctx.create<ForStmt>(Loc, Target, Iter, std::move(Body),
+                             std::move(Else));
+}
+
+Stmt *Parser::parseWith() {
+  SourceLoc Loc = locHere();
+  advance();
+  std::vector<WithItem> Items;
+  do {
+    WithItem Item;
+    Item.ContextExpr = parseTest();
+    if (accept(TokenKind::KwAs))
+      Item.OptionalVars = parseAtomWithTrailers();
+    Items.push_back(Item);
+  } while (accept(TokenKind::Comma));
+  std::vector<Stmt *> Body = parseBlock();
+  return Ctx.create<WithStmt>(Loc, std::move(Items), std::move(Body));
+}
+
+Stmt *Parser::parseTry() {
+  SourceLoc Loc = locHere();
+  advance();
+  std::vector<Stmt *> Body = parseBlock();
+  std::vector<ExceptHandler> Handlers;
+  std::vector<Stmt *> OrElse, Finally;
+  while (check(TokenKind::KwExcept)) {
+    advance();
+    ExceptHandler Handler;
+    if (!check(TokenKind::Colon)) {
+      Handler.Type = parseTest();
+      if (accept(TokenKind::KwAs) && check(TokenKind::Name))
+        Handler.Name = advance().Text;
+    }
+    Handler.Body = parseBlock();
+    Handlers.push_back(std::move(Handler));
+  }
+  if (accept(TokenKind::KwElse))
+    OrElse = parseBlock();
+  if (accept(TokenKind::KwFinally))
+    Finally = parseBlock();
+  if (Handlers.empty() && Finally.empty())
+    errorHere("try statement must have an except or finally clause");
+  return Ctx.create<TryStmt>(Loc, std::move(Body), std::move(Handlers),
+                             std::move(OrElse), std::move(Finally));
+}
+
+Stmt *Parser::parseImport() {
+  SourceLoc Loc = locHere();
+  advance();
+  std::vector<ImportAlias> Names;
+  do {
+    ImportAlias Alias;
+    while (check(TokenKind::Name)) {
+      if (!Alias.Module.empty())
+        Alias.Module += '.';
+      Alias.Module += advance().Text;
+      if (!accept(TokenKind::Dot))
+        break;
+    }
+    if (Alias.Module.empty())
+      errorHere("expected module name after 'import'");
+    if (accept(TokenKind::KwAs) && check(TokenKind::Name))
+      Alias.AsName = advance().Text;
+    Names.push_back(std::move(Alias));
+  } while (accept(TokenKind::Comma));
+  return Ctx.create<ImportStmt>(Loc, std::move(Names));
+}
+
+Stmt *Parser::parseImportFrom() {
+  SourceLoc Loc = locHere();
+  advance();
+  unsigned Level = 0;
+  while (accept(TokenKind::Dot))
+    ++Level;
+  std::string Module;
+  while (check(TokenKind::Name)) {
+    if (!Module.empty())
+      Module += '.';
+    Module += advance().Text;
+    if (!accept(TokenKind::Dot))
+      break;
+  }
+  expect(TokenKind::KwImport, "in from-import statement");
+  std::vector<ImportAlias> Names;
+  if (accept(TokenKind::Star)) {
+    Names.push_back({"*", ""});
+  } else {
+    bool Paren = accept(TokenKind::LParen);
+    do {
+      if (Paren && check(TokenKind::RParen))
+        break; // Trailing comma inside parentheses.
+      ImportAlias Alias;
+      if (check(TokenKind::Name))
+        Alias.Module = advance().Text;
+      else
+        errorHere("expected imported name");
+      if (accept(TokenKind::KwAs) && check(TokenKind::Name))
+        Alias.AsName = advance().Text;
+      Names.push_back(std::move(Alias));
+    } while (accept(TokenKind::Comma));
+    if (Paren)
+      expect(TokenKind::RParen, "after import list");
+  }
+  return Ctx.create<ImportFromStmt>(Loc, std::move(Module), std::move(Names),
+                                    Level);
+}
+
+std::vector<Param> Parser::parseParamList(TokenKind Terminator) {
+  std::vector<Param> Params;
+  while (!check(Terminator) && !check(TokenKind::EndOfFile)) {
+    Param P;
+    P.Loc = locHere();
+    if (accept(TokenKind::Star)) {
+      if (check(Terminator) || check(TokenKind::Comma)) {
+        // Bare '*' keyword-only marker; no parameter.
+        if (!accept(TokenKind::Comma))
+          break;
+        continue;
+      }
+      P.IsVarArgs = true;
+    } else if (accept(TokenKind::DoubleStar)) {
+      P.IsKwArgs = true;
+    }
+    if (check(TokenKind::Name)) {
+      P.Name = advance().Text;
+    } else {
+      errorHere("expected parameter name");
+      break;
+    }
+    // Lambdas terminate their parameter list with ':', so a colon there
+    // is never an annotation (Python forbids annotated lambda params).
+    if (Terminator != TokenKind::Colon && accept(TokenKind::Colon))
+      P.Annotation = parseTest();
+    if (accept(TokenKind::Equal))
+      P.Default = parseTest();
+    Params.push_back(std::move(P));
+    if (!accept(TokenKind::Comma))
+      break;
+  }
+  return Params;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Expr *Parser::parseTargetList() {
+  // Assignment/loop targets stop before `in`, so they must not reach the
+  // comparison level of the expression grammar. Trailers (attributes,
+  // subscripts, calls) are still allowed: `for obj.f[i] in xs` is legal.
+  SourceLoc Loc = locHere();
+  auto ParseOne = [&]() -> Expr * {
+    if (check(TokenKind::Star)) {
+      SourceLoc StarLoc = locHere();
+      advance();
+      return Ctx.create<StarredExpr>(StarLoc, parseAtomWithTrailers());
+    }
+    return parseAtomWithTrailers();
+  };
+  Expr *First = ParseOne();
+  if (!check(TokenKind::Comma))
+    return First;
+  std::vector<Expr *> Elements{First};
+  while (accept(TokenKind::Comma)) {
+    if (check(TokenKind::KwIn) || check(TokenKind::Equal) ||
+        check(TokenKind::Colon) || check(TokenKind::Newline) ||
+        check(TokenKind::EndOfFile))
+      break;
+    Elements.push_back(ParseOne());
+  }
+  return Ctx.create<TupleExpr>(Loc, std::move(Elements));
+}
+
+Expr *Parser::parseExprOrTupleNoAssign() {
+  SourceLoc Loc = locHere();
+  Expr *First = parseStarOrTest();
+  if (!check(TokenKind::Comma))
+    return First;
+  std::vector<Expr *> Elements{First};
+  while (accept(TokenKind::Comma)) {
+    // A trailing comma still makes a tuple: `x, = f()`.
+    if (check(TokenKind::Newline) || check(TokenKind::Equal) ||
+        check(TokenKind::EndOfFile) || check(TokenKind::RParen) ||
+        check(TokenKind::Semicolon) || check(TokenKind::Colon) ||
+        check(TokenKind::KwIn) || check(TokenKind::Dedent))
+      break;
+    Elements.push_back(parseStarOrTest());
+  }
+  return Ctx.create<TupleExpr>(Loc, std::move(Elements));
+}
+
+Expr *Parser::parseStarOrTest() {
+  if (check(TokenKind::Star)) {
+    SourceLoc Loc = locHere();
+    advance();
+    return Ctx.create<StarredExpr>(Loc, parseTest());
+  }
+  return parseTest();
+}
+
+Expr *Parser::parseTest() {
+  if (check(TokenKind::KwLambda))
+    return parseLambda();
+  SourceLoc Loc = locHere();
+  Expr *Body = parseOrTest();
+  if (!accept(TokenKind::KwIf))
+    return Body;
+  Expr *Cond = parseOrTest();
+  expect(TokenKind::KwElse, "in conditional expression");
+  Expr *OrElse = parseTest();
+  return Ctx.create<ConditionalExpr>(Loc, Body, Cond, OrElse);
+}
+
+Expr *Parser::parseLambda() {
+  SourceLoc Loc = locHere();
+  expect(TokenKind::KwLambda, "to start a lambda");
+  std::vector<Param> Params = parseParamList(TokenKind::Colon);
+  expect(TokenKind::Colon, "after lambda parameters");
+  Expr *Body = parseTest();
+  return Ctx.create<LambdaExpr>(Loc, std::move(Params), Body);
+}
+
+Expr *Parser::parseOrTest() {
+  SourceLoc Loc = locHere();
+  Expr *First = parseAndTest();
+  if (!check(TokenKind::KwOr))
+    return First;
+  std::vector<Expr *> Operands{First};
+  while (accept(TokenKind::KwOr))
+    Operands.push_back(parseAndTest());
+  return Ctx.create<BoolOpExpr>(Loc, /*IsAnd=*/false, std::move(Operands));
+}
+
+Expr *Parser::parseAndTest() {
+  SourceLoc Loc = locHere();
+  Expr *First = parseNotTest();
+  if (!check(TokenKind::KwAnd))
+    return First;
+  std::vector<Expr *> Operands{First};
+  while (accept(TokenKind::KwAnd))
+    Operands.push_back(parseNotTest());
+  return Ctx.create<BoolOpExpr>(Loc, /*IsAnd=*/true, std::move(Operands));
+}
+
+Expr *Parser::parseNotTest() {
+  if (check(TokenKind::KwNot)) {
+    SourceLoc Loc = locHere();
+    advance();
+    return Ctx.create<UnaryExpr>(Loc, UnaryOp::Not, parseNotTest());
+  }
+  return parseComparison();
+}
+
+Expr *Parser::parseComparison() {
+  SourceLoc Loc = locHere();
+  Expr *First = parseBitOr();
+  std::vector<CompareOp> Ops;
+  std::vector<Expr *> Comparators;
+  for (;;) {
+    CompareOp Op;
+    if (accept(TokenKind::EqEq))
+      Op = CompareOp::Eq;
+    else if (accept(TokenKind::NotEq))
+      Op = CompareOp::NotEq;
+    else if (accept(TokenKind::Less))
+      Op = CompareOp::Less;
+    else if (accept(TokenKind::LessEq))
+      Op = CompareOp::LessEq;
+    else if (accept(TokenKind::Greater))
+      Op = CompareOp::Greater;
+    else if (accept(TokenKind::GreaterEq))
+      Op = CompareOp::GreaterEq;
+    else if (check(TokenKind::KwIs)) {
+      advance();
+      Op = accept(TokenKind::KwNot) ? CompareOp::IsNot : CompareOp::Is;
+    } else if (accept(TokenKind::KwIn))
+      Op = CompareOp::In;
+    else if (check(TokenKind::KwNot) && peek(1).is(TokenKind::KwIn)) {
+      advance();
+      advance();
+      Op = CompareOp::NotIn;
+    } else
+      break;
+    Ops.push_back(Op);
+    Comparators.push_back(parseBitOr());
+  }
+  if (Ops.empty())
+    return First;
+  return Ctx.create<CompareExpr>(Loc, First, std::move(Ops),
+                                 std::move(Comparators));
+}
+
+Expr *Parser::parseBitOr() {
+  SourceLoc Loc = locHere();
+  Expr *Lhs = parseBitXor();
+  while (accept(TokenKind::Pipe))
+    Lhs = Ctx.create<BinaryExpr>(Loc, BinaryOp::BitOr, Lhs, parseBitXor());
+  return Lhs;
+}
+
+Expr *Parser::parseBitXor() {
+  SourceLoc Loc = locHere();
+  Expr *Lhs = parseBitAnd();
+  while (accept(TokenKind::Caret))
+    Lhs = Ctx.create<BinaryExpr>(Loc, BinaryOp::BitXor, Lhs, parseBitAnd());
+  return Lhs;
+}
+
+Expr *Parser::parseBitAnd() {
+  SourceLoc Loc = locHere();
+  Expr *Lhs = parseShift();
+  while (accept(TokenKind::Amp))
+    Lhs = Ctx.create<BinaryExpr>(Loc, BinaryOp::BitAnd, Lhs, parseShift());
+  return Lhs;
+}
+
+Expr *Parser::parseShift() {
+  SourceLoc Loc = locHere();
+  Expr *Lhs = parseArith();
+  for (;;) {
+    if (accept(TokenKind::LShift))
+      Lhs = Ctx.create<BinaryExpr>(Loc, BinaryOp::LShift, Lhs, parseArith());
+    else if (accept(TokenKind::RShift))
+      Lhs = Ctx.create<BinaryExpr>(Loc, BinaryOp::RShift, Lhs, parseArith());
+    else
+      return Lhs;
+  }
+}
+
+Expr *Parser::parseArith() {
+  SourceLoc Loc = locHere();
+  Expr *Lhs = parseTerm();
+  for (;;) {
+    if (accept(TokenKind::Plus))
+      Lhs = Ctx.create<BinaryExpr>(Loc, BinaryOp::Add, Lhs, parseTerm());
+    else if (accept(TokenKind::Minus))
+      Lhs = Ctx.create<BinaryExpr>(Loc, BinaryOp::Sub, Lhs, parseTerm());
+    else
+      return Lhs;
+  }
+}
+
+Expr *Parser::parseTerm() {
+  SourceLoc Loc = locHere();
+  Expr *Lhs = parseFactor();
+  for (;;) {
+    BinaryOp Op;
+    if (accept(TokenKind::Star))
+      Op = BinaryOp::Mul;
+    else if (accept(TokenKind::Slash))
+      Op = BinaryOp::Div;
+    else if (accept(TokenKind::DoubleSlash))
+      Op = BinaryOp::FloorDiv;
+    else if (accept(TokenKind::Percent))
+      Op = BinaryOp::Mod;
+    else if (accept(TokenKind::At))
+      Op = BinaryOp::MatMul;
+    else
+      return Lhs;
+    Lhs = Ctx.create<BinaryExpr>(Loc, Op, Lhs, parseFactor());
+  }
+}
+
+Expr *Parser::parseFactor() {
+  SourceLoc Loc = locHere();
+  if (accept(TokenKind::Minus))
+    return Ctx.create<UnaryExpr>(Loc, UnaryOp::Neg, parseFactor());
+  if (accept(TokenKind::Plus))
+    return Ctx.create<UnaryExpr>(Loc, UnaryOp::Pos, parseFactor());
+  if (accept(TokenKind::Tilde))
+    return Ctx.create<UnaryExpr>(Loc, UnaryOp::Invert, parseFactor());
+  return parsePower();
+}
+
+Expr *Parser::parsePower() {
+  SourceLoc Loc = locHere();
+  Expr *Base = parseAtomWithTrailers();
+  if (accept(TokenKind::DoubleStar))
+    return Ctx.create<BinaryExpr>(Loc, BinaryOp::Pow, Base, parseFactor());
+  return Base;
+}
+
+Expr *Parser::parseAtomWithTrailers() {
+  Expr *E = parseAtom();
+  for (;;) {
+    SourceLoc Loc = locHere();
+    if (accept(TokenKind::Dot)) {
+      if (check(TokenKind::Name)) {
+        E = Ctx.create<AttributeExpr>(Loc, E, advance().Text);
+      } else {
+        errorHere("expected attribute name after '.'");
+        return E;
+      }
+      continue;
+    }
+    if (accept(TokenKind::LParen)) {
+      std::vector<Expr *> Args;
+      std::vector<KeywordArg> Keywords;
+      parseCallArgs(Args, Keywords);
+      expect(TokenKind::RParen, "after call arguments");
+      E = Ctx.create<CallExpr>(Loc, E, std::move(Args), std::move(Keywords));
+      continue;
+    }
+    if (accept(TokenKind::LBracket)) {
+      Expr *Index = parseSubscriptIndex();
+      expect(TokenKind::RBracket, "after subscript");
+      E = Ctx.create<SubscriptExpr>(Loc, E, Index);
+      continue;
+    }
+    return E;
+  }
+}
+
+Expr *Parser::parseSubscriptIndex() {
+  SourceLoc Loc = locHere();
+  auto ParseItem = [&]() -> Expr * {
+    SourceLoc ItemLoc = locHere();
+    Expr *Lower = nullptr;
+    if (!check(TokenKind::Colon))
+      Lower = parseTest();
+    if (!check(TokenKind::Colon))
+      return Lower;
+    advance(); // ':'
+    Expr *Upper = nullptr;
+    if (!check(TokenKind::Colon) && !check(TokenKind::RBracket) &&
+        !check(TokenKind::Comma))
+      Upper = parseTest();
+    Expr *Step = nullptr;
+    if (accept(TokenKind::Colon))
+      if (!check(TokenKind::RBracket) && !check(TokenKind::Comma))
+        Step = parseTest();
+    return Ctx.create<SliceExpr>(ItemLoc, Lower, Upper, Step);
+  };
+  Expr *First = ParseItem();
+  if (!check(TokenKind::Comma))
+    return First;
+  std::vector<Expr *> Items{First};
+  while (accept(TokenKind::Comma)) {
+    if (check(TokenKind::RBracket))
+      break;
+    Items.push_back(ParseItem());
+  }
+  return Ctx.create<TupleExpr>(Loc, std::move(Items));
+}
+
+void Parser::parseCallArgs(std::vector<Expr *> &Args,
+                           std::vector<KeywordArg> &Keywords) {
+  if (check(TokenKind::RParen))
+    return;
+  do {
+    if (check(TokenKind::RParen))
+      break; // Trailing comma.
+    SourceLoc Loc = locHere();
+    if (accept(TokenKind::Star)) {
+      Args.push_back(Ctx.create<StarredExpr>(Loc, parseTest()));
+      continue;
+    }
+    if (accept(TokenKind::DoubleStar)) {
+      Keywords.push_back({"", parseTest()});
+      continue;
+    }
+    if (check(TokenKind::Name) && peek(1).is(TokenKind::Equal)) {
+      std::string Name = advance().Text;
+      advance(); // '='
+      Keywords.push_back({std::move(Name), parseTest()});
+      continue;
+    }
+    Expr *Arg = parseTest();
+    // Generator expression as sole call argument: f(x for x in xs).
+    if (check(TokenKind::KwFor)) {
+      advance();
+      Expr *Target = parseTargetList();
+      expect(TokenKind::KwIn, "in generator expression");
+      Expr *Iter = parseOrTest();
+      Expr *Cond = nullptr;
+      if (accept(TokenKind::KwIf))
+        Cond = parseOrTest();
+      Arg = Ctx.create<ComprehensionExpr>(Loc, ComprehensionKind::Generator,
+                                          Arg, nullptr, Target, Iter, Cond);
+    }
+    Args.push_back(Arg);
+  } while (accept(TokenKind::Comma));
+}
+
+Expr *Parser::parseAtom() {
+  SourceLoc Loc = locHere();
+  switch (current().Kind) {
+  case TokenKind::Name: {
+    Token Tok = advance();
+    // Walrus `name := value` appears in conditions; model as the value.
+    if (accept(TokenKind::Walrus)) {
+      Expr *Value = parseTest();
+      return Value;
+    }
+    return Ctx.create<NameExpr>(Loc, Tok.Text);
+  }
+  case TokenKind::Number:
+    return Ctx.create<NumberExpr>(Loc, advance().Text);
+  case TokenKind::String: {
+    // Adjacent string literals concatenate; the result is an f-string if
+    // any piece is one.
+    std::string Value;
+    std::vector<Expr *> Interpolations;
+    bool AnyFString = false;
+    do {
+      Token Piece = advance();
+      if (Piece.IsFString) {
+        AnyFString = true;
+        parseFStringInterpolations(Piece.Text, Loc, Interpolations);
+      }
+      Value += Piece.Text;
+    } while (check(TokenKind::String));
+    if (AnyFString)
+      return Ctx.create<JoinedStrExpr>(Loc, std::move(Value),
+                                       std::move(Interpolations));
+    return Ctx.create<StringExpr>(Loc, std::move(Value));
+  }
+  case TokenKind::KwTrue:
+    advance();
+    return Ctx.create<BoolExpr>(Loc, true);
+  case TokenKind::KwFalse:
+    advance();
+    return Ctx.create<BoolExpr>(Loc, false);
+  case TokenKind::KwNone:
+    advance();
+    return Ctx.create<NoneExpr>(Loc);
+  case TokenKind::KwYield: {
+    advance();
+    Expr *Value = nullptr;
+    if (accept(TokenKind::KwFrom)) {
+      Value = parseTest();
+    } else if (!check(TokenKind::Newline) && !check(TokenKind::RParen) &&
+               !check(TokenKind::EndOfFile) && !check(TokenKind::Dedent) &&
+               !check(TokenKind::Semicolon))
+      Value = parseExprOrTupleNoAssign();
+    return Ctx.create<YieldExpr>(Loc, Value);
+  }
+  case TokenKind::KwLambda:
+    return parseLambda();
+  case TokenKind::LParen: {
+    advance();
+    if (accept(TokenKind::RParen))
+      return Ctx.create<TupleExpr>(Loc, std::vector<Expr *>{});
+    Expr *First = parseStarOrTest();
+    if (check(TokenKind::KwFor)) {
+      advance();
+      Expr *Target = parseTargetList();
+      expect(TokenKind::KwIn, "in generator expression");
+      Expr *Iter = parseOrTest();
+      Expr *Cond = nullptr;
+      if (accept(TokenKind::KwIf))
+        Cond = parseOrTest();
+      expect(TokenKind::RParen, "after generator expression");
+      return Ctx.create<ComprehensionExpr>(Loc, ComprehensionKind::Generator,
+                                           First, nullptr, Target, Iter, Cond);
+    }
+    if (check(TokenKind::Comma)) {
+      std::vector<Expr *> Elements{First};
+      while (accept(TokenKind::Comma)) {
+        if (check(TokenKind::RParen))
+          break;
+        Elements.push_back(parseStarOrTest());
+      }
+      expect(TokenKind::RParen, "after tuple display");
+      return Ctx.create<TupleExpr>(Loc, std::move(Elements));
+    }
+    expect(TokenKind::RParen, "after parenthesized expression");
+    return First;
+  }
+  case TokenKind::LBracket: {
+    advance();
+    if (accept(TokenKind::RBracket))
+      return Ctx.create<ListExpr>(Loc, std::vector<Expr *>{});
+    Expr *First = parseStarOrTest();
+    if (check(TokenKind::KwFor)) {
+      advance();
+      Expr *Target = parseTargetList();
+      expect(TokenKind::KwIn, "in list comprehension");
+      Expr *Iter = parseOrTest();
+      Expr *Cond = nullptr;
+      if (accept(TokenKind::KwIf))
+        Cond = parseOrTest();
+      expect(TokenKind::RBracket, "after list comprehension");
+      return Ctx.create<ComprehensionExpr>(Loc, ComprehensionKind::List, First,
+                                           nullptr, Target, Iter, Cond);
+    }
+    std::vector<Expr *> Elements{First};
+    while (accept(TokenKind::Comma)) {
+      if (check(TokenKind::RBracket))
+        break;
+      Elements.push_back(parseStarOrTest());
+    }
+    expect(TokenKind::RBracket, "after list display");
+    return Ctx.create<ListExpr>(Loc, std::move(Elements));
+  }
+  case TokenKind::LBrace: {
+    advance();
+    if (accept(TokenKind::RBrace))
+      return Ctx.create<DictExpr>(Loc, std::vector<Expr *>{},
+                                  std::vector<Expr *>{});
+    // `**mapping` can only start a dict display.
+    if (accept(TokenKind::DoubleStar)) {
+      std::vector<Expr *> Keys{nullptr};
+      std::vector<Expr *> Values{parseTest()};
+      while (accept(TokenKind::Comma)) {
+        if (check(TokenKind::RBrace))
+          break;
+        if (accept(TokenKind::DoubleStar)) {
+          Keys.push_back(nullptr);
+          Values.push_back(parseTest());
+          continue;
+        }
+        Keys.push_back(parseTest());
+        expect(TokenKind::Colon, "in dict display");
+        Values.push_back(parseTest());
+      }
+      expect(TokenKind::RBrace, "after dict display");
+      return Ctx.create<DictExpr>(Loc, std::move(Keys), std::move(Values));
+    }
+    Expr *First = parseTest();
+    if (accept(TokenKind::Colon)) {
+      Expr *FirstValue = parseTest();
+      if (check(TokenKind::KwFor)) {
+        advance();
+        Expr *Target = parseTargetList();
+        expect(TokenKind::KwIn, "in dict comprehension");
+        Expr *Iter = parseOrTest();
+        Expr *Cond = nullptr;
+        if (accept(TokenKind::KwIf))
+          Cond = parseOrTest();
+        expect(TokenKind::RBrace, "after dict comprehension");
+        return Ctx.create<ComprehensionExpr>(Loc, ComprehensionKind::Dict,
+                                             FirstValue, First, Target, Iter,
+                                             Cond);
+      }
+      std::vector<Expr *> Keys{First};
+      std::vector<Expr *> Values{FirstValue};
+      while (accept(TokenKind::Comma)) {
+        if (check(TokenKind::RBrace))
+          break;
+        if (accept(TokenKind::DoubleStar)) {
+          Keys.push_back(nullptr);
+          Values.push_back(parseTest());
+          continue;
+        }
+        Keys.push_back(parseTest());
+        expect(TokenKind::Colon, "in dict display");
+        Values.push_back(parseTest());
+      }
+      expect(TokenKind::RBrace, "after dict display");
+      return Ctx.create<DictExpr>(Loc, std::move(Keys), std::move(Values));
+    }
+    if (check(TokenKind::KwFor)) {
+      advance();
+      Expr *Target = parseTargetList();
+      expect(TokenKind::KwIn, "in set comprehension");
+      Expr *Iter = parseOrTest();
+      Expr *Cond = nullptr;
+      if (accept(TokenKind::KwIf))
+        Cond = parseOrTest();
+      expect(TokenKind::RBrace, "after set comprehension");
+      return Ctx.create<ComprehensionExpr>(Loc, ComprehensionKind::Set, First,
+                                           nullptr, Target, Iter, Cond);
+    }
+    std::vector<Expr *> Elements{First};
+    while (accept(TokenKind::Comma)) {
+      if (check(TokenKind::RBrace))
+        break;
+      Elements.push_back(parseTest());
+    }
+    expect(TokenKind::RBrace, "after set display");
+    return Ctx.create<SetExpr>(Loc, std::move(Elements));
+  }
+  default:
+    errorHere(std::string("unexpected token '") +
+              tokenKindName(current().Kind) + "' in expression");
+    // Produce a placeholder so parsing can continue.
+    if (!check(TokenKind::Newline) && !check(TokenKind::EndOfFile) &&
+        !check(TokenKind::Dedent))
+      advance();
+    return Ctx.create<NoneExpr>(Loc);
+  }
+}
+
+void Parser::parseFStringInterpolations(const std::string &Text,
+                                        SourceLoc Loc,
+                                        std::vector<Expr *> &Out) {
+  // Scan for `{expr[!conv][:format][=]}` fields; `{{`/`}}` are literal
+  // braces. Quoted spans inside a field are skipped so `{d['k']}` works.
+  for (size_t I = 0; I < Text.size(); ++I) {
+    char C = Text[I];
+    if (C == '}') {
+      if (I + 1 < Text.size() && Text[I + 1] == '}')
+        ++I;
+      continue;
+    }
+    if (C != '{')
+      continue;
+    if (I + 1 < Text.size() && Text[I + 1] == '{') {
+      ++I;
+      continue;
+    }
+    // Find the matching close brace and the end of the expression part
+    // (the first `:` or `!conv` at depth 0 starts the format spec).
+    size_t Depth = 1;
+    size_t ExprEnd = std::string::npos;
+    size_t FieldEnd = std::string::npos;
+    char Quote = '\0';
+    for (size_t J = I + 1; J < Text.size(); ++J) {
+      char D = Text[J];
+      if (Quote != '\0') {
+        if (D == Quote)
+          Quote = '\0';
+        continue;
+      }
+      if (D == '\'' || D == '"') {
+        Quote = D;
+        continue;
+      }
+      if (D == '{' || D == '[' || D == '(')
+        ++Depth;
+      if (D == '}' || D == ']' || D == ')') {
+        if (D == '}' && Depth == 1) {
+          FieldEnd = J;
+          if (ExprEnd == std::string::npos)
+            ExprEnd = J;
+          break;
+        }
+        if (Depth > 1)
+          --Depth;
+        continue;
+      }
+      if (Depth == 1 && ExprEnd == std::string::npos) {
+        if (D == ':')
+          ExprEnd = J;
+        else if (D == '!' && J + 1 < Text.size() && Text[J + 1] != '=')
+          ExprEnd = J;
+      }
+    }
+    if (FieldEnd == std::string::npos) {
+      Errors.push_back({Loc.Line, Loc.Col,
+                        "unterminated interpolation in f-string"});
+      return;
+    }
+    std::string ExprText = Text.substr(I + 1, ExprEnd - I - 1);
+    // f"{x=}" debug form: the trailing '=' is display sugar.
+    while (!ExprText.empty() && ExprText.back() == '=')
+      ExprText.pop_back();
+    if (!ExprText.empty()) {
+      Lexer SubLexer(ExprText);
+      Parser SubParser(Ctx, SubLexer.lexAll());
+      ModuleNode *Sub = SubParser.parseModule();
+      for (const ParseError &E : SubParser.errors())
+        Errors.push_back({Loc.Line, Loc.Col,
+                          "in f-string interpolation: " + E.Message});
+      if (Sub->Body.size() == 1)
+        if (const auto *ES = dyn_cast<ExprStmt>(Sub->Body.front()))
+          Out.push_back(ES->Value);
+    }
+    I = FieldEnd;
+  }
+}
+
+ModuleNode *seldon::pyast::parseSource(AstContext &Ctx,
+                                       std::string_view Source,
+                                       std::vector<ParseError> *ErrorsOut) {
+  Lexer Lex(Source);
+  std::vector<Token> Tokens = Lex.lexAll();
+  if (ErrorsOut)
+    for (const LexError &E : Lex.errors())
+      ErrorsOut->push_back({E.Line, E.Col, E.Message});
+  Parser P(Ctx, std::move(Tokens));
+  ModuleNode *M = P.parseModule();
+  if (ErrorsOut)
+    for (const ParseError &E : P.errors())
+      ErrorsOut->push_back(E);
+  return M;
+}

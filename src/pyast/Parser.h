@@ -1,0 +1,120 @@
+//===- pyast/Parser.h - Recursive-descent Python parser ----------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A recursive-descent parser for the Python subset used by the propagation
+/// graph builder. Produces an AST allocated in a caller-provided AstContext.
+///
+/// On syntax errors the parser records a diagnostic, skips to the end of the
+/// current logical line, and continues, so one malformed statement does not
+/// discard a whole file (important when analyzing big code).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_PYAST_PARSER_H
+#define SELDON_PYAST_PARSER_H
+
+#include "pyast/Ast.h"
+#include "pyast/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace seldon {
+namespace pyast {
+
+/// A parser diagnostic.
+struct ParseError {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+  std::string Message;
+};
+
+/// Parses a token stream (as produced by Lexer::lexAll) into a ModuleNode.
+class Parser {
+public:
+  Parser(AstContext &Ctx, std::vector<Token> Tokens);
+
+  /// Parses the whole token stream. Never returns null; a file that fails
+  /// to parse entirely yields an empty module plus diagnostics.
+  ModuleNode *parseModule();
+
+  /// Diagnostics recorded during parsing.
+  const std::vector<ParseError> &errors() const { return Errors; }
+
+private:
+  // Token-stream helpers.
+  const Token &peek(size_t Ahead = 0) const;
+  const Token &current() const { return peek(0); }
+  Token advance();
+  bool check(TokenKind Kind) const { return current().is(Kind); }
+  bool accept(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+  void errorHere(const std::string &Message);
+  void synchronizeToLineEnd();
+  SourceLoc locHere() const;
+
+  // Statements.
+  std::vector<Stmt *> parseStatementsUntil(TokenKind Terminator);
+  Stmt *parseStatement();
+  void parseSimpleStatementLine(std::vector<Stmt *> &Out);
+  Stmt *parseSmallStatement();
+  Stmt *parseExprLikeStatement();
+  std::vector<Stmt *> parseBlock();
+  Stmt *parseFunctionDef(std::vector<Expr *> Decorators);
+  Stmt *parseClassDef(std::vector<Expr *> Decorators);
+  Stmt *parseDecorated();
+  Stmt *parseIf();
+  Stmt *parseWhile();
+  Stmt *parseFor();
+  Stmt *parseWith();
+  Stmt *parseTry();
+  Stmt *parseImport();
+  Stmt *parseImportFrom();
+  std::vector<Param> parseParamList(TokenKind Terminator);
+
+  // Expressions (precedence-ordered).
+  Expr *parseTargetList();
+  Expr *parseExprOrTupleNoAssign();
+  Expr *parseStarOrTest();
+  Expr *parseTest();
+  Expr *parseLambda();
+  Expr *parseOrTest();
+  Expr *parseAndTest();
+  Expr *parseNotTest();
+  Expr *parseComparison();
+  Expr *parseBitOr();
+  Expr *parseBitXor();
+  Expr *parseBitAnd();
+  Expr *parseShift();
+  Expr *parseArith();
+  Expr *parseTerm();
+  Expr *parseFactor();
+  Expr *parsePower();
+  Expr *parseAtomWithTrailers();
+  Expr *parseAtom();
+  Expr *parseSubscriptIndex();
+  void parseCallArgs(std::vector<Expr *> &Args,
+                     std::vector<KeywordArg> &Keywords);
+  void parseFStringInterpolations(const std::string &Text, SourceLoc Loc,
+                                  std::vector<Expr *> &Out);
+
+  AstContext &Ctx;
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  std::vector<ParseError> Errors;
+};
+
+/// Convenience: lex and parse \p Source into \p Ctx, appending any lexer and
+/// parser diagnostics to \p ErrorsOut (may be null to ignore).
+ModuleNode *parseSource(AstContext &Ctx, std::string_view Source,
+                        std::vector<ParseError> *ErrorsOut = nullptr);
+
+} // namespace pyast
+} // namespace seldon
+
+#endif // SELDON_PYAST_PARSER_H

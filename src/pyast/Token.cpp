@@ -1,0 +1,125 @@
+//===- pyast/Token.cpp - Python token definitions -------------------------===//
+
+#include "pyast/Token.h"
+
+#include <unordered_map>
+
+using namespace seldon;
+using namespace seldon::pyast;
+
+const char *seldon::pyast::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::EndOfFile: return "eof";
+  case TokenKind::Newline: return "newline";
+  case TokenKind::Indent: return "indent";
+  case TokenKind::Dedent: return "dedent";
+  case TokenKind::Name: return "name";
+  case TokenKind::Number: return "number";
+  case TokenKind::String: return "string";
+  case TokenKind::KwAnd: return "and";
+  case TokenKind::KwAs: return "as";
+  case TokenKind::KwAssert: return "assert";
+  case TokenKind::KwBreak: return "break";
+  case TokenKind::KwClass: return "class";
+  case TokenKind::KwContinue: return "continue";
+  case TokenKind::KwDef: return "def";
+  case TokenKind::KwDel: return "del";
+  case TokenKind::KwElif: return "elif";
+  case TokenKind::KwElse: return "else";
+  case TokenKind::KwExcept: return "except";
+  case TokenKind::KwFalse: return "False";
+  case TokenKind::KwFinally: return "finally";
+  case TokenKind::KwFor: return "for";
+  case TokenKind::KwFrom: return "from";
+  case TokenKind::KwGlobal: return "global";
+  case TokenKind::KwIf: return "if";
+  case TokenKind::KwImport: return "import";
+  case TokenKind::KwIn: return "in";
+  case TokenKind::KwIs: return "is";
+  case TokenKind::KwLambda: return "lambda";
+  case TokenKind::KwNone: return "None";
+  case TokenKind::KwNonlocal: return "nonlocal";
+  case TokenKind::KwNot: return "not";
+  case TokenKind::KwOr: return "or";
+  case TokenKind::KwPass: return "pass";
+  case TokenKind::KwRaise: return "raise";
+  case TokenKind::KwReturn: return "return";
+  case TokenKind::KwTrue: return "True";
+  case TokenKind::KwTry: return "try";
+  case TokenKind::KwWhile: return "while";
+  case TokenKind::KwWith: return "with";
+  case TokenKind::KwYield: return "yield";
+  case TokenKind::LParen: return "(";
+  case TokenKind::RParen: return ")";
+  case TokenKind::LBracket: return "[";
+  case TokenKind::RBracket: return "]";
+  case TokenKind::LBrace: return "{";
+  case TokenKind::RBrace: return "}";
+  case TokenKind::Comma: return ",";
+  case TokenKind::Colon: return ":";
+  case TokenKind::Semicolon: return ";";
+  case TokenKind::Dot: return ".";
+  case TokenKind::Arrow: return "->";
+  case TokenKind::At: return "@";
+  case TokenKind::Equal: return "=";
+  case TokenKind::Walrus: return ":=";
+  case TokenKind::Plus: return "+";
+  case TokenKind::Minus: return "-";
+  case TokenKind::Star: return "*";
+  case TokenKind::DoubleStar: return "**";
+  case TokenKind::Slash: return "/";
+  case TokenKind::DoubleSlash: return "//";
+  case TokenKind::Percent: return "%";
+  case TokenKind::Amp: return "&";
+  case TokenKind::Pipe: return "|";
+  case TokenKind::Caret: return "^";
+  case TokenKind::Tilde: return "~";
+  case TokenKind::LShift: return "<<";
+  case TokenKind::RShift: return ">>";
+  case TokenKind::EqEq: return "==";
+  case TokenKind::NotEq: return "!=";
+  case TokenKind::Less: return "<";
+  case TokenKind::LessEq: return "<=";
+  case TokenKind::Greater: return ">";
+  case TokenKind::GreaterEq: return ">=";
+  case TokenKind::PlusEq: return "+=";
+  case TokenKind::MinusEq: return "-=";
+  case TokenKind::StarEq: return "*=";
+  case TokenKind::SlashEq: return "/=";
+  case TokenKind::DoubleSlashEq: return "//=";
+  case TokenKind::PercentEq: return "%=";
+  case TokenKind::DoubleStarEq: return "**=";
+  case TokenKind::AmpEq: return "&=";
+  case TokenKind::PipeEq: return "|=";
+  case TokenKind::CaretEq: return "^=";
+  case TokenKind::LShiftEq: return "<<=";
+  case TokenKind::RShiftEq: return ">>=";
+  case TokenKind::AtEq: return "@=";
+  case TokenKind::Error: return "error";
+  }
+  return "unknown";
+}
+
+TokenKind seldon::pyast::classifyIdentifier(const std::string &Ident) {
+  static const std::unordered_map<std::string, TokenKind> Keywords = {
+      {"and", TokenKind::KwAnd},           {"as", TokenKind::KwAs},
+      {"assert", TokenKind::KwAssert},     {"break", TokenKind::KwBreak},
+      {"class", TokenKind::KwClass},       {"continue", TokenKind::KwContinue},
+      {"def", TokenKind::KwDef},           {"del", TokenKind::KwDel},
+      {"elif", TokenKind::KwElif},         {"else", TokenKind::KwElse},
+      {"except", TokenKind::KwExcept},     {"False", TokenKind::KwFalse},
+      {"finally", TokenKind::KwFinally},   {"for", TokenKind::KwFor},
+      {"from", TokenKind::KwFrom},         {"global", TokenKind::KwGlobal},
+      {"if", TokenKind::KwIf},             {"import", TokenKind::KwImport},
+      {"in", TokenKind::KwIn},             {"is", TokenKind::KwIs},
+      {"lambda", TokenKind::KwLambda},     {"None", TokenKind::KwNone},
+      {"nonlocal", TokenKind::KwNonlocal}, {"not", TokenKind::KwNot},
+      {"or", TokenKind::KwOr},             {"pass", TokenKind::KwPass},
+      {"raise", TokenKind::KwRaise},       {"return", TokenKind::KwReturn},
+      {"True", TokenKind::KwTrue},         {"try", TokenKind::KwTry},
+      {"while", TokenKind::KwWhile},       {"with", TokenKind::KwWith},
+      {"yield", TokenKind::KwYield},
+  };
+  auto It = Keywords.find(Ident);
+  return It == Keywords.end() ? TokenKind::Name : It->second;
+}

@@ -1,0 +1,149 @@
+//===- pyast/Token.h - Python token definitions ------------------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds and the Token value type produced by the Python lexer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_PYAST_TOKEN_H
+#define SELDON_PYAST_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace seldon {
+namespace pyast {
+
+/// Kinds of tokens in the supported Python subset.
+enum class TokenKind : uint8_t {
+  // Structure.
+  EndOfFile,
+  Newline,
+  Indent,
+  Dedent,
+
+  // Literals and identifiers.
+  Name,
+  Number,
+  String,
+
+  // Keywords.
+  KwAnd,
+  KwAs,
+  KwAssert,
+  KwBreak,
+  KwClass,
+  KwContinue,
+  KwDef,
+  KwDel,
+  KwElif,
+  KwElse,
+  KwExcept,
+  KwFalse,
+  KwFinally,
+  KwFor,
+  KwFrom,
+  KwGlobal,
+  KwIf,
+  KwImport,
+  KwIn,
+  KwIs,
+  KwLambda,
+  KwNone,
+  KwNonlocal,
+  KwNot,
+  KwOr,
+  KwPass,
+  KwRaise,
+  KwReturn,
+  KwTrue,
+  KwTry,
+  KwWhile,
+  KwWith,
+  KwYield,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  LBrace,
+  RBrace,
+  Comma,
+  Colon,
+  Semicolon,
+  Dot,
+  Arrow,      // ->
+  At,         // @ (decorator or matmul)
+  Equal,      // =
+  Walrus,     // :=
+  Plus,
+  Minus,
+  Star,
+  DoubleStar,
+  Slash,
+  DoubleSlash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  LShift,
+  RShift,
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  PlusEq,
+  MinusEq,
+  StarEq,
+  SlashEq,
+  DoubleSlashEq,
+  PercentEq,
+  DoubleStarEq,
+  AmpEq,
+  PipeEq,
+  CaretEq,
+  LShiftEq,
+  RShiftEq,
+  AtEq,
+
+  // Lexer error (bad character, unterminated string, inconsistent dedent).
+  Error,
+};
+
+/// Returns a stable human-readable name for \p Kind (used in diagnostics
+/// and the lexer tests).
+const char *tokenKindName(TokenKind Kind);
+
+/// If \p Ident is a Python keyword in our subset, returns its TokenKind;
+/// otherwise returns TokenKind::Name.
+TokenKind classifyIdentifier(const std::string &Ident);
+
+/// A single lexed token. \c Text carries the identifier spelling, the
+/// decoded string-literal contents, or the number spelling; it is empty for
+/// punctuation.
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  std::string Text;
+  uint32_t Line = 0; ///< 1-based line number.
+  uint32_t Col = 0;  ///< 1-based column number.
+  /// True for string literals lexed from an f-string prefix; the parser
+  /// then parses `{...}` interpolations out of Text.
+  bool IsFString = false;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isNot(TokenKind K) const { return Kind != K; }
+};
+
+} // namespace pyast
+} // namespace seldon
+
+#endif // SELDON_PYAST_TOKEN_H

@@ -1,0 +1,36 @@
+//===- pysem/Project.cpp - A collection of parsed Python modules ----------===//
+
+#include "pysem/Project.h"
+
+#include "support/StrUtil.h"
+
+using namespace seldon;
+using namespace seldon::pysem;
+
+std::string Project::moduleNameForPath(std::string_view Path) {
+  std::string_view P = Path;
+  if (P.size() >= 3 && P.substr(P.size() - 3) == ".py")
+    P.remove_suffix(3);
+  std::vector<std::string> Parts = splitString(P, '/');
+  if (!Parts.empty() && Parts.back() == "__init__")
+    Parts.pop_back();
+  return joinStrings(Parts, ".");
+}
+
+const ModuleInfo &Project::addModule(std::string Path,
+                                     std::string_view Source) {
+  ModuleInfo Info;
+  Info.Path = std::move(Path);
+  Info.ModuleName = moduleNameForPath(Info.Path);
+  Info.Source = std::string(Source);
+  Info.Ast = pyast::parseSource(Ctx, Info.Source, &Info.Errors);
+  Modules.push_back(std::move(Info));
+  return Modules.back();
+}
+
+size_t Project::numErrors() const {
+  size_t N = 0;
+  for (const ModuleInfo &M : Modules)
+    N += M.Errors.size();
+  return N;
+}

@@ -1,0 +1,84 @@
+//===- pysem/ProjectLoader.cpp - Load projects from disk ------------------===//
+
+#include "pysem/ProjectLoader.h"
+
+#include "support/StrUtil.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+using namespace seldon;
+using namespace seldon::pysem;
+
+std::optional<std::string> seldon::pysem::readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  if (In.bad())
+    return std::nullopt;
+  return Buffer.str();
+}
+
+std::optional<Project>
+seldon::pysem::loadProjectFromDir(const std::string &RootDir,
+                                  const LoadOptions &Opts,
+                                  std::vector<std::string> *ErrorsOut) {
+  std::error_code Ec;
+  fs::path Root(RootDir);
+  if (!fs::is_directory(Root, Ec))
+    return std::nullopt;
+
+  std::string Name = Root.filename().string();
+  if (Name.empty())
+    Name = Root.parent_path().filename().string();
+  if (Name.empty())
+    Name = "project";
+  Project Proj(Name);
+
+  // Collect paths first and sort them so module order (and therefore event
+  // ids) is deterministic across filesystems.
+  std::vector<fs::path> Files;
+  fs::recursive_directory_iterator It(
+      Root, fs::directory_options::skip_permission_denied, Ec);
+  fs::recursive_directory_iterator End;
+  for (; It != End; It.increment(Ec)) {
+    if (Ec) {
+      Ec.clear();
+      continue;
+    }
+    const fs::directory_entry &Entry = *It;
+    if (Entry.is_directory(Ec)) {
+      std::string Dir = Entry.path().filename().string();
+      if (std::find(Opts.SkipDirs.begin(), Opts.SkipDirs.end(), Dir) !=
+          Opts.SkipDirs.end())
+        It.disable_recursion_pending();
+      continue;
+    }
+    if (!Entry.is_regular_file(Ec) || Entry.path().extension() != ".py")
+      continue;
+    if (Opts.MaxFileBytes > 0 && Entry.file_size(Ec) > Opts.MaxFileBytes)
+      continue;
+    Files.push_back(Entry.path());
+  }
+  std::sort(Files.begin(), Files.end());
+
+  for (const fs::path &File : Files) {
+    std::optional<std::string> Source = readFile(File.string());
+    if (!Source) {
+      if (ErrorsOut)
+        ErrorsOut->push_back("failed to read " + File.string());
+      continue;
+    }
+    std::string Relative = fs::relative(File, Root, Ec).generic_string();
+    if (Ec || Relative.empty())
+      Relative = File.filename().string();
+    Proj.addModule(std::move(Relative), *Source);
+  }
+  return Proj;
+}

@@ -1,0 +1,52 @@
+//===- pysem/ProjectLoader.h - Load projects from disk -----------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loads real Python repositories from the filesystem: walks a directory,
+/// parses every `*.py` file, and returns a Project whose module paths are
+/// relative to the root (so "pkg/views.py" resolves to module
+/// "pkg.views"). Used by the CLI tool to run the pipeline on checkouts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_PYSEM_PROJECTLOADER_H
+#define SELDON_PYSEM_PROJECTLOADER_H
+
+#include "pysem/Project.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace seldon {
+namespace pysem {
+
+/// Options for directory walking.
+struct LoadOptions {
+  /// Skip files larger than this many bytes (generated/minified blobs).
+  size_t MaxFileBytes = 1u << 20;
+  /// Directory names that are never descended into.
+  std::vector<std::string> SkipDirs = {".git", "__pycache__", "venv",
+                                       ".venv", "node_modules"};
+};
+
+/// Loads all `*.py` files under \p RootDir into a Project named after the
+/// directory. Returns std::nullopt when \p RootDir does not exist or is
+/// not a directory; per-file read failures are reported into
+/// \p ErrorsOut (may be null) and skipped.
+std::optional<Project>
+loadProjectFromDir(const std::string &RootDir,
+                   const LoadOptions &Opts = LoadOptions(),
+                   std::vector<std::string> *ErrorsOut = nullptr);
+
+/// Reads a whole file into a string; returns std::nullopt on failure.
+std::optional<std::string> readFile(const std::string &Path);
+
+} // namespace pysem
+} // namespace seldon
+
+#endif // SELDON_PYSEM_PROJECTLOADER_H

@@ -1,0 +1,75 @@
+//===- solver/AdamOptimizer.cpp - Projected Adam descent ------------------===//
+
+#include "solver/AdamOptimizer.h"
+
+#include <cmath>
+
+using namespace seldon;
+using namespace seldon::solver;
+
+SolveResult AdamOptimizer::minimize(const Objective &Obj) const {
+  return minimize(Obj, Obj.initialPoint());
+}
+
+SolveResult AdamOptimizer::minimize(const Objective &Obj,
+                                    std::vector<double> X0) const {
+  SolveResult Result;
+  Result.X = std::move(X0);
+  Obj.project(Result.X);
+
+  const size_t N = Obj.numVars();
+  std::vector<double> M(N, 0.0), V(N, 0.0), Grad, Mapped;
+  std::vector<double> Best = Result.X;
+  double BestValue = Obj.value(Result.X);
+
+  for (int Iter = 1; Iter <= Options.MaxIterations; ++Iter) {
+    Obj.gradient(Result.X, Grad);
+
+    // Stationarity test via the projected-gradient mapping: at a solution,
+    // a plain projected step does not move the iterate. (Comparing
+    // objective values is unreliable here: an iterate pinned to the box
+    // boundary by leftover momentum keeps the objective constant without
+    // being optimal.)
+    Mapped = Result.X;
+    for (size_t I = 0; I < N; ++I)
+      Mapped[I] -= Options.LearningRate * Grad[I];
+    Obj.project(Mapped);
+    double StepNorm = 0.0;
+    for (size_t I = 0; I < N; ++I)
+      StepNorm = std::max(StepNorm, std::abs(Mapped[I] - Result.X[I]));
+    if (StepNorm < Options.Tolerance) {
+      Result.Converged = true;
+      Result.Iterations = Iter;
+      break;
+    }
+
+    double Beta1T = std::pow(Options.Beta1, Iter);
+    double Beta2T = std::pow(Options.Beta2, Iter);
+    for (size_t I = 0; I < N; ++I) {
+      M[I] = Options.Beta1 * M[I] + (1.0 - Options.Beta1) * Grad[I];
+      V[I] = Options.Beta2 * V[I] + (1.0 - Options.Beta2) * Grad[I] * Grad[I];
+      double MHat = M[I] / (1.0 - Beta1T);
+      double VHat = V[I] / (1.0 - Beta2T);
+      Result.X[I] -=
+          Options.LearningRate * MHat / (std::sqrt(VHat) + Options.Epsilon);
+    }
+    Obj.project(Result.X);
+    Result.Iterations = Iter;
+
+    // Subgradient iterations are not monotone; keep the best point seen.
+    double Current = Obj.value(Result.X);
+    if (Current < BestValue) {
+      BestValue = Current;
+      Best = Result.X;
+    }
+  }
+
+  double FinalValue = Obj.value(Result.X);
+  if (FinalValue <= BestValue) {
+    Result.FinalObjective = FinalValue;
+  } else {
+    Result.X = std::move(Best);
+    Result.FinalObjective = BestValue;
+  }
+  return Result;
+}

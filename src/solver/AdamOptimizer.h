@@ -1,0 +1,43 @@
+//===- solver/AdamOptimizer.h - Projected Adam descent -----------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Projected Adam (Kingma & Ba 2014), the optimizer the paper uses through
+/// TensorFlow (§4.4): full-batch subgradient steps with first/second moment
+/// estimates and bias correction, projecting onto [0,1] (and the pinned
+/// seed values) after every step.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_SOLVER_ADAMOPTIMIZER_H
+#define SELDON_SOLVER_ADAMOPTIMIZER_H
+
+#include "solver/Objective.h"
+
+namespace seldon {
+namespace solver {
+
+/// Projected Adam gradient descent.
+class AdamOptimizer {
+public:
+  explicit AdamOptimizer(SolveOptions Options = SolveOptions())
+      : Options(Options) {}
+
+  /// Minimizes \p Obj starting from Obj.initialPoint().
+  SolveResult minimize(const Objective &Obj) const;
+
+  /// Minimizes \p Obj starting from \p X0 (projected first).
+  SolveResult minimize(const Objective &Obj, std::vector<double> X0) const;
+
+private:
+  SolveOptions Options;
+};
+
+} // namespace solver
+} // namespace seldon
+
+#endif // SELDON_SOLVER_ADAMOPTIMIZER_H

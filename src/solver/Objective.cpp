@@ -1,0 +1,92 @@
+//===- solver/Objective.cpp - Relaxed constraint-system objective ---------===//
+
+#include "solver/Objective.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace seldon;
+using namespace seldon::solver;
+
+Objective::Objective(size_t NumVars,
+                     std::vector<LinearConstraint> Constraints, double Lambda)
+    : NumVars(NumVars), Constraints(std::move(Constraints)), Lambda(Lambda),
+      Pinned(NumVars, false), PinnedValues(NumVars, 0.0) {
+#ifndef NDEBUG
+  for (const LinearConstraint &C : this->Constraints) {
+    for (const Term &T : C.Lhs)
+      assert(T.Var < NumVars && "constraint references unknown variable");
+    for (const Term &T : C.Rhs)
+      assert(T.Var < NumVars && "constraint references unknown variable");
+  }
+#endif
+}
+
+void Objective::pin(uint32_t Var, double Value) {
+  assert(Var < NumVars);
+  assert(Value >= 0.0 && Value <= 1.0 && "pinned values must lie in [0,1]");
+  Pinned[Var] = true;
+  PinnedValues[Var] = Value;
+}
+
+std::vector<double> Objective::initialPoint() const {
+  std::vector<double> X(NumVars, 0.0);
+  project(X);
+  return X;
+}
+
+double Objective::hingeLoss(const std::vector<double> &X) const {
+  double Total = 0.0;
+  for (const LinearConstraint &C : Constraints) {
+    double V = -C.C;
+    for (const Term &T : C.Lhs)
+      V += T.Coef * X[T.Var];
+    for (const Term &T : C.Rhs)
+      V -= T.Coef * X[T.Var];
+    if (V > 0.0)
+      Total += V;
+  }
+  return Total;
+}
+
+double Objective::value(const std::vector<double> &X) const {
+  double Total = hingeLoss(X);
+  for (uint32_t V = 0; V < NumVars; ++V)
+    if (!Pinned[V])
+      Total += Lambda * X[V];
+  return Total;
+}
+
+void Objective::gradient(const std::vector<double> &X,
+                         std::vector<double> &Grad) const {
+  Grad.assign(NumVars, 0.0);
+  for (const LinearConstraint &C : Constraints) {
+    double V = -C.C;
+    for (const Term &T : C.Lhs)
+      V += T.Coef * X[T.Var];
+    for (const Term &T : C.Rhs)
+      V -= T.Coef * X[T.Var];
+    if (V <= 0.0)
+      continue; // Satisfied: subgradient 0.
+    for (const Term &T : C.Lhs)
+      Grad[T.Var] += T.Coef;
+    for (const Term &T : C.Rhs)
+      Grad[T.Var] -= T.Coef;
+  }
+  for (uint32_t V = 0; V < NumVars; ++V) {
+    if (Pinned[V])
+      Grad[V] = 0.0;
+    else
+      Grad[V] += Lambda;
+  }
+}
+
+void Objective::project(std::vector<double> &X) const {
+  assert(X.size() == NumVars);
+  for (uint32_t V = 0; V < NumVars; ++V) {
+    if (Pinned[V])
+      X[V] = PinnedValues[V];
+    else
+      X[V] = std::clamp(X[V], 0.0, 1.0);
+  }
+}

@@ -1,0 +1,107 @@
+//===- solver/Objective.h - Relaxed constraint-system objective --*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The relaxed linear optimization problem of paper §4.4, Eq. (9):
+///
+///   min  Σ_i max(L_i − R_i, 0)  +  λ · Σ_v x_v
+///   s.t. 0 ≤ x_v ≤ 1            (Eq. 10, enforced by projection)
+///        x_v = c_v for pinned v (Eq. 11, the seed specification)
+///
+/// Each soft constraint states Σ lhs ≤ Σ rhs + C; its violation
+/// max(Σ lhs − Σ rhs − C, 0) is hinge-shaped, so the objective is convex
+/// and a subgradient method converges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_SOLVER_OBJECTIVE_H
+#define SELDON_SOLVER_OBJECTIVE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace seldon {
+namespace solver {
+
+/// One weighted variable occurrence.
+struct Term {
+  uint32_t Var = 0;
+  float Coef = 1.0f;
+};
+
+/// A soft constraint: Σ Lhs ≤ Σ Rhs + C.
+struct LinearConstraint {
+  std::vector<Term> Lhs;
+  std::vector<Term> Rhs;
+  double C = 0.0;
+};
+
+/// The relaxed objective over a fixed constraint system.
+class Objective {
+public:
+  Objective(size_t NumVars, std::vector<LinearConstraint> Constraints,
+            double Lambda);
+
+  /// Pins variable \p Var to \p Value (seed labels). Pinned variables are
+  /// reset to their value by project() and carry no L1 penalty.
+  void pin(uint32_t Var, double Value);
+
+  /// A feasible starting point: all zeros, pinned values applied.
+  std::vector<double> initialPoint() const;
+
+  /// Σ_i max(L_i − R_i − C_i, 0).
+  double hingeLoss(const std::vector<double> &X) const;
+
+  /// Full objective: hinge loss + λ · Σ free x_v.
+  double value(const std::vector<double> &X) const;
+
+  /// Writes a subgradient of the objective into \p Grad (resized/zeroed).
+  /// Pinned variables receive gradient 0.
+  void gradient(const std::vector<double> &X, std::vector<double> &Grad) const;
+
+  /// Projects \p X onto the feasible set: clamps to [0, 1] and restores
+  /// pinned values.
+  void project(std::vector<double> &X) const;
+
+  size_t numVars() const { return NumVars; }
+  size_t numConstraints() const { return Constraints.size(); }
+  double lambda() const { return Lambda; }
+  bool isPinned(uint32_t Var) const { return Pinned[Var]; }
+  double pinnedValue(uint32_t Var) const { return PinnedValues[Var]; }
+
+private:
+  size_t NumVars;
+  std::vector<LinearConstraint> Constraints;
+  double Lambda;
+  std::vector<bool> Pinned;
+  std::vector<double> PinnedValues;
+};
+
+/// Shared optimizer knobs and results.
+struct SolveOptions {
+  int MaxIterations = 500;
+  double LearningRate = 0.05;
+  /// Stop when the objective improves by less than this between iterations.
+  double Tolerance = 1e-7;
+  /// Adam moment decay rates.
+  double Beta1 = 0.9;
+  double Beta2 = 0.999;
+  double Epsilon = 1e-8;
+};
+
+struct SolveResult {
+  std::vector<double> X;
+  double FinalObjective = 0.0;
+  int Iterations = 0;
+  bool Converged = false;
+};
+
+} // namespace solver
+} // namespace seldon
+
+#endif // SELDON_SOLVER_OBJECTIVE_H

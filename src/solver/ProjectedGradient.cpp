@@ -1,0 +1,48 @@
+//===- solver/ProjectedGradient.cpp - Plain projected subgradient ---------===//
+
+#include "solver/ProjectedGradient.h"
+
+#include <cmath>
+
+using namespace seldon;
+using namespace seldon::solver;
+
+SolveResult ProjectedGradient::minimize(const Objective &Obj) const {
+  return minimize(Obj, Obj.initialPoint());
+}
+
+SolveResult ProjectedGradient::minimize(const Objective &Obj,
+                                        std::vector<double> X0) const {
+  SolveResult Result;
+  Result.X = std::move(X0);
+  Obj.project(Result.X);
+
+  std::vector<double> Grad;
+  std::vector<double> Best = Result.X;
+  double BestValue = Obj.value(Result.X);
+  double PrevValue = BestValue;
+
+  for (int Iter = 1; Iter <= Options.MaxIterations; ++Iter) {
+    Obj.gradient(Result.X, Grad);
+    double Step = Options.LearningRate / std::sqrt(static_cast<double>(Iter));
+    for (size_t I = 0; I < Grad.size(); ++I)
+      Result.X[I] -= Step * Grad[I];
+    Obj.project(Result.X);
+
+    double Current = Obj.value(Result.X);
+    Result.Iterations = Iter;
+    // Subgradient steps are not monotone; track the best iterate.
+    if (Current < BestValue) {
+      BestValue = Current;
+      Best = Result.X;
+    }
+    if (std::abs(PrevValue - Current) < Options.Tolerance) {
+      Result.Converged = true;
+      break;
+    }
+    PrevValue = Current;
+  }
+  Result.X = std::move(Best);
+  Result.FinalObjective = BestValue;
+  return Result;
+}

@@ -1,0 +1,41 @@
+//===- solver/ProjectedGradient.h - Plain projected subgradient --*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A plain projected-subgradient baseline with 1/sqrt(t) step decay. Used
+/// by the optimizer-choice ablation and as a sanity cross-check of Adam:
+/// both must converge to the same objective value on convex systems.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_SOLVER_PROJECTEDGRADIENT_H
+#define SELDON_SOLVER_PROJECTEDGRADIENT_H
+
+#include "solver/Objective.h"
+
+namespace seldon {
+namespace solver {
+
+/// Projected subgradient descent with diminishing steps.
+class ProjectedGradient {
+public:
+  explicit ProjectedGradient(SolveOptions Options = SolveOptions())
+      : Options(Options) {}
+
+  SolveResult minimize(const Objective &Obj) const;
+
+  /// Minimizes starting from \p X0 (projected first).
+  SolveResult minimize(const Objective &Obj, std::vector<double> X0) const;
+
+private:
+  SolveOptions Options;
+};
+
+} // namespace solver
+} // namespace seldon
+
+#endif // SELDON_SOLVER_PROJECTEDGRADIENT_H

@@ -1,0 +1,206 @@
+//===- spec/SeedSpec.cpp - Hand-labeled seed specifications ---------------===//
+
+#include "spec/SeedSpec.h"
+
+#include "support/StrUtil.h"
+
+#include <algorithm>
+
+using namespace seldon;
+using namespace seldon::spec;
+using namespace seldon::propgraph;
+
+SeedSpec SeedSpec::parse(std::string_view Text,
+                         std::vector<std::string> *ErrorsOut) {
+  SeedSpec Out;
+  size_t LineNo = 0;
+  for (const std::string &RawLine : splitString(Text, '\n')) {
+    ++LineNo;
+    std::string_view Line = trim(RawLine);
+    if (Line.empty() || Line.front() == '#')
+      continue;
+    if (Line.size() < 2 || Line[1] != ':') {
+      if (ErrorsOut)
+        ErrorsOut->push_back(formatString("line %zu: malformed entry '%s'",
+                                          LineNo,
+                                          std::string(Line).c_str()));
+      continue;
+    }
+    std::string Value(trim(Line.substr(2)));
+    if (Value.empty()) {
+      if (ErrorsOut)
+        ErrorsOut->push_back(formatString("line %zu: empty entry", LineNo));
+      continue;
+    }
+    switch (Line.front()) {
+    case 'o':
+      Out.Spec.add(Value, Role::Source);
+      break;
+    case 'a':
+      Out.Spec.add(Value, Role::Sanitizer);
+      break;
+    case 'i':
+      Out.Spec.add(Value, Role::Sink);
+      break;
+    case 'b':
+      Out.Blacklist.add(Value);
+      break;
+    default:
+      if (ErrorsOut)
+        ErrorsOut->push_back(formatString("line %zu: unknown kind '%c'",
+                                          LineNo, Line.front()));
+      break;
+    }
+  }
+  return Out;
+}
+
+SeedSpec SeedSpec::halved() const {
+  SeedSpec Out;
+  Out.Blacklist = Blacklist;
+  for (Role R : {Role::Source, Role::Sanitizer, Role::Sink}) {
+    std::vector<std::string> Reps = Spec.sortedReps(R);
+    for (size_t I = 0; I < Reps.size(); I += 2)
+      Out.Spec.add(Reps[I], R);
+  }
+  return Out;
+}
+
+const char *seldon::spec::paperSeedSpecText() {
+  // A representative excerpt of App. B. Grouped as in the paper: sources,
+  // then sinks/sanitizers per vulnerability class, then the blacklist.
+  return R"seed(
+# Sources
+o: flask.request.form.get()
+o: flask.request.args.get()
+o: request.GET.get()
+o: request.POST.get()
+o: request.GET.copy()
+o: request.POST.copy()
+o: django.http.QueryDict()
+o: django.shortcuts.get_object_or_404()
+o: User.objects.get()
+o: self.request.get()
+o: self.request.headers.get()
+
+# SQL injection
+i: MySQLdb.connect().cursor().execute()
+i: pymysql.connect().cursor().execute()
+i: psycopg2.connect().cursor().execute()
+i: sqlite3.connect().cursor().execute()
+i: sqlite3.connect().execute()
+i: db.session().execute()
+i: db.engine.execute()
+i: django.db.connection.cursor().execute()
+a: MySQLdb.escape_string()
+a: psycopg2.escape_string()
+a: sqlite3.escape_string()
+
+# OS command injection
+i: subprocess.call()
+i: subprocess.check_call()
+i: subprocess.check_output()
+i: os.system()
+i: os.popen()
+a: subprocess.Popen()
+
+# XSS
+i: flask.Response()
+i: flask.make_response()
+i: flask.render_template_string()
+i: jinja2.Markup()
+i: django.utils.safestring.mark_safe()
+i: wtforms.widgets.HTMLString()
+a: bleach.clean()
+a: cgi.escape()
+a: flask.escape()
+a: jinja2.escape()
+a: django.utils.html.escape()
+a: werkzeug.escape()
+a: xml.sax.saxutils.escape()
+a: flask.render_template()
+a: django.shortcuts.render()
+
+# Path traversal
+i: flask.send_from_directory()
+i: flask.send_file()
+a: os.path.basename()
+a: werkzeug.utils.secure_filename()
+
+# Open redirect
+i: flask.redirect()
+i: django.shortcuts.redirect()
+i: django.http.HttpResponseRedirect()
+
+# Blacklist
+b: *tensorflow*
+b: *numpy*
+b: np.*
+b: os.path.*
+b: sys.*
+b: json.*
+b: datetime.*
+b: re.*
+b: hashlib.*
+b: *logging*
+b: *logger*
+b: *__name__*
+b: *.all()
+b: *.any()
+b: *.append()
+b: *.capitalize()
+b: *.copy()
+b: *.count()
+b: *.decode()
+b: *.encode()
+b: *.endswith()
+b: *.extend()
+b: *.find()
+b: *.format()
+b: *.index()
+b: *.insert()
+b: *.join()
+b: *.keys()
+b: *.lower()
+b: *.lstrip()
+b: *.replace()*
+b: *.rstrip()
+b: *.split()*
+b: *.splitlines()
+b: *.startswith()
+b: *.strip()
+b: *.title()
+b: *.upper()
+b: *.values()
+b: len()
+b: str()
+b: int()
+b: float()
+b: bool()
+b: list()
+b: dict()
+b: set()
+b: tuple()
+b: range()
+b: enumerate()
+b: sorted()
+b: reversed()
+b: zip()
+b: min()
+b: max()
+b: sum()
+b: abs()
+b: print()
+b: open()
+b: isinstance()
+b: getattr()
+b: setattr()
+b: hasattr()
+b: super()
+b: type()
+b: id()
+b: repr()
+b: hash()
+b: *test*
+)seed";
+}

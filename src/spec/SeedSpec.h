@@ -1,0 +1,62 @@
+//===- spec/SeedSpec.h - Hand-labeled seed specifications --------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The seed specification format of paper App. B: a line-oriented text file
+/// where `o:` marks sources, `a:` sanitizers, `i:` sinks, and `b:`
+/// blacklisted wildcard patterns; `#` starts a comment.
+///
+/// Seed entries pin constraint variables during learning (§4.1, Constraints
+/// for Known Variables); blacklist patterns exclude common library noise
+/// from taking any role (§7.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_SPEC_SEEDSPEC_H
+#define SELDON_SPEC_SEEDSPEC_H
+
+#include "spec/TaintSpec.h"
+#include "support/Glob.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seldon {
+namespace spec {
+
+/// A parsed seed specification.
+struct SeedSpec {
+  TaintSpec Spec;    ///< o:/a:/i: entries.
+  GlobSet Blacklist; ///< b: patterns.
+
+  /// True if \p Rep is blacklisted from all roles.
+  bool isBlacklisted(const std::string &Rep) const {
+    return Blacklist.matches(Rep);
+  }
+
+  /// Parses the App. B text format. Unknown line kinds are reported into
+  /// \p ErrorsOut (one message per bad line) and skipped.
+  static SeedSpec parse(std::string_view Text,
+                        std::vector<std::string> *ErrorsOut = nullptr);
+
+  /// Keeps only every second specification line (by entry index within each
+  /// role, deterministic order), reproducing the half-seed ablation of
+  /// paper Q6. Blacklist patterns are kept in full.
+  SeedSpec halved() const;
+};
+
+/// A representative excerpt of the paper's App. B seed specification
+/// (sources, SQL-injection, XSS, path-traversal, open-redirect entries and
+/// the common blacklist patterns). Used by examples and tests; the corpus
+/// experiments use the generator's own seed (see corpus/ApiUniverse.h).
+const char *paperSeedSpecText();
+
+} // namespace spec
+} // namespace seldon
+
+#endif // SELDON_SPEC_SEEDSPEC_H

@@ -1,0 +1,72 @@
+//===- spec/SpecIO.h - Specification serialization ---------------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text serialization of specifications:
+///
+///  * seed/taint specs round-trip through the paper's App. B format
+///    (`o:`/`a:`/`i:`/`b:` lines);
+///  * learned specs use a scored line format
+///    (`source 0.75 flask.request.args.get()`), so a learned specification
+///    can be saved, reviewed by an expert (the paper's Fig. 1 workflow),
+///    edited, and fed back to the taint analyzer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_SPEC_SPECIO_H
+#define SELDON_SPEC_SPECIO_H
+
+#include "spec/LearnedSpec.h"
+#include "spec/SeedSpec.h"
+
+#include <string>
+#include <vector>
+
+namespace seldon {
+namespace spec {
+
+/// Renders \p Seed in the App. B text format (deterministic order:
+/// sources, sanitizers, sinks — each sorted — then blacklist patterns in
+/// insertion order). parse(writeSeedSpec(S)) reproduces S.
+std::string writeSeedSpec(const SeedSpec &Seed);
+
+/// Renders \p Learned as scored lines, one per (representation, role) with
+/// score above \p MinScore, grouped by role and sorted by descending
+/// score.
+std::string writeLearnedSpec(const LearnedSpec &Learned,
+                             double MinScore = 0.0);
+
+/// Parses the scored line format back into a LearnedSpec. Malformed lines
+/// are reported into \p ErrorsOut (may be null) and skipped.
+LearnedSpec parseLearnedSpec(std::string_view Text,
+                             std::vector<std::string> *ErrorsOut = nullptr);
+
+/// Differences between two learned specifications at a selection
+/// threshold — the review a security team runs when retraining changes
+/// the deployed specification.
+struct SpecDiff {
+  /// Selected in New but not in Old.
+  std::vector<std::pair<std::string, Role>> Added;
+  /// Selected in Old but not in New.
+  std::vector<std::pair<std::string, Role>> Removed;
+  /// Selected in both with |scoreNew - scoreOld| >= the drift delta:
+  /// (rep, role, old score, new score).
+  std::vector<std::tuple<std::string, Role, double, double>> Drifted;
+};
+
+/// Compares \p Old and \p New: an entry is "selected" when its score is
+/// at least \p Threshold. Deterministic order (role, then rep).
+SpecDiff diffLearnedSpecs(const LearnedSpec &Old, const LearnedSpec &New,
+                          double Threshold = 0.1, double DriftDelta = 0.1);
+
+/// Human-readable rendering of a diff (empty string when nothing changed).
+std::string renderSpecDiff(const SpecDiff &Diff);
+
+} // namespace spec
+} // namespace seldon
+
+#endif // SELDON_SPEC_SPECIO_H

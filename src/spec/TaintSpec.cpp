@@ -1,0 +1,50 @@
+//===- spec/TaintSpec.cpp - Taint specification data model ----------------===//
+
+#include "spec/TaintSpec.h"
+
+#include <algorithm>
+
+using namespace seldon;
+using namespace seldon::spec;
+using namespace seldon::propgraph;
+
+void TaintSpec::add(const std::string &Rep, Role R) {
+  Entries[Rep] |= maskOf(R);
+}
+
+void TaintSpec::addMask(const std::string &Rep, RoleMask Mask) {
+  if (Mask == 0)
+    return;
+  Entries[Rep] |= Mask;
+}
+
+bool TaintSpec::has(const std::string &Rep, Role R) const {
+  auto It = Entries.find(Rep);
+  return It != Entries.end() && maskHas(It->second, R);
+}
+
+RoleMask TaintSpec::rolesOf(const std::string &Rep) const {
+  auto It = Entries.find(Rep);
+  return It == Entries.end() ? 0 : It->second;
+}
+
+size_t TaintSpec::count(Role R) const {
+  size_t N = 0;
+  for (const auto &[Rep, Mask] : Entries)
+    N += maskHas(Mask, R);
+  return N;
+}
+
+void TaintSpec::merge(const TaintSpec &Other) {
+  for (const auto &[Rep, Mask] : Other.Entries)
+    Entries[Rep] |= Mask;
+}
+
+std::vector<std::string> TaintSpec::sortedReps(Role R) const {
+  std::vector<std::string> Out;
+  for (const auto &[Rep, Mask] : Entries)
+    if (maskHas(Mask, R))
+      Out.push_back(Rep);
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}

@@ -1,0 +1,80 @@
+//===- spec/TaintSpec.h - Taint specification data model ---------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A taint specification maps API representations (fully qualified strings
+/// such as `werkzeug.utils.secure_filename()`) to the roles they play:
+/// source, sanitizer, sink. Events may hold several roles (§4, "we
+/// explicitly allow events to have multiple roles").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_SPEC_TAINTSPEC_H
+#define SELDON_SPEC_TAINTSPEC_H
+
+#include "propgraph/Event.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace seldon {
+namespace spec {
+
+using propgraph::Role;
+using propgraph::RoleMask;
+
+/// A set of (representation, roles) entries.
+class TaintSpec {
+public:
+  /// Grants role \p R to representation \p Rep.
+  void add(const std::string &Rep, Role R);
+
+  /// Grants the roles of \p Mask to \p Rep.
+  void addMask(const std::string &Rep, RoleMask Mask);
+
+  /// True if \p Rep holds role \p R.
+  bool has(const std::string &Rep, Role R) const;
+
+  /// All roles of \p Rep (0 when absent).
+  RoleMask rolesOf(const std::string &Rep) const;
+
+  /// Number of representations holding role \p R.
+  size_t count(Role R) const;
+
+  /// Number of entries (representations with at least one role).
+  size_t size() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+
+  /// Adds all entries of \p Other into this spec (role masks are unioned).
+  void merge(const TaintSpec &Other);
+
+  /// Keeps only the entries whose representation satisfies \p Pred.
+  template <typename PredT> TaintSpec filtered(PredT Pred) const {
+    TaintSpec Out;
+    for (const auto &[Rep, Mask] : Entries)
+      if (Pred(Rep))
+        Out.addMask(Rep, Mask);
+    return Out;
+  }
+
+  const std::unordered_map<std::string, RoleMask> &entries() const {
+    return Entries;
+  }
+
+  /// Entries holding role \p R, sorted lexicographically (deterministic
+  /// iteration for sampling and reports).
+  std::vector<std::string> sortedReps(Role R) const;
+
+private:
+  std::unordered_map<std::string, RoleMask> Entries;
+};
+
+} // namespace spec
+} // namespace seldon
+
+#endif // SELDON_SPEC_TAINTSPEC_H

@@ -1,0 +1,51 @@
+//===- support/Glob.cpp - Wildcard pattern matching -----------------------===//
+
+#include "support/Glob.h"
+
+#include <algorithm>
+
+using namespace seldon;
+
+bool seldon::globMatch(std::string_view Pattern, std::string_view Text) {
+  size_t P = 0, T = 0;
+  size_t StarP = std::string_view::npos, StarT = 0;
+  while (T < Text.size()) {
+    if (P < Pattern.size() && Pattern[P] == '*') {
+      // Record the star position; tentatively match it against the empty
+      // string and extend on mismatch below.
+      StarP = P++;
+      StarT = T;
+      continue;
+    }
+    if (P < Pattern.size() && Pattern[P] == Text[T]) {
+      ++P;
+      ++T;
+      continue;
+    }
+    if (StarP == std::string_view::npos)
+      return false;
+    // Backtrack: let the last star consume one more character.
+    P = StarP + 1;
+    T = ++StarT;
+  }
+  while (P < Pattern.size() && Pattern[P] == '*')
+    ++P;
+  return P == Pattern.size();
+}
+
+void GlobSet::add(std::string_view Pattern) {
+  Original.emplace_back(Pattern);
+  if (Pattern.find('*') == std::string_view::npos)
+    Exact.emplace_back(Pattern);
+  else
+    Wildcards.emplace_back(Pattern);
+}
+
+bool GlobSet::matches(std::string_view Text) const {
+  if (std::find(Exact.begin(), Exact.end(), Text) != Exact.end())
+    return true;
+  for (const std::string &W : Wildcards)
+    if (globMatch(W, Text))
+      return true;
+  return false;
+}

@@ -1,0 +1,62 @@
+//===- support/Glob.h - Wildcard pattern matching ---------------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wildcard pattern matching used for the blacklist entries of the seed
+/// specification (paper App. B), e.g. `*tensorflow*`, `*.all()`, or
+/// `flask.Flask()*`. Only `*` is a metacharacter; it matches any (possibly
+/// empty) substring. All other characters match literally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_SUPPORT_GLOB_H
+#define SELDON_SUPPORT_GLOB_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seldon {
+
+/// Returns true if \p Text matches the wildcard pattern \p Pattern.
+///
+/// Runs in O(|Text| * |Pattern|) worst case via the classic two-pointer
+/// backtracking algorithm, which is linear in practice for the short
+/// blacklist patterns we use.
+bool globMatch(std::string_view Pattern, std::string_view Text);
+
+/// A compiled set of wildcard patterns, answering "does any pattern match".
+///
+/// Patterns without any `*` are kept in a separate exact-match set so that
+/// large blacklists stay cheap to query.
+class GlobSet {
+public:
+  GlobSet() = default;
+
+  /// Adds \p Pattern to the set.
+  void add(std::string_view Pattern);
+
+  /// Returns true if at least one pattern matches \p Text.
+  bool matches(std::string_view Text) const;
+
+  /// Number of patterns added.
+  size_t size() const { return Exact.size() + Wildcards.size(); }
+
+  bool empty() const { return Exact.empty() && Wildcards.empty(); }
+
+  /// All patterns in insertion order (used to serialize seed specs).
+  const std::vector<std::string> &patterns() const { return Original; }
+
+private:
+  std::vector<std::string> Exact;
+  std::vector<std::string> Wildcards;
+  std::vector<std::string> Original;
+};
+
+} // namespace seldon
+
+#endif // SELDON_SUPPORT_GLOB_H

@@ -1,0 +1,70 @@
+//===- support/Rng.h - Deterministic random number generation ---*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (SplitMix64) used by the corpus generator and
+/// evaluation sampling. We avoid std::mt19937 so that corpus generation is
+/// bit-identical across standard library implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_SUPPORT_RNG_H
+#define SELDON_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace seldon {
+
+/// Deterministic SplitMix64 generator with convenience sampling helpers.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next();
+
+  /// Uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Uniform double in [0, 1).
+  double nextDouble();
+
+  /// Returns true with probability \p P.
+  bool nextBool(double P);
+
+  /// Picks a uniformly random element of \p Items.
+  template <typename T> const T &pick(const std::vector<T> &Items) {
+    assert(!Items.empty() && "cannot pick from an empty vector");
+    return Items[nextBelow(Items.size())];
+  }
+
+  /// Fisher-Yates shuffle of \p Items.
+  template <typename T> void shuffle(std::vector<T> &Items) {
+    if (Items.empty())
+      return;
+    for (size_t I = Items.size() - 1; I > 0; --I)
+      std::swap(Items[I], Items[nextBelow(I + 1)]);
+  }
+
+  /// Derives an independent child generator; useful for making per-project
+  /// randomness independent of the order projects are generated in.
+  Rng fork();
+
+private:
+  uint64_t State;
+};
+
+} // namespace seldon
+
+#endif // SELDON_SUPPORT_RNG_H

@@ -1,0 +1,44 @@
+//===- support/TablePrinter.cpp - Aligned console tables ------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace seldon;
+
+TablePrinter::TablePrinter(std::vector<std::string> Headers)
+    : Headers(std::move(Headers)) {}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() <= Headers.size() && "row has more cells than headers");
+  Cells.resize(Headers.size());
+  Rows.push_back(std::move(Cells));
+}
+
+void TablePrinter::print(std::ostream &OS) const {
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t C = 0; C < Headers.size(); ++C)
+    Widths[C] = Headers[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto PrintRow = [&](const std::vector<std::string> &Cells) {
+    for (size_t C = 0; C < Cells.size(); ++C) {
+      OS << Cells[C];
+      if (C + 1 == Cells.size())
+        break;
+      OS << std::string(Widths[C] - Cells[C].size() + 2, ' ');
+    }
+    OS << '\n';
+  };
+
+  PrintRow(Headers);
+  size_t Total = 0;
+  for (size_t C = 0; C < Widths.size(); ++C)
+    Total += Widths[C] + (C + 1 == Widths.size() ? 0 : 2);
+  OS << std::string(Total, '-') << '\n';
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}

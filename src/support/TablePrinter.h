@@ -1,0 +1,45 @@
+//===- support/TablePrinter.h - Aligned console tables -----------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small helper that renders aligned plain-text tables. The benchmark
+/// binaries use it to print the paper's tables (Tab. 1-7) and figure series
+/// in a stable, diffable format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_SUPPORT_TABLEPRINTER_H
+#define SELDON_SUPPORT_TABLEPRINTER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace seldon {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class TablePrinter {
+public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> Headers);
+
+  /// Appends a row; missing cells are rendered empty, extra cells asserted.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table (headers, separator, rows) to \p OS.
+  void print(std::ostream &OS) const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace seldon
+
+#endif // SELDON_SUPPORT_TABLEPRINTER_H

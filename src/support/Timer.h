@@ -1,0 +1,44 @@
+//===- support/Timer.h - Wall-clock stopwatch --------------------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A monotonic wall-clock stopwatch used by the scalability experiments
+/// (paper Fig. 10, Tab. 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_SUPPORT_TIMER_H
+#define SELDON_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace seldon {
+
+/// Starts timing on construction; elapsed time is queried at any point.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last reset().
+  double millis() const { return seconds() * 1000.0; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace seldon
+
+#endif // SELDON_SUPPORT_TIMER_H

@@ -1,0 +1,51 @@
+//===- taint/JsonExport.cpp - Machine-readable report output --------------===//
+
+#include "taint/JsonExport.h"
+
+#include "support/StrUtil.h"
+
+#include <cassert>
+
+using namespace seldon;
+using namespace seldon::taint;
+using namespace seldon::propgraph;
+
+namespace {
+
+std::string eventJson(const PropagationGraph &Graph, EventId Id) {
+  const Event &E = Graph.event(Id);
+  return formatString("{\"rep\": \"%s\", \"line\": %u}",
+                      jsonEscape(E.primaryRep()).c_str(), E.Loc.Line);
+}
+
+} // namespace
+
+std::string
+seldon::taint::reportsToJson(const PropagationGraph &Graph,
+                             const std::vector<Violation> &Reports,
+                             const std::vector<double> *Confidences) {
+  assert((!Confidences || Confidences->size() == Reports.size()) &&
+         "confidences must be parallel to reports");
+  std::string Out = "{\"reports\": [";
+  for (size_t I = 0; I < Reports.size(); ++I) {
+    const Violation &V = Reports[I];
+    if (I)
+      Out += ", ";
+    Out += "{\"file\": \"";
+    Out += jsonEscape(Graph.files()[V.FileIdx]);
+    Out += '"';
+    if (Confidences)
+      Out += formatString(", \"confidence\": %.4f", (*Confidences)[I]);
+    Out += ", \"source\": " + eventJson(Graph, V.Source);
+    Out += ", \"sink\": " + eventJson(Graph, V.Sink);
+    Out += ", \"path\": [";
+    for (size_t P = 0; P < V.Path.size(); ++P) {
+      if (P)
+        Out += ", ";
+      Out += eventJson(Graph, V.Path[P]);
+    }
+    Out += "]}";
+  }
+  Out += "]}";
+  return Out;
+}

@@ -1,0 +1,48 @@
+//===- taint/JsonExport.h - Machine-readable report output -------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JSON serialization of taint reports for tool integration (CI gates,
+/// dashboards — the push-button usage the paper describes for the deployed
+/// system). The output is a single JSON object:
+///
+/// {
+///   "reports": [
+///     {
+///       "file": "pkg/views.py",
+///       "confidence": 0.75,
+///       "source": {"rep": "...", "line": 12},
+///       "sink":   {"rep": "...", "line": 19},
+///       "path":   [{"rep": "...", "line": 12}, ...]
+///     }, ...
+///   ]
+/// }
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_TAINT_JSONEXPORT_H
+#define SELDON_TAINT_JSONEXPORT_H
+
+#include "taint/TaintAnalyzer.h"
+
+#include <string>
+#include <vector>
+
+namespace seldon {
+namespace taint {
+
+/// Serializes \p Reports. \p Confidences, when non-null, must be parallel
+/// to \p Reports (as produced by rankViolations); otherwise the field is
+/// omitted.
+std::string reportsToJson(const PropagationGraph &Graph,
+                          const std::vector<Violation> &Reports,
+                          const std::vector<double> *Confidences = nullptr);
+
+} // namespace taint
+} // namespace seldon
+
+#endif // SELDON_TAINT_JSONEXPORT_H

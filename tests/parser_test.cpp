@@ -1,0 +1,403 @@
+//===- tests/parser_test.cpp - Tests for the Python parser ----------------===//
+
+#include "pyast/AstPrinter.h"
+#include "pyast/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace seldon;
+using namespace seldon::pyast;
+
+namespace {
+
+struct Parsed {
+  AstContext Ctx;
+  ModuleNode *Module = nullptr;
+  std::vector<ParseError> Errors;
+};
+
+std::unique_ptr<Parsed> parse(std::string_view Source) {
+  auto P = std::make_unique<Parsed>();
+  P->Module = parseSource(P->Ctx, Source, &P->Errors);
+  return P;
+}
+
+std::unique_ptr<Parsed> parseClean(std::string_view Source) {
+  auto P = parse(Source);
+  EXPECT_TRUE(P->Errors.empty())
+      << "unexpected diagnostics; first: "
+      << (P->Errors.empty() ? "" : P->Errors.front().Message);
+  return P;
+}
+
+TEST(ParserTest, EmptyModule) {
+  auto P = parseClean("");
+  EXPECT_TRUE(P->Module->Body.empty());
+}
+
+TEST(ParserTest, SimpleAssignment) {
+  auto P = parseClean("x = f(1)\n");
+  ASSERT_EQ(P->Module->Body.size(), 1u);
+  auto *A = dyn_cast<AssignStmt>(P->Module->Body[0]);
+  ASSERT_NE(A, nullptr);
+  ASSERT_EQ(A->Targets.size(), 1u);
+  EXPECT_TRUE(isa<NameExpr>(A->Targets[0]));
+  EXPECT_TRUE(isa<CallExpr>(A->Value));
+}
+
+TEST(ParserTest, ChainedAssignment) {
+  auto P = parseClean("a = b = g()\n");
+  auto *A = cast<AssignStmt>(P->Module->Body[0]);
+  EXPECT_EQ(A->Targets.size(), 2u);
+}
+
+TEST(ParserTest, AugmentedAssignment) {
+  auto P = parseClean("total += price\n");
+  auto *A = dyn_cast<AugAssignStmt>(P->Module->Body[0]);
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->Op, BinaryOp::Add);
+}
+
+TEST(ParserTest, AnnotatedAssignment) {
+  auto P = parseClean("x: int = 3\ny: str\n");
+  EXPECT_TRUE(isa<AnnAssignStmt>(P->Module->Body[0]));
+  auto *Y = cast<AnnAssignStmt>(P->Module->Body[1]);
+  EXPECT_EQ(Y->Value, nullptr);
+}
+
+TEST(ParserTest, AttributeChainRendering) {
+  auto P = parseClean("v = request.files['f'].filename\n");
+  auto *A = cast<AssignStmt>(P->Module->Body[0]);
+  EXPECT_EQ(exprToString(A->Value), "request.files['f'].filename");
+}
+
+TEST(ParserTest, CallWithKeywords) {
+  auto P = parseClean("app.route('/media/', methods=['POST'])\n");
+  auto *E = cast<ExprStmt>(P->Module->Body[0]);
+  auto *C = cast<CallExpr>(E->Value);
+  EXPECT_EQ(C->Args.size(), 1u);
+  ASSERT_EQ(C->Keywords.size(), 1u);
+  EXPECT_EQ(C->Keywords[0].Name, "methods");
+}
+
+TEST(ParserTest, StarArgsAndKwargsAtCallSite) {
+  auto P = parseClean("f(*args, **kwargs)\n");
+  auto *C = cast<CallExpr>(cast<ExprStmt>(P->Module->Body[0])->Value);
+  ASSERT_EQ(C->Args.size(), 1u);
+  EXPECT_TRUE(isa<StarredExpr>(C->Args[0]));
+  ASSERT_EQ(C->Keywords.size(), 1u);
+  EXPECT_TRUE(C->Keywords[0].Name.empty());
+}
+
+TEST(ParserTest, FunctionDef) {
+  auto P = parseClean("def media(f, size=10, *args, **kw):\n"
+                      "    return f\n");
+  auto *F = dyn_cast<FunctionDefStmt>(P->Module->Body[0]);
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->Name, "media");
+  ASSERT_EQ(F->Params.size(), 4u);
+  EXPECT_EQ(F->Params[0].Name, "f");
+  EXPECT_NE(F->Params[1].Default, nullptr);
+  EXPECT_TRUE(F->Params[2].IsVarArgs);
+  EXPECT_TRUE(F->Params[3].IsKwArgs);
+  ASSERT_EQ(F->Body.size(), 1u);
+  EXPECT_TRUE(isa<ReturnStmt>(F->Body[0]));
+}
+
+TEST(ParserTest, FunctionDefWithAnnotations) {
+  auto P = parseClean("def f(a: int, b: str = 'x') -> bool:\n    pass\n");
+  auto *F = cast<FunctionDefStmt>(P->Module->Body[0]);
+  EXPECT_NE(F->Params[0].Annotation, nullptr);
+  EXPECT_NE(F->Params[1].Default, nullptr);
+  EXPECT_NE(F->ReturnAnnotation, nullptr);
+}
+
+TEST(ParserTest, DecoratedFunction) {
+  auto P = parseClean("@app.route('/x')\n"
+                      "@login_required\n"
+                      "def view():\n"
+                      "    pass\n");
+  auto *F = cast<FunctionDefStmt>(P->Module->Body[0]);
+  ASSERT_EQ(F->Decorators.size(), 2u);
+  EXPECT_TRUE(isa<CallExpr>(F->Decorators[0]));
+  EXPECT_TRUE(isa<NameExpr>(F->Decorators[1]));
+}
+
+TEST(ParserTest, ClassDefWithBasesAndMethods) {
+  auto P = parseClean("class ESCPOSDriver(ThreadDriver):\n"
+                      "    def status(self, eprint):\n"
+                      "        self.receipt('<div>' + msg + '</div>')\n");
+  auto *C = dyn_cast<ClassDefStmt>(P->Module->Body[0]);
+  ASSERT_NE(C, nullptr);
+  ASSERT_EQ(C->Bases.size(), 1u);
+  ASSERT_EQ(C->Body.size(), 1u);
+  auto *M = dyn_cast<FunctionDefStmt>(C->Body[0]);
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->Params.size(), 2u);
+}
+
+TEST(ParserTest, ClassWithKeywordBaseSkipsMetaclass) {
+  auto P = parseClean("class A(B, metaclass=Meta):\n    pass\n");
+  auto *C = cast<ClassDefStmt>(P->Module->Body[0]);
+  EXPECT_EQ(C->Bases.size(), 1u);
+}
+
+TEST(ParserTest, IfElifElse) {
+  auto P = parseClean("if a:\n    x = 1\nelif b:\n    x = 2\nelse:\n    x = 3\n");
+  auto *I = cast<IfStmt>(P->Module->Body[0]);
+  ASSERT_EQ(I->Else.size(), 1u);
+  auto *Elif = dyn_cast<IfStmt>(I->Else[0]);
+  ASSERT_NE(Elif, nullptr);
+  EXPECT_EQ(Elif->Else.size(), 1u);
+}
+
+TEST(ParserTest, WhileAndForLoops) {
+  auto P = parseClean("while ok:\n    step()\nfor i in items:\n    use(i)\n");
+  EXPECT_TRUE(isa<WhileStmt>(P->Module->Body[0]));
+  auto *F = cast<ForStmt>(P->Module->Body[1]);
+  EXPECT_TRUE(isa<NameExpr>(F->Target));
+}
+
+TEST(ParserTest, ForWithTupleTarget) {
+  auto P = parseClean("for k, v in d.items():\n    use(k, v)\n");
+  auto *F = cast<ForStmt>(P->Module->Body[0]);
+  EXPECT_TRUE(isa<TupleExpr>(F->Target));
+}
+
+TEST(ParserTest, Imports) {
+  auto P = parseClean("import os.path, sys as system\n"
+                      "from flask import request, session as sess\n"
+                      "from . import models\n"
+                      "from werkzeug import *\n");
+  auto *I = cast<ImportStmt>(P->Module->Body[0]);
+  ASSERT_EQ(I->Names.size(), 2u);
+  EXPECT_EQ(I->Names[0].Module, "os.path");
+  EXPECT_EQ(I->Names[1].AsName, "system");
+  auto *F = cast<ImportFromStmt>(P->Module->Body[1]);
+  EXPECT_EQ(F->Module, "flask");
+  ASSERT_EQ(F->Names.size(), 2u);
+  EXPECT_EQ(F->Names[1].AsName, "sess");
+  auto *Rel = cast<ImportFromStmt>(P->Module->Body[2]);
+  EXPECT_EQ(Rel->Level, 1u);
+  auto *Star = cast<ImportFromStmt>(P->Module->Body[3]);
+  ASSERT_EQ(Star->Names.size(), 1u);
+  EXPECT_EQ(Star->Names[0].Module, "*");
+}
+
+TEST(ParserTest, WithStatement) {
+  auto P = parseClean("with open(p) as f, lock:\n    f.write(data)\n");
+  auto *W = cast<WithStmt>(P->Module->Body[0]);
+  ASSERT_EQ(W->Items.size(), 2u);
+  EXPECT_NE(W->Items[0].OptionalVars, nullptr);
+  EXPECT_EQ(W->Items[1].OptionalVars, nullptr);
+}
+
+TEST(ParserTest, TryExceptFinally) {
+  auto P = parseClean("try:\n    risky()\n"
+                      "except ValueError as e:\n    handle(e)\n"
+                      "except:\n    pass\n"
+                      "else:\n    ok()\n"
+                      "finally:\n    cleanup()\n");
+  auto *T = cast<TryStmt>(P->Module->Body[0]);
+  ASSERT_EQ(T->Handlers.size(), 2u);
+  EXPECT_EQ(T->Handlers[0].Name, "e");
+  EXPECT_EQ(T->Handlers[1].Type, nullptr);
+  EXPECT_EQ(T->OrElse.size(), 1u);
+  EXPECT_EQ(T->Finally.size(), 1u);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto P = parseClean("x = 1 + 2 * 3\n");
+  auto *A = cast<AssignStmt>(P->Module->Body[0]);
+  EXPECT_EQ(exprToString(A->Value), "(1 + (2 * 3))");
+}
+
+TEST(ParserTest, PowerRightAssociative) {
+  auto P = parseClean("x = 2 ** 3 ** 2\n");
+  auto *A = cast<AssignStmt>(P->Module->Body[0]);
+  EXPECT_EQ(exprToString(A->Value), "(2 ** (3 ** 2))");
+}
+
+TEST(ParserTest, UnaryBindsLooserThanPower) {
+  auto P = parseClean("x = -y ** 2\n");
+  auto *A = cast<AssignStmt>(P->Module->Body[0]);
+  EXPECT_EQ(exprToString(A->Value), "-(y ** 2)");
+}
+
+TEST(ParserTest, BoolOpsAndComparisons) {
+  auto P = parseClean("ok = a < b <= c and not d or e in f\n");
+  auto *A = cast<AssignStmt>(P->Module->Body[0]);
+  auto *Or = dyn_cast<BoolOpExpr>(A->Value);
+  ASSERT_NE(Or, nullptr);
+  EXPECT_FALSE(Or->IsAnd);
+  EXPECT_EQ(Or->Operands.size(), 2u);
+}
+
+TEST(ParserTest, ConditionalExpression) {
+  auto P = parseClean("v = a if cond else b\n");
+  auto *A = cast<AssignStmt>(P->Module->Body[0]);
+  EXPECT_TRUE(isa<ConditionalExpr>(A->Value));
+}
+
+TEST(ParserTest, LambdaExpression) {
+  auto P = parseClean("f = lambda x, y=2: x + y\n");
+  auto *A = cast<AssignStmt>(P->Module->Body[0]);
+  auto *L = dyn_cast<LambdaExpr>(A->Value);
+  ASSERT_NE(L, nullptr);
+  EXPECT_EQ(L->Params.size(), 2u);
+}
+
+TEST(ParserTest, Displays) {
+  auto P = parseClean("l = [a, b]\nt = (a, b)\ns = {a, b}\nd = {k: v}\n"
+                      "e = []\net = ()\ned = {}\n");
+  EXPECT_TRUE(isa<ListExpr>(cast<AssignStmt>(P->Module->Body[0])->Value));
+  EXPECT_TRUE(isa<TupleExpr>(cast<AssignStmt>(P->Module->Body[1])->Value));
+  EXPECT_TRUE(isa<SetExpr>(cast<AssignStmt>(P->Module->Body[2])->Value));
+  EXPECT_TRUE(isa<DictExpr>(cast<AssignStmt>(P->Module->Body[3])->Value));
+  EXPECT_TRUE(isa<ListExpr>(cast<AssignStmt>(P->Module->Body[4])->Value));
+  EXPECT_TRUE(isa<TupleExpr>(cast<AssignStmt>(P->Module->Body[5])->Value));
+  EXPECT_TRUE(isa<DictExpr>(cast<AssignStmt>(P->Module->Body[6])->Value));
+}
+
+TEST(ParserTest, BareTupleAndUnpacking) {
+  auto P = parseClean("a, b = 1, 2\n");
+  auto *A = cast<AssignStmt>(P->Module->Body[0]);
+  EXPECT_TRUE(isa<TupleExpr>(A->Targets[0]));
+  EXPECT_TRUE(isa<TupleExpr>(A->Value));
+}
+
+TEST(ParserTest, Comprehensions) {
+  auto P = parseClean("l = [f(x) for x in xs if p(x)]\n"
+                      "s = {x for x in xs}\n"
+                      "d = {k: v for k, v in items}\n"
+                      "g = (y for y in ys)\n"
+                      "total = sum(x * x for x in xs)\n");
+  for (int I = 0; I < 4; ++I) {
+    auto *A = cast<AssignStmt>(P->Module->Body[I]);
+    EXPECT_TRUE(isa<ComprehensionExpr>(A->Value)) << "stmt " << I;
+  }
+  auto *Sum = cast<CallExpr>(cast<AssignStmt>(P->Module->Body[4])->Value);
+  ASSERT_EQ(Sum->Args.size(), 1u);
+  EXPECT_TRUE(isa<ComprehensionExpr>(Sum->Args[0]));
+}
+
+TEST(ParserTest, SubscriptSlices) {
+  auto P = parseClean("a = x[1:2]\nb = x[:]\nc = x[::2]\nd = x[i, j]\n");
+  auto *A = cast<AssignStmt>(P->Module->Body[0]);
+  EXPECT_TRUE(isa<SliceExpr>(cast<SubscriptExpr>(A->Value)->Index));
+  auto *D = cast<AssignStmt>(P->Module->Body[3]);
+  EXPECT_TRUE(isa<TupleExpr>(cast<SubscriptExpr>(D->Value)->Index));
+}
+
+TEST(ParserTest, SemicolonSeparatedStatements) {
+  auto P = parseClean("a = 1; b = 2\n");
+  // Folded into a wrapper; both assignments must exist in the AST.
+  std::string Dump = dumpAst(P->Module);
+  EXPECT_NE(Dump.find("a"), std::string::npos);
+  EXPECT_NE(Dump.find("b"), std::string::npos);
+}
+
+TEST(ParserTest, InlineSuite) {
+  auto P = parseClean("if x: do()\n");
+  auto *I = cast<IfStmt>(P->Module->Body[0]);
+  ASSERT_EQ(I->Then.size(), 1u);
+}
+
+TEST(ParserTest, GlobalAndDel) {
+  auto P = parseClean("global a, b\ndel c\n");
+  auto *G = cast<GlobalStmt>(P->Module->Body[0]);
+  EXPECT_EQ(G->Names.size(), 2u);
+  EXPECT_TRUE(isa<DeleteStmt>(P->Module->Body[1]));
+}
+
+TEST(ParserTest, YieldStatementAndExpression) {
+  auto P = parseClean("def gen():\n    yield 1\n    x = yield\n");
+  auto *F = cast<FunctionDefStmt>(P->Module->Body[0]);
+  ASSERT_EQ(F->Body.size(), 2u);
+  EXPECT_TRUE(isa<YieldExpr>(cast<ExprStmt>(F->Body[0])->Value));
+}
+
+TEST(ParserTest, RecoversFromBadLine) {
+  auto P = parse("x = 1\ny = = 2\nz = 3\n");
+  EXPECT_FALSE(P->Errors.empty());
+  // The two good statements must survive.
+  int Assigns = 0;
+  for (Stmt *S : P->Module->Body)
+    Assigns += isa<AssignStmt>(S);
+  EXPECT_GE(Assigns, 2);
+}
+
+TEST(ParserTest, ErrorHasLocation) {
+  auto P = parse("def f(:\n    pass\n");
+  ASSERT_FALSE(P->Errors.empty());
+  EXPECT_EQ(P->Errors.front().Line, 1u);
+}
+
+TEST(ParserTest, PaperFig2aParses) {
+  const char *Source =
+      "from yak.web import app\n"
+      "from flask import request\n"
+      "from werkzeug import secure_filename\n"
+      "import os\n"
+      "\n"
+      "blog_dir = app.config['PATH']\n"
+      "\n"
+      "@app.route('/media/', methods=['POST'])\n"
+      "def media():\n"
+      "    filename = request.files['f'].filename\n"
+      "    filename = secure_filename(filename)\n"
+      "    path = os.path.join(blog_dir, filename)\n"
+      "    if not os.path.exists(path):\n"
+      "        request.files['f'].save(path)\n";
+  auto P = parseClean(Source);
+  ASSERT_EQ(P->Module->Body.size(), 6u);
+  auto *F = dyn_cast<FunctionDefStmt>(P->Module->Body[5]);
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->Name, "media");
+  EXPECT_EQ(F->Decorators.size(), 1u);
+  EXPECT_EQ(F->Body.size(), 4u);
+}
+
+TEST(ParserTest, DeeplyNestedStructures) {
+  std::string Source = "x = ";
+  for (int I = 0; I < 30; ++I)
+    Source += "f(";
+  Source += "1";
+  for (int I = 0; I < 30; ++I)
+    Source += ")";
+  Source += "\n";
+  auto P = parseClean(Source);
+  EXPECT_EQ(P->Module->Body.size(), 1u);
+}
+
+// Property-style sweep: every statement form round-trips through the dumper
+// without crashing and without diagnostics.
+class ParserSmokeTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(ParserSmokeTest, ParsesCleanAndDumps) {
+  auto P = parseClean(GetParam());
+  std::string Dump = dumpAst(P->Module);
+  EXPECT_FALSE(Dump.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Statements, ParserSmokeTest,
+    ::testing::Values(
+        "pass\n", "break\n", "continue\n", "x = 1\n", "x += 1\n",
+        "return\n", "raise\n", "raise ValueError('x')\n",
+        "raise Wrapped() from err\n", "assert x, 'msg'\n",
+        "f()\n", "x.y.z(1, 2)[3] = 4\n", "a = b = c = d\n",
+        "x = a if b else c\n", "x = lambda: 0\n",
+        "x = {**base, 'k': 1}\n", "print(*xs)\n",
+        "def f():\n    '''docstring'''\n    pass\n",
+        "class C:\n    pass\n",
+        "class C(object):\n    x = 1\n    def m(self):\n        return self.x\n",
+        "for i in range(10):\n    pass\nelse:\n    done()\n",
+        "while True:\n    break\nelse:\n    pass\n",
+        "x = y[1:2, ::3]\n", "x = (yield v)\n",
+        "with a() as b:\n    pass\n",
+        "if a:\n    pass\nelif b:\n    pass\n",
+        "x = not a is not b\n", "x = v not in c\n",
+        "t = a,\n", "x, = f()\n", "def f(*, kw=1):\n    pass\n"));
+
+} // namespace

@@ -1,0 +1,223 @@
+//===- tests/pointsto_test.cpp - Tests for the Andersen solver ------------===//
+
+#include "pointsto/AndersenSolver.h"
+#include "pointsto/PointsToAnalysis.h"
+#include "pyast/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace seldon;
+using namespace seldon::pointsto;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Raw solver
+//===----------------------------------------------------------------------===//
+
+TEST(AndersenSolverTest, AllocAndCopy) {
+  AndersenSolver S;
+  VarId A = S.makeVar("a"), B = S.makeVar("b");
+  ObjId O = S.makeObj("o");
+  S.addAlloc(A, O);
+  S.addCopy(B, A);
+  S.solve();
+  EXPECT_TRUE(S.pointsTo(B).count(O));
+  EXPECT_TRUE(S.mayAlias(A, B));
+}
+
+TEST(AndersenSolverTest, CopyChain) {
+  AndersenSolver S;
+  VarId V[5];
+  for (int I = 0; I < 5; ++I)
+    V[I] = S.makeVar("v" + std::to_string(I));
+  ObjId O = S.makeObj("o");
+  S.addAlloc(V[0], O);
+  for (int I = 1; I < 5; ++I)
+    S.addCopy(V[I], V[I - 1]);
+  S.solve();
+  EXPECT_TRUE(S.pointsTo(V[4]).count(O));
+}
+
+TEST(AndersenSolverTest, CopyCycleTerminates) {
+  AndersenSolver S;
+  VarId A = S.makeVar("a"), B = S.makeVar("b");
+  ObjId O = S.makeObj("o");
+  S.addAlloc(A, O);
+  S.addCopy(B, A);
+  S.addCopy(A, B);
+  S.solve();
+  EXPECT_TRUE(S.pointsTo(A).count(O));
+  EXPECT_TRUE(S.pointsTo(B).count(O));
+}
+
+TEST(AndersenSolverTest, FieldStoreLoad) {
+  // p = obj; p.f = q; r = obj.f  =>  r points to what q points to.
+  AndersenSolver S;
+  VarId Obj = S.makeVar("obj"), P = S.makeVar("p"), Q = S.makeVar("q"),
+        R = S.makeVar("r");
+  ObjId Heap = S.makeObj("heap"), Payload = S.makeObj("payload");
+  S.addAlloc(Obj, Heap);
+  S.addCopy(P, Obj);
+  S.addAlloc(Q, Payload);
+  S.addStore(P, "f", Q);
+  S.addLoad(R, Obj, "f");
+  S.solve();
+  EXPECT_TRUE(S.pointsTo(R).count(Payload));
+  EXPECT_TRUE(S.fieldPointsTo(Heap, "f").count(Payload));
+}
+
+TEST(AndersenSolverTest, FieldsAreSeparate) {
+  AndersenSolver S;
+  VarId Obj = S.makeVar("obj"), Q = S.makeVar("q"), R = S.makeVar("r");
+  ObjId Heap = S.makeObj("heap"), Payload = S.makeObj("payload");
+  S.addAlloc(Obj, Heap);
+  S.addAlloc(Q, Payload);
+  S.addStore(Obj, "f", Q);
+  S.addLoad(R, Obj, "g");
+  S.solve();
+  EXPECT_TRUE(S.pointsTo(R).empty()) << "field g was never written";
+}
+
+TEST(AndersenSolverTest, StoreBeforeBasePopulated) {
+  // The store is registered before `base` points anywhere; the worklist
+  // must dispatch it when the object arrives.
+  AndersenSolver S;
+  VarId Base = S.makeVar("base"), Src = S.makeVar("src"),
+        Pre = S.makeVar("pre"), Dst = S.makeVar("dst");
+  ObjId Heap = S.makeObj("heap"), Payload = S.makeObj("payload");
+  S.addStore(Base, "f", Src);
+  S.addLoad(Dst, Base, "f");
+  S.addAlloc(Src, Payload);
+  S.addAlloc(Pre, Heap);
+  S.addCopy(Base, Pre);
+  S.solve();
+  EXPECT_TRUE(S.pointsTo(Dst).count(Payload));
+}
+
+TEST(AndersenSolverTest, IncrementalResolve) {
+  AndersenSolver S;
+  VarId A = S.makeVar("a"), B = S.makeVar("b");
+  ObjId O1 = S.makeObj("o1");
+  S.addAlloc(A, O1);
+  S.solve();
+  // Add constraints after a solve; a second solve must pick them up.
+  ObjId O2 = S.makeObj("o2");
+  S.addAlloc(A, O2);
+  S.addCopy(B, A);
+  S.solve();
+  EXPECT_EQ(S.pointsTo(B).size(), 2u);
+}
+
+TEST(AndersenSolverTest, NoAliasWhenDisjoint) {
+  AndersenSolver S;
+  VarId A = S.makeVar("a"), B = S.makeVar("b");
+  S.addAlloc(A, S.makeObj("o1"));
+  S.addAlloc(B, S.makeObj("o2"));
+  S.solve();
+  EXPECT_FALSE(S.mayAlias(A, B));
+}
+
+//===----------------------------------------------------------------------===//
+// AST-driven analysis
+//===----------------------------------------------------------------------===//
+
+struct PtFixture {
+  pyast::AstContext Ctx;
+  PointsToAnalysis PTA;
+
+  explicit PtFixture(std::string_view Source) {
+    std::vector<pyast::ParseError> Errors;
+    pyast::ModuleNode *M = pyast::parseSource(Ctx, Source, &Errors);
+    EXPECT_TRUE(Errors.empty());
+    PTA.run(M);
+  }
+};
+
+TEST(PointsToAnalysisTest, DirectAlias) {
+  PtFixture F("a = make()\nb = a\nc = other()\n");
+  EXPECT_TRUE(F.PTA.mayAlias("", "a", "", "b"));
+  EXPECT_FALSE(F.PTA.mayAlias("", "a", "", "c"));
+}
+
+TEST(PointsToAnalysisTest, FieldFlowThroughAlias) {
+  PtFixture F("obj = make()\n"
+              "p = obj\n"
+              "p.f = payload()\n"
+              "r = obj.f\n"
+              "s = obj.g\n");
+  auto R = F.PTA.lookupVar("", "r");
+  auto S = F.PTA.lookupVar("", "s");
+  ASSERT_TRUE(R && S);
+  EXPECT_FALSE(F.PTA.solver().pointsTo(*R).empty());
+  EXPECT_TRUE(F.PTA.solver().pointsTo(*S).empty());
+}
+
+TEST(PointsToAnalysisTest, ContainerElementFlow) {
+  PtFixture F("x = make()\n"
+              "l = [x]\n"
+              "y = l[0]\n");
+  EXPECT_TRUE(F.PTA.mayAlias("", "x", "", "y"));
+}
+
+TEST(PointsToAnalysisTest, SubscriptStore) {
+  PtFixture F("d = {}\n"
+              "d['k'] = make()\n"
+              "v = d['other']\n");
+  // Element field is key-insensitive: any read may see any write.
+  EXPECT_TRUE(F.PTA.mayAlias("", "v", "", "v"));
+  auto V = F.PTA.lookupVar("", "v");
+  ASSERT_TRUE(V.has_value());
+  EXPECT_FALSE(F.PTA.solver().pointsTo(*V).empty());
+}
+
+TEST(PointsToAnalysisTest, BranchesMerge) {
+  PtFixture F("if cond():\n    x = a_make()\nelse:\n    x = b_make()\ny = x\n");
+  auto Y = F.PTA.lookupVar("", "y");
+  ASSERT_TRUE(Y.has_value());
+  EXPECT_EQ(F.PTA.solver().pointsTo(*Y).size(), 2u);
+}
+
+TEST(PointsToAnalysisTest, LoopSingleIterationTerminates) {
+  PtFixture F("acc = make()\n"
+              "for i in items():\n"
+              "    acc = wrap(acc)\n"
+              "out = acc\n");
+  auto Out = F.PTA.lookupVar("", "out");
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_FALSE(F.PTA.solver().pointsTo(*Out).empty());
+}
+
+TEST(PointsToAnalysisTest, FunctionScopesAreSeparate) {
+  PtFixture F("x = make()\n"
+              "def f(x):\n"
+              "    y = x\n");
+  EXPECT_TRUE(F.PTA.mayAlias("f", "x", "f", "y"));
+  EXPECT_FALSE(F.PTA.mayAlias("", "x", "f", "y"));
+}
+
+TEST(PointsToAnalysisTest, TupleUnpackingSpreads) {
+  PtFixture F("a, b = pair()\nc = a\n");
+  EXPECT_TRUE(F.PTA.mayAlias("", "a", "", "c"));
+}
+
+TEST(PointsToAnalysisTest, ConditionalExprMergesBothArms) {
+  PtFixture F("x = left() if cond() else right()\n");
+  auto X = F.PTA.lookupVar("", "x");
+  ASSERT_TRUE(X.has_value());
+  EXPECT_EQ(F.PTA.solver().pointsTo(*X).size(), 2u);
+}
+
+TEST(PointsToAnalysisTest, BoolOpDefaultIdiom) {
+  PtFixture F("x = maybe() or fallback()\n");
+  auto X = F.PTA.lookupVar("", "x");
+  ASSERT_TRUE(X.has_value());
+  EXPECT_EQ(F.PTA.solver().pointsTo(*X).size(), 2u);
+}
+
+TEST(PointsToAnalysisTest, WithBinding) {
+  PtFixture F("with open_thing() as f:\n    g = f\n");
+  EXPECT_TRUE(F.PTA.mayAlias("", "f", "", "g"));
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+//===- tests/projectloader_test.cpp - Tests for filesystem loading --------===//
+
+#include "pysem/ProjectLoader.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace fs = std::filesystem;
+
+using namespace seldon;
+using namespace seldon::pysem;
+
+namespace {
+
+/// Creates a throwaway directory tree, removed on destruction.
+class TempTree {
+public:
+  TempTree() {
+    Root = fs::temp_directory_path() /
+           ("seldon_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(Counter++));
+    fs::create_directories(Root);
+  }
+  ~TempTree() {
+    std::error_code Ec;
+    fs::remove_all(Root, Ec);
+  }
+
+  void write(const std::string &Relative, const std::string &Content) {
+    fs::path Path = Root / Relative;
+    fs::create_directories(Path.parent_path());
+    std::ofstream Out(Path);
+    Out << Content;
+  }
+
+  std::string path() const { return Root.string(); }
+
+private:
+  fs::path Root;
+  static int Counter;
+};
+
+int TempTree::Counter = 0;
+
+TEST(ProjectLoaderTest, LoadsPyFilesRecursively) {
+  TempTree Tree;
+  Tree.write("app.py", "x = 1\n");
+  Tree.write("pkg/views.py", "y = 2\n");
+  Tree.write("pkg/__init__.py", "");
+  Tree.write("README.md", "not python\n");
+
+  auto Proj = loadProjectFromDir(Tree.path());
+  ASSERT_TRUE(Proj.has_value());
+  EXPECT_EQ(Proj->modules().size(), 3u);
+  bool FoundViews = false;
+  for (const ModuleInfo &M : Proj->modules()) {
+    if (M.Path == "pkg/views.py") {
+      FoundViews = true;
+      EXPECT_EQ(M.ModuleName, "pkg.views");
+    }
+    EXPECT_NE(M.Path, "README.md");
+  }
+  EXPECT_TRUE(FoundViews);
+}
+
+TEST(ProjectLoaderTest, DeterministicModuleOrder) {
+  TempTree Tree;
+  Tree.write("b.py", "x = 1\n");
+  Tree.write("a.py", "x = 1\n");
+  Tree.write("c.py", "x = 1\n");
+  auto Proj = loadProjectFromDir(Tree.path());
+  ASSERT_TRUE(Proj.has_value());
+  ASSERT_EQ(Proj->modules().size(), 3u);
+  EXPECT_EQ(Proj->modules()[0].Path, "a.py");
+  EXPECT_EQ(Proj->modules()[1].Path, "b.py");
+  EXPECT_EQ(Proj->modules()[2].Path, "c.py");
+}
+
+TEST(ProjectLoaderTest, SkipsConfiguredDirectories) {
+  TempTree Tree;
+  Tree.write("app.py", "x = 1\n");
+  Tree.write(".git/hook.py", "x = 1\n");
+  Tree.write("__pycache__/cached.py", "x = 1\n");
+  Tree.write("venv/lib/site.py", "x = 1\n");
+  auto Proj = loadProjectFromDir(Tree.path());
+  ASSERT_TRUE(Proj.has_value());
+  EXPECT_EQ(Proj->modules().size(), 1u);
+}
+
+TEST(ProjectLoaderTest, SkipsOversizedFiles) {
+  TempTree Tree;
+  Tree.write("small.py", "x = 1\n");
+  Tree.write("big.py", std::string(4096, '#') + "\n");
+  LoadOptions Opts;
+  Opts.MaxFileBytes = 1024;
+  auto Proj = loadProjectFromDir(Tree.path(), Opts);
+  ASSERT_TRUE(Proj.has_value());
+  EXPECT_EQ(Proj->modules().size(), 1u);
+  EXPECT_EQ(Proj->modules()[0].Path, "small.py");
+}
+
+TEST(ProjectLoaderTest, MissingDirectoryReturnsNullopt) {
+  EXPECT_FALSE(loadProjectFromDir("/nonexistent/definitely/missing")
+                   .has_value());
+}
+
+TEST(ProjectLoaderTest, ProjectNamedAfterDirectory) {
+  TempTree Tree;
+  Tree.write("app.py", "x = 1\n");
+  auto Proj = loadProjectFromDir(Tree.path());
+  ASSERT_TRUE(Proj.has_value());
+  EXPECT_FALSE(Proj->name().empty());
+  EXPECT_NE(Proj->name(), "project");
+}
+
+TEST(ProjectLoaderTest, ParseErrorsSurfaceOnModules) {
+  TempTree Tree;
+  Tree.write("bad.py", "def f(:\n    pass\n");
+  auto Proj = loadProjectFromDir(Tree.path());
+  ASSERT_TRUE(Proj.has_value());
+  EXPECT_GT(Proj->numErrors(), 0u);
+}
+
+TEST(ReadFileTest, ReadsAndFails) {
+  TempTree Tree;
+  Tree.write("data.txt", "hello\nworld\n");
+  auto Content = readFile(Tree.path() + "/data.txt");
+  ASSERT_TRUE(Content.has_value());
+  EXPECT_EQ(*Content, "hello\nworld\n");
+  EXPECT_FALSE(readFile(Tree.path() + "/missing.txt").has_value());
+}
+
+} // namespace

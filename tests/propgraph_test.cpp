@@ -1,0 +1,545 @@
+//===- tests/propgraph_test.cpp - Tests for the propagation graph ---------===//
+
+#include "propgraph/GraphBuilder.h"
+#include "propgraph/RepTable.h"
+#include "pysem/Project.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace seldon;
+using namespace seldon::propgraph;
+
+namespace {
+
+struct GraphFixture {
+  pysem::Project Proj;
+  PropagationGraph Graph;
+
+  explicit GraphFixture(std::string_view Source,
+                        BuildOptions Opts = BuildOptions(),
+                        std::string Path = "app.py") {
+    const pysem::ModuleInfo &M = Proj.addModule(std::move(Path), Source);
+    EXPECT_TRUE(M.Errors.empty())
+        << "fixture source failed to parse: "
+        << (M.Errors.empty() ? "" : M.Errors.front().Message);
+    Graph = buildModuleGraph(Proj, M, Opts);
+  }
+
+  /// Events whose primary representation equals \p Rep.
+  std::vector<EventId> eventsByRep(const std::string &Rep) const {
+    std::vector<EventId> Out;
+    for (const Event &E : Graph.events())
+      if (E.primaryRep() == Rep)
+        Out.push_back(E.Id);
+    return Out;
+  }
+
+  /// First event whose primary rep equals \p Rep; asserts existence.
+  EventId theEvent(const std::string &Rep) const {
+    std::vector<EventId> Found = eventsByRep(Rep);
+    EXPECT_EQ(Found.size(), 1u) << "expected exactly one event for " << Rep;
+    return Found.empty() ? InvalidEvent : Found.front();
+  }
+
+  bool hasEvent(const std::string &Rep) const {
+    return !eventsByRep(Rep).empty();
+  }
+
+  bool hasEdge(EventId From, EventId To) const {
+    const auto &S = Graph.successors(From);
+    return std::find(S.begin(), S.end(), To) != S.end();
+  }
+
+  /// True if \p To is forward-reachable from \p From.
+  bool flowsTo(EventId From, EventId To) const {
+    auto R = Graph.reachableFrom(From);
+    return std::find(R.begin(), R.end(), To) != R.end();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Event creation and representations
+//===----------------------------------------------------------------------===//
+
+TEST(GraphBuilderTest, ImportRootedCall) {
+  GraphFixture F("from werkzeug import secure_filename\n"
+                 "x = secure_filename(name)\n");
+  EventId E = F.theEvent("werkzeug.secure_filename()");
+  EXPECT_EQ(F.Graph.event(E).Kind, EventKind::Call);
+  EXPECT_EQ(F.Graph.event(E).Candidates, AllRolesMask);
+}
+
+TEST(GraphBuilderTest, DottedModuleCallDoesNotCreatePrefixEvents) {
+  GraphFixture F("import os\n"
+                 "p = os.path.join(a, b)\n");
+  EXPECT_TRUE(F.hasEvent("os.path.join()"));
+  EXPECT_FALSE(F.hasEvent("os.path"));
+  EXPECT_FALSE(F.hasEvent("os"));
+}
+
+TEST(GraphBuilderTest, SubscriptAndAttributeReads) {
+  GraphFixture F("from flask import request\n"
+                 "filename = request.files['f'].filename\n");
+  EventId Sub = F.theEvent("flask.request.files['f']");
+  EventId Attr = F.theEvent("flask.request.files['f'].filename");
+  EXPECT_EQ(F.Graph.event(Sub).Kind, EventKind::ObjectRead);
+  EXPECT_EQ(F.Graph.event(Attr).Kind, EventKind::ObjectRead);
+  EXPECT_EQ(F.Graph.event(Attr).Candidates, SourceMask)
+      << "object reads can only be sources (§5.1)";
+  EXPECT_TRUE(F.hasEdge(Sub, Attr));
+}
+
+TEST(GraphBuilderTest, ParamEventRepsWithClassBackoff) {
+  GraphFixture F("from base_driver import ThreadDriver\n"
+                 "class ESCPOSDriver(ThreadDriver):\n"
+                 "    def status(self, eprint):\n"
+                 "        self.receipt('<div>' + msg + '</div>')\n");
+  // The paper's §3.2 example: the call has four backoff options.
+  std::vector<EventId> Calls;
+  for (const Event &E : F.Graph.events())
+    if (E.Kind == EventKind::Call && E.primaryRep().find("receipt") !=
+                                         std::string::npos)
+      Calls.push_back(E.Id);
+  ASSERT_EQ(Calls.size(), 1u);
+  const Event &Call = F.Graph.event(Calls[0]);
+  std::vector<std::string> Expected{
+      "ESCPOSDriver::status(param self).receipt()",
+      "base_driver.ThreadDriver::status(param self).receipt()",
+      "status(param self).receipt()",
+      "self.receipt()",
+  };
+  EXPECT_EQ(Call.Reps, Expected);
+
+  // Parameter events exist for `self` and `eprint` and exclude the bare
+  // variable name from their representation options.
+  bool FoundEprint = false;
+  for (const Event &E : F.Graph.events()) {
+    if (E.Kind != EventKind::FormalParam)
+      continue;
+    if (E.primaryRep() == "ESCPOSDriver::status(param eprint)") {
+      FoundEprint = true;
+      EXPECT_EQ(E.Candidates, SourceMask);
+      for (const std::string &R : E.Reps)
+        EXPECT_NE(R, "eprint");
+    }
+  }
+  EXPECT_TRUE(FoundEprint);
+}
+
+TEST(GraphBuilderTest, PlainFunctionParamReps) {
+  GraphFixture F("def media(f):\n"
+                 "    f.save(path)\n");
+  EXPECT_TRUE(F.hasEvent("media(param f)"));
+  // The method call backs off from `media(param f).save()` to `f.save()`.
+  std::vector<EventId> Calls;
+  for (const Event &E : F.Graph.events())
+    if (E.Kind == EventKind::Call)
+      Calls.push_back(E.Id);
+  ASSERT_EQ(Calls.size(), 1u);
+  std::vector<std::string> Expected{"media(param f).save()", "f.save()"};
+  EXPECT_EQ(F.Graph.event(Calls[0]).Reps, Expected);
+}
+
+TEST(GraphBuilderTest, ImportAsResolvesInReps) {
+  GraphFixture F("import numpy as np\n"
+                 "x = np.array(data)\n");
+  EXPECT_TRUE(F.hasEvent("numpy.array()"));
+}
+
+TEST(GraphBuilderTest, CallResultChains) {
+  GraphFixture F("import sqlite3\n"
+                 "sqlite3.connect(p).cursor().execute(q)\n");
+  EXPECT_TRUE(F.hasEvent("sqlite3.connect()"));
+  EXPECT_TRUE(F.hasEvent("sqlite3.connect().cursor()"));
+  EXPECT_TRUE(F.hasEvent("sqlite3.connect().cursor().execute()"));
+  EXPECT_TRUE(F.flowsTo(F.theEvent("sqlite3.connect()"),
+                        F.theEvent("sqlite3.connect().cursor().execute()")));
+}
+
+TEST(GraphBuilderTest, UnknownBaseRendersUnknown) {
+  GraphFixture F("y = (a + b).format(c)\n");
+  EXPECT_TRUE(F.hasEvent("<unknown>.format()"));
+}
+
+//===----------------------------------------------------------------------===//
+// Flow edges
+//===----------------------------------------------------------------------===//
+
+TEST(GraphBuilderTest, ArgumentsFlowIntoCalls) {
+  GraphFixture F("from flask import request\n"
+                 "import db\n"
+                 "q = request.args.get('q')\n"
+                 "db.run(q)\n");
+  EventId Src = F.theEvent("flask.request.args.get()");
+  EventId Sink = F.theEvent("db.run()");
+  EXPECT_TRUE(F.hasEdge(Src, Sink));
+}
+
+TEST(GraphBuilderTest, KeywordArgumentsFlow) {
+  GraphFixture F("import db\n"
+                 "import web\n"
+                 "v = web.read()\n"
+                 "db.run(query=v)\n");
+  EXPECT_TRUE(F.hasEdge(F.theEvent("web.read()"), F.theEvent("db.run()")));
+}
+
+TEST(GraphBuilderTest, ReceiverFlowsIntoMethodCall) {
+  GraphFixture F("from flask import request\n"
+                 "request.files['f'].save(p)\n");
+  EventId Sub = F.theEvent("flask.request.files['f']");
+  EventId Save = F.theEvent("flask.request.files['f'].save()");
+  EXPECT_TRUE(F.hasEdge(Sub, Save));
+}
+
+TEST(GraphBuilderTest, BinaryOperatorsPropagate) {
+  GraphFixture F("import web\nimport db\n"
+                 "x = web.read()\n"
+                 "db.run('q' + x)\n");
+  EXPECT_TRUE(F.hasEdge(F.theEvent("web.read()"), F.theEvent("db.run()")));
+}
+
+TEST(GraphBuilderTest, StringFormattingPropagates) {
+  GraphFixture F("import web\nimport db\n"
+                 "db.run('SELECT %s' % web.read())\n");
+  EXPECT_TRUE(F.hasEdge(F.theEvent("web.read()"), F.theEvent("db.run()")));
+}
+
+TEST(GraphBuilderTest, CollectionsPropagate) {
+  GraphFixture F("import web\nimport db\n"
+                 "row = [1, web.read(), 'x']\n"
+                 "db.run(row)\n");
+  EXPECT_TRUE(F.hasEdge(F.theEvent("web.read()"), F.theEvent("db.run()")));
+}
+
+TEST(GraphBuilderTest, DictValuesPropagate) {
+  GraphFixture F("import web\nimport db\n"
+                 "d = {'k': web.read()}\n"
+                 "db.run(d)\n");
+  EXPECT_TRUE(F.hasEdge(F.theEvent("web.read()"), F.theEvent("db.run()")));
+}
+
+TEST(GraphBuilderTest, BranchesMergeFlows) {
+  GraphFixture F("import a\nimport b\nimport db\n"
+                 "if cond:\n    x = a.read()\nelse:\n    x = b.read()\n"
+                 "db.run(x)\n");
+  EXPECT_TRUE(F.hasEdge(F.theEvent("a.read()"), F.theEvent("db.run()")));
+  EXPECT_TRUE(F.hasEdge(F.theEvent("b.read()"), F.theEvent("db.run()")));
+}
+
+TEST(GraphBuilderTest, ForLoopTargetReceivesIterFlow) {
+  GraphFixture F("import web\nimport db\n"
+                 "for row in web.rows():\n"
+                 "    db.run(row)\n");
+  EXPECT_TRUE(F.hasEdge(F.theEvent("web.rows()"), F.theEvent("db.run()")));
+}
+
+TEST(GraphBuilderTest, ConditionalExprPropagatesBothArms) {
+  GraphFixture F("import a\nimport b\nimport db\n"
+                 "db.run(a.x() if c else b.y())\n");
+  EXPECT_TRUE(F.hasEdge(F.theEvent("a.x()"), F.theEvent("db.run()")));
+  EXPECT_TRUE(F.hasEdge(F.theEvent("b.y()"), F.theEvent("db.run()")));
+}
+
+TEST(GraphBuilderTest, ComprehensionPropagates) {
+  GraphFixture F("import web\nimport db\n"
+                 "rows = [r.strip() for r in web.rows()]\n"
+                 "db.run(rows)\n");
+  EXPECT_TRUE(F.flowsTo(F.theEvent("web.rows()"), F.theEvent("db.run()")));
+}
+
+TEST(GraphBuilderTest, LocalsModeled) {
+  GraphFixture F("import web\n"
+                 "def view():\n"
+                 "    secret = web.read()\n"
+                 "    ctx = locals()\n");
+  EXPECT_TRUE(F.hasEdge(F.theEvent("web.read()"), F.theEvent("locals()")));
+}
+
+TEST(GraphBuilderTest, LocalsModelingCanBeDisabled) {
+  BuildOptions Opts;
+  Opts.ModelLocals = false;
+  GraphFixture F("import web\n"
+                 "def view():\n"
+                 "    secret = web.read()\n"
+                 "    ctx = locals()\n",
+                 Opts);
+  EXPECT_FALSE(F.hasEdge(F.theEvent("web.read()"), F.theEvent("locals()")));
+}
+
+//===----------------------------------------------------------------------===//
+// Same-module inlining
+//===----------------------------------------------------------------------===//
+
+TEST(GraphBuilderTest, LocalFunctionInlining) {
+  GraphFixture F("import web\nimport scrublib\n"
+                 "def clean(x):\n"
+                 "    return scrublib.scrub(x)\n"
+                 "y = clean(web.read())\n");
+  EventId Src = F.theEvent("web.read()");
+  EventId Param = F.theEvent("clean(param x)");
+  EventId Scrub = F.theEvent("scrublib.scrub()");
+  EventId CallClean = F.theEvent("app.clean()");
+  EXPECT_TRUE(F.hasEdge(Src, Param)) << "argument must reach the parameter";
+  EXPECT_TRUE(F.hasEdge(Param, Scrub)) << "parameter flows into the body";
+  EXPECT_TRUE(F.hasEdge(Scrub, CallClean)) << "return flows back to the call";
+  EXPECT_TRUE(F.flowsTo(Src, CallClean));
+}
+
+TEST(GraphBuilderTest, InliningWorksWhenCalledBeforeDefinition) {
+  GraphFixture F("import web\n"
+                 "y = helper(web.read())\n"
+                 "def helper(v):\n"
+                 "    return v\n");
+  EXPECT_TRUE(F.hasEdge(F.theEvent("web.read()"),
+                        F.theEvent("helper(param v)")));
+}
+
+TEST(GraphBuilderTest, MethodInliningThroughSelf) {
+  GraphFixture F("import db\n"
+                 "class Repo:\n"
+                 "    def save(self, item):\n"
+                 "        db.insert(item)\n"
+                 "    def add(self, x):\n"
+                 "        self.save(x)\n");
+  EventId AddParam = F.theEvent("Repo::add(param x)");
+  EventId SaveParam = F.theEvent("Repo::save(param item)");
+  EventId Insert = F.theEvent("db.insert()");
+  EXPECT_TRUE(F.hasEdge(AddParam, SaveParam));
+  EXPECT_TRUE(F.flowsTo(AddParam, Insert));
+}
+
+TEST(GraphBuilderTest, ConstructorFlowsIntoInit) {
+  GraphFixture F("import web\n"
+                 "class Box:\n"
+                 "    def __init__(self, v):\n"
+                 "        self.v = v\n"
+                 "b = Box(web.read())\n");
+  EXPECT_TRUE(F.hasEdge(F.theEvent("web.read()"),
+                        F.theEvent("Box::__init__(param v)")));
+}
+
+TEST(GraphBuilderTest, MethodCallOnLocalInstance) {
+  GraphFixture F("import db\n"
+                 "class Repo:\n"
+                 "    def save(self, item):\n"
+                 "        db.insert(item)\n"
+                 "r = Repo()\n"
+                 "r.save(payload)\n");
+  EXPECT_TRUE(F.hasEvent("Repo::save(param item)"));
+  EventId SaveParam = F.theEvent("Repo::save(param item)");
+  EXPECT_TRUE(F.flowsTo(SaveParam, F.theEvent("db.insert()")));
+}
+
+TEST(GraphBuilderTest, RecursionTerminates) {
+  GraphFixture F("def f(x):\n    return g(x)\n"
+                 "def g(y):\n    return f(y)\n"
+                 "f(1)\n");
+  EXPECT_GT(F.Graph.numEvents(), 0u);
+}
+
+TEST(GraphBuilderTest, DecoratorObservesReturn) {
+  GraphFixture F("from flask import app\nimport web\n"
+                 "@app.route('/x')\n"
+                 "def view():\n"
+                 "    return web.page()\n");
+  EXPECT_TRUE(F.hasEdge(F.theEvent("web.page()"),
+                        F.theEvent("flask.app.route()")));
+}
+
+//===----------------------------------------------------------------------===//
+// Points-to driven field flow
+//===----------------------------------------------------------------------===//
+
+TEST(GraphBuilderTest, FieldStoreReachesAliasedLoad) {
+  GraphFixture F("import web\nimport db\n"
+                 "obj = box()\n"
+                 "p = obj\n"
+                 "p.field = web.read()\n"
+                 "db.run(obj.field)\n");
+  EventId Src = F.theEvent("web.read()");
+  EventId Sink = F.theEvent("db.run()");
+  EXPECT_TRUE(F.flowsTo(Src, Sink));
+}
+
+TEST(GraphBuilderTest, FieldFlowRequiresPointsTo) {
+  BuildOptions Opts;
+  Opts.UsePointsTo = false;
+  GraphFixture F("import web\nimport db\n"
+                 "obj = box()\n"
+                 "p = obj\n"
+                 "p.field = web.read()\n"
+                 "db.run(obj.field)\n",
+                 Opts);
+  EXPECT_FALSE(F.flowsTo(F.theEvent("web.read()"), F.theEvent("db.run()")));
+}
+
+TEST(GraphBuilderTest, SelfFieldFlowAcrossMethods) {
+  GraphFixture F("import web\nimport db\n"
+                 "class Handler:\n"
+                 "    def read(self):\n"
+                 "        self.data = web.read()\n"
+                 "    def write(self):\n"
+                 "        db.run(self.data)\n");
+  EXPECT_TRUE(F.flowsTo(F.theEvent("web.read()"), F.theEvent("db.run()")));
+}
+
+//===----------------------------------------------------------------------===//
+// Graph structure
+//===----------------------------------------------------------------------===//
+
+TEST(GraphBuilderTest, GraphIsAcyclic) {
+  GraphFixture F("import web\n"
+                 "x = web.read()\n"
+                 "while cond:\n"
+                 "    x = wrap(x)\n"
+                 "def f(a):\n    return f(a)\n"
+                 "f(x)\n");
+  EXPECT_TRUE(F.Graph.isAcyclic());
+}
+
+TEST(GraphBuilderTest, PaperFig2aEndToEnd) {
+  GraphFixture F("from yak.web import app\n"
+                 "from flask import request\n"
+                 "from werkzeug import secure_filename\n"
+                 "import os\n"
+                 "\n"
+                 "blog_dir = app.config['PATH']\n"
+                 "\n"
+                 "@app.route('/media/', methods=['POST'])\n"
+                 "def media():\n"
+                 "    filename = request.files['f'].filename\n"
+                 "    filename = secure_filename(filename)\n"
+                 "    path = os.path.join(blog_dir, filename)\n"
+                 "    if not os.path.exists(path):\n"
+                 "        request.files['f'].save(path)\n");
+
+  EventId A = F.theEvent("flask.request.files['f'].filename");
+  EventId B = F.theEvent("werkzeug.secure_filename()");
+  EventId C = F.theEvent("os.path.join()");
+  EventId E = F.theEvent("yak.web.app.config['PATH']");
+  EventId Fx = F.theEvent("os.path.exists()");
+  EventId D = F.theEvent("flask.request.files['f'].save()");
+
+  // The propagation structure of Fig. 2b.
+  EXPECT_TRUE(F.hasEdge(A, B));
+  EXPECT_TRUE(F.hasEdge(B, C));
+  EXPECT_TRUE(F.hasEdge(E, C));
+  EXPECT_TRUE(F.hasEdge(C, Fx));
+  EXPECT_TRUE(F.hasEdge(C, D));
+  EXPECT_TRUE(F.flowsTo(A, D));
+  EXPECT_TRUE(F.Graph.isAcyclic());
+}
+
+TEST(GraphBuilderTest, AppendKeepsGraphsDisjoint) {
+  GraphFixture F1("import web\nx = web.read()\n");
+  GraphFixture F2("import db\ndb.run(1)\n");
+  PropagationGraph G;
+  G.append(F1.Graph);
+  G.append(F2.Graph);
+  EXPECT_EQ(G.numEvents(), F1.Graph.numEvents() + F2.Graph.numEvents());
+  EXPECT_EQ(G.numEdges(), F1.Graph.numEdges() + F2.Graph.numEdges());
+  EXPECT_EQ(G.files().size(), 2u);
+}
+
+TEST(PropagationGraphTest, CollapseByRepMergesSameRep) {
+  GraphFixture F("from flask import request\n"
+                 "a = request.files['f']\n"
+                 "b = request.files['f']\n");
+  ASSERT_EQ(F.eventsByRep("flask.request.files['f']").size(), 2u);
+  PropagationGraph Collapsed = F.Graph.collapseByRep();
+  std::vector<EventId> Merged;
+  for (const Event &E : Collapsed.events())
+    if (E.primaryRep() == "flask.request.files['f']")
+      Merged.push_back(E.Id);
+  EXPECT_EQ(Merged.size(), 1u);
+}
+
+TEST(PropagationGraphTest, CollapseCreatesSpuriousFlow) {
+  // Paper Fig. 8: collapsing conflates unrelated events, creating flow from
+  // the source to the sink that does not exist in the original program.
+  GraphFixture F("import web\nimport scrub\nimport db\n"
+                 "def f():\n"
+                 "    x = web.src()\n"
+                 "    y = scrub.san(x)\n"
+                 "def g():\n"
+                 "    x = 1\n"
+                 "    y = scrub.san(x)\n"
+                 "    db.sink(y)\n");
+  EventId Src = F.theEvent("web.src()");
+  EventId Sink = F.theEvent("db.sink()");
+  EXPECT_FALSE(F.flowsTo(Src, Sink)) << "uncollapsed graph must be precise";
+
+  PropagationGraph Collapsed = F.Graph.collapseByRep();
+  EventId CSrc = InvalidEvent, CSink = InvalidEvent;
+  for (const Event &E : Collapsed.events()) {
+    if (E.primaryRep() == "web.src()")
+      CSrc = E.Id;
+    if (E.primaryRep() == "db.sink()")
+      CSink = E.Id;
+  }
+  ASSERT_NE(CSrc, InvalidEvent);
+  ASSERT_NE(CSink, InvalidEvent);
+  auto R = Collapsed.reachableFrom(CSrc);
+  EXPECT_TRUE(std::find(R.begin(), R.end(), CSink) != R.end())
+      << "collapsed graph must conflate the two san() calls (Fig. 8)";
+}
+
+TEST(PropagationGraphTest, IsAcyclicDetectsCycles) {
+  PropagationGraph G;
+  uint32_t File = G.addFile("f.py");
+  Event E1, E2;
+  E1.Kind = E2.Kind = EventKind::Call;
+  E1.Reps = {"a()"};
+  E2.Reps = {"b()"};
+  E1.FileIdx = E2.FileIdx = File;
+  EventId A = G.addEvent(E1);
+  EventId B = G.addEvent(E2);
+  G.addEdge(A, B);
+  EXPECT_TRUE(G.isAcyclic());
+  G.addEdge(B, A);
+  EXPECT_FALSE(G.isAcyclic());
+}
+
+//===----------------------------------------------------------------------===//
+// RepTable
+//===----------------------------------------------------------------------===//
+
+TEST(RepTableTest, CountsAndCutoff) {
+  // Six calls to web.read() and one rare call; cutoff 5 keeps the frequent
+  // representation and drops the rare one.
+  std::string Source = "import web\nimport rare\n";
+  for (int I = 0; I < 6; ++I)
+    Source += "x" + std::to_string(I) + " = web.read()\n";
+  Source += "y = rare.api()\n";
+  GraphFixture F(Source);
+
+  RepTable Table;
+  Table.countOccurrences(F.Graph);
+  RepId Read;
+  ASSERT_TRUE(Table.lookup("web.read()", Read));
+  EXPECT_EQ(Table.occurrences(Read), 6u);
+
+  const Event &Frequent = F.Graph.event(F.eventsByRep("web.read()").front());
+  EXPECT_EQ(Table.backoffOptions(Frequent, 5).size(), 1u);
+  const Event &Rare = F.Graph.event(F.theEvent("rare.api()"));
+  EXPECT_TRUE(Table.backoffOptions(Rare, 5).empty())
+      << "rare events are ignored entirely (§4.3)";
+  EXPECT_EQ(Table.backoffOptions(Rare, 1).size(), 1u);
+}
+
+TEST(RepTableTest, BackoffOrderPreserved) {
+  GraphFixture F("def media(f):\n"
+                 "    f.save(p)\n");
+  RepTable Table;
+  Table.countOccurrences(F.Graph);
+  const Event &Call =
+      F.Graph.event(F.theEvent("media(param f).save()"));
+  std::vector<RepId> Options = Table.backoffOptions(Call, 1);
+  ASSERT_EQ(Options.size(), 2u);
+  EXPECT_EQ(Table.repString(Options[0]), "media(param f).save()");
+  EXPECT_EQ(Table.repString(Options[1]), "f.save()");
+}
+
+} // namespace

@@ -1,0 +1,95 @@
+//===- tests/pyvalidate_test.cpp - CPython validation of the corpus -------===//
+//
+// When a CPython interpreter is available, every generated file must be
+// syntactically valid *real* Python (`py_compile` succeeds). This guards
+// the corpus generator against drifting into a private dialect that only
+// our own parser accepts. Skipped when python3 is absent.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/CorpusGenerator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+namespace fs = std::filesystem;
+
+using namespace seldon;
+using namespace seldon::corpus;
+
+namespace {
+
+bool havePython3() {
+  return std::system("python3 -c pass > /dev/null 2>&1") == 0;
+}
+
+TEST(PyValidateTest, GeneratedCorpusCompilesWithCPython) {
+  if (!havePython3())
+    GTEST_SKIP() << "python3 not available";
+
+  CorpusOptions Opts;
+  Opts.NumProjects = 6;
+  Opts.Seed = 17;
+  Opts.PUtilsSanitizer = 0.5; // Exercise the shared utils module too.
+  Corpus C = generateCorpus(Opts);
+
+  fs::path Root = fs::temp_directory_path() /
+                  ("seldon_pyvalidate_" + std::to_string(::getpid()));
+  fs::create_directories(Root);
+
+  size_t Checked = 0;
+  for (const pysem::Project &P : C.Projects) {
+    for (const pysem::ModuleInfo &M : P.modules()) {
+      fs::path File = Root / (std::to_string(Checked) + ".py");
+      {
+        std::ofstream Out(File);
+        Out << M.Source;
+      }
+      std::string Command = "python3 -m py_compile '" + File.string() +
+                            "' > /dev/null 2>&1";
+      EXPECT_EQ(std::system(Command.c_str()), 0)
+          << "CPython rejected " << M.Path << ":\n"
+          << M.Source;
+      ++Checked;
+    }
+  }
+  EXPECT_GT(Checked, 10u);
+  std::error_code Ec;
+  fs::remove_all(Root, Ec);
+}
+
+TEST(PyValidateTest, PaperFig2aCompilesWithCPython) {
+  if (!havePython3())
+    GTEST_SKIP() << "python3 not available";
+  const char *Source =
+      "from yak.web import app\n"
+      "from flask import request\n"
+      "from werkzeug import secure_filename\n"
+      "import os\n"
+      "\n"
+      "blog_dir = app.config['PATH']\n"
+      "\n"
+      "@app.route('/media/', methods=['POST'])\n"
+      "def media():\n"
+      "    filename = request.files['f'].filename\n"
+      "    filename = secure_filename(filename)\n"
+      "    path = os.path.join(blog_dir, filename)\n"
+      "    if not os.path.exists(path):\n"
+      "        request.files['f'].save(path)\n";
+  fs::path File = fs::temp_directory_path() /
+                  ("seldon_fig2a_" + std::to_string(::getpid()) + ".py");
+  {
+    std::ofstream Out(File);
+    Out << Source;
+  }
+  std::string Command =
+      "python3 -m py_compile '" + File.string() + "' > /dev/null 2>&1";
+  EXPECT_EQ(std::system(Command.c_str()), 0);
+  std::error_code Ec;
+  fs::remove(File, Ec);
+}
+
+} // namespace

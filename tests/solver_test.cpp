@@ -1,0 +1,219 @@
+//===- tests/solver_test.cpp - Tests for the linear-relaxation solver -----===//
+
+#include "solver/AdamOptimizer.h"
+#include "solver/ProjectedGradient.h"
+
+#include <gtest/gtest.h>
+
+using namespace seldon;
+using namespace seldon::solver;
+
+namespace {
+
+SolveOptions fastOptions(int Iters = 2000, double Lr = 0.02) {
+  SolveOptions O;
+  O.MaxIterations = Iters;
+  O.LearningRate = Lr;
+  O.Tolerance = 1e-10;
+  return O;
+}
+
+//===----------------------------------------------------------------------===//
+// Objective mechanics
+//===----------------------------------------------------------------------===//
+
+TEST(ObjectiveTest, HingeLossComputation) {
+  // Constraint: x0 <= x1 + 0.5.
+  LinearConstraint C;
+  C.Lhs = {{0, 1.0f}};
+  C.Rhs = {{1, 1.0f}};
+  C.C = 0.5;
+  Objective Obj(2, {C}, 0.0);
+  EXPECT_DOUBLE_EQ(Obj.hingeLoss({1.0, 0.0}), 0.5);
+  EXPECT_DOUBLE_EQ(Obj.hingeLoss({1.0, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(Obj.hingeLoss({0.2, 0.0}), 0.0);
+}
+
+TEST(ObjectiveTest, L1TermExcludesPinned) {
+  Objective Obj(2, {}, 0.1);
+  Obj.pin(0, 1.0);
+  std::vector<double> X{1.0, 1.0};
+  EXPECT_NEAR(Obj.value(X), 0.1, 1e-12);
+}
+
+TEST(ObjectiveTest, GradientOfViolatedConstraint) {
+  LinearConstraint C;
+  C.Lhs = {{0, 1.0f}};
+  C.Rhs = {{1, 2.0f}};
+  C.C = 0.0;
+  Objective Obj(2, {C}, 0.0);
+  std::vector<double> Grad;
+  Obj.gradient({1.0, 0.1}, Grad); // 1.0 - 0.2 > 0: violated.
+  EXPECT_DOUBLE_EQ(Grad[0], 1.0);
+  EXPECT_DOUBLE_EQ(Grad[1], -2.0);
+  Obj.gradient({0.1, 0.5}, Grad); // Satisfied: only L1 (lambda = 0).
+  EXPECT_DOUBLE_EQ(Grad[0], 0.0);
+  EXPECT_DOUBLE_EQ(Grad[1], 0.0);
+}
+
+TEST(ObjectiveTest, ProjectClampsAndRestoresPins) {
+  Objective Obj(3, {}, 0.0);
+  Obj.pin(2, 1.0);
+  std::vector<double> X{-0.5, 1.5, 0.0};
+  Obj.project(X);
+  EXPECT_DOUBLE_EQ(X[0], 0.0);
+  EXPECT_DOUBLE_EQ(X[1], 1.0);
+  EXPECT_DOUBLE_EQ(X[2], 1.0);
+}
+
+TEST(ObjectiveTest, InitialPointIsFeasible) {
+  Objective Obj(2, {}, 0.1);
+  Obj.pin(0, 1.0);
+  std::vector<double> X = Obj.initialPoint();
+  EXPECT_DOUBLE_EQ(X[0], 1.0);
+  EXPECT_DOUBLE_EQ(X[1], 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Optimization behaviour (paper §4.4 semantics)
+//===----------------------------------------------------------------------===//
+
+/// One pinned implication: pinned(0)=1 and pinned(1)=1 force x2 up via
+/// x0 + x1 <= x2 + C. Optimum: x2 = 2 - C (clamped to <= 1).
+Objective impliedVariableSystem(double C, double Lambda) {
+  LinearConstraint LC;
+  LC.Lhs = {{0, 1.0f}, {1, 1.0f}};
+  LC.Rhs = {{2, 1.0f}};
+  LC.C = C;
+  Objective Obj(3, {LC}, Lambda);
+  Obj.pin(0, 1.0);
+  Obj.pin(1, 1.0);
+  return Obj;
+}
+
+TEST(AdamTest, RaisesImpliedVariable) {
+  Objective Obj = impliedVariableSystem(0.75, 0.1);
+  AdamOptimizer Opt(fastOptions());
+  SolveResult R = Opt.minimize(Obj);
+  // Violation gradient (1) beats lambda (0.1), so x2 rises to 1.25 - but
+  // clamps at 1; residual violation 0.25 remains.
+  EXPECT_NEAR(R.X[2], 1.0, 1e-2);
+}
+
+TEST(AdamTest, LambdaKeepsUnconstrainedVarsAtZero) {
+  LinearConstraint LC; // x0 <= x1 + 1  — never violated in the box.
+  LC.Lhs = {{0, 1.0f}};
+  LC.Rhs = {{1, 1.0f}};
+  LC.C = 1.0;
+  Objective Obj(2, {LC}, 0.1);
+  AdamOptimizer Opt(fastOptions());
+  SolveResult R = Opt.minimize(Obj);
+  EXPECT_NEAR(R.X[0], 0.0, 1e-6);
+  EXPECT_NEAR(R.X[1], 0.0, 1e-6);
+}
+
+TEST(AdamTest, BalancesViolationAgainstRegularization) {
+  // x0=1 pinned, x1 pinned 1; x0 + x1 <= x2 + 0.75 pushes x2 to 1;
+  // with a huge lambda (2.0 > violation slope 1.0) x2 must stay 0.
+  Objective Obj = impliedVariableSystem(0.75, 2.0);
+  AdamOptimizer Opt(fastOptions());
+  SolveResult R = Opt.minimize(Obj);
+  EXPECT_NEAR(R.X[2], 0.0, 1e-3);
+}
+
+TEST(AdamTest, DistributesAcrossSum) {
+  // x0 + x1 <= x2 + x3 + C with both lhs pinned at 1: the sum x2 + x3 must
+  // reach 1.25; symmetric, so both rise.
+  LinearConstraint LC;
+  LC.Lhs = {{0, 1.0f}, {1, 1.0f}};
+  LC.Rhs = {{2, 1.0f}, {3, 1.0f}};
+  LC.C = 0.75;
+  Objective Obj(4, {LC}, 0.05);
+  Obj.pin(0, 1.0);
+  Obj.pin(1, 1.0);
+  AdamOptimizer Opt(fastOptions());
+  SolveResult R = Opt.minimize(Obj);
+  EXPECT_NEAR(R.X[2] + R.X[3], 1.25, 0.05);
+}
+
+TEST(AdamTest, PinnedZeroStaysZero) {
+  Objective Obj = impliedVariableSystem(0.0, 0.0);
+  Obj.pin(2, 0.0);
+  AdamOptimizer Opt(fastOptions(200));
+  SolveResult R = Opt.minimize(Obj);
+  EXPECT_DOUBLE_EQ(R.X[2], 0.0);
+}
+
+TEST(AdamTest, ConvergesAndReportsIterations) {
+  Objective Obj = impliedVariableSystem(0.75, 0.1);
+  SolveOptions O = fastOptions(5000);
+  O.Tolerance = 1e-9;
+  AdamOptimizer Opt(O);
+  SolveResult R = Opt.minimize(Obj);
+  EXPECT_TRUE(R.Converged);
+  EXPECT_LT(R.Iterations, 5000);
+}
+
+TEST(AdamTest, WarmStartFromGivenPoint) {
+  Objective Obj = impliedVariableSystem(0.75, 0.1);
+  AdamOptimizer Opt(fastOptions(5));
+  SolveResult R = Opt.minimize(Obj, {1.0, 1.0, 0.9});
+  EXPECT_GT(R.X[2], 0.8) << "warm start must be used, not reset";
+}
+
+TEST(ProjectedGradientTest, MatchesAdamOnConvexSystem) {
+  Objective Obj = impliedVariableSystem(0.75, 0.1);
+  AdamOptimizer Adam(fastOptions(4000));
+  ProjectedGradient Pgd(fastOptions(4000, 0.1));
+  double A = Adam.minimize(Obj).FinalObjective;
+  double P = Pgd.minimize(Obj).FinalObjective;
+  EXPECT_NEAR(A, P, 0.02) << "both optimizers must find the convex optimum";
+}
+
+TEST(ProjectedGradientTest, KeepsBestIterate) {
+  Objective Obj = impliedVariableSystem(0.75, 0.1);
+  ProjectedGradient Opt(fastOptions(50, 0.5)); // Aggressive oscillation.
+  SolveResult R = Opt.minimize(Obj);
+  EXPECT_LE(R.FinalObjective, Obj.value(Obj.initialPoint()) + 1e-9);
+}
+
+TEST(ProjectedGradientTest, WarmStartOverloadUsed) {
+  Objective Obj = impliedVariableSystem(0.75, 0.1);
+  ProjectedGradient Opt(fastOptions(3, 0.01)); // Tiny budget.
+  SolveResult R = Opt.minimize(Obj, {1.0, 1.0, 0.95});
+  EXPECT_GT(R.X[2], 0.8) << "warm start must be used, not reset";
+}
+
+TEST(ProjectedGradientTest, WarmStartProjectedFirst) {
+  Objective Obj = impliedVariableSystem(0.75, 0.1);
+  Obj.pin(2, 0.0);
+  ProjectedGradient Opt(fastOptions(2));
+  SolveResult R = Opt.minimize(Obj, {5.0, -3.0, 0.9});
+  EXPECT_DOUBLE_EQ(R.X[0], 1.0) << "pinned values restored";
+  EXPECT_DOUBLE_EQ(R.X[2], 0.0) << "pin overrides warm start";
+}
+
+// Property sweep: for every slack C, the solved system drives the sum of
+// RHS variables toward max(2 - C, 0) clamped into [0, 2].
+class SlackSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SlackSweepTest, ResidualMatchesTheory) {
+  double C = GetParam();
+  LinearConstraint LC;
+  LC.Lhs = {{0, 1.0f}, {1, 1.0f}};
+  LC.Rhs = {{2, 1.0f}, {3, 1.0f}};
+  LC.C = C;
+  Objective Obj(4, {LC}, 0.01);
+  Obj.pin(0, 1.0);
+  Obj.pin(1, 1.0);
+  AdamOptimizer Opt(fastOptions(4000));
+  SolveResult R = Opt.minimize(Obj);
+  double Expected = std::min(std::max(2.0 - C, 0.0), 2.0);
+  EXPECT_NEAR(R.X[2] + R.X[3], Expected, 0.08) << "C = " << C;
+}
+
+INSTANTIATE_TEST_SUITE_P(Slack, SlackSweepTest,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0, 1.5,
+                                           2.0));
+
+} // namespace

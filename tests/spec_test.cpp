@@ -1,0 +1,211 @@
+//===- tests/spec_test.cpp - Tests for taint/seed/learned specs -----------===//
+
+#include "spec/LearnedSpec.h"
+#include "spec/SeedSpec.h"
+#include "spec/TaintSpec.h"
+
+#include <gtest/gtest.h>
+
+using namespace seldon;
+using namespace seldon::spec;
+using namespace seldon::propgraph;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// TaintSpec
+//===----------------------------------------------------------------------===//
+
+TEST(TaintSpecTest, AddAndQuery) {
+  TaintSpec S;
+  S.add("flask.request.args.get()", Role::Source);
+  S.add("flask.redirect()", Role::Sink);
+  EXPECT_TRUE(S.has("flask.request.args.get()", Role::Source));
+  EXPECT_FALSE(S.has("flask.request.args.get()", Role::Sink));
+  EXPECT_FALSE(S.has("unknown()", Role::Source));
+  EXPECT_EQ(S.size(), 2u);
+  EXPECT_EQ(S.count(Role::Source), 1u);
+  EXPECT_EQ(S.count(Role::Sink), 1u);
+  EXPECT_EQ(S.count(Role::Sanitizer), 0u);
+}
+
+TEST(TaintSpecTest, MultipleRolesPerRep) {
+  TaintSpec S;
+  S.add("x()", Role::Source);
+  S.add("x()", Role::Sink);
+  EXPECT_TRUE(S.has("x()", Role::Source));
+  EXPECT_TRUE(S.has("x()", Role::Sink));
+  EXPECT_EQ(S.size(), 1u);
+}
+
+TEST(TaintSpecTest, MergeUnionsMasks) {
+  TaintSpec A, B;
+  A.add("x()", Role::Source);
+  B.add("x()", Role::Sink);
+  B.add("y()", Role::Sanitizer);
+  A.merge(B);
+  EXPECT_TRUE(A.has("x()", Role::Source));
+  EXPECT_TRUE(A.has("x()", Role::Sink));
+  EXPECT_TRUE(A.has("y()", Role::Sanitizer));
+}
+
+TEST(TaintSpecTest, SortedRepsDeterministic) {
+  TaintSpec S;
+  S.add("b()", Role::Source);
+  S.add("a()", Role::Source);
+  S.add("c()", Role::Sink);
+  auto Sources = S.sortedReps(Role::Source);
+  ASSERT_EQ(Sources.size(), 2u);
+  EXPECT_EQ(Sources[0], "a()");
+  EXPECT_EQ(Sources[1], "b()");
+}
+
+TEST(TaintSpecTest, AddMaskZeroIsNoop) {
+  TaintSpec S;
+  S.addMask("x()", 0);
+  EXPECT_TRUE(S.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// SeedSpec parsing
+//===----------------------------------------------------------------------===//
+
+TEST(SeedSpecTest, ParseAllKinds) {
+  std::vector<std::string> Errors;
+  SeedSpec S = SeedSpec::parse("# comment\n"
+                               "o: flask.request.form.get()\n"
+                               "a: bleach.clean()\n"
+                               "i: flask.redirect()\n"
+                               "b: *logging*\n"
+                               "\n",
+                               &Errors);
+  EXPECT_TRUE(Errors.empty());
+  EXPECT_TRUE(S.Spec.has("flask.request.form.get()", Role::Source));
+  EXPECT_TRUE(S.Spec.has("bleach.clean()", Role::Sanitizer));
+  EXPECT_TRUE(S.Spec.has("flask.redirect()", Role::Sink));
+  EXPECT_TRUE(S.isBlacklisted("my.logging.info()"));
+  EXPECT_FALSE(S.isBlacklisted("flask.redirect()"));
+}
+
+TEST(SeedSpecTest, MalformedLinesReported) {
+  std::vector<std::string> Errors;
+  SeedSpec S = SeedSpec::parse("o: good()\nbad line\nq: unknown()\no:\n",
+                               &Errors);
+  EXPECT_EQ(Errors.size(), 3u);
+  EXPECT_EQ(S.Spec.size(), 1u);
+}
+
+TEST(SeedSpecTest, WhitespaceTolerant) {
+  SeedSpec S = SeedSpec::parse("  o:   spaced.api()  \r\n");
+  EXPECT_TRUE(S.Spec.has("spaced.api()", Role::Source));
+}
+
+TEST(SeedSpecTest, PaperSeedSpecParsesCleanly) {
+  std::vector<std::string> Errors;
+  SeedSpec S = SeedSpec::parse(paperSeedSpecText(), &Errors);
+  EXPECT_TRUE(Errors.empty());
+  EXPECT_GT(S.Spec.count(Role::Source), 5u);
+  EXPECT_GT(S.Spec.count(Role::Sanitizer), 5u);
+  EXPECT_GT(S.Spec.count(Role::Sink), 10u);
+  EXPECT_GT(S.Blacklist.size(), 50u);
+  // Spot checks straight from App. B.
+  EXPECT_TRUE(S.Spec.has("werkzeug.utils.secure_filename()",
+                         Role::Sanitizer));
+  EXPECT_TRUE(S.Spec.has("os.system()", Role::Sink));
+  EXPECT_TRUE(S.isBlacklisted("tf.tensorflow.constant()"));
+  EXPECT_TRUE(S.isBlacklisted("x.split()"));
+}
+
+TEST(SeedSpecTest, HalvedKeepsEveryOtherEntry) {
+  SeedSpec S = SeedSpec::parse("o: a()\no: b()\no: c()\no: d()\n"
+                               "i: s1()\ni: s2()\n"
+                               "b: *x*\n");
+  SeedSpec Half = S.halved();
+  EXPECT_EQ(Half.Spec.count(Role::Source), 2u);
+  EXPECT_EQ(Half.Spec.count(Role::Sink), 1u);
+  EXPECT_TRUE(Half.isBlacklisted("axb")) << "blacklist kept in full";
+  // Deterministic: the lexicographically first entry of each role is kept.
+  EXPECT_TRUE(Half.Spec.has("a()", Role::Source));
+  EXPECT_TRUE(Half.Spec.has("c()", Role::Source));
+}
+
+//===----------------------------------------------------------------------===//
+// LearnedSpec
+//===----------------------------------------------------------------------===//
+
+TEST(LearnedSpecTest, ScoreRoundTrip) {
+  LearnedSpec L;
+  L.setScore("api()", Role::Source, 0.7);
+  EXPECT_DOUBLE_EQ(L.score("api()", Role::Source), 0.7);
+  EXPECT_DOUBLE_EQ(L.score("api()", Role::Sink), 0.0);
+  EXPECT_DOUBLE_EQ(L.score("other()", Role::Source), 0.0);
+}
+
+TEST(LearnedSpecTest, SelectRoleMostSpecificWins) {
+  LearnedSpec L;
+  L.setScore("specific()", Role::Source, 0.5);
+  auto Score = L.selectRole({"specific()", "general()"}, Role::Source, 0.1);
+  ASSERT_TRUE(Score.has_value());
+  EXPECT_DOUBLE_EQ(*Score, 0.5);
+}
+
+TEST(LearnedSpecTest, SelectRoleBackoffDecay) {
+  // §7.1: the i-th option is decayed by 0.8^i.
+  LearnedSpec L;
+  L.setScore("general()", Role::Sink, 0.5);
+  auto Score = L.selectRole({"specific()", "general()"}, Role::Sink, 0.1);
+  ASSERT_TRUE(Score.has_value());
+  EXPECT_NEAR(*Score, 0.8 * 0.5, 1e-12);
+}
+
+TEST(LearnedSpecTest, SelectRoleRespectsThreshold) {
+  LearnedSpec L;
+  L.setScore("g()", Role::Sink, 0.2);
+  // 0.8^2 * 0.2 = 0.128 >= 0.1, but 0.8^5 * 0.2 < 0.1.
+  EXPECT_TRUE(L.selectRole({"a()", "b()", "g()"}, Role::Sink, 0.1));
+  EXPECT_FALSE(
+      L.selectRole({"a()", "b()", "c()", "d()", "e()", "g()"}, Role::Sink,
+                   0.1));
+}
+
+TEST(LearnedSpecTest, SelectRoleNoOptions) {
+  LearnedSpec L;
+  EXPECT_FALSE(L.selectRole({}, Role::Source, 0.1).has_value());
+  EXPECT_FALSE(L.selectRole({"unseen()"}, Role::Source, 0.1).has_value());
+}
+
+TEST(LearnedSpecTest, ToSpecThreshold) {
+  LearnedSpec L;
+  L.setScore("hi()", Role::Source, 0.9);
+  L.setScore("lo()", Role::Source, 0.05);
+  L.setScore("hi()", Role::Sink, 0.15);
+  TaintSpec S = L.toSpec(0.1);
+  EXPECT_TRUE(S.has("hi()", Role::Source));
+  EXPECT_TRUE(S.has("hi()", Role::Sink));
+  EXPECT_FALSE(S.has("lo()", Role::Source));
+  EXPECT_EQ(L.countAbove(Role::Source, 0.1), 1u);
+}
+
+TEST(LearnedSpecTest, RankedSortsDescending) {
+  LearnedSpec L;
+  L.setScore("a()", Role::Source, 0.3);
+  L.setScore("b()", Role::Source, 0.9);
+  L.setScore("c()", Role::Source, 0.6);
+  L.setScore("z()", Role::Source, 0.0);
+  auto Ranked = L.ranked(Role::Source);
+  ASSERT_EQ(Ranked.size(), 3u) << "zero scores excluded by default";
+  EXPECT_EQ(Ranked[0].first, "b()");
+  EXPECT_EQ(Ranked[1].first, "c()");
+  EXPECT_EQ(Ranked[2].first, "a()");
+}
+
+TEST(LearnedSpecTest, RankedTieBreaksLexicographic) {
+  LearnedSpec L;
+  L.setScore("b()", Role::Sink, 0.5);
+  L.setScore("a()", Role::Sink, 0.5);
+  auto Ranked = L.ranked(Role::Sink);
+  ASSERT_EQ(Ranked.size(), 2u);
+  EXPECT_EQ(Ranked[0].first, "a()");
+}
+
+} // namespace

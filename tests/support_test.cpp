@@ -1,0 +1,235 @@
+//===- tests/support_test.cpp - Tests for the support library -------------===//
+
+#include "support/Glob.h"
+#include "support/Rng.h"
+#include "support/StrUtil.h"
+#include "support/TablePrinter.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+using namespace seldon;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// globMatch
+//===----------------------------------------------------------------------===//
+
+TEST(GlobTest, LiteralMatch) {
+  EXPECT_TRUE(globMatch("flask.request", "flask.request"));
+  EXPECT_FALSE(globMatch("flask.request", "flask.requests"));
+  EXPECT_FALSE(globMatch("flask.requests", "flask.request"));
+  EXPECT_TRUE(globMatch("", ""));
+  EXPECT_FALSE(globMatch("", "x"));
+}
+
+TEST(GlobTest, LeadingStar) {
+  EXPECT_TRUE(globMatch("*tensorflow*", "tensorflow"));
+  EXPECT_TRUE(globMatch("*tensorflow*", "a.tensorflow.b"));
+  EXPECT_FALSE(globMatch("*tensorflow*", "tensorflo"));
+}
+
+TEST(GlobTest, SuffixPattern) {
+  // Paper App. B blacklists patterns like `*.all()`.
+  EXPECT_TRUE(globMatch("*.all()", "MyModel.objects.all()"));
+  EXPECT_FALSE(globMatch("*.all()", "all()"));
+  EXPECT_FALSE(globMatch("*.all()", "x.all().filter()"));
+}
+
+TEST(GlobTest, PrefixPattern) {
+  EXPECT_TRUE(globMatch("flask.Flask()*", "flask.Flask()"));
+  EXPECT_TRUE(globMatch("flask.Flask()*", "flask.Flask().run()"));
+  EXPECT_FALSE(globMatch("flask.Flask()*", "myflask.Flask()"));
+}
+
+TEST(GlobTest, MultipleStars) {
+  EXPECT_TRUE(globMatch("*a*b*", "xaYb"));
+  EXPECT_TRUE(globMatch("*a*b*", "ab"));
+  EXPECT_FALSE(globMatch("*a*b*", "ba"));
+  EXPECT_TRUE(globMatch("a**b", "ab"));
+  EXPECT_TRUE(globMatch("a**b", "axxb"));
+}
+
+TEST(GlobTest, StarOnly) {
+  EXPECT_TRUE(globMatch("*", ""));
+  EXPECT_TRUE(globMatch("*", "anything.at.all()"));
+}
+
+TEST(GlobTest, BacktrackingStress) {
+  // Degenerate pattern that exercises the backtracking path.
+  std::string Text(200, 'a');
+  EXPECT_TRUE(globMatch("*a*a*a*a*a*b*", Text + "b"));
+  EXPECT_FALSE(globMatch("*a*a*a*a*a*b*", Text));
+}
+
+TEST(GlobSetTest, ExactAndWildcardBuckets) {
+  GlobSet Set;
+  Set.add("json.dump()");
+  Set.add("*logging*");
+  EXPECT_EQ(Set.size(), 2u);
+  EXPECT_TRUE(Set.matches("json.dump()"));
+  EXPECT_FALSE(Set.matches("json.dumps()"));
+  EXPECT_TRUE(Set.matches("my.logging.handler()"));
+  EXPECT_FALSE(Set.matches("logger"));
+}
+
+TEST(GlobSetTest, EmptySetMatchesNothing) {
+  GlobSet Set;
+  EXPECT_TRUE(Set.empty());
+  EXPECT_FALSE(Set.matches("anything"));
+}
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(RngTest, Deterministic) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 2);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(RngTest, NextBelowCoversAllResidues) {
+  Rng R(9);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 500; ++I)
+    Seen.insert(R.nextBelow(5));
+  EXPECT_EQ(Seen.size(), 5u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng R(11);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = R.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RngTest, NextDoubleUnitInterval) {
+  Rng R(13);
+  double Sum = 0;
+  for (int I = 0; I < 10000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+    Sum += D;
+  }
+  EXPECT_NEAR(Sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng A(99);
+  Rng Child = A.fork();
+  // The child stream should not simply replay the parent stream.
+  Rng B(99);
+  B.fork();
+  EXPECT_EQ(A.next(), B.next()) << "fork must advance parent deterministically";
+  (void)Child;
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng R(5);
+  std::vector<int> V{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> Orig = V;
+  R.shuffle(V);
+  std::multiset<int> A(V.begin(), V.end()), B(Orig.begin(), Orig.end());
+  EXPECT_EQ(A, B);
+}
+
+//===----------------------------------------------------------------------===//
+// StrUtil
+//===----------------------------------------------------------------------===//
+
+TEST(StrUtilTest, SplitBasic) {
+  auto Parts = splitString("a.b.c", '.');
+  ASSERT_EQ(Parts.size(), 3u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[2], "c");
+}
+
+TEST(StrUtilTest, SplitEmptyPieces) {
+  auto Parts = splitString("..", '.');
+  ASSERT_EQ(Parts.size(), 3u);
+  for (const auto &P : Parts)
+    EXPECT_TRUE(P.empty());
+}
+
+TEST(StrUtilTest, SplitEmptyString) {
+  auto Parts = splitString("", '.');
+  ASSERT_EQ(Parts.size(), 1u);
+  EXPECT_TRUE(Parts[0].empty());
+}
+
+TEST(StrUtilTest, JoinRoundTrip) {
+  std::vector<std::string> Parts{"flask", "request", "args"};
+  EXPECT_EQ(joinStrings(Parts, "."), "flask.request.args");
+  EXPECT_EQ(splitString(joinStrings(Parts, "."), '.'), Parts);
+}
+
+TEST(StrUtilTest, JoinEmpty) {
+  EXPECT_EQ(joinStrings({}, ","), "");
+}
+
+TEST(StrUtilTest, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\r\nx\n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(StrUtilTest, FormatString) {
+  EXPECT_EQ(formatString("%d/%d = %.2f", 1, 2, 0.5), "1/2 = 0.50");
+  EXPECT_EQ(formatString("%s", "hello"), "hello");
+  EXPECT_EQ(formatString("empty"), "empty");
+}
+
+//===----------------------------------------------------------------------===//
+// TablePrinter
+//===----------------------------------------------------------------------===//
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter T({"Role", "Count"});
+  T.addRow({"Sources", "4384"});
+  T.addRow({"Sinks", "866"});
+  std::ostringstream OS;
+  T.print(OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("Role"), std::string::npos);
+  EXPECT_NE(Out.find("Sources  4384"), std::string::npos);
+  EXPECT_NE(Out.find("Sinks"), std::string::npos);
+  EXPECT_EQ(T.numRows(), 2u);
+}
+
+TEST(TablePrinterTest, PadsMissingCells) {
+  TablePrinter T({"A", "B", "C"});
+  T.addRow({"x"});
+  std::ostringstream OS;
+  T.print(OS);
+  EXPECT_NE(OS.str().find('x'), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,518 @@
+//===- tools/seldon_cli.cpp - Command-line driver -------------------------===//
+//
+// The `seldon` command-line tool: run the paper's end-to-end pipeline on
+// real directories of Python files.
+//
+//   seldon learn   [--seed FILE] [--out FILE] [options] DIR...
+//       Learn a taint specification from one or more repositories and
+//       write it in the scored text format.
+//
+//   seldon analyze [--seed FILE] [--spec FILE] [options] DIR...
+//       Run the taint analyzer; reports are ranked by confidence and
+//       deduplicated per (source API, sink API) pair.
+//
+//   seldon graph   [--dot] FILE.py
+//       Print one file's propagation graph (text or Graphviz DOT).
+//
+//   seldon seed
+//       Print the built-in App. B-style seed specification.
+//
+//===----------------------------------------------------------------------===//
+
+#include "constraints/Explain.h"
+#include "infer/Pipeline.h"
+#include "propgraph/GraphExport.h"
+#include "propgraph/GraphStats.h"
+#include "pysem/ProjectLoader.h"
+#include "spec/SpecIO.h"
+#include "taint/JsonExport.h"
+#include "taint/ReportRenderer.h"
+#include "taint/TaintAnalyzer.h"
+
+#include "support/StrUtil.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+using namespace seldon;
+using seldon::formatString;
+
+namespace {
+
+struct CliOptions {
+  std::string SeedFile;
+  std::string SpecFile;
+  std::string OutFile;
+  double Threshold = 0.1;
+  int Iterations = 600;
+  size_t RepCutoff = 5;
+  size_t Top = 25;
+  bool Dot = false;
+  bool Dedup = true;
+  bool Json = false;
+  std::string ExplainRep;
+  std::string ExplainRole = "source";
+  std::vector<std::string> Paths;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: seldon <command> [options] <paths...>\n"
+      "\n"
+      "commands:\n"
+      "  learn     learn a taint specification from Python repositories\n"
+      "  analyze   report unsanitized source-to-sink flows\n"
+      "  graph     print a file's propagation graph\n"
+      "  explain   show the constraints behind one learned score\n"
+      "  diff      compare two learned specification files\n"
+      "  stats     propagation-graph statistics for repositories\n"
+      "  seed      print the built-in seed specification\n"
+      "\n"
+      "options:\n"
+      "  --seed FILE       seed specification (App. B format; default: "
+      "built-in)\n"
+      "  --spec FILE       learned specification to analyze with\n"
+      "  --out FILE        output file (default: stdout)\n"
+      "  --threshold T     score threshold (default 0.1)\n"
+      "  --iters N         solver iterations (default 600)\n"
+      "  --cutoff N        representation frequency cutoff (default 5)\n"
+      "  --top N           max reports to print (default 25)\n"
+      "  --no-dedup        keep duplicate (source, sink) API pairs\n"
+      "  --json            analyze: emit reports as JSON\n"
+      "  --dot             graph: emit Graphviz DOT\n"
+      "  --rep R           explain: the representation to explain\n"
+      "  --role ROLE       explain: source|sanitizer|sink (default "
+      "source)\n");
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Arg.c_str());
+        return nullptr;
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--seed") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.SeedFile = V;
+    } else if (Arg == "--spec") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.SpecFile = V;
+    } else if (Arg == "--out") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.OutFile = V;
+    } else if (Arg == "--threshold") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Threshold = std::atof(V);
+    } else if (Arg == "--iters") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Iterations = std::atoi(V);
+    } else if (Arg == "--cutoff") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.RepCutoff = static_cast<size_t>(std::atoi(V));
+    } else if (Arg == "--top") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Top = static_cast<size_t>(std::atoi(V));
+    } else if (Arg == "--no-dedup") {
+      Opts.Dedup = false;
+    } else if (Arg == "--json") {
+      Opts.Json = true;
+    } else if (Arg == "--rep") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.ExplainRep = V;
+    } else if (Arg == "--role") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.ExplainRole = V;
+    } else if (Arg == "--dot") {
+      Opts.Dot = true;
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown option %s\n", Arg.c_str());
+      return false;
+    } else {
+      Opts.Paths.push_back(Arg);
+    }
+  }
+  return true;
+}
+
+bool writeOutput(const CliOptions &Opts, const std::string &Content) {
+  if (Opts.OutFile.empty()) {
+    std::fputs(Content.c_str(), stdout);
+    return true;
+  }
+  std::ofstream Out(Opts.OutFile);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write %s\n", Opts.OutFile.c_str());
+    return false;
+  }
+  Out << Content;
+  std::fprintf(stderr, "wrote %s\n", Opts.OutFile.c_str());
+  return true;
+}
+
+spec::SeedSpec loadSeed(const CliOptions &Opts, bool &Ok) {
+  Ok = true;
+  if (Opts.SeedFile.empty())
+    return spec::SeedSpec::parse(spec::paperSeedSpecText());
+  std::optional<std::string> Text = pysem::readFile(Opts.SeedFile);
+  if (!Text) {
+    std::fprintf(stderr, "error: cannot read seed file %s\n",
+                 Opts.SeedFile.c_str());
+    Ok = false;
+    return spec::SeedSpec();
+  }
+  std::vector<std::string> Errors;
+  spec::SeedSpec Seed = spec::SeedSpec::parse(*Text, &Errors);
+  for (const std::string &E : Errors)
+    std::fprintf(stderr, "seed: %s\n", E.c_str());
+  return Seed;
+}
+
+std::vector<pysem::Project> loadCorpus(const CliOptions &Opts, bool &Ok) {
+  Ok = true;
+  std::vector<pysem::Project> Corpus;
+  for (const std::string &Dir : Opts.Paths) {
+    std::vector<std::string> Errors;
+    std::optional<pysem::Project> Proj =
+        pysem::loadProjectFromDir(Dir, pysem::LoadOptions(), &Errors);
+    for (const std::string &E : Errors)
+      std::fprintf(stderr, "warning: %s\n", E.c_str());
+    if (!Proj) {
+      std::fprintf(stderr, "error: %s is not a directory\n", Dir.c_str());
+      Ok = false;
+      return Corpus;
+    }
+    std::fprintf(stderr, "loaded %s: %zu Python files (%zu parse "
+                 "diagnostics)\n",
+                 Dir.c_str(), Proj->modules().size(), Proj->numErrors());
+    Corpus.push_back(std::move(*Proj));
+  }
+  return Corpus;
+}
+
+int cmdLearn(const CliOptions &Opts) {
+  bool Ok = false;
+  spec::SeedSpec Seed = loadSeed(Opts, Ok);
+  if (!Ok)
+    return 1;
+  std::vector<pysem::Project> Corpus = loadCorpus(Opts, Ok);
+  if (!Ok || Corpus.empty()) {
+    std::fprintf(stderr, "error: no input repositories\n");
+    return 1;
+  }
+
+  infer::PipelineOptions PipelineOpts;
+  PipelineOpts.Solve.MaxIterations = Opts.Iterations;
+  PipelineOpts.Gen.RepCutoff = Opts.RepCutoff;
+  infer::PipelineResult R = infer::runPipeline(Corpus, Seed, PipelineOpts);
+
+  std::fprintf(stderr,
+               "analyzed %zu files: %zu candidates, %zu constraints, "
+               "solved in %.2fs (%d iterations)\n",
+               R.NumFiles, R.System.NumCandidates,
+               R.System.Constraints.size(), R.SolveSeconds,
+               R.Solve.Iterations);
+  return writeOutput(Opts, spec::writeLearnedSpec(R.Learned, Opts.Threshold))
+             ? 0
+             : 1;
+}
+
+int cmdAnalyze(const CliOptions &Opts) {
+  bool Ok = false;
+  spec::SeedSpec Seed = loadSeed(Opts, Ok);
+  if (!Ok)
+    return 1;
+  std::vector<pysem::Project> Corpus = loadCorpus(Opts, Ok);
+  if (!Ok || Corpus.empty()) {
+    std::fprintf(stderr, "error: no input repositories\n");
+    return 1;
+  }
+
+  spec::LearnedSpec Learned;
+  bool HaveLearned = false;
+  if (!Opts.SpecFile.empty()) {
+    std::optional<std::string> Text = pysem::readFile(Opts.SpecFile);
+    if (!Text) {
+      std::fprintf(stderr, "error: cannot read spec file %s\n",
+                   Opts.SpecFile.c_str());
+      return 1;
+    }
+    std::vector<std::string> Errors;
+    Learned = spec::parseLearnedSpec(*Text, &Errors);
+    for (const std::string &E : Errors)
+      std::fprintf(stderr, "spec: %s\n", E.c_str());
+    HaveLearned = true;
+  }
+
+  propgraph::PropagationGraph Graph;
+  for (const pysem::Project &P : Corpus)
+    Graph.append(propgraph::buildProjectGraph(P));
+
+  taint::RoleResolver Roles(&Seed.Spec, HaveLearned ? &Learned : nullptr,
+                            Opts.Threshold);
+  taint::TaintAnalyzer Analyzer(Graph);
+  std::vector<taint::Violation> Reports = Analyzer.analyze(Roles);
+  size_t Raw = Reports.size();
+  if (Opts.Dedup)
+    Reports = taint::dedupByRepPair(Graph, Reports);
+  std::vector<double> Confidence = taint::rankViolations(
+      Graph, Reports, &Seed.Spec, HaveLearned ? &Learned : nullptr,
+      Opts.Threshold);
+
+  if (Opts.Json)
+    return writeOutput(Opts,
+                       taint::reportsToJson(Graph, Reports, &Confidence) +
+                           "\n")
+               ? 0
+               : 1;
+
+  // Quote the source line of each path step, re-reading files on demand.
+  std::unordered_map<std::string, std::vector<std::string>> FileLines;
+  auto QuoteLine = [&](uint32_t FileIdx, uint32_t Line) -> std::string {
+    const std::string &File = Graph.files()[FileIdx];
+    auto It = FileLines.find(File);
+    if (It == FileLines.end()) {
+      std::vector<std::string> Lines;
+      // Module paths are relative to their repository root; try each.
+      for (const std::string &Dir : Opts.Paths) {
+        if (std::optional<std::string> Text =
+                pysem::readFile(Dir + "/" + File)) {
+          Lines = splitString(*Text, '\n');
+          break;
+        }
+      }
+      It = FileLines.emplace(File, std::move(Lines)).first;
+    }
+    if (Line == 0 || Line > It->second.size())
+      return std::string();
+    return std::string(trim(It->second[Line - 1]));
+  };
+
+  std::string Out =
+      formatString("%zu raw report(s), %zu after deduplication\n\n", Raw,
+                   Reports.size());
+  for (size_t I = 0; I < Reports.size() && I < Opts.Top; ++I) {
+    Out += formatString("[%zu] confidence %.2f\n", I + 1, Confidence[I]);
+    const taint::Violation &V = Reports[I];
+    const propgraph::Event &Src = Graph.event(V.Source);
+    const propgraph::Event &Snk = Graph.event(V.Sink);
+    Out += formatString("unsanitized flow in %s:\n",
+                        Graph.files()[V.FileIdx].c_str());
+    Out += formatString("  source %s (line %u)\n", Src.primaryRep().c_str(),
+                        Src.Loc.Line);
+    Out += formatString("  sink   %s (line %u)\n", Snk.primaryRep().c_str(),
+                        Snk.Loc.Line);
+    Out += "  path:\n";
+    for (propgraph::EventId Id : V.Path) {
+      const propgraph::Event &E = Graph.event(Id);
+      Out += formatString("    %s (line %u)\n", E.primaryRep().c_str(),
+                          E.Loc.Line);
+      std::string Quoted = QuoteLine(E.FileIdx, E.Loc.Line);
+      if (!Quoted.empty())
+        Out += formatString("        | %s\n", Quoted.c_str());
+    }
+    Out += '\n';
+  }
+  if (Reports.size() > Opts.Top)
+    Out += formatString("... %zu more (raise --top to see them)\n",
+                        Reports.size() - Opts.Top);
+  return writeOutput(Opts, Out) ? 0 : 1;
+}
+
+int cmdExplain(const CliOptions &Opts) {
+  if (Opts.ExplainRep.empty()) {
+    std::fprintf(stderr, "error: explain needs --rep <representation>\n");
+    return 1;
+  }
+  propgraph::Role Role;
+  if (Opts.ExplainRole == "source")
+    Role = propgraph::Role::Source;
+  else if (Opts.ExplainRole == "sanitizer")
+    Role = propgraph::Role::Sanitizer;
+  else if (Opts.ExplainRole == "sink")
+    Role = propgraph::Role::Sink;
+  else {
+    std::fprintf(stderr, "error: --role must be source|sanitizer|sink\n");
+    return 1;
+  }
+
+  bool Ok = false;
+  spec::SeedSpec Seed = loadSeed(Opts, Ok);
+  if (!Ok)
+    return 1;
+  std::vector<pysem::Project> Corpus = loadCorpus(Opts, Ok);
+  if (!Ok || Corpus.empty()) {
+    std::fprintf(stderr, "error: no input repositories\n");
+    return 1;
+  }
+
+  infer::PipelineOptions PipelineOpts;
+  PipelineOpts.Solve.MaxIterations = Opts.Iterations;
+  PipelineOpts.Gen.RepCutoff = Opts.RepCutoff;
+  infer::PipelineResult R = infer::runPipeline(Corpus, Seed, PipelineOpts);
+
+  constraints::Explanation E = constraints::explainRep(
+      R.System, R.Reps, Opts.ExplainRep, Role, R.Solve.X);
+  if (!E.Found) {
+    std::fprintf(stderr,
+                 "'%s' has no %s variable (blacklisted, below the "
+                 "frequency cutoff, or not a candidate)\n",
+                 Opts.ExplainRep.c_str(), Opts.ExplainRole.c_str());
+    return 1;
+  }
+  std::string Out = formatString(
+      "%s as %s: score %.3f%s\n%zu constraint(s) mention it:\n",
+      Opts.ExplainRep.c_str(), Opts.ExplainRole.c_str(), E.Score,
+      E.Pinned ? formatString(" (pinned to %.0f by the seed)",
+                              E.PinnedValue)
+                     .c_str()
+               : "",
+      E.Constraints.size());
+  for (const constraints::ExplainedConstraint &C : E.Constraints)
+    Out += formatString("  [%s, residual %+.3f] %s\n",
+                        C.OnLhs ? "caps it" : "demands it", C.Residual,
+                        C.Text.c_str());
+  return writeOutput(Opts, Out) ? 0 : 1;
+}
+
+int cmdStats(const CliOptions &Opts) {
+  bool Ok = false;
+  std::vector<pysem::Project> Corpus = loadCorpus(Opts, Ok);
+  if (!Ok || Corpus.empty()) {
+    std::fprintf(stderr, "error: no input repositories\n");
+    return 1;
+  }
+  propgraph::PropagationGraph Graph;
+  for (const pysem::Project &P : Corpus)
+    Graph.append(propgraph::buildProjectGraph(P));
+  return writeOutput(Opts, propgraph::renderGraphStats(
+                               propgraph::computeGraphStats(Graph)))
+             ? 0
+             : 1;
+}
+
+int cmdDiff(const CliOptions &Opts) {
+  if (Opts.Paths.size() != 2) {
+    std::fprintf(stderr, "error: diff expects OLD.spec NEW.spec\n");
+    return 1;
+  }
+  spec::LearnedSpec Specs[2];
+  for (int I = 0; I < 2; ++I) {
+    std::optional<std::string> Text = pysem::readFile(Opts.Paths[I]);
+    if (!Text) {
+      std::fprintf(stderr, "error: cannot read %s\n",
+                   Opts.Paths[I].c_str());
+      return 1;
+    }
+    std::vector<std::string> Errors;
+    Specs[I] = spec::parseLearnedSpec(*Text, &Errors);
+    for (const std::string &E : Errors)
+      std::fprintf(stderr, "%s: %s\n", Opts.Paths[I].c_str(), E.c_str());
+  }
+  spec::SpecDiff Diff =
+      spec::diffLearnedSpecs(Specs[0], Specs[1], Opts.Threshold);
+  std::string Out = spec::renderSpecDiff(Diff);
+  if (Out.empty()) {
+    std::fprintf(stderr, "specifications agree at threshold %.2f\n",
+                 Opts.Threshold);
+    return 0;
+  }
+  if (!writeOutput(Opts, Out))
+    return 1;
+  // Non-zero exit on drift, so CI can gate on specification changes.
+  return 2;
+}
+
+int cmdGraph(const CliOptions &Opts) {
+  if (Opts.Paths.size() != 1) {
+    std::fprintf(stderr, "error: graph expects exactly one .py file\n");
+    return 1;
+  }
+  std::optional<std::string> Source = pysem::readFile(Opts.Paths[0]);
+  if (!Source) {
+    std::fprintf(stderr, "error: cannot read %s\n", Opts.Paths[0].c_str());
+    return 1;
+  }
+  pysem::Project Proj("cli");
+  const pysem::ModuleInfo &M = Proj.addModule(Opts.Paths[0], *Source);
+  for (const pyast::ParseError &E : M.Errors)
+    std::fprintf(stderr, "%s:%u:%u: %s\n", Opts.Paths[0].c_str(), E.Line,
+                 E.Col, E.Message.c_str());
+  propgraph::PropagationGraph Graph = propgraph::buildModuleGraph(Proj, M);
+
+  if (!Opts.Dot)
+    return writeOutput(Opts, propgraph::toText(Graph)) ? 0 : 1;
+
+  bool SeedOk = false;
+  spec::SeedSpec Seed = loadSeed(Opts, SeedOk);
+  propgraph::DotOptions DotOpts;
+  if (SeedOk) {
+    taint::RoleResolver Roles(&Seed.Spec, nullptr, Opts.Threshold);
+    taint::TaintAnalyzer Analyzer(Graph);
+    DotOpts.Roles = Analyzer.resolveRoles(Roles);
+  }
+  return writeOutput(Opts, propgraph::toDot(Graph, DotOpts)) ? 0 : 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    usage();
+    return 1;
+  }
+  std::string Command = Argv[1];
+  CliOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return 1;
+
+  if (Command == "learn")
+    return cmdLearn(Opts);
+  if (Command == "analyze")
+    return cmdAnalyze(Opts);
+  if (Command == "graph")
+    return cmdGraph(Opts);
+  if (Command == "explain")
+    return cmdExplain(Opts);
+  if (Command == "diff")
+    return cmdDiff(Opts);
+  if (Command == "stats")
+    return cmdStats(Opts);
+  if (Command == "seed") {
+    std::fputs(spec::paperSeedSpecText(), stdout);
+    return 0;
+  }
+  if (Command == "--help" || Command == "-h" || Command == "help") {
+    usage();
+    return 0;
+  }
+  std::fprintf(stderr, "error: unknown command '%s'\n", Command.c_str());
+  usage();
+  return 1;
+}
