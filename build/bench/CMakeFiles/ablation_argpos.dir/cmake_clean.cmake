@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_argpos.dir/ablation_argpos.cpp.o"
+  "CMakeFiles/ablation_argpos.dir/ablation_argpos.cpp.o.d"
+  "ablation_argpos"
+  "ablation_argpos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_argpos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_collapsed.dir/ablation_collapsed.cpp.o"
+  "CMakeFiles/ablation_collapsed.dir/ablation_collapsed.cpp.o.d"
+  "ablation_collapsed"
+  "ablation_collapsed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_collapsed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

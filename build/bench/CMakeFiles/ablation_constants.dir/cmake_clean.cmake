@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_constants.dir/ablation_constants.cpp.o"
+  "CMakeFiles/ablation_constants.dir/ablation_constants.cpp.o.d"
+  "ablation_constants"
+  "ablation_constants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_constants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

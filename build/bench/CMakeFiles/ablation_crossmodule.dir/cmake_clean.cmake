@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_crossmodule.dir/ablation_crossmodule.cpp.o"
+  "CMakeFiles/ablation_crossmodule.dir/ablation_crossmodule.cpp.o.d"
+  "ablation_crossmodule"
+  "ablation_crossmodule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_crossmodule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

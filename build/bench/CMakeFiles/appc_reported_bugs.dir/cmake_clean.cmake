@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appc_reported_bugs.dir/appc_reported_bugs.cpp.o"
+  "CMakeFiles/appc_reported_bugs.dir/appc_reported_bugs.cpp.o.d"
+  "appc_reported_bugs"
+  "appc_reported_bugs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appc_reported_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_score_precision.dir/fig11_score_precision.cpp.o"
+  "CMakeFiles/fig11_score_precision.dir/fig11_score_precision.cpp.o.d"
+  "fig11_score_precision"
+  "fig11_score_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_score_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/q5_crossproject.dir/q5_crossproject.cpp.o"
+  "CMakeFiles/q5_crossproject.dir/q5_crossproject.cpp.o.d"
+  "q5_crossproject"
+  "q5_crossproject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/q5_crossproject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for q5_crossproject.
+# This may be replaced when dependencies are built.

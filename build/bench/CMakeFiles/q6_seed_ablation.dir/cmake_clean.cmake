@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/q6_seed_ablation.dir/q6_seed_ablation.cpp.o"
+  "CMakeFiles/q6_seed_ablation.dir/q6_seed_ablation.cpp.o.d"
+  "q6_seed_ablation"
+  "q6_seed_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/q6_seed_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

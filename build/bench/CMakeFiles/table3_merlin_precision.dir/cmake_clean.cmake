@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_merlin_precision.dir/table3_merlin_precision.cpp.o"
+  "CMakeFiles/table3_merlin_precision.dir/table3_merlin_precision.cpp.o.d"
+  "table3_merlin_precision"
+  "table3_merlin_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_merlin_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

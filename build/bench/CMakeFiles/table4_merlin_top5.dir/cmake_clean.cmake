@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_merlin_top5.dir/table4_merlin_top5.cpp.o"
+  "CMakeFiles/table4_merlin_top5.dir/table4_merlin_top5.cpp.o.d"
+  "table4_merlin_top5"
+  "table4_merlin_top5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_merlin_top5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

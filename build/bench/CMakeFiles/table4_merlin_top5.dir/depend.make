@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_merlin_top5.
+# This may be replaced when dependencies are built.

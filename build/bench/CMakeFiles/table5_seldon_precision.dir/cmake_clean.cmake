@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_seldon_precision.dir/table5_seldon_precision.cpp.o"
+  "CMakeFiles/table5_seldon_precision.dir/table5_seldon_precision.cpp.o.d"
+  "table5_seldon_precision"
+  "table5_seldon_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_seldon_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_report_categories.dir/table6_report_categories.cpp.o"
+  "CMakeFiles/table6_report_categories.dir/table6_report_categories.cpp.o.d"
+  "table6_report_categories"
+  "table6_report_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_report_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_vuln_totals.dir/table7_vuln_totals.cpp.o"
+  "CMakeFiles/table7_vuln_totals.dir/table7_vuln_totals.cpp.o.d"
+  "table7_vuln_totals"
+  "table7_vuln_totals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_vuln_totals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

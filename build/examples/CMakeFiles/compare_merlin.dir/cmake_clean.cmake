@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_merlin.dir/compare_merlin.cpp.o"
+  "CMakeFiles/compare_merlin.dir/compare_merlin.cpp.o.d"
+  "compare_merlin"
+  "compare_merlin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_merlin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expert_review.dir/expert_review.cpp.o"
+  "CMakeFiles/expert_review.dir/expert_review.cpp.o.d"
+  "expert_review"
+  "expert_review.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expert_review.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_graph.dir/explore_graph.cpp.o"
+  "CMakeFiles/explore_graph.dir/explore_graph.cpp.o.d"
+  "explore_graph"
+  "explore_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_vulnerabilities.dir/find_vulnerabilities.cpp.o"
+  "CMakeFiles/find_vulnerabilities.dir/find_vulnerabilities.cpp.o.d"
+  "find_vulnerabilities"
+  "find_vulnerabilities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_vulnerabilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

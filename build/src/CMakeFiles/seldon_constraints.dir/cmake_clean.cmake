@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seldon_constraints.dir/constraints/ConstraintGen.cpp.o"
+  "CMakeFiles/seldon_constraints.dir/constraints/ConstraintGen.cpp.o.d"
+  "CMakeFiles/seldon_constraints.dir/constraints/ConstraintSystem.cpp.o"
+  "CMakeFiles/seldon_constraints.dir/constraints/ConstraintSystem.cpp.o.d"
+  "CMakeFiles/seldon_constraints.dir/constraints/Explain.cpp.o"
+  "CMakeFiles/seldon_constraints.dir/constraints/Explain.cpp.o.d"
+  "CMakeFiles/seldon_constraints.dir/constraints/VarTable.cpp.o"
+  "CMakeFiles/seldon_constraints.dir/constraints/VarTable.cpp.o.d"
+  "libseldon_constraints.a"
+  "libseldon_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seldon_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

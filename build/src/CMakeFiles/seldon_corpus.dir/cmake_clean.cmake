@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seldon_corpus.dir/corpus/ApiUniverse.cpp.o"
+  "CMakeFiles/seldon_corpus.dir/corpus/ApiUniverse.cpp.o.d"
+  "CMakeFiles/seldon_corpus.dir/corpus/CorpusGenerator.cpp.o"
+  "CMakeFiles/seldon_corpus.dir/corpus/CorpusGenerator.cpp.o.d"
+  "CMakeFiles/seldon_corpus.dir/corpus/GroundTruth.cpp.o"
+  "CMakeFiles/seldon_corpus.dir/corpus/GroundTruth.cpp.o.d"
+  "libseldon_corpus.a"
+  "libseldon_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seldon_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seldon_eval.dir/eval/ExperimentDriver.cpp.o"
+  "CMakeFiles/seldon_eval.dir/eval/ExperimentDriver.cpp.o.d"
+  "CMakeFiles/seldon_eval.dir/eval/Precision.cpp.o"
+  "CMakeFiles/seldon_eval.dir/eval/Precision.cpp.o.d"
+  "CMakeFiles/seldon_eval.dir/eval/ReportClassifier.cpp.o"
+  "CMakeFiles/seldon_eval.dir/eval/ReportClassifier.cpp.o.d"
+  "libseldon_eval.a"
+  "libseldon_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seldon_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

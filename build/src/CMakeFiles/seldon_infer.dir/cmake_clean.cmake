@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seldon_infer.dir/infer/Pipeline.cpp.o"
+  "CMakeFiles/seldon_infer.dir/infer/Pipeline.cpp.o.d"
+  "libseldon_infer.a"
+  "libseldon_infer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seldon_infer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seldon_merlin.dir/merlin/FactorGraph.cpp.o"
+  "CMakeFiles/seldon_merlin.dir/merlin/FactorGraph.cpp.o.d"
+  "CMakeFiles/seldon_merlin.dir/merlin/GibbsSampler.cpp.o"
+  "CMakeFiles/seldon_merlin.dir/merlin/GibbsSampler.cpp.o.d"
+  "CMakeFiles/seldon_merlin.dir/merlin/LoopyBeliefPropagation.cpp.o"
+  "CMakeFiles/seldon_merlin.dir/merlin/LoopyBeliefPropagation.cpp.o.d"
+  "CMakeFiles/seldon_merlin.dir/merlin/MerlinConstraints.cpp.o"
+  "CMakeFiles/seldon_merlin.dir/merlin/MerlinConstraints.cpp.o.d"
+  "CMakeFiles/seldon_merlin.dir/merlin/MerlinPipeline.cpp.o"
+  "CMakeFiles/seldon_merlin.dir/merlin/MerlinPipeline.cpp.o.d"
+  "libseldon_merlin.a"
+  "libseldon_merlin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seldon_merlin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for seldon_merlin.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seldon_pointsto.dir/pointsto/AndersenSolver.cpp.o"
+  "CMakeFiles/seldon_pointsto.dir/pointsto/AndersenSolver.cpp.o.d"
+  "CMakeFiles/seldon_pointsto.dir/pointsto/PointsToAnalysis.cpp.o"
+  "CMakeFiles/seldon_pointsto.dir/pointsto/PointsToAnalysis.cpp.o.d"
+  "libseldon_pointsto.a"
+  "libseldon_pointsto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seldon_pointsto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

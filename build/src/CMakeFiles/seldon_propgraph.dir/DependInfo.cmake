@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/propgraph/Event.cpp" "src/CMakeFiles/seldon_propgraph.dir/propgraph/Event.cpp.o" "gcc" "src/CMakeFiles/seldon_propgraph.dir/propgraph/Event.cpp.o.d"
+  "/root/repo/src/propgraph/GraphBuilder.cpp" "src/CMakeFiles/seldon_propgraph.dir/propgraph/GraphBuilder.cpp.o" "gcc" "src/CMakeFiles/seldon_propgraph.dir/propgraph/GraphBuilder.cpp.o.d"
+  "/root/repo/src/propgraph/GraphExport.cpp" "src/CMakeFiles/seldon_propgraph.dir/propgraph/GraphExport.cpp.o" "gcc" "src/CMakeFiles/seldon_propgraph.dir/propgraph/GraphExport.cpp.o.d"
+  "/root/repo/src/propgraph/GraphStats.cpp" "src/CMakeFiles/seldon_propgraph.dir/propgraph/GraphStats.cpp.o" "gcc" "src/CMakeFiles/seldon_propgraph.dir/propgraph/GraphStats.cpp.o.d"
+  "/root/repo/src/propgraph/PropagationGraph.cpp" "src/CMakeFiles/seldon_propgraph.dir/propgraph/PropagationGraph.cpp.o" "gcc" "src/CMakeFiles/seldon_propgraph.dir/propgraph/PropagationGraph.cpp.o.d"
+  "/root/repo/src/propgraph/RepTable.cpp" "src/CMakeFiles/seldon_propgraph.dir/propgraph/RepTable.cpp.o" "gcc" "src/CMakeFiles/seldon_propgraph.dir/propgraph/RepTable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/seldon_pointsto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/seldon_pysem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/seldon_pyast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/seldon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seldon_propgraph.dir/propgraph/Event.cpp.o"
+  "CMakeFiles/seldon_propgraph.dir/propgraph/Event.cpp.o.d"
+  "CMakeFiles/seldon_propgraph.dir/propgraph/GraphBuilder.cpp.o"
+  "CMakeFiles/seldon_propgraph.dir/propgraph/GraphBuilder.cpp.o.d"
+  "CMakeFiles/seldon_propgraph.dir/propgraph/GraphExport.cpp.o"
+  "CMakeFiles/seldon_propgraph.dir/propgraph/GraphExport.cpp.o.d"
+  "CMakeFiles/seldon_propgraph.dir/propgraph/GraphStats.cpp.o"
+  "CMakeFiles/seldon_propgraph.dir/propgraph/GraphStats.cpp.o.d"
+  "CMakeFiles/seldon_propgraph.dir/propgraph/PropagationGraph.cpp.o"
+  "CMakeFiles/seldon_propgraph.dir/propgraph/PropagationGraph.cpp.o.d"
+  "CMakeFiles/seldon_propgraph.dir/propgraph/RepTable.cpp.o"
+  "CMakeFiles/seldon_propgraph.dir/propgraph/RepTable.cpp.o.d"
+  "libseldon_propgraph.a"
+  "libseldon_propgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seldon_propgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for seldon_propgraph.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for seldon_propgraph.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pyast/Ast.cpp" "src/CMakeFiles/seldon_pyast.dir/pyast/Ast.cpp.o" "gcc" "src/CMakeFiles/seldon_pyast.dir/pyast/Ast.cpp.o.d"
+  "/root/repo/src/pyast/AstPrinter.cpp" "src/CMakeFiles/seldon_pyast.dir/pyast/AstPrinter.cpp.o" "gcc" "src/CMakeFiles/seldon_pyast.dir/pyast/AstPrinter.cpp.o.d"
+  "/root/repo/src/pyast/Lexer.cpp" "src/CMakeFiles/seldon_pyast.dir/pyast/Lexer.cpp.o" "gcc" "src/CMakeFiles/seldon_pyast.dir/pyast/Lexer.cpp.o.d"
+  "/root/repo/src/pyast/Parser.cpp" "src/CMakeFiles/seldon_pyast.dir/pyast/Parser.cpp.o" "gcc" "src/CMakeFiles/seldon_pyast.dir/pyast/Parser.cpp.o.d"
+  "/root/repo/src/pyast/Token.cpp" "src/CMakeFiles/seldon_pyast.dir/pyast/Token.cpp.o" "gcc" "src/CMakeFiles/seldon_pyast.dir/pyast/Token.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/seldon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seldon_pyast.dir/pyast/Ast.cpp.o"
+  "CMakeFiles/seldon_pyast.dir/pyast/Ast.cpp.o.d"
+  "CMakeFiles/seldon_pyast.dir/pyast/AstPrinter.cpp.o"
+  "CMakeFiles/seldon_pyast.dir/pyast/AstPrinter.cpp.o.d"
+  "CMakeFiles/seldon_pyast.dir/pyast/Lexer.cpp.o"
+  "CMakeFiles/seldon_pyast.dir/pyast/Lexer.cpp.o.d"
+  "CMakeFiles/seldon_pyast.dir/pyast/Parser.cpp.o"
+  "CMakeFiles/seldon_pyast.dir/pyast/Parser.cpp.o.d"
+  "CMakeFiles/seldon_pyast.dir/pyast/Token.cpp.o"
+  "CMakeFiles/seldon_pyast.dir/pyast/Token.cpp.o.d"
+  "libseldon_pyast.a"
+  "libseldon_pyast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seldon_pyast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

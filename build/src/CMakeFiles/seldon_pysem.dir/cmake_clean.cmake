@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seldon_pysem.dir/pysem/Project.cpp.o"
+  "CMakeFiles/seldon_pysem.dir/pysem/Project.cpp.o.d"
+  "CMakeFiles/seldon_pysem.dir/pysem/ProjectLoader.cpp.o"
+  "CMakeFiles/seldon_pysem.dir/pysem/ProjectLoader.cpp.o.d"
+  "CMakeFiles/seldon_pysem.dir/pysem/QualifiedNames.cpp.o"
+  "CMakeFiles/seldon_pysem.dir/pysem/QualifiedNames.cpp.o.d"
+  "CMakeFiles/seldon_pysem.dir/pysem/ScopeBuilder.cpp.o"
+  "CMakeFiles/seldon_pysem.dir/pysem/ScopeBuilder.cpp.o.d"
+  "libseldon_pysem.a"
+  "libseldon_pysem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seldon_pysem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

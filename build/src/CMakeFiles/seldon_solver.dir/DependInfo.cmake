@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/AdamOptimizer.cpp" "src/CMakeFiles/seldon_solver.dir/solver/AdamOptimizer.cpp.o" "gcc" "src/CMakeFiles/seldon_solver.dir/solver/AdamOptimizer.cpp.o.d"
+  "/root/repo/src/solver/Objective.cpp" "src/CMakeFiles/seldon_solver.dir/solver/Objective.cpp.o" "gcc" "src/CMakeFiles/seldon_solver.dir/solver/Objective.cpp.o.d"
+  "/root/repo/src/solver/ProjectedGradient.cpp" "src/CMakeFiles/seldon_solver.dir/solver/ProjectedGradient.cpp.o" "gcc" "src/CMakeFiles/seldon_solver.dir/solver/ProjectedGradient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/seldon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

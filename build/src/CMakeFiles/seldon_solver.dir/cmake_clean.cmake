@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seldon_solver.dir/solver/AdamOptimizer.cpp.o"
+  "CMakeFiles/seldon_solver.dir/solver/AdamOptimizer.cpp.o.d"
+  "CMakeFiles/seldon_solver.dir/solver/Objective.cpp.o"
+  "CMakeFiles/seldon_solver.dir/solver/Objective.cpp.o.d"
+  "CMakeFiles/seldon_solver.dir/solver/ProjectedGradient.cpp.o"
+  "CMakeFiles/seldon_solver.dir/solver/ProjectedGradient.cpp.o.d"
+  "libseldon_solver.a"
+  "libseldon_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seldon_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seldon_spec.dir/spec/LearnedSpec.cpp.o"
+  "CMakeFiles/seldon_spec.dir/spec/LearnedSpec.cpp.o.d"
+  "CMakeFiles/seldon_spec.dir/spec/SeedSpec.cpp.o"
+  "CMakeFiles/seldon_spec.dir/spec/SeedSpec.cpp.o.d"
+  "CMakeFiles/seldon_spec.dir/spec/SpecIO.cpp.o"
+  "CMakeFiles/seldon_spec.dir/spec/SpecIO.cpp.o.d"
+  "CMakeFiles/seldon_spec.dir/spec/TaintSpec.cpp.o"
+  "CMakeFiles/seldon_spec.dir/spec/TaintSpec.cpp.o.d"
+  "libseldon_spec.a"
+  "libseldon_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seldon_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

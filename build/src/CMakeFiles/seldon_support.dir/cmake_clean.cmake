@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seldon_support.dir/support/Glob.cpp.o"
+  "CMakeFiles/seldon_support.dir/support/Glob.cpp.o.d"
+  "CMakeFiles/seldon_support.dir/support/Rng.cpp.o"
+  "CMakeFiles/seldon_support.dir/support/Rng.cpp.o.d"
+  "CMakeFiles/seldon_support.dir/support/StrUtil.cpp.o"
+  "CMakeFiles/seldon_support.dir/support/StrUtil.cpp.o.d"
+  "CMakeFiles/seldon_support.dir/support/TablePrinter.cpp.o"
+  "CMakeFiles/seldon_support.dir/support/TablePrinter.cpp.o.d"
+  "libseldon_support.a"
+  "libseldon_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seldon_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libseldon_support.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seldon_taint.dir/taint/JsonExport.cpp.o"
+  "CMakeFiles/seldon_taint.dir/taint/JsonExport.cpp.o.d"
+  "CMakeFiles/seldon_taint.dir/taint/ReportRenderer.cpp.o"
+  "CMakeFiles/seldon_taint.dir/taint/ReportRenderer.cpp.o.d"
+  "CMakeFiles/seldon_taint.dir/taint/TaintAnalyzer.cpp.o"
+  "CMakeFiles/seldon_taint.dir/taint/TaintAnalyzer.cpp.o.d"
+  "libseldon_taint.a"
+  "libseldon_taint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seldon_taint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

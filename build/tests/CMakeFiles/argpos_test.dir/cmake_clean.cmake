@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argpos_test.dir/argpos_test.cpp.o"
+  "CMakeFiles/argpos_test.dir/argpos_test.cpp.o.d"
+  "argpos_test"
+  "argpos_test.pdb"
+  "argpos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argpos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

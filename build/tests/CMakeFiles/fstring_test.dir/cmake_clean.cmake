@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fstring_test.dir/fstring_test.cpp.o"
+  "CMakeFiles/fstring_test.dir/fstring_test.cpp.o.d"
+  "fstring_test"
+  "fstring_test.pdb"
+  "fstring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fstring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

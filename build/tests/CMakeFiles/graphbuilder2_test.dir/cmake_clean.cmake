@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphbuilder2_test.dir/graphbuilder2_test.cpp.o"
+  "CMakeFiles/graphbuilder2_test.dir/graphbuilder2_test.cpp.o.d"
+  "graphbuilder2_test"
+  "graphbuilder2_test.pdb"
+  "graphbuilder2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphbuilder2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphexport_test.dir/graphexport_test.cpp.o"
+  "CMakeFiles/graphexport_test.dir/graphexport_test.cpp.o.d"
+  "graphexport_test"
+  "graphexport_test.pdb"
+  "graphexport_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphexport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merlin_test.dir/merlin_test.cpp.o"
+  "CMakeFiles/merlin_test.dir/merlin_test.cpp.o.d"
+  "merlin_test"
+  "merlin_test.pdb"
+  "merlin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merlin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/projectloader_test.dir/projectloader_test.cpp.o"
+  "CMakeFiles/projectloader_test.dir/projectloader_test.cpp.o.d"
+  "projectloader_test"
+  "projectloader_test.pdb"
+  "projectloader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/projectloader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/propgraph_test.dir/propgraph_test.cpp.o"
+  "CMakeFiles/propgraph_test.dir/propgraph_test.cpp.o.d"
+  "propgraph_test"
+  "propgraph_test.pdb"
+  "propgraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/propgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

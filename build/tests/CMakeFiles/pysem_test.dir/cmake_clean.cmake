@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pysem_test.dir/pysem_test.cpp.o"
+  "CMakeFiles/pysem_test.dir/pysem_test.cpp.o.d"
+  "pysem_test"
+  "pysem_test.pdb"
+  "pysem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pysem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

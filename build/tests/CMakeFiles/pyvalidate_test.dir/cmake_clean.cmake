@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pyvalidate_test.dir/pyvalidate_test.cpp.o"
+  "CMakeFiles/pyvalidate_test.dir/pyvalidate_test.cpp.o.d"
+  "pyvalidate_test"
+  "pyvalidate_test.pdb"
+  "pyvalidate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pyvalidate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

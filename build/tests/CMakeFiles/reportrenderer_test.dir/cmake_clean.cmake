@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reportrenderer_test.dir/reportrenderer_test.cpp.o"
+  "CMakeFiles/reportrenderer_test.dir/reportrenderer_test.cpp.o.d"
+  "reportrenderer_test"
+  "reportrenderer_test.pdb"
+  "reportrenderer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reportrenderer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/pysem_test[1]_include.cmake")
+include("/root/repo/build/tests/pointsto_test[1]_include.cmake")
+include("/root/repo/build/tests/propgraph_test[1]_include.cmake")
+include("/root/repo/build/tests/spec_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_test[1]_include.cmake")
+include("/root/repo/build/tests/constraints_test[1]_include.cmake")
+include("/root/repo/build/tests/infer_test[1]_include.cmake")
+include("/root/repo/build/tests/merlin_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/specio_test[1]_include.cmake")
+include("/root/repo/build/tests/projectloader_test[1]_include.cmake")
+include("/root/repo/build/tests/graphexport_test[1]_include.cmake")
+include("/root/repo/build/tests/reportrenderer_test[1]_include.cmake")
+include("/root/repo/build/tests/fstring_test[1]_include.cmake")
+include("/root/repo/build/tests/explain_test[1]_include.cmake")
+include("/root/repo/build/tests/argpos_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")
+include("/root/repo/build/tests/graphbuilder2_test[1]_include.cmake")
+include("/root/repo/build/tests/pyvalidate_test[1]_include.cmake")
+include("/root/repo/build/tests/crossmodule_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seldon.dir/seldon_cli.cpp.o"
+  "CMakeFiles/seldon.dir/seldon_cli.cpp.o.d"
+  "seldon"
+  "seldon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seldon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

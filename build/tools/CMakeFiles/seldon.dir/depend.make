@@ -1,0 +1,2 @@
+# Empty dependencies file for seldon.
+# This may be replaced when dependencies are built.
