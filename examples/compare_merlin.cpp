@@ -29,10 +29,14 @@ int main() {
   propgraph::PropagationGraph Graph = propgraph::buildProjectGraph(App);
 
   // Seldon (single-project mode: drop the big-code frequency cutoff).
+  // The staged Session adopts the already-built graph, so Seldon and
+  // Merlin are guaranteed to see the same input.
   infer::PipelineOptions SeldonOpts;
   SeldonOpts.Gen.RepCutoff = 1;
-  infer::PipelineResult Seldon = infer::runPipelineOnGraph(
-      propgraph::PropagationGraph(Graph), Seed, SeldonOpts);
+  infer::Session Session(SeldonOpts);
+  Session.adoptGraph(propgraph::PropagationGraph(Graph));
+  Session.generateConstraints(Seed);
+  infer::PipelineResult Seldon = Session.solve();
 
   // Merlin (collapsed graph, BP inference), bounded to one minute.
   merlin::MerlinOptions MerlinOpts;

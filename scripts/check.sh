@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full local check: the tier-1 build + tests, then a ThreadSanitizer build
+# that runs the concurrency-sensitive tests (thread pool + parallel
+# pipeline). Run from anywhere; builds land in build/ and build-tsan/.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+
+echo "=== tier-1: configure + build + ctest ==="
+cmake -B "$ROOT/build" -S "$ROOT"
+cmake --build "$ROOT/build" -j "$JOBS"
+ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
+
+echo
+echo "=== tsan: parallel pipeline under ThreadSanitizer ==="
+cmake -B "$ROOT/build-tsan" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -g"
+cmake --build "$ROOT/build-tsan" -j "$JOBS" \
+  --target threadpool_test pipeline_parallel_test
+ctest --test-dir "$ROOT/build-tsan" --output-on-failure -j "$JOBS" \
+  -R 'ThreadPoolTest|PipelineParallelTest'
+
+echo
+echo "all checks passed"

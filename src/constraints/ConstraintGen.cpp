@@ -2,7 +2,11 @@
 
 #include "constraints/ConstraintGen.h"
 
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+
 #include <algorithm>
+#include <cassert>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -13,17 +17,27 @@ using namespace seldon::propgraph;
 namespace {
 
 /// Per-file constraint extraction context. Reachability queries stay inside
-/// one file because per-file subgraphs are edge-disjoint.
+/// one file because per-file subgraphs are edge-disjoint. Reads the shared
+/// backoff options but interns variables into its own local table and
+/// writes only its own Out buffer, so one extractor per file can run
+/// concurrently with no shared mutable state. Constraints come back with
+/// file-local variable ids; the caller replays each local table into the
+/// global one (in file order) and remaps, which reproduces the exact id
+/// assignment of a serial run.
 class FileExtractor {
 public:
-  FileExtractor(const PropagationGraph &Graph, ConstraintSystem &Sys,
-                const GenOptions &Opts, const std::vector<EventId> &Local)
-      : Graph(Graph), Sys(Sys), Opts(Opts), Local(Local) {}
+  FileExtractor(const PropagationGraph &Graph,
+                const std::vector<std::vector<RepId>> &EventReps,
+                const GenOptions &Opts, const std::vector<EventId> &Local,
+                VarTable &LocalVars,
+                std::vector<solver::LinearConstraint> &Out)
+      : Graph(Graph), EventReps(EventReps), Opts(Opts), Local(Local),
+        LocalVars(LocalVars), Out(Out) {}
 
   void run() {
     // Collect the file's candidates per role (events with surviving reps).
     for (EventId Id : Local) {
-      if (Sys.EventReps[Id].empty())
+      if (EventReps[Id].empty())
         continue;
       RoleMask Mask = Graph.event(Id).Candidates;
       if (maskHas(Mask, Role::Source))
@@ -61,7 +75,7 @@ private:
         appendAvgTerms(LC.Lhs, Snk, Role::Sink);
         LC.Rhs = SourceSum;
         LC.C = Opts.C;
-        Sys.Constraints.push_back(std::move(LC));
+        Out.push_back(std::move(LC));
       }
 
       // Fig. 4b: src(s) + san(v) <= sum of sinks after v + C.
@@ -75,7 +89,7 @@ private:
         appendAvgTerms(LC.Lhs, San, Role::Sanitizer);
         LC.Rhs = SinkSum;
         LC.C = Opts.C;
-        Sys.Constraints.push_back(std::move(LC));
+        Out.push_back(std::move(LC));
       }
     }
   }
@@ -102,7 +116,7 @@ private:
             appendAvgTerms(LC.Rhs, Mid, Role::Sanitizer);
         }
         LC.C = Opts.C;
-        Sys.Constraints.push_back(std::move(LC));
+        Out.push_back(std::move(LC));
       }
     }
   }
@@ -136,26 +150,30 @@ private:
   }
 
   /// Appends the backoff-averaged terms of (event, role) — paper §4.3:
-  /// (1/|Reps(v)|) · Σ over the surviving options.
-  void appendAvgTerms(std::vector<solver::Term> &Out, EventId Id, Role R) {
-    const std::vector<RepId> &Options = Sys.EventReps[Id];
+  /// (1/|Reps(v)|) · Σ over the surviving options. Variables are interned
+  /// into the file-local table in first-use order, mirroring the order a
+  /// serial run would create them.
+  void appendAvgTerms(std::vector<solver::Term> &Terms, EventId Id, Role R) {
+    const std::vector<RepId> &Options = EventReps[Id];
     float Coef = 1.0f / static_cast<float>(Options.size());
     for (RepId Rep : Options)
-      Out.push_back({Sys.Vars.varFor(Rep, R), Coef});
+      Terms.push_back({LocalVars.varFor(Rep, R), Coef});
   }
 
   std::vector<solver::Term> sumTerms(const std::vector<EventId> &Ids,
                                      Role R) {
-    std::vector<solver::Term> Out;
+    std::vector<solver::Term> Terms;
     for (EventId Id : Ids)
-      appendAvgTerms(Out, Id, R);
-    return Out;
+      appendAvgTerms(Terms, Id, R);
+    return Terms;
   }
 
   const PropagationGraph &Graph;
-  ConstraintSystem &Sys;
+  const std::vector<std::vector<RepId>> &EventReps;
   const GenOptions &Opts;
   const std::vector<EventId> &Local;
+  VarTable &LocalVars;
+  std::vector<solver::LinearConstraint> &Out;
   std::vector<EventId> Sources, Sanitizers, Sinks;
   std::unordered_map<EventId, std::unordered_set<EventId>> FwdCache;
 };
@@ -166,24 +184,36 @@ ConstraintSystem
 seldon::constraints::generateConstraints(const PropagationGraph &Graph,
                                          const RepTable &Reps,
                                          const spec::SeedSpec &Seed,
-                                         const GenOptions &Opts) {
+                                         const GenOptions &Opts,
+                                         ThreadPool *Pool,
+                                         std::vector<double> *ShardSecondsOut) {
   ConstraintSystem Sys;
   const std::vector<Event> &Events = Graph.events();
   Sys.EventReps.resize(Events.size());
 
   // Surviving backoff options: frequency cutoff (§4.3) + blacklist (§7.2).
-  size_t BackoffTotal = 0;
-  for (const Event &E : Events) {
+  // Each event writes only its own slot, so the filter fans out freely.
+  auto FilterEvent = [&](size_t I, unsigned) {
+    const Event &E = Events[I];
     std::vector<RepId> Options = Reps.backoffOptions(E, Opts.RepCutoff);
     std::vector<RepId> Kept;
     for (RepId Id : Options)
       if (!Seed.isBlacklisted(Reps.repString(Id)))
         Kept.push_back(Id);
+    Sys.EventReps[E.Id] = std::move(Kept);
+  };
+  if (Pool)
+    Pool->parallelFor(Events.size(), FilterEvent);
+  else
+    for (size_t I = 0; I < Events.size(); ++I)
+      FilterEvent(I, 0);
+
+  size_t BackoffTotal = 0;
+  for (const std::vector<RepId> &Kept : Sys.EventReps) {
     if (!Kept.empty()) {
       ++Sys.NumCandidates;
       BackoffTotal += Kept.size();
     }
-    Sys.EventReps[E.Id] = std::move(Kept);
   }
   Sys.AvgBackoffOptions =
       Sys.NumCandidates == 0
@@ -203,15 +233,59 @@ seldon::constraints::generateConstraints(const PropagationGraph &Graph,
     }
   }
 
-  // Group events by file and extract per file.
+  // Group events by file and extract per file into private buffers. Each
+  // shard interns variables into its own local table, so extraction
+  // touches no shared mutable state.
   std::vector<std::vector<EventId>> ByFile(Graph.files().size());
   for (const Event &E : Events)
     ByFile[E.FileIdx].push_back(E.Id);
-  for (const std::vector<EventId> &Local : ByFile) {
-    if (Local.empty())
-      continue;
-    FileExtractor Extractor(Graph, Sys, Opts, Local);
+
+  struct FileBlock {
+    VarTable Vars;
+    std::vector<solver::LinearConstraint> Constraints;
+  };
+  std::vector<FileBlock> PerFile(ByFile.size());
+  unsigned Workers = Pool ? Pool->numWorkers() : 1;
+  std::vector<double> ShardSeconds(Workers, 0.0);
+  auto ExtractFile = [&](size_t F, unsigned Worker) {
+    if (ByFile[F].empty())
+      return;
+    Timer ShardTimer;
+    FileExtractor Extractor(Graph, Sys.EventReps, Opts, ByFile[F],
+                            PerFile[F].Vars, PerFile[F].Constraints);
     Extractor.run();
+    ShardSeconds[Worker] += ShardTimer.seconds();
+  };
+  if (Pool)
+    Pool->parallelFor(ByFile.size(), ExtractFile);
+  else
+    for (size_t F = 0; F < ByFile.size(); ++F)
+      ExtractFile(F, 0);
+
+  // Deterministic merge: walk shards in file order, replay each local
+  // variable table into the global one (local ids are in first-use order,
+  // so this reproduces the exact ids a serial run assigns — including
+  // variables a serial run creates for sums that end up in no constraint),
+  // then remap and concatenate the constraint blocks.
+  size_t Total = 0;
+  for (const FileBlock &Block : PerFile)
+    Total += Block.Constraints.size();
+  Sys.Constraints.reserve(Total);
+  for (FileBlock &Block : PerFile) {
+    std::vector<VarId> Map(Block.Vars.numVars());
+    for (VarId L = 0; L < Block.Vars.numVars(); ++L)
+      Map[L] = Sys.Vars.varFor(Block.Vars.repOf(L), Block.Vars.roleOf(L));
+    for (solver::LinearConstraint &LC : Block.Constraints) {
+      for (solver::Term &T : LC.Lhs)
+        T.Var = Map[T.Var];
+      for (solver::Term &T : LC.Rhs)
+        T.Var = Map[T.Var];
+      Sys.Constraints.push_back(std::move(LC));
+    }
+    Block = FileBlock(); // Free as we go.
   }
+
+  if (ShardSecondsOut)
+    *ShardSecondsOut = std::move(ShardSeconds);
   return Sys;
 }

@@ -31,7 +31,12 @@
 #include "propgraph/RepTable.h"
 #include "spec/SeedSpec.h"
 
+#include <vector>
+
 namespace seldon {
+
+class ThreadPool;
+
 namespace constraints {
 
 /// Generation knobs.
@@ -51,10 +56,22 @@ struct GenOptions {
 /// \p Reps must already have counted occurrences over \p Graph.
 /// Blacklisted representation options never receive variables; events
 /// whose every option is blacklisted or infrequent are ignored (§4.3).
+///
+/// When \p Pool is non-null the expensive stages fan out over it: the
+/// per-event backoff filtering (disjoint writes) and the per-file template
+/// extraction, which is sharded by file into private constraint buffers.
+/// Determinism is preserved by construction: variables are pre-created in
+/// event order before any extraction runs, and the per-file buffers are
+/// concatenated in file order, so the resulting system — ids, constraint
+/// order, coefficients — is identical to the serial one. \p
+/// ShardSecondsOut (may be null) receives per-worker extraction wall time.
 ConstraintSystem generateConstraints(const propgraph::PropagationGraph &Graph,
                                      const propgraph::RepTable &Reps,
                                      const spec::SeedSpec &Seed,
-                                     const GenOptions &Opts = GenOptions());
+                                     const GenOptions &Opts = GenOptions(),
+                                     ThreadPool *Pool = nullptr,
+                                     std::vector<double> *ShardSecondsOut =
+                                         nullptr);
 
 } // namespace constraints
 } // namespace seldon

@@ -2,57 +2,172 @@
 
 #include "infer/Pipeline.h"
 
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
+
+#include <cassert>
+#include <mutex>
 
 using namespace seldon;
 using namespace seldon::infer;
 using namespace seldon::propgraph;
 
-PipelineResult
-seldon::infer::runPipeline(const std::vector<pysem::Project> &Corpus,
-                           const spec::SeedSpec &Seed,
-                           const PipelineOptions &Opts) {
-  Timer BuildTimer;
-  PropagationGraph Global;
-  size_t NumFiles = 0;
-  for (const pysem::Project &Proj : Corpus) {
-    PropagationGraph G = buildProjectGraph(Proj, Opts.Build);
-    NumFiles += Proj.modules().size();
-    Global.append(G);
+const char *seldon::infer::phaseName(Phase P) {
+  switch (P) {
+  case Phase::BuildGraph:
+    return "parse";
+  case Phase::GenerateConstraints:
+    return "constraints";
+  case Phase::Solve:
+    return "solve";
   }
-  double BuildSeconds = BuildTimer.seconds();
-
-  PipelineResult Result = runPipelineOnGraph(std::move(Global), Seed, Opts);
-  Result.NumFiles = NumFiles;
-  Result.BuildSeconds = BuildSeconds;
-  return Result;
+  return "?";
 }
 
-PipelineResult
-seldon::infer::runPipelineOnGraph(PropagationGraph Graph,
-                                  const spec::SeedSpec &Seed,
-                                  const PipelineOptions &Opts) {
-  PipelineResult Result;
-  Result.Graph = std::move(Graph);
-  Result.NumFiles = Result.Graph.files().size();
+Session::Session(PipelineOptions Opts) : Opts(std::move(Opts)) {}
+Session::~Session() = default;
+Session::Session(Session &&) noexcept = default;
+Session &Session::operator=(Session &&) noexcept = default;
+
+unsigned Session::resolveJobs() const {
+  return Opts.Jobs == 0 ? ThreadPool::hardwareConcurrency() : Opts.Jobs;
+}
+
+ThreadPool *Session::poolFor(unsigned Jobs) {
+  if (Jobs <= 1)
+    return nullptr;
+  if (!Pool || Pool->numWorkers() != Jobs)
+    Pool = std::make_unique<ThreadPool>(Jobs);
+  return Pool.get();
+}
+
+Session &Session::addProject(const pysem::Project &Proj) {
+  assert(!GraphReady && "cannot add projects after the graph is built");
+  Projects.push_back(&Proj);
+  return *this;
+}
+
+Session &Session::addProjects(const std::vector<pysem::Project> &Corpus) {
+  for (const pysem::Project &Proj : Corpus)
+    addProject(Proj);
+  return *this;
+}
+
+Session &Session::adoptGraph(PropagationGraph NewGraph) {
+  Graph = std::move(NewGraph);
+  GraphReady = true;
+  NumFiles = Graph.files().size();
+  BuildSeconds = 0.0;
+  BuildShardSeconds.clear();
+  SystemReady = false;
+  return *this;
+}
+
+Session &Session::buildGraph() {
+  if (GraphReady)
+    return *this;
+  unsigned Jobs = resolveJobs();
+  ThreadPool *P = poolFor(Jobs);
+  JobsUsed = Jobs;
+  if (Observer)
+    Observer->onPhase(Phase::BuildGraph);
+
+  Timer BuildTimer;
+  const size_t Total = Projects.size();
+  std::vector<PropagationGraph> PerProject(Total);
+  BuildShardSeconds.assign(P ? P->numWorkers() : 1, 0.0);
+
+  std::mutex ProgressMutex;
+  size_t Done = 0;
+  auto BuildOne = [&](size_t I, unsigned Worker) {
+    Timer ShardTimer;
+    PerProject[I] = buildProjectGraph(*Projects[I], Opts.Build);
+    BuildShardSeconds[Worker] += ShardTimer.seconds();
+    if (Observer) {
+      std::lock_guard<std::mutex> Lock(ProgressMutex);
+      Observer->onProjectGraphBuilt(++Done, Total);
+    }
+  };
+  if (P)
+    P->parallelFor(Total, BuildOne);
+  else
+    for (size_t I = 0; I < Total; ++I)
+      BuildOne(I, 0);
+
+  // Deterministic merge: append in corpus order, so event ids and file
+  // indices are identical to a serial walk.
+  NumFiles = 0;
+  for (size_t I = 0; I < Total; ++I) {
+    NumFiles += Projects[I]->modules().size();
+    Graph.append(PerProject[I]);
+    PerProject[I] = PropagationGraph(); // Free as we go.
+  }
+  BuildSeconds = BuildTimer.seconds();
+  GraphReady = true;
+  return *this;
+}
+
+Session &Session::generateConstraints(const spec::SeedSpec &Seed) {
+  buildGraph();
+  unsigned Jobs = resolveJobs();
+  ThreadPool *P = poolFor(Jobs);
+  JobsUsed = Jobs;
+  if (Observer)
+    Observer->onPhase(Phase::GenerateConstraints);
 
   Timer GenTimer;
-  const PropagationGraph *LearnGraph = &Result.Graph;
+  const PropagationGraph *LearnGraph = &Graph;
   PropagationGraph Collapsed;
   if (Opts.CollapseForLearning) {
-    Collapsed = Result.Graph.collapseByRep();
+    Collapsed = Graph.collapseByRep();
     LearnGraph = &Collapsed;
   }
   // Representation frequencies always come from the uncollapsed graph:
   // contraction collapses every representation to one occurrence, which
   // would starve the §4.3 frequency cutoff.
-  Result.Reps.countOccurrences(Result.Graph);
-  Result.System = constraints::generateConstraints(*LearnGraph, Result.Reps,
-                                                   Seed, Opts.Gen);
-  Result.GenSeconds = GenTimer.seconds();
+  Reps = RepTable();
+  Reps.countOccurrences(Graph);
+  System = constraints::generateConstraints(*LearnGraph, Reps, Seed,
+                                            Opts.Gen, P, &GenShardSeconds);
+  GenSeconds = GenTimer.seconds();
+  SystemReady = true;
+  return *this;
+}
+
+PipelineResult Session::solve() {
+  assert(SystemReady &&
+         "Session::solve() requires generateConstraints() first");
+  unsigned Jobs = resolveJobs();
+  ThreadPool *P = poolFor(Jobs);
+  JobsUsed = Jobs;
+  if (Observer)
+    Observer->onPhase(Phase::Solve);
+
+  PipelineResult Result;
+  Result.Graph = Graph;
+  Result.Reps = Reps;
+  Result.System = System;
+  Result.NumFiles = NumFiles;
+  Result.BuildSeconds = BuildSeconds;
+  Result.BuildShardSeconds = BuildShardSeconds;
+  Result.GenSeconds = GenSeconds;
+  Result.GenShardSeconds = GenShardSeconds;
+  Result.JobsUsed = Jobs;
+
+  solver::SolveOptions SolveOpts = Opts.Solve;
+  if (Observer) {
+    ProgressObserver *Obs = Observer;
+    auto UserCallback = SolveOpts.OnIteration;
+    SolveOpts.OnIteration = [Obs, UserCallback](int Iter, double Value) {
+      if (UserCallback)
+        UserCallback(Iter, Value);
+      Obs->onSolveIteration(Iter, Value);
+    };
+  }
 
   Timer SolveTimer;
   solver::Objective Obj = Result.System.makeObjective(Opts.Lambda);
+  Obj.setThreadPool(P);
   std::vector<double> X0 = Obj.initialPoint();
   if (Opts.WarmStart) {
     // Seed each variable with the previous run's score for its
@@ -65,10 +180,10 @@ seldon::infer::runPipelineOnGraph(PropagationGraph Graph,
     Obj.project(X0);
   }
   if (Opts.UseAdam) {
-    solver::AdamOptimizer Optimizer(Opts.Solve);
+    solver::AdamOptimizer Optimizer(SolveOpts);
     Result.Solve = Optimizer.minimize(Obj, std::move(X0));
   } else {
-    solver::ProjectedGradient Optimizer(Opts.Solve);
+    solver::ProjectedGradient Optimizer(SolveOpts);
     Result.Solve = Optimizer.minimize(Obj, std::move(X0));
   }
   Result.SolveSeconds = SolveTimer.seconds();
@@ -80,4 +195,24 @@ seldon::infer::runPipelineOnGraph(PropagationGraph Graph,
     Result.Learned.setScore(Rep, Vars.roleOf(V), Result.Solve.X[V]);
   }
   return Result;
+}
+
+PipelineResult
+seldon::infer::runPipeline(const std::vector<pysem::Project> &Corpus,
+                           const spec::SeedSpec &Seed,
+                           const PipelineOptions &Opts) {
+  Session S(Opts);
+  S.addProjects(Corpus);
+  S.generateConstraints(Seed);
+  return S.solve();
+}
+
+PipelineResult
+seldon::infer::runPipelineOnGraph(PropagationGraph Graph,
+                                  const spec::SeedSpec &Seed,
+                                  const PipelineOptions &Opts) {
+  Session S(Opts);
+  S.adoptGraph(std::move(Graph));
+  S.generateConstraints(Seed);
+  return S.solve();
 }

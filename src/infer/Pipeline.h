@@ -6,11 +6,23 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The end-to-end Seldon pipeline (paper §7.1): parse a corpus of projects,
-/// extract per-file propagation graphs, merge them into a global graph,
-/// build the linear constraint system, minimize the relaxed objective with
-/// projected Adam, and read the per-(representation, role) scores back into
-/// a LearnedSpec.
+/// The end-to-end Seldon pipeline (paper §7.1) behind a staged Session API:
+/// parse a corpus of projects, extract per-project propagation graphs (in
+/// parallel, merged deterministically), build the linear constraint system
+/// (sharded by file), minimize the relaxed objective with projected Adam,
+/// and read the per-(representation, role) scores back into a LearnedSpec.
+///
+/// Stages are explicit so callers can reuse expensive artifacts:
+///
+///   infer::Session S(Opts);
+///   S.addProjects(Corpus);
+///   S.buildGraph();                  // parse + extract once
+///   S.generateConstraints(Seed);     // re-runnable after options() change
+///   infer::PipelineResult R = S.solve();
+///
+/// Every stage honors PipelineOptions::Jobs; for any Jobs value the learned
+/// scores are bit-identical to the serial (Jobs = 1) run — see
+/// docs/architecture.md for the determinism strategy.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,7 +36,13 @@
 #include "solver/AdamOptimizer.h"
 #include "solver/ProjectedGradient.h"
 
+#include <memory>
+#include <vector>
+
 namespace seldon {
+
+class ThreadPool;
+
 namespace infer {
 
 /// All knobs of the end-to-end pipeline, defaulting to the paper's values
@@ -46,6 +64,40 @@ struct PipelineOptions {
   /// specification learning). The result's Graph member stays uncollapsed
   /// so the taint client remains sound.
   bool CollapseForLearning = false;
+  /// Worker threads for graph building, constraint generation, and
+  /// gradient evaluation. 0 = hardware concurrency, 1 = fully serial.
+  /// The learned scores are bit-identical for every value.
+  unsigned Jobs = 0;
+};
+
+/// The pipeline stages a ProgressObserver is notified about.
+enum class Phase { BuildGraph, GenerateConstraints, Solve };
+
+/// Printable phase name ("parse", "constraints", "solve").
+const char *phaseName(Phase P);
+
+/// Callback interface for long-running pipeline progress. All methods are
+/// invoked serialized (never concurrently), including under a parallel
+/// frontend; onProjectGraphBuilt sees a strictly increasing Done count.
+/// Implementations must be fast — they run under the progress lock.
+class ProgressObserver {
+public:
+  virtual ~ProgressObserver() = default;
+
+  /// Entering pipeline phase \p P.
+  virtual void onPhase(Phase P) { (void)P; }
+
+  /// \p Done of \p Total projects parsed into propagation graphs.
+  virtual void onProjectGraphBuilt(size_t Done, size_t Total) {
+    (void)Done;
+    (void)Total;
+  }
+
+  /// One solver iteration finished with the current objective value.
+  virtual void onSolveIteration(int Iteration, double Objective) {
+    (void)Iteration;
+    (void)Objective;
+  }
 };
 
 /// Everything the pipeline produced, including the intermediate artifacts
@@ -62,18 +114,104 @@ struct PipelineResult {
   double GenSeconds = 0.0;
   double SolveSeconds = 0.0;
 
+  /// Worker threads the run actually used.
+  unsigned JobsUsed = 1;
+  /// Per-worker busy time inside the graph-building fan-out; sums to the
+  /// CPU time of the phase, so BuildSeconds / max(shard) approximates the
+  /// phase's parallel efficiency.
+  std::vector<double> BuildShardSeconds;
+  /// Per-worker busy time inside constraint extraction.
+  std::vector<double> GenShardSeconds;
+
   /// Wall time of the learning part (constraint generation + solving),
   /// the quantity plotted in paper Fig. 10.
   double inferenceSeconds() const { return GenSeconds + SolveSeconds; }
 };
 
-/// Runs the full pipeline over already-parsed \p Corpus with seeds \p Seed.
+/// A staged pipeline run. Construct with options, feed projects (or adopt
+/// a prebuilt graph), then drive the stages in order; generateConstraints
+/// and solve may be re-run after mutating options() to sweep
+/// configurations without re-parsing the corpus.
+///
+/// Projects added with addProject are borrowed — the caller keeps them
+/// alive until buildGraph() has run. A Session is single-threaded from the
+/// caller's perspective; it parallelizes internally according to
+/// options().Jobs.
+class Session {
+public:
+  explicit Session(PipelineOptions Opts = PipelineOptions());
+  ~Session();
+  Session(Session &&) noexcept;
+  Session &operator=(Session &&) noexcept;
+
+  /// Live options; Gen/Solve changes take effect on the next stage call.
+  PipelineOptions &options() { return Opts; }
+  const PipelineOptions &options() const { return Opts; }
+
+  /// Installs a progress observer (null to remove). Borrowed.
+  void setObserver(ProgressObserver *Observer) { this->Observer = Observer; }
+
+  /// Registers a project for buildGraph(). Borrowed reference.
+  Session &addProject(const pysem::Project &Proj);
+  /// Registers every project of \p Corpus. Borrowed references.
+  Session &addProjects(const std::vector<pysem::Project> &Corpus);
+
+  /// Adopts an already-built global graph instead of parsing projects
+  /// (used when the same graph is reused across ablation configurations).
+  Session &adoptGraph(propgraph::PropagationGraph Graph);
+
+  /// Builds the global propagation graph: per-project extraction fans out
+  /// over Jobs workers; the per-project graphs are merged in corpus order,
+  /// so event ids match the serial run exactly. No-op if a graph was
+  /// adopted or already built.
+  Session &buildGraph();
+
+  /// Counts representations and generates the constraint system for
+  /// \p Seed (runs buildGraph() first if needed). Re-runnable.
+  Session &generateConstraints(const spec::SeedSpec &Seed);
+
+  /// Minimizes the relaxed objective and returns the full result.
+  /// Requires generateConstraints(). Re-runnable; each call re-optimizes
+  /// with the current options and copies the shared artifacts into the
+  /// returned PipelineResult.
+  PipelineResult solve();
+
+  /// The built or adopted global graph (valid after buildGraph()).
+  const propgraph::PropagationGraph &graph() const { return Graph; }
+  bool hasGraph() const { return GraphReady; }
+
+private:
+  unsigned resolveJobs() const;
+  ThreadPool *poolFor(unsigned Jobs);
+
+  PipelineOptions Opts;
+  ProgressObserver *Observer = nullptr;
+  std::vector<const pysem::Project *> Projects;
+
+  propgraph::PropagationGraph Graph;
+  bool GraphReady = false;
+  size_t NumFiles = 0;
+  double BuildSeconds = 0.0;
+  std::vector<double> BuildShardSeconds;
+
+  propgraph::RepTable Reps;
+  constraints::ConstraintSystem System;
+  bool SystemReady = false;
+  double GenSeconds = 0.0;
+  std::vector<double> GenShardSeconds;
+  unsigned JobsUsed = 1;
+
+  std::unique_ptr<ThreadPool> Pool;
+};
+
+/// Deprecated: use Session. Runs the full pipeline over already-parsed
+/// \p Corpus with seeds \p Seed.
 PipelineResult runPipeline(const std::vector<pysem::Project> &Corpus,
                            const spec::SeedSpec &Seed,
                            const PipelineOptions &Opts = PipelineOptions());
 
-/// Runs constraint generation + solving over an existing global graph
-/// (used when the same graph is reused across ablation configurations).
+/// Deprecated: use Session::adoptGraph. Runs constraint generation +
+/// solving over an existing global graph.
 PipelineResult runPipelineOnGraph(propgraph::PropagationGraph Graph,
                                   const spec::SeedSpec &Seed,
                                   const PipelineOptions &Opts =

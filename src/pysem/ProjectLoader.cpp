@@ -3,6 +3,7 @@
 #include "pysem/ProjectLoader.h"
 
 #include "support/StrUtil.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <filesystem>
@@ -81,4 +82,28 @@ seldon::pysem::loadProjectFromDir(const std::string &RootDir,
     Proj.addModule(std::move(Relative), *Source);
   }
   return Proj;
+}
+
+std::vector<std::optional<Project>> seldon::pysem::loadProjectsFromDirs(
+    const std::vector<std::string> &RootDirs, const LoadOptions &Opts,
+    unsigned Jobs, std::vector<std::vector<std::string>> *ErrorsOut) {
+  std::vector<std::optional<Project>> Out(RootDirs.size());
+  if (ErrorsOut) {
+    ErrorsOut->clear();
+    ErrorsOut->resize(RootDirs.size());
+  }
+  auto LoadOne = [&](size_t I, unsigned) {
+    Out[I] = loadProjectFromDir(RootDirs[I], Opts,
+                                ErrorsOut ? &(*ErrorsOut)[I] : nullptr);
+  };
+  if (Jobs == 0)
+    Jobs = ThreadPool::hardwareConcurrency();
+  if (Jobs <= 1 || RootDirs.size() <= 1) {
+    for (size_t I = 0; I < RootDirs.size(); ++I)
+      LoadOne(I, 0);
+    return Out;
+  }
+  ThreadPool Pool(static_cast<unsigned>(std::min<size_t>(Jobs, RootDirs.size())));
+  Pool.parallelFor(RootDirs.size(), LoadOne);
+  return Out;
 }

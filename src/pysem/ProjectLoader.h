@@ -38,10 +38,25 @@ struct LoadOptions {
 /// directory. Returns std::nullopt when \p RootDir does not exist or is
 /// not a directory; per-file read failures are reported into
 /// \p ErrorsOut (may be null) and skipped.
+///
+/// Thread-safe: concurrent calls share no mutable state, so one root can
+/// be loaded per worker (see loadProjectsFromDirs).
 std::optional<Project>
 loadProjectFromDir(const std::string &RootDir,
                    const LoadOptions &Opts = LoadOptions(),
                    std::vector<std::string> *ErrorsOut = nullptr);
+
+/// Loads several roots concurrently over \p Jobs worker threads (0 =
+/// hardware concurrency, 1 = serial). Results — including the per-root
+/// error lists in \p ErrorsOut, resized to RootDirs.size() — come back
+/// indexed in RootDirs order, so the output is deterministic regardless
+/// of the thread count.
+std::vector<std::optional<Project>>
+loadProjectsFromDirs(const std::vector<std::string> &RootDirs,
+                     const LoadOptions &Opts = LoadOptions(),
+                     unsigned Jobs = 0,
+                     std::vector<std::vector<std::string>> *ErrorsOut =
+                         nullptr);
 
 /// Reads a whole file into a string; returns std::nullopt on failure.
 std::optional<std::string> readFile(const std::string &Path);

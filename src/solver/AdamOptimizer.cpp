@@ -40,6 +40,8 @@ SolveResult AdamOptimizer::minimize(const Objective &Obj,
     if (StepNorm < Options.Tolerance) {
       Result.Converged = true;
       Result.Iterations = Iter;
+      if (Options.OnIteration)
+        Options.OnIteration(Iter, Obj.value(Result.X));
       break;
     }
 
@@ -62,6 +64,8 @@ SolveResult AdamOptimizer::minimize(const Objective &Obj,
       BestValue = Current;
       Best = Result.X;
     }
+    if (Options.OnIteration)
+      Options.OnIteration(Iter, Current);
   }
 
   double FinalValue = Obj.value(Result.X);

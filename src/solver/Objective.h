@@ -23,9 +23,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace seldon {
+
+class ThreadPool;
+
 namespace solver {
 
 /// One weighted variable occurrence.
@@ -42,10 +46,23 @@ struct LinearConstraint {
 };
 
 /// The relaxed objective over a fixed constraint system.
+///
+/// Constraints are partitioned into fixed-size shards at construction.
+/// hingeLoss() and gradient() accumulate each shard serially into its own
+/// buffer and reduce the buffers in shard order, so the floating-point
+/// result is bit-identical whether shards run on one thread or many: the
+/// shard structure depends only on the constraint count, never on the
+/// thread count.
 class Objective {
 public:
   Objective(size_t NumVars, std::vector<LinearConstraint> Constraints,
             double Lambda);
+
+  /// Evaluates hinge loss and gradients on \p Pool (one task per shard).
+  /// Null reverts to serial execution; either way the arithmetic — and
+  /// therefore the optimizer trajectory — is identical. The pool must
+  /// outlive the objective (or be reset to null first).
+  void setThreadPool(ThreadPool *Pool) { this->Pool = Pool; }
 
   /// Pins variable \p Var to \p Value (seed labels). Pinned variables are
   /// reset to their value by project() and carry no L1 penalty.
@@ -74,12 +91,32 @@ public:
   bool isPinned(uint32_t Var) const { return Pinned[Var]; }
   double pinnedValue(uint32_t Var) const { return PinnedValues[Var]; }
 
+  size_t numShards() const { return Shards.size(); }
+
 private:
+  /// Half-open constraint range [Begin, End) accumulated serially.
+  struct Shard {
+    size_t Begin = 0;
+    size_t End = 0;
+  };
+
+  /// Adds the hinge subgradient of shard \p S into \p Out (not zeroed).
+  void shardGradient(const Shard &S, const std::vector<double> &X,
+                     std::vector<double> &Out) const;
+  /// Hinge loss of shard \p S.
+  double shardHingeLoss(const Shard &S, const std::vector<double> &X) const;
+
   size_t NumVars;
   std::vector<LinearConstraint> Constraints;
   double Lambda;
   std::vector<bool> Pinned;
   std::vector<double> PinnedValues;
+
+  std::vector<Shard> Shards;
+  ThreadPool *Pool = nullptr;
+  /// Per-shard gradient buffers, reused across iterations (only allocated
+  /// when more than one shard exists).
+  mutable std::vector<std::vector<double>> ShardGrad;
 };
 
 /// Shared optimizer knobs and results.
@@ -92,6 +129,10 @@ struct SolveOptions {
   double Beta1 = 0.9;
   double Beta2 = 0.999;
   double Epsilon = 1e-8;
+  /// Invoked after every completed iteration with (iteration, current
+  /// objective value). Called from the optimizing thread; must not mutate
+  /// the objective.
+  std::function<void(int Iteration, double Objective)> OnIteration;
 };
 
 struct SolveResult {

@@ -36,6 +36,8 @@ SolveResult ProjectedGradient::minimize(const Objective &Obj,
       BestValue = Current;
       Best = Result.X;
     }
+    if (Options.OnIteration)
+      Options.OnIteration(Iter, Current);
     if (std::abs(PrevValue - Current) < Options.Tolerance) {
       Result.Converged = true;
       break;

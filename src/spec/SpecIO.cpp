@@ -6,10 +6,79 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <sstream>
 
 using namespace seldon;
 using namespace seldon::spec;
 using namespace seldon::propgraph;
+
+namespace {
+
+/// Reads \p Path fully; empty optional on failure.
+std::optional<std::string> slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  if (In.bad())
+    return std::nullopt;
+  return Buffer.str();
+}
+
+/// Writes \p Content to \p Path; returns an error message or empty.
+std::string spill(const std::string &Path, const std::string &Content) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return "cannot open " + Path + " for writing";
+  Out << Content;
+  Out.flush();
+  if (!Out)
+    return "write to " + Path + " failed";
+  return std::string();
+}
+
+} // namespace
+
+IOResult<SeedSpec> seldon::spec::loadSeedSpec(const std::string &Path) {
+  std::optional<std::string> Text = slurp(Path);
+  if (!Text)
+    return IOResult<SeedSpec>::failure("cannot read seed spec " + Path);
+  IOResult<SeedSpec> Result;
+  Result.Value = SeedSpec::parse(*Text, &Result.Warnings);
+  return Result;
+}
+
+IOResult<LearnedSpec> seldon::spec::loadLearnedSpec(const std::string &Path) {
+  std::optional<std::string> Text = slurp(Path);
+  if (!Text)
+    return IOResult<LearnedSpec>::failure("cannot read spec " + Path);
+  IOResult<LearnedSpec> Result;
+  Result.Value = parseLearnedSpec(*Text, &Result.Warnings);
+  return Result;
+}
+
+IOResult<size_t> seldon::spec::saveSeedSpec(const SeedSpec &Seed,
+                                            const std::string &Path) {
+  std::string Text = writeSeedSpec(Seed);
+  if (std::string Err = spill(Path, Text); !Err.empty())
+    return IOResult<size_t>::failure(std::move(Err));
+  IOResult<size_t> Result;
+  Result.Value = Text.size();
+  return Result;
+}
+
+IOResult<size_t> seldon::spec::saveLearnedSpec(const LearnedSpec &Learned,
+                                               const std::string &Path,
+                                               double MinScore) {
+  std::string Text = writeLearnedSpec(Learned, MinScore);
+  if (std::string Err = spill(Path, Text); !Err.empty())
+    return IOResult<size_t>::failure(std::move(Err));
+  IOResult<size_t> Result;
+  Result.Value = Text.size();
+  return Result;
+}
 
 std::string seldon::spec::writeSeedSpec(const SeedSpec &Seed) {
   std::string Out;

@@ -29,6 +29,42 @@
 namespace seldon {
 namespace spec {
 
+/// Outcome of a specification IO operation: either a value or an error
+/// message, plus recoverable per-line warnings. The uniform replacement
+/// for the mixed bool / optional / out-parameter conventions SpecIO
+/// callers used to juggle.
+template <typename T> struct IOResult {
+  T Value{};
+  /// Empty on success; a printable message on failure.
+  std::string Error;
+  /// Recoverable diagnostics (malformed lines that were skipped).
+  std::vector<std::string> Warnings;
+
+  bool ok() const { return Error.empty(); }
+  explicit operator bool() const { return ok(); }
+
+  static IOResult failure(std::string Message) {
+    IOResult R;
+    R.Error = std::move(Message);
+    return R;
+  }
+};
+
+/// Reads and parses a seed specification (App. B format) from \p Path.
+IOResult<SeedSpec> loadSeedSpec(const std::string &Path);
+
+/// Reads and parses a learned specification (scored lines) from \p Path.
+IOResult<LearnedSpec> loadLearnedSpec(const std::string &Path);
+
+/// Writes \p Seed to \p Path in the App. B format. Value = bytes written.
+IOResult<size_t> saveSeedSpec(const SeedSpec &Seed, const std::string &Path);
+
+/// Writes \p Learned to \p Path as scored lines, keeping entries with
+/// score above \p MinScore. Value = bytes written.
+IOResult<size_t> saveLearnedSpec(const LearnedSpec &Learned,
+                                 const std::string &Path,
+                                 double MinScore = 0.0);
+
 /// Renders \p Seed in the App. B text format (deterministic order:
 /// sources, sanitizers, sinks — each sorted — then blacklist patterns in
 /// insertion order). parse(writeSeedSpec(S)) reproduces S.

@@ -1,0 +1,102 @@
+//===- support/ThreadPool.cpp - Fixed-size worker pool --------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+
+using namespace seldon;
+
+unsigned ThreadPool::hardwareConcurrency() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (Threads == 0)
+    Threads = hardwareConcurrency();
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I < Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  WakeWorkers.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::packaged_task<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WakeWorkers.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained.
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task(); // Exceptions land in the task's future.
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> Task) {
+  std::packaged_task<void()> Packaged(std::move(Task));
+  std::future<void> Future = Packaged.get_future();
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Queue.push_back(std::move(Packaged));
+  }
+  WakeWorkers.notify_one();
+  return Future;
+}
+
+void ThreadPool::parallelFor(
+    size_t N, const std::function<void(size_t, unsigned)> &Body) {
+  if (N == 0)
+    return;
+  unsigned Tasks =
+      static_cast<unsigned>(std::min<size_t>(numWorkers(), N));
+  if (Tasks <= 1) {
+    for (size_t I = 0; I < N; ++I)
+      Body(I, 0);
+    return;
+  }
+
+  std::atomic<size_t> Next{0};
+  std::atomic<bool> Failed{false};
+  std::vector<std::future<void>> Futures;
+  Futures.reserve(Tasks);
+  for (unsigned Worker = 0; Worker < Tasks; ++Worker) {
+    Futures.push_back(submit([&, Worker] {
+      size_t Index;
+      while (!Failed.load(std::memory_order_relaxed) &&
+             (Index = Next.fetch_add(1, std::memory_order_relaxed)) < N) {
+        try {
+          Body(Index, Worker);
+        } catch (...) {
+          Failed.store(true, std::memory_order_relaxed);
+          throw; // Lands in this task's future.
+        }
+      }
+    }));
+  }
+
+  // Wait for everything, then rethrow the first failure in task order so
+  // the caller sees a deterministic exception.
+  std::exception_ptr First;
+  for (std::future<void> &F : Futures) {
+    try {
+      F.get();
+    } catch (...) {
+      if (!First)
+        First = std::current_exception();
+    }
+  }
+  if (First)
+    std::rethrow_exception(First);
+}

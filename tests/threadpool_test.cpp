@@ -1,0 +1,106 @@
+//===- tests/threadpool_test.cpp - ThreadPool + parallelFor ---------------===//
+//
+// The pool underpins every parallel phase of the pipeline, so the contract
+// it must keep is spelled out here: all indices covered exactly once,
+// exceptions propagate to the caller, queued tasks drain on destruction,
+// and worker ids stay inside [0, numWorkers()).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+using namespace seldon;
+
+namespace {
+
+TEST(ThreadPoolTest, HardwareConcurrencyAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardwareConcurrency(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.numWorkers(), 4u);
+  constexpr size_t N = 1000;
+  std::vector<std::atomic<int>> Hits(N);
+  Pool.parallelFor(N, [&](size_t I, unsigned) { ++Hits[I]; });
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPoolTest, ParallelForWorkerIdsInBounds) {
+  ThreadPool Pool(3);
+  constexpr size_t N = 200;
+  std::vector<unsigned> Worker(N, ~0u);
+  Pool.parallelFor(N, [&](size_t I, unsigned W) { Worker[I] = W; });
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_LT(Worker[I], Pool.numWorkers()) << "index " << I;
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndSingleElementRanges) {
+  ThreadPool Pool(2);
+  std::atomic<int> Calls{0};
+  Pool.parallelFor(0, [&](size_t, unsigned) { ++Calls; });
+  EXPECT_EQ(Calls.load(), 0);
+  Pool.parallelFor(1, [&](size_t I, unsigned W) {
+    EXPECT_EQ(I, 0u);
+    EXPECT_EQ(W, 0u);
+    ++Calls;
+  });
+  EXPECT_EQ(Calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesBodyException) {
+  ThreadPool Pool(4);
+  EXPECT_THROW(Pool.parallelFor(100,
+                                [&](size_t I, unsigned) {
+                                  if (I == 37)
+                                    throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The pool survives a failed loop and keeps working.
+  std::atomic<int> Calls{0};
+  Pool.parallelFor(10, [&](size_t, unsigned) { ++Calls; });
+  EXPECT_EQ(Calls.load(), 10);
+}
+
+TEST(ThreadPoolTest, SubmitFutureRethrowsTaskException) {
+  ThreadPool Pool(2);
+  std::future<void> Ok = Pool.submit([] {});
+  std::future<void> Bad =
+      Pool.submit([] { throw std::logic_error("task failed"); });
+  EXPECT_NO_THROW(Ok.get());
+  EXPECT_THROW(Bad.get(), std::logic_error);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  constexpr int N = 64;
+  std::atomic<int> Completed{0};
+  {
+    ThreadPool Pool(2);
+    for (int I = 0; I < N; ++I)
+      Pool.submit([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++Completed;
+      });
+    // Destructor runs with most tasks still queued.
+  }
+  EXPECT_EQ(Completed.load(), N);
+}
+
+TEST(ThreadPoolTest, ParallelForMoreIndicesThanWorkersBalances) {
+  ThreadPool Pool(2);
+  std::atomic<long> Sum{0};
+  Pool.parallelFor(100, [&](size_t I, unsigned) {
+    Sum += static_cast<long>(I);
+  });
+  EXPECT_EQ(Sum.load(), 99L * 100L / 2L);
+}
+
+} // namespace

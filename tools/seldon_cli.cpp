@@ -31,6 +31,7 @@
 
 #include "support/StrUtil.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -51,12 +52,34 @@ struct CliOptions {
   int Iterations = 600;
   size_t RepCutoff = 5;
   size_t Top = 25;
+  unsigned Jobs = 0; // 0 = all hardware threads.
+  bool Progress = false;
   bool Dot = false;
   bool Dedup = true;
   bool Json = false;
   std::string ExplainRep;
   std::string ExplainRole = "source";
   std::vector<std::string> Paths;
+};
+
+/// Renders pipeline progress to stderr. The Session serializes callbacks,
+/// so plain fprintf is safe even with a parallel frontend.
+class CliProgress : public infer::ProgressObserver {
+public:
+  void onPhase(infer::Phase P) override {
+    std::fprintf(stderr, "[%s]\n", infer::phaseName(P));
+  }
+  void onProjectGraphBuilt(size_t Done, size_t Total) override {
+    // At most ~10 lines however large the corpus is.
+    size_t Step = std::max<size_t>(1, Total / 10);
+    if (Done == Total || Done % Step == 0)
+      std::fprintf(stderr, "  parsed %zu/%zu project(s)\n", Done, Total);
+  }
+  void onSolveIteration(int Iteration, double Objective) override {
+    if (Iteration % 50 == 0)
+      std::fprintf(stderr, "  iteration %d: objective %.6f\n", Iteration,
+                   Objective);
+  }
 };
 
 void usage() {
@@ -82,6 +105,11 @@ void usage() {
       "  --iters N         solver iterations (default 600)\n"
       "  --cutoff N        representation frequency cutoff (default 5)\n"
       "  --top N           max reports to print (default 25)\n"
+      "  --jobs N          worker threads for parsing/learning (default: "
+      "all\n"
+      "                    hardware threads; results are identical for any "
+      "N)\n"
+      "  --progress        learn/explain: print phase progress to stderr\n"
       "  --no-dedup        keep duplicate (source, sink) API pairs\n"
       "  --json            analyze: emit reports as JSON\n"
       "  --dot             graph: emit Graphviz DOT\n"
@@ -135,6 +163,13 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       if (!V)
         return false;
       Opts.Top = static_cast<size_t>(std::atoi(V));
+    } else if (Arg == "--jobs") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Jobs = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--progress") {
+      Opts.Progress = true;
     } else if (Arg == "--no-dedup") {
       Opts.Dedup = false;
     } else if (Arg == "--json") {
@@ -180,38 +215,38 @@ spec::SeedSpec loadSeed(const CliOptions &Opts, bool &Ok) {
   Ok = true;
   if (Opts.SeedFile.empty())
     return spec::SeedSpec::parse(spec::paperSeedSpecText());
-  std::optional<std::string> Text = pysem::readFile(Opts.SeedFile);
-  if (!Text) {
-    std::fprintf(stderr, "error: cannot read seed file %s\n",
-                 Opts.SeedFile.c_str());
+  spec::IOResult<spec::SeedSpec> Seed = spec::loadSeedSpec(Opts.SeedFile);
+  for (const std::string &W : Seed.Warnings)
+    std::fprintf(stderr, "seed: %s\n", W.c_str());
+  if (!Seed) {
+    std::fprintf(stderr, "error: %s\n", Seed.Error.c_str());
     Ok = false;
     return spec::SeedSpec();
   }
-  std::vector<std::string> Errors;
-  spec::SeedSpec Seed = spec::SeedSpec::parse(*Text, &Errors);
-  for (const std::string &E : Errors)
-    std::fprintf(stderr, "seed: %s\n", E.c_str());
-  return Seed;
+  return std::move(Seed.Value);
 }
 
 std::vector<pysem::Project> loadCorpus(const CliOptions &Opts, bool &Ok) {
   Ok = true;
   std::vector<pysem::Project> Corpus;
-  for (const std::string &Dir : Opts.Paths) {
-    std::vector<std::string> Errors;
-    std::optional<pysem::Project> Proj =
-        pysem::loadProjectFromDir(Dir, pysem::LoadOptions(), &Errors);
-    for (const std::string &E : Errors)
+  std::vector<std::vector<std::string>> Errors;
+  std::vector<std::optional<pysem::Project>> Loaded =
+      pysem::loadProjectsFromDirs(Opts.Paths, pysem::LoadOptions(),
+                                  Opts.Jobs, &Errors);
+  for (size_t I = 0; I < Loaded.size(); ++I) {
+    for (const std::string &E : Errors[I])
       std::fprintf(stderr, "warning: %s\n", E.c_str());
-    if (!Proj) {
-      std::fprintf(stderr, "error: %s is not a directory\n", Dir.c_str());
+    if (!Loaded[I]) {
+      std::fprintf(stderr, "error: %s is not a directory\n",
+                   Opts.Paths[I].c_str());
       Ok = false;
       return Corpus;
     }
     std::fprintf(stderr, "loaded %s: %zu Python files (%zu parse "
                  "diagnostics)\n",
-                 Dir.c_str(), Proj->modules().size(), Proj->numErrors());
-    Corpus.push_back(std::move(*Proj));
+                 Opts.Paths[I].c_str(), Loaded[I]->modules().size(),
+                 Loaded[I]->numErrors());
+    Corpus.push_back(std::move(*Loaded[I]));
   }
   return Corpus;
 }
@@ -230,17 +265,37 @@ int cmdLearn(const CliOptions &Opts) {
   infer::PipelineOptions PipelineOpts;
   PipelineOpts.Solve.MaxIterations = Opts.Iterations;
   PipelineOpts.Gen.RepCutoff = Opts.RepCutoff;
-  infer::PipelineResult R = infer::runPipeline(Corpus, Seed, PipelineOpts);
+  PipelineOpts.Jobs = Opts.Jobs;
+
+  infer::Session Session(PipelineOpts);
+  CliProgress Progress;
+  if (Opts.Progress)
+    Session.setObserver(&Progress);
+  Session.addProjects(Corpus);
+  Session.generateConstraints(Seed);
+  infer::PipelineResult R = Session.solve();
 
   std::fprintf(stderr,
-               "analyzed %zu files: %zu candidates, %zu constraints, "
-               "solved in %.2fs (%d iterations)\n",
-               R.NumFiles, R.System.NumCandidates,
+               "analyzed %zu files over %u job(s): %zu candidates, "
+               "%zu constraints, solved in %.2fs (%d iterations)\n",
+               R.NumFiles, R.JobsUsed, R.System.NumCandidates,
                R.System.Constraints.size(), R.SolveSeconds,
                R.Solve.Iterations);
-  return writeOutput(Opts, spec::writeLearnedSpec(R.Learned, Opts.Threshold))
-             ? 0
-             : 1;
+
+  if (Opts.OutFile.empty())
+    return writeOutput(Opts,
+                       spec::writeLearnedSpec(R.Learned, Opts.Threshold))
+               ? 0
+               : 1;
+  spec::IOResult<size_t> Saved =
+      spec::saveLearnedSpec(R.Learned, Opts.OutFile, Opts.Threshold);
+  if (!Saved) {
+    std::fprintf(stderr, "error: %s\n", Saved.Error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s (%zu bytes)\n", Opts.OutFile.c_str(),
+               Saved.Value);
+  return 0;
 }
 
 int cmdAnalyze(const CliOptions &Opts) {
@@ -257,16 +312,15 @@ int cmdAnalyze(const CliOptions &Opts) {
   spec::LearnedSpec Learned;
   bool HaveLearned = false;
   if (!Opts.SpecFile.empty()) {
-    std::optional<std::string> Text = pysem::readFile(Opts.SpecFile);
-    if (!Text) {
-      std::fprintf(stderr, "error: cannot read spec file %s\n",
-                   Opts.SpecFile.c_str());
+    spec::IOResult<spec::LearnedSpec> Loaded =
+        spec::loadLearnedSpec(Opts.SpecFile);
+    for (const std::string &W : Loaded.Warnings)
+      std::fprintf(stderr, "spec: %s\n", W.c_str());
+    if (!Loaded) {
+      std::fprintf(stderr, "error: %s\n", Loaded.Error.c_str());
       return 1;
     }
-    std::vector<std::string> Errors;
-    Learned = spec::parseLearnedSpec(*Text, &Errors);
-    for (const std::string &E : Errors)
-      std::fprintf(stderr, "spec: %s\n", E.c_str());
+    Learned = std::move(Loaded.Value);
     HaveLearned = true;
   }
 
@@ -375,7 +429,15 @@ int cmdExplain(const CliOptions &Opts) {
   infer::PipelineOptions PipelineOpts;
   PipelineOpts.Solve.MaxIterations = Opts.Iterations;
   PipelineOpts.Gen.RepCutoff = Opts.RepCutoff;
-  infer::PipelineResult R = infer::runPipeline(Corpus, Seed, PipelineOpts);
+  PipelineOpts.Jobs = Opts.Jobs;
+
+  infer::Session Session(PipelineOpts);
+  CliProgress Progress;
+  if (Opts.Progress)
+    Session.setObserver(&Progress);
+  Session.addProjects(Corpus);
+  Session.generateConstraints(Seed);
+  infer::PipelineResult R = Session.solve();
 
   constraints::Explanation E = constraints::explainRep(
       R.System, R.Reps, Opts.ExplainRep, Role, R.Solve.X);
@@ -424,16 +486,15 @@ int cmdDiff(const CliOptions &Opts) {
   }
   spec::LearnedSpec Specs[2];
   for (int I = 0; I < 2; ++I) {
-    std::optional<std::string> Text = pysem::readFile(Opts.Paths[I]);
-    if (!Text) {
-      std::fprintf(stderr, "error: cannot read %s\n",
-                   Opts.Paths[I].c_str());
+    spec::IOResult<spec::LearnedSpec> Loaded =
+        spec::loadLearnedSpec(Opts.Paths[I]);
+    for (const std::string &W : Loaded.Warnings)
+      std::fprintf(stderr, "%s: %s\n", Opts.Paths[I].c_str(), W.c_str());
+    if (!Loaded) {
+      std::fprintf(stderr, "error: %s\n", Loaded.Error.c_str());
       return 1;
     }
-    std::vector<std::string> Errors;
-    Specs[I] = spec::parseLearnedSpec(*Text, &Errors);
-    for (const std::string &E : Errors)
-      std::fprintf(stderr, "%s: %s\n", Opts.Paths[I].c_str(), E.c_str());
+    Specs[I] = std::move(Loaded.Value);
   }
   spec::SpecDiff Diff =
       spec::diffLearnedSpecs(Specs[0], Specs[1], Opts.Threshold);
