@@ -63,6 +63,7 @@ int main() {
 
   bool AllIdentical = true;
   double HalfRate = 0.0, LastRate = 0.0;
+  solver::CompileStats LastStats;
   for (int Fraction = 1; Fraction <= 8; ++Fraction) {
     corpus::CorpusOptions CorpusOpts = standardCorpusOptions();
     CorpusOpts.NumProjects = MaxProjects * Fraction / 8;
@@ -86,6 +87,7 @@ int main() {
     if (Fraction == 4)
       HalfRate = MsPerFile;
     LastRate = MsPerFile;
+    LastStats = R.SolverStats;
     Table.addRow({std::to_string(R.NumFiles),
                   std::to_string(R.System.Constraints.size()),
                   formatString("%.3f", Serial.TotalSeconds),
@@ -99,6 +101,11 @@ int main() {
   }
   Table.print(std::cout);
 
+  std::cout << formatString(
+      "\ncompiled solver at full size: %zu constraints -> %zu rows "
+      "(dedup %.2fx), %zu non-zeros\n",
+      LastStats.RowsBefore, LastStats.RowsAfter, LastStats.dedupRatio(),
+      LastStats.NonZeros);
   std::cout << formatString(
       "\nSerial and parallel learned specs byte-identical at every size: "
       "%s\n",

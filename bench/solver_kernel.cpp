@@ -1,0 +1,124 @@
+//===- bench/solver_kernel.cpp - Legacy vs compiled solve stage -----------===//
+//
+// Times the solve stage on the Fig. 10 corpus with the legacy Objective
+// and with the compiled fused kernel, at Jobs=1 and at SELDON_JOBS threads,
+// and verifies that all four runs emit byte-identical learned
+// specifications. Emits a JSON summary to stdout (scripts/bench_solver.sh
+// redirects it into BENCH_solver.json) and a human-readable table to
+// stderr. Exits non-zero if any specification differs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/ExperimentDriver.h"
+#include "spec/SpecIO.h"
+#include "support/StrUtil.h"
+#include "support/ThreadPool.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace seldon;
+using namespace seldon::eval;
+
+namespace {
+
+struct SolveRun {
+  infer::PipelineResult Result;
+  std::string Spec;
+};
+
+SolveRun solveWith(infer::Session &Session, bool Compiled, unsigned Jobs) {
+  Session.options().UseCompiledSolver = Compiled;
+  Session.options().Jobs = Jobs;
+  SolveRun Run;
+  Run.Result = Session.solve();
+  Run.Spec = spec::writeLearnedSpec(Run.Result.Learned, ScoreThreshold);
+  return Run;
+}
+
+} // namespace
+
+int main() {
+  int NumProjects = envInt("SELDON_PROJECTS", 300);
+  unsigned Jobs = static_cast<unsigned>(
+      envInt("SELDON_JOBS",
+             static_cast<int>(ThreadPool::hardwareConcurrency())));
+
+  corpus::CorpusOptions CorpusOpts = standardCorpusOptions();
+  CorpusOpts.NumProjects = NumProjects;
+  corpus::Corpus Data = corpus::generateCorpus(CorpusOpts);
+
+  // Parse + generate once; every solve below reuses the same constraint
+  // system, so the timings isolate the solve stage.
+  infer::PipelineOptions PipelineOpts = standardPipelineOptions();
+  infer::Session Session(PipelineOpts);
+  Session.addProjects(Data.Projects);
+  Session.generateConstraints(Data.Seed);
+
+  std::fprintf(stderr, "solver bench: %d project(s), %u parallel job(s)\n",
+               NumProjects, Jobs);
+  SolveRun LegacySerial = solveWith(Session, /*Compiled=*/false, 1);
+  SolveRun CompiledSerial = solveWith(Session, /*Compiled=*/true, 1);
+  SolveRun LegacyParallel = solveWith(Session, /*Compiled=*/false, Jobs);
+  SolveRun CompiledParallel = solveWith(Session, /*Compiled=*/true, Jobs);
+
+  bool Identical = LegacySerial.Spec == CompiledSerial.Spec &&
+                   LegacySerial.Spec == LegacyParallel.Spec &&
+                   LegacySerial.Spec == CompiledParallel.Spec;
+
+  const infer::PipelineResult &R = CompiledSerial.Result;
+  const solver::CompileStats &S = R.SolverStats;
+  double SerialSpeedup =
+      CompiledSerial.Result.SolveSeconds > 0.0
+          ? LegacySerial.Result.SolveSeconds /
+                CompiledSerial.Result.SolveSeconds
+          : 0.0;
+  double ParallelSpeedup =
+      CompiledParallel.Result.SolveSeconds > 0.0
+          ? LegacyParallel.Result.SolveSeconds /
+                CompiledParallel.Result.SolveSeconds
+          : 0.0;
+
+  std::fprintf(stderr,
+               "system: %zu constraints -> %zu rows (dedup %.2fx), "
+               "%zu non-zeros, %d iterations\n",
+               S.RowsBefore, S.RowsAfter, S.dedupRatio(), S.NonZeros,
+               R.Solve.Iterations);
+  std::fprintf(stderr, "legacy   jobs=1: %.3fs   jobs=%u: %.3fs\n",
+               LegacySerial.Result.SolveSeconds, Jobs,
+               LegacyParallel.Result.SolveSeconds);
+  std::fprintf(stderr, "compiled jobs=1: %.3fs   jobs=%u: %.3fs\n",
+               CompiledSerial.Result.SolveSeconds, Jobs,
+               CompiledParallel.Result.SolveSeconds);
+  std::fprintf(stderr, "speedup  jobs=1: %.2fx   jobs=%u: %.2fx\n",
+               SerialSpeedup, Jobs, ParallelSpeedup);
+  std::fprintf(stderr, "learned specs byte-identical across all runs: %s\n",
+               Identical ? "yes" : "NO — EQUIVALENCE BUG");
+
+  std::string Json = "{\n";
+  Json += formatString("  \"projects\": %d,\n", NumProjects);
+  Json += formatString("  \"files\": %zu,\n", R.NumFiles);
+  Json += formatString("  \"jobs\": %u,\n", Jobs);
+  Json += formatString("  \"constraints\": %zu,\n", S.RowsBefore);
+  Json += formatString("  \"rows_after_dedup\": %zu,\n", S.RowsAfter);
+  Json += formatString("  \"dedup_ratio\": %.4f,\n", S.dedupRatio());
+  Json += formatString("  \"nonzeros\": %zu,\n", S.NonZeros);
+  Json += formatString("  \"max_multiplicity\": %zu,\n", S.MaxMultiplicity);
+  Json += formatString("  \"iterations\": %d,\n", R.Solve.Iterations);
+  Json += formatString("  \"legacy_serial_seconds\": %.6f,\n",
+                       LegacySerial.Result.SolveSeconds);
+  Json += formatString("  \"compiled_serial_seconds\": %.6f,\n",
+                       CompiledSerial.Result.SolveSeconds);
+  Json += formatString("  \"legacy_parallel_seconds\": %.6f,\n",
+                       LegacyParallel.Result.SolveSeconds);
+  Json += formatString("  \"compiled_parallel_seconds\": %.6f,\n",
+                       CompiledParallel.Result.SolveSeconds);
+  Json += formatString("  \"serial_speedup\": %.4f,\n", SerialSpeedup);
+  Json += formatString("  \"parallel_speedup\": %.4f,\n", ParallelSpeedup);
+  Json += formatString("  \"byte_identical\": %s\n",
+                       Identical ? "true" : "false");
+  Json += "}\n";
+  std::fputs(Json.c_str(), stdout);
+
+  return Identical ? 0 : 1;
+}

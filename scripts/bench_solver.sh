@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Times the solve stage with the legacy evaluator and the compiled fused
+# kernel on the Fig. 10 corpus and writes the comparison to
+# BENCH_solver.json (in the repo root, or $1 if given). Exits non-zero if
+# the two paths disagree on the learned specification or if the compiled
+# kernel is not at least 2x faster serially.
+#
+# Knobs: SELDON_PROJECTS (corpus size, default 300), SELDON_JOBS.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+OUT="${1:-$ROOT/BENCH_solver.json}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
+cmake --build "$ROOT/build" -j "$JOBS" --target solver_kernel >/dev/null
+
+"$ROOT/build/bench/solver_kernel" > "$OUT"
+echo "wrote $OUT"
+
+python3 - "$OUT" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+if not r["byte_identical"]:
+    sys.exit("FAIL: legacy and compiled specs differ")
+if r["serial_speedup"] < 2.0:
+    sys.exit(f"FAIL: serial speedup {r['serial_speedup']:.2f}x < 2x")
+print(f"OK: {r['serial_speedup']:.2f}x serial speedup, "
+      f"{r['dedup_ratio']:.2f}x dedup, specs byte-identical")
+EOF

@@ -18,9 +18,9 @@ cmake -B "$ROOT/build-tsan" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -g"
 cmake --build "$ROOT/build-tsan" -j "$JOBS" \
-  --target threadpool_test pipeline_parallel_test
+  --target threadpool_test pipeline_parallel_test compiled_objective_test
 ctest --test-dir "$ROOT/build-tsan" --output-on-failure -j "$JOBS" \
-  -R 'ThreadPoolTest|PipelineParallelTest'
+  -R 'ThreadPoolTest|PipelineParallelTest|CompileTest|CompiledEquivalenceTest'
 
 echo
 echo "all checks passed"

@@ -11,3 +11,11 @@ solver::Objective ConstraintSystem::makeObjective(double Lambda) const {
     Obj.pin(Var, Value);
   return Obj;
 }
+
+solver::CompiledObjective
+ConstraintSystem::makeCompiledObjective(double Lambda) const {
+  solver::CompiledObjective Obj(Vars.numVars(), Constraints, Lambda);
+  for (const auto &[Var, Value] : Pinned)
+    Obj.pin(Var, Value);
+  return Obj;
+}

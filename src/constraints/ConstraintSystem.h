@@ -17,6 +17,7 @@
 #define SELDON_CONSTRAINTS_CONSTRAINTSYSTEM_H
 
 #include "constraints/VarTable.h"
+#include "solver/CompiledObjective.h"
 #include "solver/Objective.h"
 
 #include <vector>
@@ -45,6 +46,10 @@ struct ConstraintSystem {
   /// Builds the solver objective (hinge relaxation + L1, Eq. 9) with the
   /// regularization strength \p Lambda.
   solver::Objective makeObjective(double Lambda) const;
+
+  /// Compiles the system directly into the fused CSR form (same semantics
+  /// as makeObjective; see solver/CompiledObjective.h).
+  solver::CompiledObjective makeCompiledObjective(double Lambda) const;
 };
 
 } // namespace constraints

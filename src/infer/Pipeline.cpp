@@ -166,25 +166,39 @@ PipelineResult Session::solve() {
   }
 
   Timer SolveTimer;
-  solver::Objective Obj = Result.System.makeObjective(Opts.Lambda);
-  Obj.setThreadPool(P);
-  std::vector<double> X0 = Obj.initialPoint();
-  if (Opts.WarmStart) {
-    // Seed each variable with the previous run's score for its
-    // (representation, role); new variables start at zero.
-    const constraints::VarTable &Vars = Result.System.Vars;
-    for (uint32_t V = 0; V < Vars.numVars(); ++V) {
-      const std::string &Rep = Result.Reps.repString(Vars.repOf(V));
-      X0[V] = Opts.WarmStart->score(Rep, Vars.roleOf(V));
+  // Either evaluator runs the same optimizer loop over the same system;
+  // the learned scores are byte-identical (see docs/architecture.md).
+  auto RunSolver = [&](const auto &Obj) {
+    std::vector<double> X0 = Obj.initialPoint();
+    if (Opts.WarmStart) {
+      // Seed each variable with the previous run's score for its
+      // (representation, role); new variables start at zero.
+      const constraints::VarTable &Vars = Result.System.Vars;
+      for (uint32_t V = 0; V < Vars.numVars(); ++V) {
+        const std::string &Rep = Result.Reps.repString(Vars.repOf(V));
+        X0[V] = Opts.WarmStart->score(Rep, Vars.roleOf(V));
+      }
+      Obj.project(X0);
     }
-    Obj.project(X0);
-  }
-  if (Opts.UseAdam) {
-    solver::AdamOptimizer Optimizer(SolveOpts);
-    Result.Solve = Optimizer.minimize(Obj, std::move(X0));
+    if (Opts.UseAdam) {
+      solver::AdamOptimizer Optimizer(SolveOpts);
+      Result.Solve = Optimizer.minimize(Obj, std::move(X0));
+    } else {
+      solver::ProjectedGradient Optimizer(SolveOpts);
+      Result.Solve = Optimizer.minimize(Obj, std::move(X0));
+    }
+  };
+  if (Opts.UseCompiledSolver) {
+    solver::CompiledObjective Obj =
+        Result.System.makeCompiledObjective(Opts.Lambda);
+    Obj.setThreadPool(P);
+    Result.UsedCompiledSolver = true;
+    Result.SolverStats = Obj.stats();
+    RunSolver(Obj);
   } else {
-    solver::ProjectedGradient Optimizer(SolveOpts);
-    Result.Solve = Optimizer.minimize(Obj, std::move(X0));
+    solver::Objective Obj = Result.System.makeObjective(Opts.Lambda);
+    Obj.setThreadPool(P);
+    RunSolver(Obj);
   }
   Result.SolveSeconds = SolveTimer.seconds();
 

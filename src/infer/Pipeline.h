@@ -34,6 +34,7 @@
 #include "spec/LearnedSpec.h"
 #include "spec/SeedSpec.h"
 #include "solver/AdamOptimizer.h"
+#include "solver/CompiledObjective.h"
 #include "solver/ProjectedGradient.h"
 
 #include <memory>
@@ -55,6 +56,11 @@ struct PipelineOptions {
   /// Use projected Adam (the paper's optimizer); false switches to plain
   /// projected subgradient descent (ablation).
   bool UseAdam = true;
+  /// Lower the constraint system into the compiled fused kernel
+  /// (solver/CompiledObjective.h) before solving. The learned scores are
+  /// byte-identical to the legacy evaluator; false keeps the reference
+  /// Objective path (`--legacy-solver`, comparison benches).
+  bool UseCompiledSolver = true;
   /// Warm-start the optimizer from a previously learned specification
   /// (matched by representation string): retraining after the corpus
   /// grows converges in far fewer iterations. Null starts from zero.
@@ -113,6 +119,12 @@ struct PipelineResult {
   double BuildSeconds = 0.0;
   double GenSeconds = 0.0;
   double SolveSeconds = 0.0;
+
+  /// Whether the solve used the compiled kernel, and what its compilation
+  /// pass did (rows coalesced, CSR non-zeros). Stats are zero when the
+  /// legacy path ran.
+  bool UsedCompiledSolver = false;
+  solver::CompileStats SolverStats;
 
   /// Worker threads the run actually used.
   unsigned JobsUsed = 1;

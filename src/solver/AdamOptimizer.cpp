@@ -2,16 +2,20 @@
 
 #include "solver/AdamOptimizer.h"
 
+#include "solver/CompiledObjective.h"
+
 #include <cmath>
 
 using namespace seldon;
 using namespace seldon::solver;
 
-SolveResult AdamOptimizer::minimize(const Objective &Obj) const {
+template <class ObjT>
+SolveResult AdamOptimizer::minimize(const ObjT &Obj) const {
   return minimize(Obj, Obj.initialPoint());
 }
 
-SolveResult AdamOptimizer::minimize(const Objective &Obj,
+template <class ObjT>
+SolveResult AdamOptimizer::minimize(const ObjT &Obj,
                                     std::vector<double> X0) const {
   SolveResult Result;
   Result.X = std::move(X0);
@@ -19,17 +23,22 @@ SolveResult AdamOptimizer::minimize(const Objective &Obj,
 
   const size_t N = Obj.numVars();
   std::vector<double> M(N, 0.0), V(N, 0.0), Grad, Mapped;
+  // The only constraint evaluation per iteration: one fused call yields
+  // both the objective value at the current iterate and its subgradient.
+  double Value = Obj.valueAndGradient(Result.X, Grad);
   std::vector<double> Best = Result.X;
-  double BestValue = Obj.value(Result.X);
+  double BestValue = Value;
+  // Bias-correction powers β₁ᵗ/β₂ᵗ, maintained incrementally instead of
+  // calling std::pow every iteration.
+  double Beta1T = 1.0, Beta2T = 1.0;
 
   for (int Iter = 1; Iter <= Options.MaxIterations; ++Iter) {
-    Obj.gradient(Result.X, Grad);
-
     // Stationarity test via the projected-gradient mapping: at a solution,
     // a plain projected step does not move the iterate. (Comparing
     // objective values is unreliable here: an iterate pinned to the box
     // boundary by leftover momentum keeps the objective constant without
-    // being optimal.)
+    // being optimal.) The probe reuses the gradient of the fused call —
+    // no extra constraint sweep.
     Mapped = Result.X;
     for (size_t I = 0; I < N; ++I)
       Mapped[I] -= Options.LearningRate * Grad[I];
@@ -41,12 +50,12 @@ SolveResult AdamOptimizer::minimize(const Objective &Obj,
       Result.Converged = true;
       Result.Iterations = Iter;
       if (Options.OnIteration)
-        Options.OnIteration(Iter, Obj.value(Result.X));
+        Options.OnIteration(Iter, Value);
       break;
     }
 
-    double Beta1T = std::pow(Options.Beta1, Iter);
-    double Beta2T = std::pow(Options.Beta2, Iter);
+    Beta1T *= Options.Beta1;
+    Beta2T *= Options.Beta2;
     for (size_t I = 0; I < N; ++I) {
       M[I] = Options.Beta1 * M[I] + (1.0 - Options.Beta1) * Grad[I];
       V[I] = Options.Beta2 * V[I] + (1.0 - Options.Beta2) * Grad[I] * Grad[I];
@@ -58,22 +67,40 @@ SolveResult AdamOptimizer::minimize(const Objective &Obj,
     Obj.project(Result.X);
     Result.Iterations = Iter;
 
+    Value = Obj.valueAndGradient(Result.X, Grad);
     // Subgradient iterations are not monotone; keep the best point seen.
-    double Current = Obj.value(Result.X);
-    if (Current < BestValue) {
-      BestValue = Current;
+    if (Value < BestValue) {
+      BestValue = Value;
       Best = Result.X;
     }
     if (Options.OnIteration)
-      Options.OnIteration(Iter, Current);
+      Options.OnIteration(Iter, Value);
   }
 
-  double FinalValue = Obj.value(Result.X);
-  if (FinalValue <= BestValue) {
-    Result.FinalObjective = FinalValue;
+  // Value is the objective at the final iterate: the loop left it there
+  // after the last step (or at the initial point when the loop never ran).
+  if (Value <= BestValue) {
+    Result.FinalObjective = Value;
   } else {
     Result.X = std::move(Best);
     Result.FinalObjective = BestValue;
   }
   return Result;
 }
+
+namespace seldon {
+namespace solver {
+
+template SolveResult AdamOptimizer::minimize<Objective>(const Objective &)
+    const;
+template SolveResult
+AdamOptimizer::minimize<Objective>(const Objective &,
+                                   std::vector<double>) const;
+template SolveResult
+AdamOptimizer::minimize<CompiledObjective>(const CompiledObjective &) const;
+template SolveResult
+AdamOptimizer::minimize<CompiledObjective>(const CompiledObjective &,
+                                           std::vector<double>) const;
+
+} // namespace solver
+} // namespace seldon

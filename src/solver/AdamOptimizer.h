@@ -11,6 +11,14 @@
 /// estimates and bias correction, projecting onto [0,1] (and the pinned
 /// seed values) after every step.
 ///
+/// The loop drives any objective exposing the fused interface
+/// (numVars / project / initialPoint / valueAndGradient) and needs exactly
+/// one valueAndGradient evaluation per iteration: the objective value, the
+/// stationarity probe, best-iterate tracking, and the progress callback all
+/// derive from that single call. On a CompiledObjective that is one
+/// constraint sweep per iteration; the legacy Objective's reference
+/// implementation spends two sweeps inside valueAndGradient.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SELDON_SOLVER_ADAMOPTIMIZER_H
@@ -21,17 +29,21 @@
 namespace seldon {
 namespace solver {
 
-/// Projected Adam gradient descent.
+class CompiledObjective;
+
+/// Projected Adam gradient descent over Objective or CompiledObjective
+/// (explicitly instantiated for both in AdamOptimizer.cpp).
 class AdamOptimizer {
 public:
   explicit AdamOptimizer(SolveOptions Options = SolveOptions())
       : Options(Options) {}
 
   /// Minimizes \p Obj starting from Obj.initialPoint().
-  SolveResult minimize(const Objective &Obj) const;
+  template <class ObjT> SolveResult minimize(const ObjT &Obj) const;
 
   /// Minimizes \p Obj starting from \p X0 (projected first).
-  SolveResult minimize(const Objective &Obj, std::vector<double> X0) const;
+  template <class ObjT>
+  SolveResult minimize(const ObjT &Obj, std::vector<double> X0) const;
 
 private:
   SolveOptions Options;

@@ -1,0 +1,280 @@
+//===- solver/CompiledObjective.cpp - Compiled fused solver kernel --------===//
+
+#include "solver/CompiledObjective.h"
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+using namespace seldon;
+using namespace seldon::solver;
+
+namespace {
+
+/// One canonicalized constraint: Σ Coef·Var ≤ C with variables sorted and
+/// merged. The byte image of (C, Terms) is the coalescing key.
+struct CanonicalRow {
+  std::vector<std::pair<uint32_t, double>> Terms;
+  double C = 0.0;
+};
+
+/// Canonicalizes one constraint: folds Rhs into Lhs with negated
+/// coefficients, sorts by variable id, merges duplicates by summing their
+/// coefficients in double (float + float is exact in double), and drops
+/// terms whose merged coefficient cancelled to exactly zero.
+CanonicalRow canonicalize(const LinearConstraint &LC) {
+  CanonicalRow Row;
+  Row.C = LC.C;
+  Row.Terms.reserve(LC.Lhs.size() + LC.Rhs.size());
+  for (const Term &T : LC.Lhs)
+    Row.Terms.emplace_back(T.Var, static_cast<double>(T.Coef));
+  for (const Term &T : LC.Rhs)
+    Row.Terms.emplace_back(T.Var, -static_cast<double>(T.Coef));
+  std::sort(Row.Terms.begin(), Row.Terms.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+
+  size_t Out = 0;
+  for (size_t I = 0; I < Row.Terms.size();) {
+    uint32_t Var = Row.Terms[I].first;
+    double Sum = 0.0;
+    for (; I < Row.Terms.size() && Row.Terms[I].first == Var; ++I)
+      Sum += Row.Terms[I].second;
+    if (Sum != 0.0)
+      Row.Terms[Out++] = {Var, Sum};
+  }
+  Row.Terms.resize(Out);
+  return Row;
+}
+
+/// Byte image of a canonical row, used as the exact-duplicate key. Zero
+/// coefficients were dropped and -0.0 cannot survive merging into the
+/// image (a sum that is zero is dropped; a single term keeps its sign bit
+/// only if the source coefficient was -0.0, which canonicalize removed),
+/// so bytewise equality is value equality.
+std::string keyOf(const CanonicalRow &Row) {
+  std::string Key;
+  Key.resize(sizeof(double) + Row.Terms.size() * (sizeof(uint32_t) +
+                                                  sizeof(double)));
+  char *P = Key.data();
+  std::memcpy(P, &Row.C, sizeof(double));
+  P += sizeof(double);
+  for (const auto &[Var, Coef] : Row.Terms) {
+    std::memcpy(P, &Var, sizeof(uint32_t));
+    P += sizeof(uint32_t);
+    std::memcpy(P, &Coef, sizeof(double));
+    P += sizeof(double);
+  }
+  return Key;
+}
+
+} // namespace
+
+CompiledObjective::CompiledObjective(
+    size_t NumVars, const std::vector<LinearConstraint> &Constraints,
+    double Lambda)
+    : NumVars(NumVars), Lambda(Lambda), Pinned(NumVars, 0),
+      PinnedValues(NumVars, 0.0) {
+  Stats.RowsBefore = Constraints.size();
+
+  // Coalesce canonically-identical constraints, keeping survivors in
+  // first-occurrence order so the row layout is deterministic and mirrors
+  // the legacy constraint order.
+  std::unordered_map<std::string, uint32_t> RowIndex;
+  RowIndex.reserve(Constraints.size());
+  RowBegin.push_back(0);
+  for (const LinearConstraint &LC : Constraints) {
+    Stats.TermsBefore += LC.Lhs.size() + LC.Rhs.size();
+    CanonicalRow Row = canonicalize(LC);
+#ifndef NDEBUG
+    for (const auto &[Var, CoefV] : Row.Terms) {
+      (void)CoefV;
+      assert(Var < NumVars && "constraint references unknown variable");
+    }
+#endif
+    auto [It, Inserted] =
+        RowIndex.emplace(keyOf(Row), static_cast<uint32_t>(C.size()));
+    if (!Inserted) {
+      Weight[It->second] += 1.0;
+      continue;
+    }
+    for (const auto &[Var, CoefV] : Row.Terms) {
+      VarIdx.push_back(Var);
+      Coef.push_back(CoefV);
+    }
+    RowBegin.push_back(static_cast<uint32_t>(VarIdx.size()));
+    Weight.push_back(1.0);
+    C.push_back(Row.C);
+  }
+  Stats.RowsAfter = C.size();
+  Stats.NonZeros = VarIdx.size();
+  for (double W : Weight)
+    Stats.MaxMultiplicity =
+        std::max(Stats.MaxMultiplicity, static_cast<size_t>(W));
+
+  // Fixed shard structure: a function of the row count only, so every
+  // Jobs setting performs the same floating-point reductions. Same
+  // partitioning rule as the legacy Objective.
+  size_t N = C.size();
+  size_t Size = std::max(MinShardSize, (N + MaxShards - 1) / MaxShards);
+  for (size_t Begin = 0; Begin < N; Begin += Size)
+    Shards.push_back({Begin, std::min(N, Begin + Size)});
+}
+
+CompiledObjective CompiledObjective::compile(const Objective &Obj) {
+  CompiledObjective Compiled(Obj.numVars(), Obj.constraints(), Obj.lambda());
+  Compiled.Pinned = Obj.pinnedMask();
+  Compiled.PinnedValues = Obj.pinnedValues();
+  return Compiled;
+}
+
+void CompiledObjective::pin(uint32_t Var, double Value) {
+  assert(Var < NumVars);
+  assert(Value >= 0.0 && Value <= 1.0 && "pinned values must lie in [0,1]");
+  Pinned[Var] = 1;
+  PinnedValues[Var] = Value;
+}
+
+std::vector<double> CompiledObjective::initialPoint() const {
+  std::vector<double> X(NumVars, 0.0);
+  project(X);
+  return X;
+}
+
+double CompiledObjective::shardSweep(const Shard &S, const double *X,
+                                     double *GradOut) const {
+  double Total = 0.0;
+  for (size_t R = S.Begin; R < S.End; ++R) {
+    const uint32_t Begin = RowBegin[R], End = RowBegin[R + 1];
+    double V = -C[R];
+    for (uint32_t K = Begin; K < End; ++K)
+      V += Coef[K] * X[VarIdx[K]];
+    if (V <= 0.0)
+      continue; // Satisfied: no loss, subgradient 0.
+    const double W = Weight[R];
+    Total += W * V;
+    if (GradOut)
+      for (uint32_t K = Begin; K < End; ++K)
+        GradOut[VarIdx[K]] += W * Coef[K];
+  }
+  return Total;
+}
+
+double CompiledObjective::sweep(const std::vector<double> &X,
+                                bool WithGradient,
+                                std::vector<double> *Grad) const {
+  assert(X.size() == NumVars);
+  if (WithGradient)
+    Grad->assign(NumVars, 0.0);
+  if (Shards.empty())
+    return 0.0;
+  if (Shards.size() == 1)
+    return shardSweep(Shards[0], X.data(),
+                      WithGradient ? Grad->data() : nullptr);
+
+  ShardHinge.assign(Shards.size(), 0.0);
+  if (WithGradient)
+    ShardGrad.resize(Shards.size());
+  auto RunShard = [&](size_t S, unsigned) {
+    double *GradOut = nullptr;
+    if (WithGradient) {
+      ShardGrad[S].assign(NumVars, 0.0);
+      GradOut = ShardGrad[S].data();
+    }
+    ShardHinge[S] = shardSweep(Shards[S], X.data(), GradOut);
+  };
+  if (Pool)
+    Pool->parallelFor(Shards.size(), RunShard);
+  else
+    for (size_t S = 0; S < Shards.size(); ++S)
+      RunShard(S, 0);
+
+  // Reduce in shard order (deterministic regardless of execution order).
+  double Total = 0.0;
+  for (double P : ShardHinge)
+    Total += P;
+  if (!WithGradient)
+    return Total;
+
+  // Reduce gradient buffers in shard order. Each variable's sum is an
+  // independent fixed-order chain, so the reduction may fan out over
+  // variable ranges without changing a single bit of the result.
+  double *Out = Grad->data();
+  auto ReduceRange = [&](size_t Begin, size_t End) {
+    for (const std::vector<double> &Buf : ShardGrad)
+      for (size_t V = Begin; V < End; ++V)
+        Out[V] += Buf[V];
+  };
+  if (Pool && NumVars >= 4096) {
+    unsigned Workers = Pool->numWorkers();
+    size_t Chunk = (NumVars + Workers - 1) / Workers;
+    size_t NumChunks = (NumVars + Chunk - 1) / Chunk;
+    Pool->parallelFor(NumChunks, [&](size_t Ch, unsigned) {
+      ReduceRange(Ch * Chunk, std::min(NumVars, (Ch + 1) * Chunk));
+    });
+  } else {
+    ReduceRange(0, NumVars);
+  }
+  return Total;
+}
+
+double CompiledObjective::valueAndGradient(const std::vector<double> &X,
+                                           std::vector<double> &Grad) const {
+  double Total = sweep(X, /*WithGradient=*/true, &Grad);
+  // Flat epilogue over the pin mask: pinned variables lose their gradient
+  // and carry no L1 term; free variables pick up +λ and λ·x. The L1
+  // additions run in ascending variable order after the whole hinge term,
+  // matching the legacy value() addition sequence exactly.
+  const uint8_t *Pin = Pinned.data();
+  double *G = Grad.data();
+  for (uint32_t V = 0; V < NumVars; ++V) {
+    if (Pin[V]) {
+      G[V] = 0.0;
+    } else {
+      G[V] += Lambda;
+      Total += Lambda * X[V];
+    }
+  }
+  return Total;
+}
+
+double CompiledObjective::hingeLoss(const std::vector<double> &X) const {
+  return sweep(X, /*WithGradient=*/false, nullptr);
+}
+
+double CompiledObjective::value(const std::vector<double> &X) const {
+  double Total = hingeLoss(X);
+  const uint8_t *Pin = Pinned.data();
+  for (uint32_t V = 0; V < NumVars; ++V)
+    if (!Pin[V])
+      Total += Lambda * X[V];
+  return Total;
+}
+
+void CompiledObjective::gradient(const std::vector<double> &X,
+                                 std::vector<double> &Grad) const {
+  sweep(X, /*WithGradient=*/true, &Grad);
+  const uint8_t *Pin = Pinned.data();
+  double *G = Grad.data();
+  for (uint32_t V = 0; V < NumVars; ++V) {
+    if (Pin[V])
+      G[V] = 0.0;
+    else
+      G[V] += Lambda;
+  }
+}
+
+void CompiledObjective::project(std::vector<double> &X) const {
+  assert(X.size() == NumVars);
+  const uint8_t *Pin = Pinned.data();
+  for (uint32_t V = 0; V < NumVars; ++V) {
+    if (Pin[V])
+      X[V] = PinnedValues[V];
+    else
+      X[V] = std::clamp(X[V], 0.0, 1.0);
+  }
+}

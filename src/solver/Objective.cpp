@@ -10,19 +10,10 @@
 using namespace seldon;
 using namespace seldon::solver;
 
-namespace {
-
-/// Shards smaller than this are not worth a task dispatch; the cap bounds
-/// the per-shard gradient buffers (MaxShards * NumVars doubles).
-constexpr size_t MinShardSize = 1024;
-constexpr size_t MaxShards = 32;
-
-} // namespace
-
 Objective::Objective(size_t NumVars,
                      std::vector<LinearConstraint> Constraints, double Lambda)
     : NumVars(NumVars), Constraints(std::move(Constraints)), Lambda(Lambda),
-      Pinned(NumVars, false), PinnedValues(NumVars, 0.0) {
+      Pinned(NumVars, 0), PinnedValues(NumVars, 0.0) {
 #ifndef NDEBUG
   for (const LinearConstraint &C : this->Constraints) {
     for (const Term &T : C.Lhs)
@@ -42,7 +33,7 @@ Objective::Objective(size_t NumVars,
 void Objective::pin(uint32_t Var, double Value) {
   assert(Var < NumVars);
   assert(Value >= 0.0 && Value <= 1.0 && "pinned values must lie in [0,1]");
-  Pinned[Var] = true;
+  Pinned[Var] = 1;
   PinnedValues[Var] = Value;
 }
 
@@ -92,8 +83,9 @@ double Objective::hingeLoss(const std::vector<double> &X) const {
 
 double Objective::value(const std::vector<double> &X) const {
   double Total = hingeLoss(X);
+  const uint8_t *Pin = Pinned.data();
   for (uint32_t V = 0; V < NumVars; ++V)
-    if (!Pinned[V])
+    if (!Pin[V])
       Total += Lambda * X[V];
   return Total;
 }
@@ -152,8 +144,9 @@ void Objective::gradient(const std::vector<double> &X,
       ReduceRange(0, NumVars);
     }
   }
+  const uint8_t *Pin = Pinned.data();
   for (uint32_t V = 0; V < NumVars; ++V) {
-    if (Pinned[V])
+    if (Pin[V])
       Grad[V] = 0.0;
     else
       Grad[V] += Lambda;
@@ -162,8 +155,9 @@ void Objective::gradient(const std::vector<double> &X,
 
 void Objective::project(std::vector<double> &X) const {
   assert(X.size() == NumVars);
+  const uint8_t *Pin = Pinned.data();
   for (uint32_t V = 0; V < NumVars; ++V) {
-    if (Pinned[V])
+    if (Pin[V])
       X[V] = PinnedValues[V];
     else
       X[V] = std::clamp(X[V], 0.0, 1.0);

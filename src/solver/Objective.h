@@ -32,6 +32,12 @@ class ThreadPool;
 
 namespace solver {
 
+/// Shard partitioning rule, shared by Objective and CompiledObjective:
+/// shards smaller than MinShardSize are not worth a task dispatch; the cap
+/// bounds the per-shard gradient buffers (MaxShards * NumVars doubles).
+constexpr size_t MinShardSize = 1024;
+constexpr size_t MaxShards = 32;
+
 /// One weighted variable occurrence.
 struct Term {
   uint32_t Var = 0;
@@ -81,6 +87,16 @@ public:
   /// Pinned variables receive gradient 0.
   void gradient(const std::vector<double> &X, std::vector<double> &Grad) const;
 
+  /// Reference evaluator for the optimizer's fused interface: gradient()
+  /// followed by value() — two constraint sweeps, bit-identical to calling
+  /// them separately. CompiledObjective fuses the same quantities into one
+  /// sweep.
+  double valueAndGradient(const std::vector<double> &X,
+                          std::vector<double> &Grad) const {
+    gradient(X, Grad);
+    return value(X);
+  }
+
   /// Projects \p X onto the feasible set: clamps to [0, 1] and restores
   /// pinned values.
   void project(std::vector<double> &X) const;
@@ -88,8 +104,16 @@ public:
   size_t numVars() const { return NumVars; }
   size_t numConstraints() const { return Constraints.size(); }
   double lambda() const { return Lambda; }
-  bool isPinned(uint32_t Var) const { return Pinned[Var]; }
+  bool isPinned(uint32_t Var) const { return Pinned[Var] != 0; }
   double pinnedValue(uint32_t Var) const { return PinnedValues[Var]; }
+
+  /// The source constraints and pin state, exposed for the compilation
+  /// pass (CompiledObjective::compile).
+  const std::vector<LinearConstraint> &constraints() const {
+    return Constraints;
+  }
+  const std::vector<uint8_t> &pinnedMask() const { return Pinned; }
+  const std::vector<double> &pinnedValues() const { return PinnedValues; }
 
   size_t numShards() const { return Shards.size(); }
 
@@ -109,7 +133,9 @@ private:
   size_t NumVars;
   std::vector<LinearConstraint> Constraints;
   double Lambda;
-  std::vector<bool> Pinned;
+  /// Flat pin mask (1 = pinned): a byte load in the project()/gradient()
+  /// hot loops instead of std::vector<bool> bit extraction.
+  std::vector<uint8_t> Pinned;
   std::vector<double> PinnedValues;
 
   std::vector<Shard> Shards;

@@ -2,34 +2,40 @@
 
 #include "solver/ProjectedGradient.h"
 
+#include "solver/CompiledObjective.h"
+
 #include <cmath>
 
 using namespace seldon;
 using namespace seldon::solver;
 
-SolveResult ProjectedGradient::minimize(const Objective &Obj) const {
+template <class ObjT>
+SolveResult ProjectedGradient::minimize(const ObjT &Obj) const {
   return minimize(Obj, Obj.initialPoint());
 }
 
-SolveResult ProjectedGradient::minimize(const Objective &Obj,
+template <class ObjT>
+SolveResult ProjectedGradient::minimize(const ObjT &Obj,
                                         std::vector<double> X0) const {
   SolveResult Result;
   Result.X = std::move(X0);
   Obj.project(Result.X);
 
   std::vector<double> Grad;
+  // The fused call at the start of each step doubles as the value check of
+  // the previous one: a single constraint sweep per iteration.
+  double Value = Obj.valueAndGradient(Result.X, Grad);
   std::vector<double> Best = Result.X;
-  double BestValue = Obj.value(Result.X);
-  double PrevValue = BestValue;
+  double BestValue = Value;
+  double PrevValue = Value;
 
   for (int Iter = 1; Iter <= Options.MaxIterations; ++Iter) {
-    Obj.gradient(Result.X, Grad);
     double Step = Options.LearningRate / std::sqrt(static_cast<double>(Iter));
     for (size_t I = 0; I < Grad.size(); ++I)
       Result.X[I] -= Step * Grad[I];
     Obj.project(Result.X);
 
-    double Current = Obj.value(Result.X);
+    double Current = Obj.valueAndGradient(Result.X, Grad);
     Result.Iterations = Iter;
     // Subgradient steps are not monotone; track the best iterate.
     if (Current < BestValue) {
@@ -48,3 +54,20 @@ SolveResult ProjectedGradient::minimize(const Objective &Obj,
   Result.FinalObjective = BestValue;
   return Result;
 }
+
+namespace seldon {
+namespace solver {
+
+template SolveResult ProjectedGradient::minimize<Objective>(const Objective &)
+    const;
+template SolveResult
+ProjectedGradient::minimize<Objective>(const Objective &,
+                                       std::vector<double>) const;
+template SolveResult ProjectedGradient::minimize<CompiledObjective>(
+    const CompiledObjective &) const;
+template SolveResult
+ProjectedGradient::minimize<CompiledObjective>(const CompiledObjective &,
+                                               std::vector<double>) const;
+
+} // namespace solver
+} // namespace seldon

@@ -10,6 +10,9 @@
 /// by the optimizer-choice ablation and as a sanity cross-check of Adam:
 /// both must converge to the same objective value on convex systems.
 ///
+/// Like AdamOptimizer, the loop drives any objective exposing the fused
+/// interface and performs one valueAndGradient evaluation per iteration.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SELDON_SOLVER_PROJECTEDGRADIENT_H
@@ -20,16 +23,21 @@
 namespace seldon {
 namespace solver {
 
-/// Projected subgradient descent with diminishing steps.
+class CompiledObjective;
+
+/// Projected subgradient descent with diminishing steps, over Objective or
+/// CompiledObjective (explicitly instantiated in ProjectedGradient.cpp).
 class ProjectedGradient {
 public:
   explicit ProjectedGradient(SolveOptions Options = SolveOptions())
       : Options(Options) {}
 
-  SolveResult minimize(const Objective &Obj) const;
+  /// Minimizes \p Obj starting from Obj.initialPoint().
+  template <class ObjT> SolveResult minimize(const ObjT &Obj) const;
 
   /// Minimizes starting from \p X0 (projected first).
-  SolveResult minimize(const Objective &Obj, std::vector<double> X0) const;
+  template <class ObjT>
+  SolveResult minimize(const ObjT &Obj, std::vector<double> X0) const;
 
 private:
   SolveOptions Options;

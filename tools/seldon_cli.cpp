@@ -54,6 +54,8 @@ struct CliOptions {
   size_t Top = 25;
   unsigned Jobs = 0; // 0 = all hardware threads.
   bool Progress = false;
+  bool SolverStats = false;
+  bool LegacySolver = false;
   bool Dot = false;
   bool Dedup = true;
   bool Json = false;
@@ -110,6 +112,10 @@ void usage() {
       "                    hardware threads; results are identical for any "
       "N)\n"
       "  --progress        learn/explain: print phase progress to stderr\n"
+      "  --solver-stats    learn: print compiled-system statistics (rows\n"
+      "                    before/after dedup, non-zeros, ms/iteration)\n"
+      "  --legacy-solver   learn/explain: solve with the uncompiled\n"
+      "                    reference evaluator (same learned spec, slower)\n"
       "  --no-dedup        keep duplicate (source, sink) API pairs\n"
       "  --json            analyze: emit reports as JSON\n"
       "  --dot             graph: emit Graphviz DOT\n"
@@ -170,6 +176,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Jobs = static_cast<unsigned>(std::atoi(V));
     } else if (Arg == "--progress") {
       Opts.Progress = true;
+    } else if (Arg == "--solver-stats") {
+      Opts.SolverStats = true;
+    } else if (Arg == "--legacy-solver") {
+      Opts.LegacySolver = true;
     } else if (Arg == "--no-dedup") {
       Opts.Dedup = false;
     } else if (Arg == "--json") {
@@ -266,6 +276,7 @@ int cmdLearn(const CliOptions &Opts) {
   PipelineOpts.Solve.MaxIterations = Opts.Iterations;
   PipelineOpts.Gen.RepCutoff = Opts.RepCutoff;
   PipelineOpts.Jobs = Opts.Jobs;
+  PipelineOpts.UseCompiledSolver = !Opts.LegacySolver;
 
   infer::Session Session(PipelineOpts);
   CliProgress Progress;
@@ -281,6 +292,23 @@ int cmdLearn(const CliOptions &Opts) {
                R.NumFiles, R.JobsUsed, R.System.NumCandidates,
                R.System.Constraints.size(), R.SolveSeconds,
                R.Solve.Iterations);
+  if (Opts.SolverStats) {
+    if (R.UsedCompiledSolver) {
+      const solver::CompileStats &S = R.SolverStats;
+      std::fprintf(stderr,
+                   "solver: %zu rows -> %zu after dedup (%.2fx), "
+                   "%zu non-zeros, max multiplicity %zu\n",
+                   S.RowsBefore, S.RowsAfter, S.dedupRatio(), S.NonZeros,
+                   S.MaxMultiplicity);
+    } else {
+      std::fprintf(stderr, "solver: legacy evaluator (no compilation)\n");
+    }
+    std::fprintf(stderr, "solver: %.3f ms/iteration over %d iteration(s)\n",
+                 R.Solve.Iterations > 0
+                     ? 1000.0 * R.SolveSeconds / R.Solve.Iterations
+                     : 0.0,
+                 R.Solve.Iterations);
+  }
 
   if (Opts.OutFile.empty())
     return writeOutput(Opts,
@@ -430,6 +458,7 @@ int cmdExplain(const CliOptions &Opts) {
   PipelineOpts.Solve.MaxIterations = Opts.Iterations;
   PipelineOpts.Gen.RepCutoff = Opts.RepCutoff;
   PipelineOpts.Jobs = Opts.Jobs;
+  PipelineOpts.UseCompiledSolver = !Opts.LegacySolver;
 
   infer::Session Session(PipelineOpts);
   CliProgress Progress;
