@@ -11,11 +11,13 @@
 
 #include "eval/ExperimentDriver.h"
 #include "spec/SpecIO.h"
+#include "support/Metrics.h"
 #include "support/StrUtil.h"
 #include "support/ThreadPool.h"
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 using namespace seldon;
 using namespace seldon::eval;
@@ -44,6 +46,12 @@ int main() {
       envInt("SELDON_JOBS",
              static_cast<int>(ThreadPool::hardwareConcurrency())));
 
+  // The bench's timings come from the same instrumentation layer the CLI
+  // exports (--metrics-out): Session stage durations are trace spans, and
+  // the full snapshot is embedded in the JSON summary below.
+  metrics::Registry &Reg = metrics::Registry::global();
+  Reg.setEnabled(true);
+
   corpus::CorpusOptions CorpusOpts = standardCorpusOptions();
   CorpusOpts.NumProjects = NumProjects;
   corpus::Corpus Data = corpus::generateCorpus(CorpusOpts);
@@ -66,17 +74,33 @@ int main() {
                    LegacySerial.Spec == LegacyParallel.Spec &&
                    LegacySerial.Spec == CompiledParallel.Spec;
 
+  // Consume the metrics snapshot: the four "session/solve" spans (one per
+  // run above, in order) are the timings reported below — the same values
+  // PipelineResult::SolveSeconds carries, read back through the registry
+  // to keep the bench on the shared instrumentation source.
+  std::vector<double> SolveSpanSeconds;
+  for (const metrics::SpanRecord &Span : Reg.spans())
+    if (Span.Path == "session/solve")
+      SolveSpanSeconds.push_back(Span.DurationSeconds);
+  if (SolveSpanSeconds.size() != 4) {
+    std::fprintf(stderr,
+                 "error: expected 4 session/solve spans, found %zu\n",
+                 SolveSpanSeconds.size());
+    return 1;
+  }
+  double LegacySerialSeconds = SolveSpanSeconds[0];
+  double CompiledSerialSeconds = SolveSpanSeconds[1];
+  double LegacyParallelSeconds = SolveSpanSeconds[2];
+  double CompiledParallelSeconds = SolveSpanSeconds[3];
+
   const infer::PipelineResult &R = CompiledSerial.Result;
   const solver::CompileStats &S = R.SolverStats;
-  double SerialSpeedup =
-      CompiledSerial.Result.SolveSeconds > 0.0
-          ? LegacySerial.Result.SolveSeconds /
-                CompiledSerial.Result.SolveSeconds
-          : 0.0;
+  double SerialSpeedup = CompiledSerialSeconds > 0.0
+                           ? LegacySerialSeconds / CompiledSerialSeconds
+                           : 0.0;
   double ParallelSpeedup =
-      CompiledParallel.Result.SolveSeconds > 0.0
-          ? LegacyParallel.Result.SolveSeconds /
-                CompiledParallel.Result.SolveSeconds
+      CompiledParallelSeconds > 0.0
+          ? LegacyParallelSeconds / CompiledParallelSeconds
           : 0.0;
 
   std::fprintf(stderr,
@@ -85,11 +109,9 @@ int main() {
                S.RowsBefore, S.RowsAfter, S.dedupRatio(), S.NonZeros,
                R.Solve.Iterations);
   std::fprintf(stderr, "legacy   jobs=1: %.3fs   jobs=%u: %.3fs\n",
-               LegacySerial.Result.SolveSeconds, Jobs,
-               LegacyParallel.Result.SolveSeconds);
+               LegacySerialSeconds, Jobs, LegacyParallelSeconds);
   std::fprintf(stderr, "compiled jobs=1: %.3fs   jobs=%u: %.3fs\n",
-               CompiledSerial.Result.SolveSeconds, Jobs,
-               CompiledParallel.Result.SolveSeconds);
+               CompiledSerialSeconds, Jobs, CompiledParallelSeconds);
   std::fprintf(stderr, "speedup  jobs=1: %.2fx   jobs=%u: %.2fx\n",
                SerialSpeedup, Jobs, ParallelSpeedup);
   std::fprintf(stderr, "learned specs byte-identical across all runs: %s\n",
@@ -106,17 +128,30 @@ int main() {
   Json += formatString("  \"max_multiplicity\": %zu,\n", S.MaxMultiplicity);
   Json += formatString("  \"iterations\": %d,\n", R.Solve.Iterations);
   Json += formatString("  \"legacy_serial_seconds\": %.6f,\n",
-                       LegacySerial.Result.SolveSeconds);
+                       LegacySerialSeconds);
   Json += formatString("  \"compiled_serial_seconds\": %.6f,\n",
-                       CompiledSerial.Result.SolveSeconds);
+                       CompiledSerialSeconds);
   Json += formatString("  \"legacy_parallel_seconds\": %.6f,\n",
-                       LegacyParallel.Result.SolveSeconds);
+                       LegacyParallelSeconds);
   Json += formatString("  \"compiled_parallel_seconds\": %.6f,\n",
-                       CompiledParallel.Result.SolveSeconds);
+                       CompiledParallelSeconds);
   Json += formatString("  \"serial_speedup\": %.4f,\n", SerialSpeedup);
   Json += formatString("  \"parallel_speedup\": %.4f,\n", ParallelSpeedup);
-  Json += formatString("  \"byte_identical\": %s\n",
+  Json += formatString("  \"byte_identical\": %s,\n",
                        Identical ? "true" : "false");
+  // Full registry snapshot (indented to nest under this object).
+  {
+    std::string Snapshot = Reg.toJson();
+    if (!Snapshot.empty() && Snapshot.back() == '\n')
+      Snapshot.pop_back();
+    std::string Indented;
+    for (char C : Snapshot) {
+      Indented += C;
+      if (C == '\n')
+        Indented += "  ";
+    }
+    Json += "  \"metrics\": " + Indented + "\n";
+  }
   Json += "}\n";
   std::fputs(Json.c_str(), stdout);
 

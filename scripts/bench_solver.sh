@@ -26,6 +26,21 @@ if not r["byte_identical"]:
     sys.exit("FAIL: legacy and compiled specs differ")
 if r["serial_speedup"] < 2.0:
     sys.exit(f"FAIL: serial speedup {r['serial_speedup']:.2f}x < 2x")
+
+# The embedded metrics snapshot must agree with the bench's own numbers:
+# stage spans for the four solves, convergence series, and the compile
+# stats the dedup claims are based on.
+m = r["metrics"]
+solves = [s for s in m["spans"] if s["path"] == "session/solve"]
+if len(solves) != 4:
+    sys.exit(f"FAIL: expected 4 session/solve spans, got {len(solves)}")
+if abs(solves[1]["duration_seconds"] - r["compiled_serial_seconds"]) > 1e-6:
+    sys.exit("FAIL: compiled_serial_seconds disagrees with its span")
+if m["gauges"]["solver.rows_after"] != r["rows_after_dedup"]:
+    sys.exit("FAIL: solver.rows_after gauge disagrees with rows_after_dedup")
+if m["series"]["solve.objective"]["count"] == 0:
+    sys.exit("FAIL: no solver convergence samples in metrics snapshot")
 print(f"OK: {r['serial_speedup']:.2f}x serial speedup, "
-      f"{r['dedup_ratio']:.2f}x dedup, specs byte-identical")
+      f"{r['dedup_ratio']:.2f}x dedup, specs byte-identical, "
+      f"metrics snapshot consistent")
 EOF

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Full local check: the tier-1 build + tests, then a ThreadSanitizer build
-# that runs the concurrency-sensitive tests (thread pool + parallel
-# pipeline). Run from anywhere; builds land in build/ and build-tsan/.
+# that runs the concurrency-sensitive tests (thread pool + metrics +
+# parallel pipeline), then a metrics smoke run of the CLI that validates
+# the --metrics-out JSON. Run from anywhere; builds land in build/ and
+# build-tsan/.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -13,14 +15,65 @@ cmake --build "$ROOT/build" -j "$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
 
 echo
-echo "=== tsan: parallel pipeline under ThreadSanitizer ==="
+echo "=== tsan: concurrency-sensitive tests under ThreadSanitizer ==="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -g"
 cmake --build "$ROOT/build-tsan" -j "$JOBS" \
-  --target threadpool_test pipeline_parallel_test compiled_objective_test
+  --target threadpool_test metrics_test pipeline_parallel_test \
+           compiled_objective_test
 ctest --test-dir "$ROOT/build-tsan" --output-on-failure -j "$JOBS" \
-  -R 'ThreadPoolTest|PipelineParallelTest|CompileTest|CompiledEquivalenceTest'
+  -R 'ThreadPoolTest|MetricsTest|TraceTest|MetricsPipelineTest|PipelineParallelTest|CompileTest|CompiledEquivalenceTest'
+
+echo
+echo "=== metrics smoke: seldon learn --metrics-out on a toy repo ==="
+SMOKE="$(mktemp -d)"
+trap 'rm -rf "$SMOKE"' EXIT
+cat > "$SMOKE/app.py" <<'PY'
+from flask import request
+import flask
+
+def greet():
+    name = request.args.get('name')
+    flask.make_response('<h1>' + name + '</h1>')
+
+def safe():
+    name = request.args.get('name')
+    flask.make_response(flask.escape(name))
+PY
+"$ROOT/build/tools/seldon" learn --cutoff 1 --iters 100 --jobs 2 \
+  --metrics-out "$SMOKE/metrics.json" --out "$SMOKE/learned.spec" "$SMOKE"
+python3 - "$SMOKE/metrics.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    m = json.load(f)
+if not m["enabled"]:
+    sys.exit("FAIL: metrics snapshot reports enabled=false")
+paths = {s["path"] for s in m["spans"]}
+for stage in ("session/parse", "session/constraints", "session/solve"):
+    if stage not in paths:
+        sys.exit(f"FAIL: missing {stage} span")
+for s in m["spans"]:
+    if s["duration_seconds"] < 0:
+        sys.exit(f"FAIL: span {s['path']} has negative duration")
+for c in ("parse.files", "solve.iterations", "pointsto.solves"):
+    if m["counters"].get(c, 0) <= 0:
+        sys.exit(f"FAIL: counter {c} not populated")
+for g in ("gen.constraints", "solver.rows_before", "solver.rows_after",
+          "solve.final_objective"):
+    if g not in m["gauges"]:
+        sys.exit(f"FAIL: gauge {g} missing")
+if m["gauges"]["solver.rows_after"] > m["gauges"]["solver.rows_before"]:
+    sys.exit("FAIL: dedup grew the row count")
+obj = m["series"].get("solve.objective", {"count": 0})
+if obj["count"] == 0 or not obj["samples"]:
+    sys.exit("FAIL: no solver convergence samples")
+for t in ("parse.file_seconds", "build.project_seconds"):
+    if m["timers"].get(t, {"count": 0})["count"] == 0:
+        sys.exit(f"FAIL: timer {t} not populated")
+print("OK: metrics snapshot has all expected stages, counters, gauges, "
+      "timers, and convergence samples")
+EOF
 
 echo
 echo "all checks passed"

@@ -2,8 +2,10 @@
 
 #include "infer/Pipeline.h"
 
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <mutex>
@@ -72,7 +74,10 @@ Session &Session::buildGraph() {
   if (Observer)
     Observer->onPhase(Phase::BuildGraph);
 
-  Timer BuildTimer;
+  metrics::Registry &Reg = metrics::Registry::global();
+  trace::Span BuildSpan(Reg, "session/parse");
+  metrics::TimerStat *ProjectTimer =
+      Reg.enabled() ? &Reg.timer("build.project_seconds") : nullptr;
   const size_t Total = Projects.size();
   std::vector<PropagationGraph> PerProject(Total);
   BuildShardSeconds.assign(P ? P->numWorkers() : 1, 0.0);
@@ -82,7 +87,10 @@ Session &Session::buildGraph() {
   auto BuildOne = [&](size_t I, unsigned Worker) {
     Timer ShardTimer;
     PerProject[I] = buildProjectGraph(*Projects[I], Opts.Build);
-    BuildShardSeconds[Worker] += ShardTimer.seconds();
+    double Seconds = ShardTimer.seconds();
+    BuildShardSeconds[Worker] += Seconds;
+    if (ProjectTimer)
+      ProjectTimer->record(Seconds);
     if (Observer) {
       std::lock_guard<std::mutex> Lock(ProgressMutex);
       Observer->onProjectGraphBuilt(++Done, Total);
@@ -102,7 +110,14 @@ Session &Session::buildGraph() {
     Graph.append(PerProject[I]);
     PerProject[I] = PropagationGraph(); // Free as we go.
   }
-  BuildSeconds = BuildTimer.seconds();
+  BuildSeconds = BuildSpan.finish();
+  if (Reg.enabled()) {
+    Reg.gauge("build.projects").set(static_cast<double>(Total));
+    Reg.gauge("build.files").set(static_cast<double>(NumFiles));
+    Reg.gauge("build.events").set(static_cast<double>(Graph.numEvents()));
+  }
+  if (Observer)
+    Observer->onStageFinished(Phase::BuildGraph, BuildSeconds);
   GraphReady = true;
   return *this;
 }
@@ -115,7 +130,8 @@ Session &Session::generateConstraints(const spec::SeedSpec &Seed) {
   if (Observer)
     Observer->onPhase(Phase::GenerateConstraints);
 
-  Timer GenTimer;
+  metrics::Registry &Reg = metrics::Registry::global();
+  trace::Span GenSpan(Reg, "session/constraints");
   const PropagationGraph *LearnGraph = &Graph;
   PropagationGraph Collapsed;
   if (Opts.CollapseForLearning) {
@@ -129,7 +145,18 @@ Session &Session::generateConstraints(const spec::SeedSpec &Seed) {
   Reps.countOccurrences(Graph);
   System = constraints::generateConstraints(*LearnGraph, Reps, Seed,
                                             Opts.Gen, P, &GenShardSeconds);
-  GenSeconds = GenTimer.seconds();
+  GenSeconds = GenSpan.finish();
+  if (Reg.enabled()) {
+    Reg.gauge("gen.constraints")
+        .set(static_cast<double>(System.Constraints.size()));
+    Reg.gauge("gen.vars").set(static_cast<double>(System.Vars.numVars()));
+    Reg.gauge("gen.candidates")
+        .set(static_cast<double>(System.NumCandidates));
+    Reg.gauge("gen.avg_backoff").set(System.AvgBackoffOptions);
+    Reg.gauge("gen.pinned").set(static_cast<double>(System.Pinned.size()));
+  }
+  if (Observer)
+    Observer->onStageFinished(Phase::GenerateConstraints, GenSeconds);
   SystemReady = true;
   return *this;
 }
@@ -165,7 +192,8 @@ PipelineResult Session::solve() {
     };
   }
 
-  Timer SolveTimer;
+  metrics::Registry &Reg = metrics::Registry::global();
+  trace::Span SolveSpan(Reg, "session/solve");
   // Either evaluator runs the same optimizer loop over the same system;
   // the learned scores are byte-identical (see docs/architecture.md).
   auto RunSolver = [&](const auto &Obj) {
@@ -200,7 +228,23 @@ PipelineResult Session::solve() {
     Obj.setThreadPool(P);
     RunSolver(Obj);
   }
-  Result.SolveSeconds = SolveTimer.seconds();
+  Result.SolveSeconds = SolveSpan.finish();
+  if (Reg.enabled()) {
+    const solver::CompileStats &CS = Result.SolverStats;
+    Reg.gauge("solver.rows_before").set(static_cast<double>(CS.RowsBefore));
+    Reg.gauge("solver.rows_after").set(static_cast<double>(CS.RowsAfter));
+    Reg.gauge("solver.terms_before")
+        .set(static_cast<double>(CS.TermsBefore));
+    Reg.gauge("solver.nonzeros").set(static_cast<double>(CS.NonZeros));
+    Reg.gauge("solver.max_multiplicity")
+        .set(static_cast<double>(CS.MaxMultiplicity));
+    Reg.gauge("solver.compiled")
+        .set(Result.UsedCompiledSolver ? 1.0 : 0.0);
+    Reg.gauge("solve.final_objective").set(Result.Solve.FinalObjective);
+    Reg.gauge("solve.converged").set(Result.Solve.Converged ? 1.0 : 0.0);
+  }
+  if (Observer)
+    Observer->onStageFinished(Phase::Solve, Result.SolveSeconds);
 
   // Read scores back: one entry per (representation, role) variable.
   const constraints::VarTable &Vars = Result.System.Vars;

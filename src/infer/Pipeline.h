@@ -93,6 +93,13 @@ public:
   /// Entering pipeline phase \p P.
   virtual void onPhase(Phase P) { (void)P; }
 
+  /// Pipeline phase \p P finished after \p Seconds of wall time (the same
+  /// duration exported as the phase's "session/..." metrics span).
+  virtual void onStageFinished(Phase P, double Seconds) {
+    (void)P;
+    (void)Seconds;
+  }
+
   /// \p Done of \p Total projects parsed into propagation graphs.
   virtual void onProjectGraphBuilt(size_t Done, size_t Total) {
     (void)Done;

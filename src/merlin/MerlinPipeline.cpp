@@ -2,6 +2,7 @@
 
 #include "merlin/MerlinPipeline.h"
 
+#include "support/Metrics.h"
 #include "support/Timer.h"
 
 using namespace seldon;
@@ -44,5 +45,20 @@ MerlinResult seldon::merlin::runMerlin(const PropagationGraph &Graph,
         Result.Learned.setScore(Rep, R, Inference.Marginals[V]);
     }
   Result.Seconds = Clock.seconds();
+
+  metrics::Registry &Reg = metrics::Registry::global();
+  if (Reg.enabled()) {
+    Reg.counter("merlin.runs").add();
+    Reg.timer("merlin.solve_seconds").record(Result.Seconds);
+    Reg.gauge("merlin.factors").set(static_cast<double>(Result.NumFactors));
+    Reg.gauge("merlin.candidates")
+        .set(static_cast<double>(Result.NumCandidates[0] +
+                                 Result.NumCandidates[1] +
+                                 Result.NumCandidates[2]));
+    Reg.gauge("merlin.iterations")
+        .set(static_cast<double>(Result.Iterations));
+    Reg.gauge("merlin.converged").set(Result.Converged ? 1.0 : 0.0);
+    Reg.gauge("merlin.timed_out").set(Result.TimedOut ? 1.0 : 0.0);
+  }
   return Result;
 }

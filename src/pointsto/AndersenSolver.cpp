@@ -2,6 +2,8 @@
 
 #include "pointsto/AndersenSolver.h"
 
+#include "support/Metrics.h"
+
 #include <cassert>
 
 using namespace seldon;
@@ -75,9 +77,14 @@ void AndersenSolver::solve() {
   for (VarId V = 0; V < Vars.size(); ++V)
     Worklist.push_back(V);
 
+  // Counted locally and published once after the fixpoint: solve() runs
+  // per project under the parallel frontend, and a shared atomic on the
+  // worklist hot path would serialize the workers' cache lines.
+  uint64_t Pops = 0;
   while (!Worklist.empty()) {
     VarId V = Worklist.back();
     Worklist.pop_back();
+    ++Pops;
 
     // Dispatch complex constraints for objects newly observed at V.
     std::vector<ObjId> Fresh;
@@ -105,6 +112,13 @@ void AndersenSolver::solve() {
       if (Grew)
         Worklist.push_back(T);
     }
+  }
+
+  metrics::Registry &Reg = metrics::Registry::global();
+  if (Reg.enabled()) {
+    Reg.counter("pointsto.solves").add();
+    Reg.counter("pointsto.worklist_pops").add(Pops);
+    Reg.counter("pointsto.vars").add(Vars.size());
   }
 }
 

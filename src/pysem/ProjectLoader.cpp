@@ -2,8 +2,10 @@
 
 #include "pysem/ProjectLoader.h"
 
+#include "support/Metrics.h"
 #include "support/StrUtil.h"
 #include "support/ThreadPool.h"
+#include "support/Timer.h"
 
 #include <algorithm>
 #include <filesystem>
@@ -69,7 +71,16 @@ seldon::pysem::loadProjectFromDir(const std::string &RootDir,
   }
   std::sort(Files.begin(), Files.end());
 
+  // Per-file handles hoisted out of the loop; loadProjectFromDir runs on
+  // pool workers under parallel corpus loading, and both metrics are safe
+  // for concurrent record()/add().
+  metrics::Registry &Reg = metrics::Registry::global();
+  metrics::TimerStat *FileTimer =
+      Reg.enabled() ? &Reg.timer("parse.file_seconds") : nullptr;
+  metrics::Counter *FileCount =
+      Reg.enabled() ? &Reg.counter("parse.files") : nullptr;
   for (const fs::path &File : Files) {
+    Timer FileClock;
     std::optional<std::string> Source = readFile(File.string());
     if (!Source) {
       if (ErrorsOut)
@@ -80,6 +91,10 @@ seldon::pysem::loadProjectFromDir(const std::string &RootDir,
     if (Ec || Relative.empty())
       Relative = File.filename().string();
     Proj.addModule(std::move(Relative), *Source);
+    if (FileTimer) {
+      FileTimer->record(FileClock.seconds());
+      FileCount->add();
+    }
   }
   return Proj;
 }

@@ -3,6 +3,7 @@
 #include "solver/AdamOptimizer.h"
 
 #include "solver/CompiledObjective.h"
+#include "solver/SolveTelemetry.h"
 
 #include <cmath>
 
@@ -23,6 +24,7 @@ SolveResult AdamOptimizer::minimize(const ObjT &Obj,
 
   const size_t N = Obj.numVars();
   std::vector<double> M(N, 0.0), V(N, 0.0), Grad, Mapped;
+  SolveTelemetry Telemetry;
   // The only constraint evaluation per iteration: one fused call yields
   // both the objective value at the current iterate and its subgradient.
   double Value = Obj.valueAndGradient(Result.X, Grad);
@@ -49,6 +51,7 @@ SolveResult AdamOptimizer::minimize(const ObjT &Obj,
     if (StepNorm < Options.Tolerance) {
       Result.Converged = true;
       Result.Iterations = Iter;
+      Telemetry.onIteration(Iter, Value, Grad);
       if (Options.OnIteration)
         Options.OnIteration(Iter, Value);
       break;
@@ -72,7 +75,9 @@ SolveResult AdamOptimizer::minimize(const ObjT &Obj,
     if (Value < BestValue) {
       BestValue = Value;
       Best = Result.X;
+      Telemetry.onBestUpdate();
     }
+    Telemetry.onIteration(Iter, Value, Grad);
     if (Options.OnIteration)
       Options.OnIteration(Iter, Value);
   }

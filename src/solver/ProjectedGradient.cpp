@@ -3,6 +3,7 @@
 #include "solver/ProjectedGradient.h"
 
 #include "solver/CompiledObjective.h"
+#include "solver/SolveTelemetry.h"
 
 #include <cmath>
 
@@ -22,6 +23,7 @@ SolveResult ProjectedGradient::minimize(const ObjT &Obj,
   Obj.project(Result.X);
 
   std::vector<double> Grad;
+  SolveTelemetry Telemetry;
   // The fused call at the start of each step doubles as the value check of
   // the previous one: a single constraint sweep per iteration.
   double Value = Obj.valueAndGradient(Result.X, Grad);
@@ -41,7 +43,9 @@ SolveResult ProjectedGradient::minimize(const ObjT &Obj,
     if (Current < BestValue) {
       BestValue = Current;
       Best = Result.X;
+      Telemetry.onBestUpdate();
     }
+    Telemetry.onIteration(Iter, Current, Grad);
     if (Options.OnIteration)
       Options.OnIteration(Iter, Current);
     if (std::abs(PrevValue - Current) < Options.Tolerance) {

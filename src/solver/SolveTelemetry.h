@@ -1,0 +1,78 @@
+//===- solver/SolveTelemetry.h - Optimizer convergence metrics ---*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared convergence telemetry for AdamOptimizer and ProjectedGradient.
+/// Handles are resolved once per minimize() call, so the iteration loop
+/// pays one null check when metrics are disabled and a few relaxed atomic
+/// writes when enabled — never a registry lookup, and never any change to
+/// the optimization trajectory (metrics are write-only).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_SOLVER_SOLVETELEMETRY_H
+#define SELDON_SOLVER_SOLVETELEMETRY_H
+
+#include "support/Metrics.h"
+
+#include <cmath>
+#include <vector>
+
+namespace seldon {
+namespace solver {
+
+/// Samples per-iteration solver state (objective value, gradient norm,
+/// best-iterate acceptances) into the global metrics registry. The series
+/// self-decimate, so long solves stay bounded.
+struct SolveTelemetry {
+  metrics::Series *Objective = nullptr;
+  metrics::Series *GradNorm = nullptr;
+  metrics::Counter *Iterations = nullptr;
+  metrics::Counter *BestUpdates = nullptr;
+  metrics::Counter *Solves = nullptr;
+
+  SolveTelemetry() {
+    metrics::Registry &Reg = metrics::Registry::global();
+    if (!Reg.enabled())
+      return;
+    Objective = &Reg.series("solve.objective");
+    GradNorm = &Reg.series("solve.grad_norm");
+    Iterations = &Reg.counter("solve.iterations");
+    BestUpdates = &Reg.counter("solve.best_updates");
+    Solves = &Reg.counter("solve.runs");
+    Solves->add();
+  }
+
+  /// Gradient norms cost an O(N) sweep, so they are only computed every
+  /// GradStride-th iteration; objective samples are a single store.
+  static constexpr int GradStride = 8;
+
+  void onIteration(int Iter, double Value,
+                   const std::vector<double> &Grad) {
+    if (!Objective)
+      return;
+    Iterations->add();
+    Objective->record(Value);
+    if (Iter % GradStride == 0 || Iter == 1) {
+      double Norm = 0.0;
+      for (double G : Grad)
+        Norm += G * G;
+      GradNorm->record(std::sqrt(Norm));
+    }
+  }
+
+  /// A step produced a new best iterate (step acceptance).
+  void onBestUpdate() {
+    if (BestUpdates)
+      BestUpdates->add();
+  }
+};
+
+} // namespace solver
+} // namespace seldon
+
+#endif // SELDON_SOLVER_SOLVETELEMETRY_H

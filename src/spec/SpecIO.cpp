@@ -39,14 +39,44 @@ std::string spill(const std::string &Path, const std::string &Content) {
   return std::string();
 }
 
+/// Returns an error message when \p Text looks cut off mid-record: every
+/// writer in this file ends each record (and the file) with '\n', so a
+/// non-empty file without a trailing newline was truncated.
+std::string truncationError(const std::string &Path,
+                            const std::string &Text) {
+  if (!Text.empty() && Text.back() != '\n')
+    return Path + " is truncated (no newline after the last record)";
+  return std::string();
+}
+
+/// Folds per-line parse errors into one descriptive load error.
+std::string corruptionError(const std::string &Path,
+                            const std::vector<std::string> &Errors) {
+  if (Errors.empty())
+    return std::string();
+  std::string Msg =
+      Path + " is corrupt (" + formatString("%zu", Errors.size()) +
+      " malformed record" + (Errors.size() == 1 ? "" : "s") +
+      "): " + Errors.front();
+  if (Errors.size() > 1)
+    Msg += formatString(" (+%zu more)", Errors.size() - 1);
+  return Msg;
+}
+
 } // namespace
 
 IOResult<SeedSpec> seldon::spec::loadSeedSpec(const std::string &Path) {
   std::optional<std::string> Text = slurp(Path);
   if (!Text)
     return IOResult<SeedSpec>::failure("cannot read seed spec " + Path);
+  if (std::string Err = truncationError(Path, *Text); !Err.empty())
+    return IOResult<SeedSpec>::failure(std::move(Err));
+  std::vector<std::string> Errors;
+  SeedSpec Parsed = SeedSpec::parse(*Text, &Errors);
+  if (std::string Err = corruptionError(Path, Errors); !Err.empty())
+    return IOResult<SeedSpec>::failure(std::move(Err));
   IOResult<SeedSpec> Result;
-  Result.Value = SeedSpec::parse(*Text, &Result.Warnings);
+  Result.Value = std::move(Parsed);
   return Result;
 }
 
@@ -54,8 +84,14 @@ IOResult<LearnedSpec> seldon::spec::loadLearnedSpec(const std::string &Path) {
   std::optional<std::string> Text = slurp(Path);
   if (!Text)
     return IOResult<LearnedSpec>::failure("cannot read spec " + Path);
+  if (std::string Err = truncationError(Path, *Text); !Err.empty())
+    return IOResult<LearnedSpec>::failure(std::move(Err));
+  std::vector<std::string> Errors;
+  LearnedSpec Parsed = parseLearnedSpec(*Text, &Errors);
+  if (std::string Err = corruptionError(Path, Errors); !Err.empty())
+    return IOResult<LearnedSpec>::failure(std::move(Err));
   IOResult<LearnedSpec> Result;
-  Result.Value = parseLearnedSpec(*Text, &Result.Warnings);
+  Result.Value = std::move(Parsed);
   return Result;
 }
 

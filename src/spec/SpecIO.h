@@ -51,9 +51,14 @@ template <typename T> struct IOResult {
 };
 
 /// Reads and parses a seed specification (App. B format) from \p Path.
+/// Strict: a truncated file (non-empty, no trailing newline) or any
+/// malformed record fails the whole load with a descriptive error and a
+/// default-constructed Value — never a partially-populated spec. Use
+/// SeedSpec::parse for lenient in-memory parsing.
 IOResult<SeedSpec> loadSeedSpec(const std::string &Path);
 
 /// Reads and parses a learned specification (scored lines) from \p Path.
+/// Strict like loadSeedSpec; use parseLearnedSpec for lenient parsing.
 IOResult<LearnedSpec> loadLearnedSpec(const std::string &Path);
 
 /// Writes \p Seed to \p Path in the App. B format. Value = bytes written.

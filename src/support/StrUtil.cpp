@@ -32,7 +32,8 @@ std::string seldon::joinStrings(const std::vector<std::string> &Parts,
 
 std::string_view seldon::trim(std::string_view Text) {
   auto IsSpace = [](char C) {
-    return C == ' ' || C == '\t' || C == '\r' || C == '\n';
+    return C == ' ' || C == '\t' || C == '\r' || C == '\n' || C == '\f' ||
+           C == '\v';
   };
   while (!Text.empty() && IsSpace(Text.front()))
     Text.remove_prefix(1);

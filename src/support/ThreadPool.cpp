@@ -7,6 +7,12 @@
 
 using namespace seldon;
 
+namespace {
+/// Pool whose workerLoop owns this thread, if any. parallelFor uses it to
+/// detect re-entrant calls from its own workers.
+thread_local const ThreadPool *ActivePool = nullptr;
+} // namespace
+
 unsigned ThreadPool::hardwareConcurrency() {
   return std::max(1u, std::thread::hardware_concurrency());
 }
@@ -30,6 +36,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::workerLoop() {
+  ActivePool = this;
   for (;;) {
     std::packaged_task<void()> Task;
     {
@@ -61,6 +68,12 @@ void ThreadPool::parallelFor(
     return;
   unsigned Tasks =
       static_cast<unsigned>(std::min<size_t>(numWorkers(), N));
+  // Re-entrant call from one of this pool's own workers: the caller would
+  // block on futures that only these workers can run, and with every
+  // worker doing the same the pool deadlocks. Run inline instead — the
+  // nested loop executes serially on the calling worker as Worker 0.
+  if (ActivePool == this)
+    Tasks = 1;
   if (Tasks <= 1) {
     for (size_t I = 0; I < N; ++I)
       Body(I, 0);

@@ -58,8 +58,10 @@ public:
   /// indices ran; the first exception thrown by any Body is rethrown here
   /// (remaining indices are skipped once a Body has thrown).
   ///
-  /// Must not be called from inside a pool task: the caller blocks on the
-  /// pool's own workers.
+  /// Safe to call from inside a task of this pool: re-entrant calls are
+  /// detected and run inline on the calling worker (serially, with
+  /// Worker == 0), since blocking a worker on futures only its own pool
+  /// can run would deadlock.
   void parallelFor(size_t N,
                    const std::function<void(size_t Index, unsigned Worker)>
                        &Body);

@@ -2,6 +2,8 @@
 
 #include "taint/TaintAnalyzer.h"
 
+#include "support/Metrics.h"
+
 #include <algorithm>
 #include <unordered_set>
 
@@ -74,6 +76,12 @@ TaintAnalyzer::analyze(const RoleResolver &Roles) const {
         Queue.push_back(Next);
       }
     }
+  }
+
+  metrics::Registry &Reg = metrics::Registry::global();
+  if (Reg.enabled()) {
+    Reg.counter("taint.analyses").add();
+    Reg.counter("taint.violations").add(Out.size());
   }
   return Out;
 }

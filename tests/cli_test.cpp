@@ -173,6 +173,68 @@ TEST_F(CliTest, StatsCommand) {
   EXPECT_NE(R.Output.find("longest flow chain:"), std::string::npos);
 }
 
+TEST_F(CliTest, JobsValidation) {
+  // --jobs used to go through atoi(): -1 silently became huge/garbage.
+  CommandResult Negative = runCli("learn --jobs=-1 " + repo());
+  EXPECT_NE(Negative.ExitCode, 0);
+  EXPECT_NE(Negative.Output.find("non-negative integer"), std::string::npos)
+      << Negative.Output;
+
+  CommandResult Junk = runCli("learn --jobs banana " + repo());
+  EXPECT_NE(Junk.ExitCode, 0);
+  EXPECT_NE(Junk.Output.find("non-negative integer"), std::string::npos);
+
+  CommandResult TrailingJunk = runCli("learn --jobs 2x " + repo());
+  EXPECT_NE(TrailingJunk.ExitCode, 0);
+
+  CommandResult Missing = runCli("learn --jobs");
+  EXPECT_NE(Missing.ExitCode, 0);
+
+  // Absurd values are clamped with a warning, not honored.
+  CommandResult Huge =
+      runCli("learn --jobs 1000000 --iters 50 " + repo());
+  EXPECT_EQ(Huge.ExitCode, 0) << Huge.Output;
+  EXPECT_NE(Huge.Output.find("clamping"), std::string::npos) << Huge.Output;
+
+  CommandResult Ok = runCli("learn --jobs=2 --iters 50 " + repo());
+  EXPECT_EQ(Ok.ExitCode, 0) << Ok.Output;
+}
+
+TEST_F(CliTest, MetricsJsonOutput) {
+  std::string Out = path("metrics.json");
+  CommandResult R = runCli("learn --iters 100 --metrics-out " + Out + " " +
+                           repo());
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("wrote metrics to"), std::string::npos) << R.Output;
+
+  std::ifstream In(Out);
+  ASSERT_TRUE(In.good());
+  std::string Json((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(Json.find("\"enabled\": true"), std::string::npos) << Json;
+  for (const char *Key :
+       {"\"session/parse\"", "\"session/constraints\"", "\"session/solve\"",
+        "\"parse.files\"", "\"solve.iterations\"", "\"solver.rows_after\"",
+        "\"solve.objective\""})
+    EXPECT_NE(Json.find(Key), std::string::npos) << "missing " << Key;
+}
+
+TEST_F(CliTest, MetricsTableOutput) {
+  CommandResult R = runCli("analyze --metrics " + repo());
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("taint.analyses"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("parse.file_seconds"), std::string::npos)
+      << R.Output;
+}
+
+TEST_F(CliTest, MetricsOutUnwritablePathFails) {
+  CommandResult R = runCli(
+      "analyze --metrics-out /definitely/not/a/dir/m.json " + repo());
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("cannot write metrics"), std::string::npos)
+      << R.Output;
+}
+
 TEST_F(CliTest, CustomSeedFile) {
   write("custom.seed", "o: flask.request.args.get()\n");
   // Without a sink in the seed there is nothing to report.

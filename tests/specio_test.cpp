@@ -4,11 +4,111 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
 using namespace seldon;
 using namespace seldon::spec;
 using namespace seldon::propgraph;
 
 namespace {
+
+/// Writes spec files into a per-test temp directory (cleaned up on exit)
+/// for exercising the strict file loaders.
+class SpecIOFileTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Dir = std::filesystem::temp_directory_path() /
+          ("seldon_specio_" +
+           std::string(::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name()));
+    std::filesystem::create_directories(Dir);
+  }
+  void TearDown() override {
+    std::error_code EC;
+    std::filesystem::remove_all(Dir, EC);
+  }
+
+  std::string write(const std::string &Name, const std::string &Content) {
+    std::string Path = (Dir / Name).string();
+    std::ofstream Out(Path, std::ios::binary);
+    Out << Content;
+    return Path;
+  }
+
+  std::filesystem::path Dir;
+};
+
+TEST_F(SpecIOFileTest, LearnedSpecFileRoundTrip) {
+  LearnedSpec L;
+  L.setScore("os.system()", Role::Sink, 0.8);
+  std::string Path = (Dir / "spec.txt").string();
+  ASSERT_TRUE(saveLearnedSpec(L, Path).ok());
+  IOResult<LearnedSpec> Loaded = loadLearnedSpec(Path);
+  ASSERT_TRUE(Loaded.ok()) << Loaded.Error;
+  EXPECT_NEAR(Loaded.Value.score("os.system()", Role::Sink), 0.8, 1e-9);
+}
+
+TEST_F(SpecIOFileTest, TruncatedLearnedSpecFails) {
+  // Cut off mid-record: no trailing newline after the last line.
+  std::string Path = write("trunc.txt", "sink 0.800000 os.system()\n"
+                                        "source 0.75 flask.requ");
+  IOResult<LearnedSpec> Loaded = loadLearnedSpec(Path);
+  EXPECT_FALSE(Loaded.ok());
+  EXPECT_NE(Loaded.Error.find("truncated"), std::string::npos)
+      << Loaded.Error;
+  // Never a partially-populated spec: the complete first record must not
+  // leak into the result.
+  EXPECT_EQ(Loaded.Value.size(), 0u);
+}
+
+TEST_F(SpecIOFileTest, MidRecordCorruptLearnedSpecFails) {
+  std::string Path = write("corrupt.txt", "sink 0.4 db.run()\n"
+                                          "source 0.5\n"
+                                          "wizard 0.5 x()\n");
+  IOResult<LearnedSpec> Loaded = loadLearnedSpec(Path);
+  EXPECT_FALSE(Loaded.ok());
+  EXPECT_NE(Loaded.Error.find("corrupt"), std::string::npos)
+      << Loaded.Error;
+  EXPECT_NE(Loaded.Error.find("line 2"), std::string::npos)
+      << Loaded.Error;
+  EXPECT_EQ(Loaded.Value.size(), 0u);
+}
+
+TEST_F(SpecIOFileTest, TruncatedSeedSpecFails) {
+  std::string Path = write("seed.txt", "o: flask.request.args.get()\n"
+                                       "i: os.sys");
+  IOResult<SeedSpec> Loaded = loadSeedSpec(Path);
+  EXPECT_FALSE(Loaded.ok());
+  EXPECT_NE(Loaded.Error.find("truncated"), std::string::npos)
+      << Loaded.Error;
+  EXPECT_EQ(Loaded.Value.Spec.size(), 0u);
+}
+
+TEST_F(SpecIOFileTest, CorruptSeedSpecFails) {
+  std::string Path = write("seed.txt", "o: good()\n"
+                                       "q: what-is-this\n");
+  IOResult<SeedSpec> Loaded = loadSeedSpec(Path);
+  EXPECT_FALSE(Loaded.ok());
+  EXPECT_NE(Loaded.Error.find("corrupt"), std::string::npos)
+      << Loaded.Error;
+  EXPECT_EQ(Loaded.Value.Spec.size(), 0u);
+}
+
+TEST_F(SpecIOFileTest, EmptyFileLoadsAsEmptySpec) {
+  std::string Path = write("empty.txt", "");
+  IOResult<LearnedSpec> Loaded = loadLearnedSpec(Path);
+  EXPECT_TRUE(Loaded.ok()) << Loaded.Error;
+  EXPECT_EQ(Loaded.Value.size(), 0u);
+}
+
+TEST_F(SpecIOFileTest, MissingFileFails) {
+  IOResult<LearnedSpec> Loaded =
+      loadLearnedSpec((Dir / "nope.txt").string());
+  EXPECT_FALSE(Loaded.ok());
+  EXPECT_NE(Loaded.Error.find("cannot read"), std::string::npos);
+}
 
 TEST(SpecIOTest, SeedSpecRoundTrip) {
   SeedSpec Seed = SeedSpec::parse("o: flask.request.args.get()\n"

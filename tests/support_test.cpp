@@ -82,6 +82,27 @@ TEST(GlobSetTest, EmptySetMatchesNothing) {
   EXPECT_FALSE(Set.matches("anything"));
 }
 
+TEST(GlobSetTest, DuplicatePatternsPreservedInOriginalOrder) {
+  GlobSet Set;
+  Set.add("json.dump()");
+  Set.add("*logging*");
+  Set.add("json.dump()");
+  EXPECT_EQ(Set.size(), 3u);
+  ASSERT_EQ(Set.patterns().size(), 3u);
+  EXPECT_EQ(Set.patterns()[0], "json.dump()");
+  EXPECT_EQ(Set.patterns()[1], "*logging*");
+  EXPECT_EQ(Set.patterns()[2], "json.dump()");
+  EXPECT_TRUE(Set.matches("json.dump()"));
+}
+
+TEST(GlobSetTest, EmptyPatternMatchesOnlyEmptyText) {
+  GlobSet Set;
+  Set.add("");
+  EXPECT_FALSE(Set.empty());
+  EXPECT_TRUE(Set.matches(""));
+  EXPECT_FALSE(Set.matches("x"));
+}
+
 //===----------------------------------------------------------------------===//
 // Rng
 //===----------------------------------------------------------------------===//
@@ -183,6 +204,24 @@ TEST(StrUtilTest, SplitEmptyString) {
   EXPECT_TRUE(Parts[0].empty());
 }
 
+TEST(StrUtilTest, SplitLeadingAndTrailingSeparators) {
+  auto Lead = splitString(".a", '.');
+  ASSERT_EQ(Lead.size(), 2u);
+  EXPECT_TRUE(Lead[0].empty());
+  EXPECT_EQ(Lead[1], "a");
+
+  auto Trail = splitString("a.", '.');
+  ASSERT_EQ(Trail.size(), 2u);
+  EXPECT_EQ(Trail[0], "a");
+  EXPECT_TRUE(Trail[1].empty());
+}
+
+TEST(StrUtilTest, SplitSeparatorNotPresent) {
+  auto Parts = splitString("abc", '.');
+  ASSERT_EQ(Parts.size(), 1u);
+  EXPECT_EQ(Parts[0], "abc");
+}
+
 TEST(StrUtilTest, JoinRoundTrip) {
   std::vector<std::string> Parts{"flask", "request", "args"};
   EXPECT_EQ(joinStrings(Parts, "."), "flask.request.args");
@@ -199,6 +238,27 @@ TEST(StrUtilTest, Trim) {
   EXPECT_EQ(trim(""), "");
   EXPECT_EQ(trim("   "), "");
   EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(StrUtilTest, TrimIsViewIntoInput) {
+  // trim returns a view, so no whitespace-only prefix/suffix copies.
+  std::string S = "  payload\t";
+  std::string_view V = trim(S);
+  EXPECT_EQ(V, "payload");
+  EXPECT_GE(V.data(), S.data());
+  EXPECT_LE(V.data() + V.size(), S.data() + S.size());
+}
+
+TEST(StrUtilTest, TrimAllWhitespaceKinds) {
+  EXPECT_EQ(trim(" \t\r\n\f\v"), "");
+  EXPECT_EQ(trim("\va\f"), "a");
+}
+
+TEST(StrUtilTest, JsonEscapeControlAndQuotes) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
 }
 
 TEST(StrUtilTest, FormatString) {

@@ -103,4 +103,60 @@ TEST(ThreadPoolTest, ParallelForMoreIndicesThanWorkersBalances) {
   EXPECT_EQ(Sum.load(), 99L * 100L / 2L);
 }
 
+// Regression: calling parallelFor from a worker of the same pool used to
+// deadlock (the caller blocked on futures no idle worker could run). The
+// nested call must run inline instead.
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool Pool(2);
+  constexpr size_t Outer = 8;
+  constexpr size_t Inner = 16;
+  std::atomic<long> Sum{0};
+  Pool.parallelFor(Outer, [&](size_t, unsigned) {
+    Pool.parallelFor(Inner, [&](size_t J, unsigned W) {
+      // The inline fallback is serial on the calling worker: Worker id 0.
+      EXPECT_EQ(W, 0u);
+      Sum += static_cast<long>(J);
+    });
+  });
+  EXPECT_EQ(Sum.load(),
+            static_cast<long>(Outer) * (Inner - 1) * Inner / 2);
+}
+
+TEST(ThreadPoolTest, ParallelForFromSubmittedTaskRunsInline) {
+  ThreadPool Pool(2);
+  std::atomic<int> Calls{0};
+  auto F = Pool.submit([&] {
+    Pool.parallelFor(10, [&](size_t, unsigned) { ++Calls; });
+  });
+  F.get(); // Used to hang forever.
+  EXPECT_EQ(Calls.load(), 10);
+}
+
+TEST(ThreadPoolTest, NestedParallelForPropagatesExceptions) {
+  ThreadPool Pool(2);
+  EXPECT_THROW(
+      Pool.parallelFor(4,
+                       [&](size_t, unsigned) {
+                         Pool.parallelFor(4, [&](size_t J, unsigned) {
+                           if (J == 2)
+                             throw std::runtime_error("inner");
+                         });
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForOnDifferentPoolFromWorkerStaysParallel) {
+  // Re-entrancy detection is per pool: a worker of pool A may fan out on
+  // pool B normally.
+  ThreadPool A(2), B(2);
+  std::atomic<int> Calls{0};
+  A.parallelFor(4, [&](size_t, unsigned) {
+    B.parallelFor(8, [&](size_t, unsigned W) {
+      EXPECT_LT(W, B.numWorkers());
+      ++Calls;
+    });
+  });
+  EXPECT_EQ(Calls.load(), 32);
+}
+
 } // namespace

@@ -29,10 +29,14 @@
 #include "taint/ReportRenderer.h"
 #include "taint/TaintAnalyzer.h"
 
+#include "support/Metrics.h"
 #include "support/StrUtil.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -54,6 +58,8 @@ struct CliOptions {
   size_t Top = 25;
   unsigned Jobs = 0; // 0 = all hardware threads.
   bool Progress = false;
+  bool Metrics = false;
+  std::string MetricsOut;
   bool SolverStats = false;
   bool LegacySolver = false;
   bool Dot = false;
@@ -81,6 +87,10 @@ public:
     if (Iteration % 50 == 0)
       std::fprintf(stderr, "  iteration %d: objective %.6f\n", Iteration,
                    Objective);
+  }
+  void onStageFinished(infer::Phase P, double Seconds) override {
+    std::fprintf(stderr, "  [%s] finished in %.2fs\n", infer::phaseName(P),
+                 Seconds);
   }
 };
 
@@ -112,6 +122,9 @@ void usage() {
       "                    hardware threads; results are identical for any "
       "N)\n"
       "  --progress        learn/explain: print phase progress to stderr\n"
+      "  --metrics         print pipeline metrics tables to stderr on "
+      "exit\n"
+      "  --metrics-out F   write the metrics snapshot as JSON to F\n"
       "  --solver-stats    learn: print compiled-system statistics (rows\n"
       "                    before/after dedup, non-zeros, ms/iteration)\n"
       "  --legacy-solver   learn/explain: solve with the uncompiled\n"
@@ -124,80 +137,185 @@ void usage() {
       "source)\n");
 }
 
+/// Strictly parses \p Text as a base-10 unsigned integer. Rejects empty
+/// strings, signs, trailing junk, and overflow — `--jobs=-1` must be a CLI
+/// error, not 4 billion threads.
+bool parseStrictUnsigned(const std::string &Flag, const std::string &Text,
+                         unsigned long &Out) {
+  if (Text.empty() || Text[0] < '0' || Text[0] > '9') {
+    std::fprintf(stderr,
+                 "error: %s expects a non-negative integer, got '%s'\n",
+                 Flag.c_str(), Text.c_str());
+    return false;
+  }
+  errno = 0;
+  char *End = nullptr;
+  unsigned long Value = std::strtoul(Text.c_str(), &End, 10);
+  if (errno == ERANGE || *End != '\0') {
+    std::fprintf(stderr,
+                 "error: %s expects a non-negative integer, got '%s'\n",
+                 Flag.c_str(), Text.c_str());
+    return false;
+  }
+  Out = Value;
+  return true;
+}
+
+/// Strictly parses \p Text as a finite decimal number (full consume).
+bool parseStrictDouble(const std::string &Flag, const std::string &Text,
+                       double &Out) {
+  errno = 0;
+  char *End = nullptr;
+  double Value = std::strtod(Text.c_str(), &End);
+  if (Text.empty() || End == Text.c_str() || *End != '\0' ||
+      errno == ERANGE) {
+    std::fprintf(stderr, "error: %s expects a number, got '%s'\n",
+                 Flag.c_str(), Text.c_str());
+    return false;
+  }
+  Out = Value;
+  return true;
+}
+
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
+
+    // Split `--name=value`; Next() then serves the inline value, and a
+    // flag that takes no value errors out on it.
+    std::string Name = Arg;
+    std::string Inline;
+    bool HasInline = false;
+    if (Arg.rfind("--", 0) == 0) {
+      size_t Eq = Arg.find('=');
+      if (Eq != std::string::npos) {
+        Name = Arg.substr(0, Eq);
+        Inline = Arg.substr(Eq + 1);
+        HasInline = true;
+      }
+    }
     auto Next = [&]() -> const char * {
+      if (HasInline)
+        return Inline.c_str();
       if (I + 1 >= Argc) {
-        std::fprintf(stderr, "error: %s needs a value\n", Arg.c_str());
+        std::fprintf(stderr, "error: %s needs a value\n", Name.c_str());
         return nullptr;
       }
       return Argv[++I];
     };
-    if (Arg == "--seed") {
+    auto NoValue = [&]() -> bool {
+      if (HasInline)
+        std::fprintf(stderr, "error: %s takes no value\n", Name.c_str());
+      return !HasInline;
+    };
+
+    if (Name == "--seed") {
       const char *V = Next();
       if (!V)
         return false;
       Opts.SeedFile = V;
-    } else if (Arg == "--spec") {
+    } else if (Name == "--spec") {
       const char *V = Next();
       if (!V)
         return false;
       Opts.SpecFile = V;
-    } else if (Arg == "--out") {
+    } else if (Name == "--out") {
       const char *V = Next();
       if (!V)
         return false;
       Opts.OutFile = V;
-    } else if (Arg == "--threshold") {
+    } else if (Name == "--metrics-out") {
       const char *V = Next();
       if (!V)
         return false;
-      Opts.Threshold = std::atof(V);
-    } else if (Arg == "--iters") {
+      Opts.MetricsOut = V;
+    } else if (Name == "--threshold") {
       const char *V = Next();
-      if (!V)
+      double Value;
+      if (!V || !parseStrictDouble(Name, V, Value))
         return false;
-      Opts.Iterations = std::atoi(V);
-    } else if (Arg == "--cutoff") {
+      Opts.Threshold = Value;
+    } else if (Name == "--iters") {
       const char *V = Next();
-      if (!V)
+      unsigned long Value;
+      if (!V || !parseStrictUnsigned(Name, V, Value))
         return false;
-      Opts.RepCutoff = static_cast<size_t>(std::atoi(V));
-    } else if (Arg == "--top") {
+      if (Value == 0 || Value > 10'000'000) {
+        std::fprintf(stderr,
+                     "error: --iters must be in [1, 10000000], got %s\n",
+                     V);
+        return false;
+      }
+      Opts.Iterations = static_cast<int>(Value);
+    } else if (Name == "--cutoff") {
       const char *V = Next();
-      if (!V)
+      unsigned long Value;
+      if (!V || !parseStrictUnsigned(Name, V, Value))
         return false;
-      Opts.Top = static_cast<size_t>(std::atoi(V));
-    } else if (Arg == "--jobs") {
+      Opts.RepCutoff = static_cast<size_t>(Value);
+    } else if (Name == "--top") {
       const char *V = Next();
-      if (!V)
+      unsigned long Value;
+      if (!V || !parseStrictUnsigned(Name, V, Value))
         return false;
-      Opts.Jobs = static_cast<unsigned>(std::atoi(V));
-    } else if (Arg == "--progress") {
+      Opts.Top = static_cast<size_t>(Value);
+    } else if (Name == "--jobs") {
+      const char *V = Next();
+      unsigned long Value;
+      if (!V || !parseStrictUnsigned(Name, V, Value))
+        return false;
+      // 0 means "all hardware threads"; anything above a generous
+      // oversubscription cap is almost certainly a typo (or an unchecked
+      // negative) and would only thrash, so clamp it loudly.
+      unsigned long Cap = 8ul * ThreadPool::hardwareConcurrency();
+      if (Value > Cap) {
+        std::fprintf(stderr,
+                     "warning: --jobs %lu exceeds %lu (8x hardware "
+                     "threads); clamping to %lu\n",
+                     Value, Cap, Cap);
+        Value = Cap;
+      }
+      Opts.Jobs = static_cast<unsigned>(Value);
+    } else if (Name == "--progress") {
+      if (!NoValue())
+        return false;
       Opts.Progress = true;
-    } else if (Arg == "--solver-stats") {
+    } else if (Name == "--metrics") {
+      if (!NoValue())
+        return false;
+      Opts.Metrics = true;
+    } else if (Name == "--solver-stats") {
+      if (!NoValue())
+        return false;
       Opts.SolverStats = true;
-    } else if (Arg == "--legacy-solver") {
+    } else if (Name == "--legacy-solver") {
+      if (!NoValue())
+        return false;
       Opts.LegacySolver = true;
-    } else if (Arg == "--no-dedup") {
+    } else if (Name == "--no-dedup") {
+      if (!NoValue())
+        return false;
       Opts.Dedup = false;
-    } else if (Arg == "--json") {
+    } else if (Name == "--json") {
+      if (!NoValue())
+        return false;
       Opts.Json = true;
-    } else if (Arg == "--rep") {
+    } else if (Name == "--rep") {
       const char *V = Next();
       if (!V)
         return false;
       Opts.ExplainRep = V;
-    } else if (Arg == "--role") {
+    } else if (Name == "--role") {
       const char *V = Next();
       if (!V)
         return false;
       Opts.ExplainRole = V;
-    } else if (Arg == "--dot") {
+    } else if (Name == "--dot") {
+      if (!NoValue())
+        return false;
       Opts.Dot = true;
-    } else if (Arg.rfind("--", 0) == 0) {
-      std::fprintf(stderr, "error: unknown option %s\n", Arg.c_str());
+    } else if (Name.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown option %s\n", Name.c_str());
       return false;
     } else {
       Opts.Paths.push_back(Arg);
@@ -363,6 +481,14 @@ int cmdAnalyze(const CliOptions &Opts) {
   size_t Raw = Reports.size();
   if (Opts.Dedup)
     Reports = taint::dedupByRepPair(Graph, Reports);
+  {
+    metrics::Registry &Reg = metrics::Registry::global();
+    if (Reg.enabled()) {
+      Reg.gauge("taint.reports_raw").set(static_cast<double>(Raw));
+      Reg.gauge("taint.reports_final")
+          .set(static_cast<double>(Reports.size()));
+    }
+  }
   std::vector<double> Confidence = taint::rankViolations(
       Graph, Reports, &Seed.Spec, HaveLearned ? &Learned : nullptr,
       Opts.Threshold);
@@ -570,18 +696,29 @@ int cmdGraph(const CliOptions &Opts) {
   return writeOutput(Opts, propgraph::toDot(Graph, DotOpts)) ? 0 : 1;
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
-  if (Argc < 2) {
-    usage();
-    return 1;
+/// Renders / writes the metrics snapshot after a command ran. Returns
+/// false if --metrics-out could not be written.
+bool emitMetrics(const CliOptions &Opts) {
+  if (!Opts.Metrics && Opts.MetricsOut.empty())
+    return true;
+  metrics::Registry &Reg = metrics::Registry::global();
+  if (Opts.Metrics)
+    std::fputs(Reg.renderText().c_str(), stderr);
+  if (!Opts.MetricsOut.empty()) {
+    std::ofstream Out(Opts.MetricsOut, std::ios::binary | std::ios::trunc);
+    if (Out)
+      Out << Reg.toJson();
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                   Opts.MetricsOut.c_str());
+      return false;
+    }
+    std::fprintf(stderr, "wrote metrics to %s\n", Opts.MetricsOut.c_str());
   }
-  std::string Command = Argv[1];
-  CliOptions Opts;
-  if (!parseArgs(Argc, Argv, Opts))
-    return 1;
+  return true;
+}
 
+int runCommand(const std::string &Command, const CliOptions &Opts) {
   if (Command == "learn")
     return cmdLearn(Opts);
   if (Command == "analyze")
@@ -605,4 +742,28 @@ int main(int Argc, char **Argv) {
   std::fprintf(stderr, "error: unknown command '%s'\n", Command.c_str());
   usage();
   return 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    usage();
+    return 1;
+  }
+  std::string Command = Argv[1];
+  CliOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return 1;
+
+  // Enable before any pipeline work so corpus loading (per-file parse
+  // timings) is captured too. Metrics are write-only: enabling them never
+  // changes any learned score or report.
+  if (Opts.Metrics || !Opts.MetricsOut.empty())
+    metrics::Registry::global().setEnabled(true);
+
+  int Rc = runCommand(Command, Opts);
+  if (!emitMetrics(Opts) && Rc == 0)
+    Rc = 1;
+  return Rc;
 }
