@@ -9,6 +9,15 @@
 // learned specifications. The per-file rate must stay roughly constant for
 // linear scaling.
 //
+// Afterwards, the persistent graph cache is benchmarked at full corpus
+// size: an uncached run, a cold cached run (all misses, entries written),
+// and a warm cached run (all hits, parse+build skipped) must produce
+// byte-identical learned specifications, and the warm parse stage must
+// beat the cold one. With SELDON_CACHE_OUT=FILE the comparison is written
+// as a JSON fragment that scripts/bench_solver.sh merges into
+// BENCH_solver.json. SELDON_FIG10_SWEEP=0 skips the scaling sweep and
+// runs only the cache comparison.
+//
 //===----------------------------------------------------------------------===//
 
 #include "eval/ExperimentDriver.h"
@@ -17,6 +26,9 @@
 #include "support/TablePrinter.h"
 #include "support/ThreadPool.h"
 
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 
 using namespace seldon;
@@ -30,10 +42,13 @@ struct TimedRun {
 };
 
 TimedRun runWithJobs(const corpus::Corpus &Data,
-                     const infer::PipelineOptions &BaseOpts, unsigned Jobs) {
+                     const infer::PipelineOptions &BaseOpts, unsigned Jobs,
+                     const std::string &CacheDir = std::string()) {
   infer::PipelineOptions Opts = BaseOpts;
   Opts.Jobs = Jobs;
   infer::Session Session(Opts);
+  if (!CacheDir.empty())
+    Session.enableCache(CacheDir);
   Session.addProjects(Data.Projects);
   Session.generateConstraints(Data.Seed);
   TimedRun Run;
@@ -41,6 +56,113 @@ TimedRun runWithJobs(const corpus::Corpus &Data,
   Run.TotalSeconds = Run.Result.BuildSeconds + Run.Result.GenSeconds +
                      Run.Result.SolveSeconds;
   return Run;
+}
+
+/// Cold vs warm graph-cache comparison at full corpus size. Returns false
+/// on a correctness failure (spec drift or missing hits); timing deltas
+/// are reported, not gated.
+bool runCacheComparison(int MaxProjects, unsigned Jobs,
+                        const infer::PipelineOptions &PipelineOpts) {
+  corpus::CorpusOptions CorpusOpts = standardCorpusOptions();
+  CorpusOpts.NumProjects = MaxProjects;
+  corpus::Corpus Data = corpus::generateCorpus(CorpusOpts);
+
+  std::string Template =
+      (std::filesystem::temp_directory_path() / "seldon-cache-XXXXXX")
+          .string();
+  std::vector<char> Path(Template.begin(), Template.end());
+  Path.push_back('\0');
+  if (!mkdtemp(Path.data())) {
+    std::cerr << "cache bench: cannot create temp cache directory\n";
+    return false;
+  }
+  std::string CacheDir(Path.data());
+
+  TimedRun Uncached = runWithJobs(Data, PipelineOpts, Jobs);
+  TimedRun Cold = runWithJobs(Data, PipelineOpts, Jobs, CacheDir);
+  TimedRun Warm = runWithJobs(Data, PipelineOpts, Jobs, CacheDir);
+  std::filesystem::remove_all(CacheDir);
+
+  std::string UncachedSpec = spec::writeLearnedSpec(Uncached.Result.Learned);
+  bool Identical =
+      UncachedSpec == spec::writeLearnedSpec(Cold.Result.Learned) &&
+      UncachedSpec == spec::writeLearnedSpec(Warm.Result.Learned);
+  const cache::CacheStats &ColdStats = Cold.Result.Cache;
+  const cache::CacheStats &WarmStats = Warm.Result.Cache;
+  size_t Projects = Data.Projects.size();
+  bool AllHits = WarmStats.Hits == Projects && WarmStats.Misses == 0;
+  bool AllMisses = ColdStats.Misses == Projects && ColdStats.Hits == 0;
+
+  std::cout << "\n=== Graph cache: cold vs warm at full corpus size ===\n\n";
+  TablePrinter Table({"Run", "Parse (s)", "Total (s)", "Hits", "Misses"});
+  Table.addRow({"uncached",
+                formatString("%.3f", Uncached.Result.BuildSeconds),
+                formatString("%.3f", Uncached.TotalSeconds), "-", "-"});
+  Table.addRow({"cold cache",
+                formatString("%.3f", Cold.Result.BuildSeconds),
+                formatString("%.3f", Cold.TotalSeconds),
+                std::to_string(ColdStats.Hits),
+                std::to_string(ColdStats.Misses)});
+  Table.addRow({"warm cache",
+                formatString("%.3f", Warm.Result.BuildSeconds),
+                formatString("%.3f", Warm.TotalSeconds),
+                std::to_string(WarmStats.Hits),
+                std::to_string(WarmStats.Misses)});
+  Table.print(std::cout);
+  std::cout << formatString(
+      "\nwarm parse speedup over cold: %.2fx (%zu project(s), "
+      "%llu bytes cached)\nlearned specs byte-identical across "
+      "uncached/cold/warm: %s\n",
+      Warm.Result.BuildSeconds > 0.0
+          ? Cold.Result.BuildSeconds / Warm.Result.BuildSeconds
+          : 0.0,
+      Projects,
+      static_cast<unsigned long long>(ColdStats.BytesWritten),
+      Identical ? "yes" : "NO — CACHE BUG");
+  if (!AllMisses)
+    std::cout << "cold run was not all misses — CACHE BUG\n";
+  if (!AllHits)
+    std::cout << "warm run was not all hits — CACHE BUG\n";
+
+  if (const char *Out = std::getenv("SELDON_CACHE_OUT")) {
+    std::ofstream Json(Out, std::ios::trunc);
+    Json << "{\n";
+    Json << formatString("  \"projects\": %zu,\n", Projects);
+    Json << formatString("  \"files\": %zu,\n", Uncached.Result.NumFiles);
+    Json << formatString("  \"jobs\": %u,\n", Jobs);
+    Json << formatString("  \"uncached_parse_seconds\": %.6f,\n",
+                         Uncached.Result.BuildSeconds);
+    Json << formatString("  \"cold_parse_seconds\": %.6f,\n",
+                         Cold.Result.BuildSeconds);
+    Json << formatString("  \"warm_parse_seconds\": %.6f,\n",
+                         Warm.Result.BuildSeconds);
+    Json << formatString("  \"cold_total_seconds\": %.6f,\n",
+                         Cold.TotalSeconds);
+    Json << formatString("  \"warm_total_seconds\": %.6f,\n",
+                         Warm.TotalSeconds);
+    Json << formatString("  \"warm_parse_speedup\": %.4f,\n",
+                         Warm.Result.BuildSeconds > 0.0
+                             ? Cold.Result.BuildSeconds /
+                                   Warm.Result.BuildSeconds
+                             : 0.0);
+    Json << formatString("  \"warm_hits\": %llu,\n",
+                         static_cast<unsigned long long>(WarmStats.Hits));
+    Json << formatString("  \"warm_misses\": %llu,\n",
+                         static_cast<unsigned long long>(WarmStats.Misses));
+    Json << formatString(
+        "  \"cold_misses\": %llu,\n",
+        static_cast<unsigned long long>(ColdStats.Misses));
+    Json << formatString(
+        "  \"bytes_written\": %llu,\n",
+        static_cast<unsigned long long>(ColdStats.BytesWritten));
+    Json << formatString(
+        "  \"bytes_read\": %llu,\n",
+        static_cast<unsigned long long>(WarmStats.BytesRead));
+    Json << formatString("  \"byte_identical\": %s\n",
+                         Identical ? "true" : "false");
+    Json << "}\n";
+  }
+  return Identical && AllHits && AllMisses;
 }
 
 } // namespace
@@ -51,6 +173,9 @@ int main() {
       envInt("SELDON_JOBS",
              static_cast<int>(ThreadPool::hardwareConcurrency())));
   infer::PipelineOptions PipelineOpts = standardPipelineOptions();
+
+  if (envInt("SELDON_FIG10_SWEEP", 1) == 0)
+    return runCacheComparison(MaxProjects, Jobs, PipelineOpts) ? 0 : 1;
 
   std::cout << "=== Figure 10: Seldon inference time vs number of analyzed "
                "files ===\n\n";
@@ -118,5 +243,7 @@ int main() {
       "Speedup tracks the number of physical cores; on a single-core "
       "machine the\nparallel column matches the serial one.)\n",
       HalfRate, LastRate);
+
+  AllIdentical &= runCacheComparison(MaxProjects, Jobs, PipelineOpts);
   return AllIdentical ? 0 : 1;
 }

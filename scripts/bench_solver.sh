@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Times the solve stage with the legacy evaluator and the compiled fused
-# kernel on the Fig. 10 corpus and writes the comparison to
+# kernel on the Fig. 10 corpus, plus a cold-vs-warm graph-cache comparison
+# (bench/fig10_scaling in cache-only mode), and writes both to
 # BENCH_solver.json (in the repo root, or $1 if given). Exits non-zero if
-# the two paths disagree on the learned specification or if the compiled
-# kernel is not at least 2x faster serially.
+# any path disagrees on the learned specification, if the compiled kernel
+# is not at least 2x faster serially, or if the warm cache run is not
+# all-hits and faster to parse than the cold run.
 #
-# Knobs: SELDON_PROJECTS (corpus size, default 300), SELDON_JOBS.
+# Knobs: SELDON_PROJECTS (corpus size, default 300), SELDON_JOBS,
+# SELDON_CACHE_PROJECTS (cache-comparison corpus size, default 60).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -13,9 +16,30 @@ OUT="${1:-$ROOT/BENCH_solver.json}"
 JOBS="${JOBS:-$(nproc)}"
 
 cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
-cmake --build "$ROOT/build" -j "$JOBS" --target solver_kernel >/dev/null
+cmake --build "$ROOT/build" -j "$JOBS" \
+  --target solver_kernel fig10_scaling >/dev/null
 
 "$ROOT/build/bench/solver_kernel" > "$OUT"
+
+# Cache-only fig10 run: SELDON_FIG10_SWEEP=0 skips the scaling sweep, and
+# fig10_scaling halves SELDON_PROJECTS' doubling, so pass the size as-is.
+CACHE_JSON="$(mktemp)"
+trap 'rm -f "$CACHE_JSON"' EXIT
+SELDON_FIG10_SWEEP=0 SELDON_CACHE_OUT="$CACHE_JSON" \
+  SELDON_PROJECTS="$(( ${SELDON_CACHE_PROJECTS:-60} / 2 ))" \
+  "$ROOT/build/bench/fig10_scaling" >&2
+
+# Merge {"cache": ...} into the solver summary.
+python3 - "$OUT" "$CACHE_JSON" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    summary = json.load(f)
+with open(sys.argv[2]) as f:
+    summary["cache"] = json.load(f)
+with open(sys.argv[1], "w") as f:
+    json.dump(summary, f, indent=2)
+    f.write("\n")
+EOF
 echo "wrote $OUT"
 
 python3 - "$OUT" <<'EOF'
@@ -40,7 +64,21 @@ if m["gauges"]["solver.rows_after"] != r["rows_after_dedup"]:
     sys.exit("FAIL: solver.rows_after gauge disagrees with rows_after_dedup")
 if m["series"]["solve.objective"]["count"] == 0:
     sys.exit("FAIL: no solver convergence samples in metrics snapshot")
+
+# The graph-cache comparison: warm runs must hit every project, emit a
+# byte-identical spec, and skip enough parse work to beat the cold run.
+c = r["cache"]
+if not c["byte_identical"]:
+    sys.exit("FAIL: cached and uncached specs differ")
+if c["warm_hits"] != c["projects"] or c["warm_misses"] != 0:
+    sys.exit(f"FAIL: warm cache run hit {c['warm_hits']}/{c['projects']}")
+if c["cold_misses"] != c["projects"]:
+    sys.exit("FAIL: cold cache run was not all misses")
+if c["warm_parse_seconds"] >= c["cold_parse_seconds"]:
+    sys.exit(f"FAIL: warm parse {c['warm_parse_seconds']:.3f}s not faster "
+             f"than cold {c['cold_parse_seconds']:.3f}s")
 print(f"OK: {r['serial_speedup']:.2f}x serial speedup, "
       f"{r['dedup_ratio']:.2f}x dedup, specs byte-identical, "
-      f"metrics snapshot consistent")
+      f"metrics snapshot consistent; cache warm parse "
+      f"{c['warm_parse_speedup']:.2f}x faster, {c['warm_hits']} hit(s)")
 EOF

@@ -21,9 +21,9 @@ cmake -B "$ROOT/build-tsan" -S "$ROOT" \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -g"
 cmake --build "$ROOT/build-tsan" -j "$JOBS" \
   --target threadpool_test metrics_test pipeline_parallel_test \
-           compiled_objective_test
+           compiled_objective_test cache_fault_test cache_pipeline_test
 ctest --test-dir "$ROOT/build-tsan" --output-on-failure -j "$JOBS" \
-  -R 'ThreadPoolTest|MetricsTest|TraceTest|MetricsPipelineTest|PipelineParallelTest|CompileTest|CompiledEquivalenceTest'
+  -R 'ThreadPoolTest|MetricsTest|TraceTest|MetricsPipelineTest|PipelineParallelTest|CompileTest|CompiledEquivalenceTest|CodecFaultTest|CacheFaultTest|CachePipelineTest|CacheStalenessTest|CacheDegradedTest|CacheKeyTest'
 
 echo
 echo "=== metrics smoke: seldon learn --metrics-out on a toy repo ==="
@@ -73,6 +73,35 @@ for t in ("parse.file_seconds", "build.project_seconds"):
         sys.exit(f"FAIL: timer {t} not populated")
 print("OK: metrics snapshot has all expected stages, counters, gauges, "
       "timers, and convergence samples")
+EOF
+
+echo
+echo "=== cache smoke: cold + warm seldon learn with --cache-dir ==="
+"$ROOT/build/tools/seldon" learn --cutoff 1 --iters 100 --jobs 2 \
+  --cache-dir "$SMOKE/cache" --cache-stats \
+  --out "$SMOKE/cold.spec" "$SMOKE"
+"$ROOT/build/tools/seldon" learn --cutoff 1 --iters 100 --jobs 2 \
+  --cache-dir "$SMOKE/cache" --cache-stats \
+  --metrics-out "$SMOKE/warm-metrics.json" \
+  --out "$SMOKE/warm.spec" "$SMOKE"
+cmp "$SMOKE/cold.spec" "$SMOKE/warm.spec" \
+  || { echo "FAIL: warm-cache spec differs from cold run"; exit 1; }
+python3 - "$SMOKE/warm-metrics.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    m = json.load(f)
+hits = m["counters"].get("cache.hits", 0)
+misses = m["counters"].get("cache.misses", 0)
+if hits <= 0:
+    sys.exit(f"FAIL: warm run recorded {hits} cache hits")
+if misses != 0:
+    sys.exit(f"FAIL: warm run recorded {misses} cache misses")
+if m["counters"].get("cache.bytes_read", 0) <= 0:
+    sys.exit("FAIL: warm run read no cache bytes")
+if m["timers"].get("cache.load_seconds", {"count": 0})["count"] != hits:
+    sys.exit("FAIL: cache.load_seconds count disagrees with cache.hits")
+print(f"OK: warm run served {hits} project(s) from the graph cache, "
+      "specs byte-identical")
 EOF
 
 echo

@@ -1,0 +1,241 @@
+//===- cache/GraphCache.cpp - Persistent propagation-graph cache ----------===//
+
+#include "cache/GraphCache.h"
+
+#include "propgraph/GraphCodec.h"
+#include "support/Metrics.h"
+#include "support/StrUtil.h"
+#include "support/Timer.h"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+using namespace seldon;
+using namespace seldon::cache;
+
+namespace fs = std::filesystem;
+
+std::string CacheKey::hex() const {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(Hash));
+  return std::string(Buf);
+}
+
+namespace {
+
+/// Entry files are the codec blob prefixed by the 8-byte little-endian
+/// key hash, so a load can verify the entry actually belongs to its key.
+constexpr size_t KeyPrefixBytes = 8;
+constexpr const char *EntrySuffix = ".spg";
+
+void hashChunk(uint64_t &Hash, std::string_view Bytes) {
+  // Length-prefix every chunk so ("ab","c") and ("a","bc") differ.
+  uint64_t Len = Bytes.size();
+  Hash = propgraph::fnv1a64(
+      std::string_view(reinterpret_cast<const char *>(&Len), sizeof(Len)),
+      Hash);
+  Hash = propgraph::fnv1a64(Bytes, Hash);
+}
+
+void hashValue(uint64_t &Hash, uint64_t Value) {
+  Hash = propgraph::fnv1a64(
+      std::string_view(reinterpret_cast<const char *>(&Value),
+                       sizeof(Value)),
+      Hash);
+}
+
+} // namespace
+
+CacheKey seldon::cache::projectCacheKey(const pysem::Project &Proj,
+                                        const propgraph::BuildOptions &Opts) {
+  uint64_t Hash = 0xcbf29ce484222325ull;
+  hashChunk(Hash, "seldon-graph-cache");
+  hashValue(Hash, propgraph::GraphCodecVersion);
+
+  // Every frontend knob participates: flipping any of them must rebuild.
+  hashValue(Hash, static_cast<uint64_t>(Opts.MaxInlineDepth));
+  hashValue(Hash, Opts.ModelLocals);
+  hashValue(Hash, Opts.UsePointsTo);
+  hashValue(Hash, Opts.ArgPositionReps);
+  hashValue(Hash, Opts.PreciseInlining);
+  hashValue(Hash, Opts.CrossModuleFlows);
+
+  hashValue(Hash, Proj.modules().size());
+  for (const pysem::ModuleInfo &M : Proj.modules()) {
+    hashChunk(Hash, M.Path);
+    hashChunk(Hash, M.Source);
+  }
+  CacheKey Key;
+  Key.Hash = Hash;
+  return Key;
+}
+
+GraphCache::GraphCache(std::string Dir) : Dir(std::move(Dir)) {
+  std::error_code Ec;
+  fs::create_directories(this->Dir, Ec);
+  if (Ec) {
+    DirError = formatString("cannot create cache directory %s: %s",
+                            this->Dir.c_str(), Ec.message().c_str());
+    return;
+  }
+  if (!fs::is_directory(this->Dir, Ec))
+    DirError = formatString("cache path %s is not a directory",
+                            this->Dir.c_str());
+}
+
+std::string GraphCache::entryPath(const CacheKey &Key) const {
+  return Dir + "/" + Key.hex() + EntrySuffix;
+}
+
+void GraphCache::recordError(std::string Message) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Stats.Errors.push_back(std::move(Message));
+}
+
+std::optional<propgraph::PropagationGraph>
+GraphCache::load(const CacheKey &Key) {
+  metrics::Registry &Reg = metrics::Registry::global();
+  auto Miss = [&] {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Stats.Misses;
+  };
+  if (!valid()) {
+    Miss();
+    if (Reg.enabled())
+      Reg.counter("cache.misses").add();
+    return std::nullopt;
+  }
+
+  Timer LoadTimer;
+  std::string Path = entryPath(Key);
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    // Absent entry: a plain miss, not an error.
+    Miss();
+    if (Reg.enabled())
+      Reg.counter("cache.misses").add();
+    return std::nullopt;
+  }
+  std::string Bytes((std::istreambuf_iterator<char>(In)),
+                    std::istreambuf_iterator<char>());
+  In.close();
+
+  std::string Problem;
+  if (Bytes.size() < KeyPrefixBytes) {
+    Problem = formatString("truncated cache entry (%zu byte(s), need at "
+                           "least %zu for the key prefix)",
+                           Bytes.size(), KeyPrefixBytes);
+  } else {
+    uint64_t StoredKey = 0;
+    for (size_t I = 0; I < KeyPrefixBytes; ++I)
+      StoredKey |= static_cast<uint64_t>(
+                       static_cast<unsigned char>(Bytes[I]))
+                   << (8 * I);
+    if (StoredKey != Key.Hash) {
+      Problem = formatString(
+          "cache entry key mismatch: stored %016llx, expected %s",
+          static_cast<unsigned long long>(StoredKey), Key.hex().c_str());
+    } else {
+      io::IOResult<propgraph::PropagationGraph> Decoded =
+          propgraph::decodeGraph(
+              std::string_view(Bytes).substr(KeyPrefixBytes));
+      if (Decoded.ok()) {
+        {
+          std::lock_guard<std::mutex> Lock(Mutex);
+          ++Stats.Hits;
+          Stats.BytesRead += Bytes.size();
+        }
+        if (Reg.enabled()) {
+          Reg.counter("cache.hits").add();
+          Reg.counter("cache.bytes_read").add(Bytes.size());
+          Reg.timer("cache.load_seconds").record(LoadTimer.seconds());
+        }
+        return std::move(Decoded.Value);
+      }
+      Problem = Decoded.Error;
+    }
+  }
+
+  // Corrupt entry: evict it so the rebuild's write-back starts clean, and
+  // report a miss so the caller falls back to a cold build.
+  std::error_code Ec;
+  fs::remove(Path, Ec);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Stats.Misses;
+    ++Stats.Evictions;
+    Stats.Errors.push_back(formatString("evicted %s: %s", Path.c_str(),
+                                        Problem.c_str()));
+  }
+  if (Reg.enabled()) {
+    Reg.counter("cache.misses").add();
+    Reg.counter("cache.evictions").add();
+  }
+  return std::nullopt;
+}
+
+bool GraphCache::store(const CacheKey &Key,
+                       const propgraph::PropagationGraph &Graph) {
+  metrics::Registry &Reg = metrics::Registry::global();
+  if (!valid()) {
+    recordError(formatString("cannot store %s: %s", Key.hex().c_str(),
+                             DirError.c_str()));
+    return false;
+  }
+
+  Timer StoreTimer;
+  std::string Bytes;
+  Bytes.reserve(KeyPrefixBytes + 64);
+  for (size_t I = 0; I < KeyPrefixBytes; ++I)
+    Bytes.push_back(static_cast<char>((Key.Hash >> (8 * I)) & 0xff));
+  Bytes += encodeGraph(Graph);
+
+  // Unique temp name per store call: two workers may store the same key
+  // when a corpus contains byte-identical projects.
+  static std::atomic<uint64_t> StoreSeq{0};
+  std::string Path = entryPath(Key);
+  std::string TmpPath = formatString(
+      "%s.tmp%llu", Path.c_str(),
+      static_cast<unsigned long long>(
+          StoreSeq.fetch_add(1, std::memory_order_relaxed)));
+  {
+    std::ofstream Out(TmpPath, std::ios::binary | std::ios::trunc);
+    if (Out)
+      Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+    if (!Out) {
+      recordError(formatString("cannot write cache entry %s",
+                               TmpPath.c_str()));
+      std::error_code Ec;
+      fs::remove(TmpPath, Ec);
+      return false;
+    }
+  }
+  std::error_code Ec;
+  fs::rename(TmpPath, Path, Ec);
+  if (Ec) {
+    recordError(formatString("cannot publish cache entry %s: %s",
+                             Path.c_str(), Ec.message().c_str()));
+    fs::remove(TmpPath, Ec);
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Stats.Stores;
+    Stats.BytesWritten += Bytes.size();
+  }
+  if (Reg.enabled()) {
+    Reg.counter("cache.stores").add();
+    Reg.counter("cache.bytes_written").add(Bytes.size());
+    Reg.timer("cache.store_seconds").record(StoreTimer.seconds());
+  }
+  return true;
+}
+
+CacheStats GraphCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Stats;
+}

@@ -1,0 +1,122 @@
+//===- cache/GraphCache.h - Persistent propagation-graph cache ---*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An on-disk cache of per-project propagation graphs. The §5 frontend is
+/// deterministic per project, so on a big-code corpus repeated inference
+/// runs only need to pay for projects whose sources (or build options)
+/// changed — the same idea InspectJS and explicit-data-dependency taint
+/// trackers use when they persist intermediate flow representations.
+///
+/// Keying / invalidation: an entry is addressed by a 64-bit FNV-1a hash of
+/// the codec format version, every propgraph::BuildOptions field, and each
+/// module's path and full source text (all length-prefixed). Any change to
+/// any of these produces a different key, so stale entries are never *hit*
+/// — they simply become garbage that a later sweep may remove.
+///
+/// Failure discipline: a missing entry is a miss; an unreadable, truncated,
+/// bit-flipped, version-skewed, or key-mismatched entry is *evicted* (the
+/// file is deleted, the error recorded in the stats) and reported as a
+/// miss, so the caller transparently rebuilds and re-stores it. A load
+/// never yields a partially-populated graph (see propgraph/GraphCodec.h).
+///
+/// Concurrency: load() and store() may be called concurrently from pool
+/// workers. Stores write to a unique temp file and rename it into place,
+/// so readers never observe a half-written entry even across processes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_CACHE_GRAPHCACHE_H
+#define SELDON_CACHE_GRAPHCACHE_H
+
+#include "propgraph/GraphBuilder.h"
+#include "propgraph/PropagationGraph.h"
+#include "pysem/Project.h"
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace seldon {
+namespace cache {
+
+/// Content hash identifying one project's frontend output (sources +
+/// build options + codec version).
+struct CacheKey {
+  uint64_t Hash = 0;
+
+  /// 16 lowercase hex digits; the entry's file stem.
+  std::string hex() const;
+};
+
+/// Computes the cache key of \p Proj under \p Opts. Deterministic in the
+/// module list (paths + sources, in order) and every BuildOptions field;
+/// independent of the project's display name and on-disk location.
+CacheKey projectCacheKey(const pysem::Project &Proj,
+                         const propgraph::BuildOptions &Opts);
+
+/// Counters of one cache's lifetime (monotonic; snapshot via stats()).
+struct CacheStats {
+  uint64_t Hits = 0;       ///< Entries adopted without a rebuild.
+  uint64_t Misses = 0;     ///< Absent or evicted entries.
+  uint64_t Evictions = 0;  ///< Corrupt/mismatched entries deleted on load.
+  uint64_t Stores = 0;     ///< Entries written back.
+  uint64_t BytesRead = 0;  ///< Total size of successfully loaded entries.
+  uint64_t BytesWritten = 0;
+  /// Descriptive messages of every rejected entry and failed store, in
+  /// occurrence order.
+  std::vector<std::string> Errors;
+};
+
+/// The on-disk store. Construction creates the directory (recursively);
+/// an unusable directory leaves the cache in a degraded valid()==false
+/// state where every load misses and every store fails with a recorded
+/// error — the pipeline still runs, just uncached.
+class GraphCache {
+public:
+  explicit GraphCache(std::string Dir);
+
+  GraphCache(const GraphCache &) = delete;
+  GraphCache &operator=(const GraphCache &) = delete;
+
+  const std::string &dir() const { return Dir; }
+
+  /// False when the cache directory could not be created/used; error()
+  /// then describes why.
+  bool valid() const { return DirError.empty(); }
+  const std::string &error() const { return DirError; }
+
+  /// Absolute-ish path of \p Key's entry file inside dir().
+  std::string entryPath(const CacheKey &Key) const;
+
+  /// Loads and decodes \p Key's entry. nullopt on miss — including every
+  /// corruption case, which additionally evicts the bad entry and records
+  /// a descriptive error in stats(). Thread-safe.
+  std::optional<propgraph::PropagationGraph> load(const CacheKey &Key);
+
+  /// Encodes and atomically writes \p Graph as \p Key's entry. Returns
+  /// false (recording an error) when the write fails. Thread-safe.
+  bool store(const CacheKey &Key, const propgraph::PropagationGraph &Graph);
+
+  /// Snapshot of the counters and recorded errors.
+  CacheStats stats() const;
+
+private:
+  void recordError(std::string Message);
+
+  std::string Dir;
+  std::string DirError;
+  mutable std::mutex Mutex;
+  CacheStats Stats;
+};
+
+} // namespace cache
+} // namespace seldon
+
+#endif // SELDON_CACHE_GRAPHCACHE_H

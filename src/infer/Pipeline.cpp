@@ -55,6 +55,12 @@ Session &Session::addProjects(const std::vector<pysem::Project> &Corpus) {
   return *this;
 }
 
+Session &Session::enableCache(const std::string &Dir) {
+  assert(!GraphReady && "enableCache must precede buildGraph");
+  Cache = std::make_unique<cache::GraphCache>(Dir);
+  return *this;
+}
+
 Session &Session::adoptGraph(PropagationGraph NewGraph) {
   Graph = std::move(NewGraph);
   GraphReady = true;
@@ -86,10 +92,26 @@ Session &Session::buildGraph() {
   size_t Done = 0;
   auto BuildOne = [&](size_t I, unsigned Worker) {
     Timer ShardTimer;
-    PerProject[I] = buildProjectGraph(*Projects[I], Opts.Build);
+    // With a cache, try to adopt the stored frontend output; the codec is
+    // canonical, so a hit is structurally identical to a fresh build and
+    // every downstream stage stays bit-deterministic. Misses (including
+    // evicted corrupt entries) rebuild and write back.
+    bool Loaded = false;
+    if (Cache) {
+      cache::CacheKey Key = cache::projectCacheKey(*Projects[I], Opts.Build);
+      if (std::optional<PropagationGraph> G = Cache->load(Key)) {
+        PerProject[I] = std::move(*G);
+        Loaded = true;
+      } else {
+        PerProject[I] = buildProjectGraph(*Projects[I], Opts.Build);
+        Cache->store(Key, PerProject[I]);
+      }
+    } else {
+      PerProject[I] = buildProjectGraph(*Projects[I], Opts.Build);
+    }
     double Seconds = ShardTimer.seconds();
     BuildShardSeconds[Worker] += Seconds;
-    if (ProjectTimer)
+    if (ProjectTimer && !Loaded)
       ProjectTimer->record(Seconds);
     if (Observer) {
       std::lock_guard<std::mutex> Lock(ProgressMutex);
@@ -180,6 +202,9 @@ PipelineResult Session::solve() {
   Result.GenSeconds = GenSeconds;
   Result.GenShardSeconds = GenShardSeconds;
   Result.JobsUsed = Jobs;
+  Result.UsedCache = Cache != nullptr;
+  if (Cache)
+    Result.Cache = Cache->stats();
 
   solver::SolveOptions SolveOpts = Opts.Solve;
   if (Observer) {

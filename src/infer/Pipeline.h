@@ -29,6 +29,7 @@
 #ifndef SELDON_INFER_PIPELINE_H
 #define SELDON_INFER_PIPELINE_H
 
+#include "cache/GraphCache.h"
 #include "constraints/ConstraintGen.h"
 #include "propgraph/GraphBuilder.h"
 #include "spec/LearnedSpec.h"
@@ -133,6 +134,13 @@ struct PipelineResult {
   bool UsedCompiledSolver = false;
   solver::CompileStats SolverStats;
 
+  /// Whether a graph cache was enabled, and its counters at solve() time
+  /// (hits + misses == project count when the cache was active during
+  /// buildGraph). Cache hits change timings only — the learned scores are
+  /// byte-identical to an uncached run.
+  bool UsedCache = false;
+  cache::CacheStats Cache;
+
   /// Worker threads the run actually used.
   unsigned JobsUsed = 1;
   /// Per-worker busy time inside the graph-building fan-out; sums to the
@@ -179,6 +187,17 @@ public:
   /// (used when the same graph is reused across ablation configurations).
   Session &adoptGraph(propgraph::PropagationGraph Graph);
 
+  /// Enables the persistent propagation-graph cache rooted at \p Dir
+  /// (created if missing). Must be called before buildGraph(). Projects
+  /// whose entry hits are adopted without re-parsing; misses build via the
+  /// normal (parallel) path and write back. An unusable directory degrades
+  /// to all-miss operation rather than failing the pipeline; check
+  /// graphCache()->valid() to surface that. See cache/GraphCache.h.
+  Session &enableCache(const std::string &Dir);
+
+  /// The enabled cache, or null. Valid for the Session's lifetime.
+  const cache::GraphCache *graphCache() const { return Cache.get(); }
+
   /// Builds the global propagation graph: per-project extraction fans out
   /// over Jobs workers; the per-project graphs are merged in corpus order,
   /// so event ids match the serial run exactly. No-op if a graph was
@@ -206,6 +225,7 @@ private:
   PipelineOptions Opts;
   ProgressObserver *Observer = nullptr;
   std::vector<const pysem::Project *> Projects;
+  std::unique_ptr<cache::GraphCache> Cache;
 
   propgraph::PropagationGraph Graph;
   bool GraphReady = false;

@@ -1,0 +1,291 @@
+//===- propgraph/GraphCodec.cpp - Binary graph serialization --------------===//
+
+#include "propgraph/GraphCodec.h"
+
+#include "support/StrUtil.h"
+
+#include <cstring>
+
+using namespace seldon;
+using namespace seldon::propgraph;
+
+uint64_t seldon::propgraph::fnv1a64(std::string_view Bytes, uint64_t Seed) {
+  uint64_t Hash = Seed;
+  for (unsigned char C : Bytes) {
+    Hash ^= C;
+    Hash *= 0x100000001b3ull;
+  }
+  return Hash;
+}
+
+namespace {
+
+constexpr char Magic[4] = {'S', 'P', 'G', 'C'};
+
+void putVarint(std::string &Out, uint64_t Value) {
+  while (Value >= 0x80) {
+    Out.push_back(static_cast<char>(Value | 0x80));
+    Value >>= 7;
+  }
+  Out.push_back(static_cast<char>(Value));
+}
+
+void putString(std::string &Out, std::string_view Text) {
+  putVarint(Out, Text.size());
+  Out.append(Text);
+}
+
+void putFixed64(std::string &Out, uint64_t Value) {
+  for (int Shift = 0; Shift < 64; Shift += 8)
+    Out.push_back(static_cast<char>((Value >> Shift) & 0xff));
+}
+
+/// Strict forward-only reader over the encoded bytes. Every getter either
+/// succeeds or records a descriptive error (with the current offset) and
+/// makes all further reads fail, so decode logic can chain reads and check
+/// once per section.
+class ByteReader {
+public:
+  explicit ByteReader(std::string_view Bytes) : Bytes(Bytes) {}
+
+  bool ok() const { return Error.empty(); }
+  const std::string &error() const { return Error; }
+  size_t offset() const { return Pos; }
+  size_t remaining() const { return Bytes.size() - Pos; }
+
+  void fail(const std::string &What) {
+    if (Error.empty())
+      Error = formatString("%s at byte %zu", What.c_str(), Pos);
+  }
+
+  uint64_t getVarint(const char *What) {
+    uint64_t Value = 0;
+    for (int Shift = 0; Shift < 64; Shift += 7) {
+      if (Pos >= Bytes.size()) {
+        fail(formatString("truncated input reading %s", What));
+        return 0;
+      }
+      unsigned char Byte = static_cast<unsigned char>(Bytes[Pos++]);
+      Value |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
+      if ((Byte & 0x80) == 0)
+        return Value;
+    }
+    fail(formatString("varint overflow reading %s", What));
+    return 0;
+  }
+
+  uint8_t getByte(const char *What) {
+    if (Pos >= Bytes.size()) {
+      fail(formatString("truncated input reading %s", What));
+      return 0;
+    }
+    return static_cast<uint8_t>(Bytes[Pos++]);
+  }
+
+  uint64_t getFixed64(const char *What) {
+    if (remaining() < 8) {
+      fail(formatString("truncated input reading %s", What));
+      return 0;
+    }
+    uint64_t Value = 0;
+    for (int Shift = 0; Shift < 64; Shift += 8)
+      Value |= static_cast<uint64_t>(
+                   static_cast<unsigned char>(Bytes[Pos++]))
+               << Shift;
+    return Value;
+  }
+
+  std::string_view getString(const char *What) {
+    uint64_t Len = getVarint(What);
+    if (!ok())
+      return {};
+    if (Len > remaining()) {
+      fail(formatString("truncated input reading %s (need %llu bytes, "
+                        "have %zu)",
+                        What, static_cast<unsigned long long>(Len),
+                        remaining()));
+      return {};
+    }
+    std::string_view Out = Bytes.substr(Pos, Len);
+    Pos += Len;
+    return Out;
+  }
+
+private:
+  std::string_view Bytes;
+  size_t Pos = 0;
+  std::string Error;
+};
+
+std::string encodePayload(const PropagationGraph &Graph) {
+  std::string Payload;
+  putVarint(Payload, Graph.files().size());
+  for (const std::string &File : Graph.files())
+    putString(Payload, File);
+
+  putVarint(Payload, Graph.numEvents());
+  for (const Event &E : Graph.events()) {
+    Payload.push_back(static_cast<char>(E.Kind));
+    Payload.push_back(static_cast<char>(E.Candidates));
+    putVarint(Payload, E.FileIdx);
+    putVarint(Payload, E.Loc.Line);
+    putVarint(Payload, E.Loc.Col);
+    putVarint(Payload, E.Reps.size());
+    for (const std::string &Rep : E.Reps)
+      putString(Payload, Rep);
+  }
+
+  putVarint(Payload, Graph.numEdges());
+  for (EventId From = 0; From < Graph.numEvents(); ++From)
+    for (EventId To : Graph.successors(From)) {
+      putVarint(Payload, From);
+      putVarint(Payload, To);
+    }
+  return Payload;
+}
+
+} // namespace
+
+std::string seldon::propgraph::encodeGraph(const PropagationGraph &Graph) {
+  std::string Payload = encodePayload(Graph);
+  std::string Out;
+  Out.reserve(Payload.size() + 24);
+  Out.append(Magic, sizeof(Magic));
+  putVarint(Out, GraphCodecVersion);
+  putFixed64(Out, fnv1a64(Payload));
+  putVarint(Out, Payload.size());
+  Out += Payload;
+  return Out;
+}
+
+io::IOResult<PropagationGraph>
+seldon::propgraph::decodeGraph(std::string_view Bytes) {
+  using Result = io::IOResult<PropagationGraph>;
+  ByteReader Reader(Bytes);
+
+  if (Bytes.size() < sizeof(Magic))
+    return Result::failure(formatString(
+        "truncated graph header: %zu byte(s), need at least %zu",
+        Bytes.size(), sizeof(Magic)));
+  if (std::memcmp(Bytes.data(), Magic, sizeof(Magic)) != 0)
+    return Result::failure(
+        "bad magic: not a serialized propagation graph");
+  for (size_t I = 0; I < sizeof(Magic); ++I)
+    Reader.getByte("magic");
+
+  uint64_t Version = Reader.getVarint("format version");
+  if (!Reader.ok())
+    return Result::failure(Reader.error());
+  if (Version != GraphCodecVersion)
+    return Result::failure(formatString(
+        "unsupported graph format version %llu (this build reads "
+        "version %u)",
+        static_cast<unsigned long long>(Version), GraphCodecVersion));
+
+  uint64_t StoredChecksum = Reader.getFixed64("payload checksum");
+  uint64_t PayloadLen = Reader.getVarint("payload length");
+  if (!Reader.ok())
+    return Result::failure(Reader.error());
+  if (PayloadLen != Reader.remaining())
+    return Result::failure(formatString(
+        "payload size mismatch: header declares %llu byte(s), %zu "
+        "follow (%s)",
+        static_cast<unsigned long long>(PayloadLen), Reader.remaining(),
+        PayloadLen > Reader.remaining() ? "truncated entry"
+                                        : "trailing garbage"));
+  uint64_t ActualChecksum = fnv1a64(Bytes.substr(Reader.offset()));
+  if (ActualChecksum != StoredChecksum)
+    return Result::failure(formatString(
+        "payload checksum mismatch: stored %016llx, computed %016llx "
+        "(corrupt entry)",
+        static_cast<unsigned long long>(StoredChecksum),
+        static_cast<unsigned long long>(ActualChecksum)));
+
+  // The payload is integrity-checked now; remaining failures are
+  // structural (a corrupt encoder or version-1 layout drift) and still
+  // reported descriptively rather than trusted.
+  PropagationGraph Graph;
+
+  uint64_t NumFiles = Reader.getVarint("file count");
+  for (uint64_t I = 0; Reader.ok() && I < NumFiles; ++I) {
+    std::string_view Path = Reader.getString("file path");
+    if (Reader.ok())
+      Graph.addFile(std::string(Path));
+  }
+
+  uint64_t NumEvents = Reader.getVarint("event count");
+  for (uint64_t I = 0; Reader.ok() && I < NumEvents; ++I) {
+    Event E;
+    uint8_t Kind = Reader.getByte("event kind");
+    uint8_t Candidates = Reader.getByte("candidate mask");
+    uint64_t FileIdx = Reader.getVarint("event file index");
+    uint64_t Line = Reader.getVarint("event line");
+    uint64_t Col = Reader.getVarint("event column");
+    uint64_t NumReps = Reader.getVarint("representation count");
+    if (!Reader.ok())
+      break;
+    if (Kind > static_cast<uint8_t>(EventKind::CallArgument)) {
+      Reader.fail(formatString("invalid event kind %u", Kind));
+      break;
+    }
+    if (Candidates > AllRolesMask) {
+      Reader.fail(formatString("invalid candidate mask %u", Candidates));
+      break;
+    }
+    if (FileIdx >= Graph.files().size()) {
+      Reader.fail(formatString(
+          "event file index %llu out of range (%zu file(s))",
+          static_cast<unsigned long long>(FileIdx),
+          Graph.files().size()));
+      break;
+    }
+    if (NumReps == 0) {
+      Reader.fail("event with no representations");
+      break;
+    }
+    E.Kind = static_cast<EventKind>(Kind);
+    E.Candidates = static_cast<RoleMask>(Candidates);
+    E.FileIdx = static_cast<uint32_t>(FileIdx);
+    E.Loc.Line = static_cast<uint32_t>(Line);
+    E.Loc.Col = static_cast<uint32_t>(Col);
+    E.Reps.reserve(NumReps);
+    for (uint64_t R = 0; Reader.ok() && R < NumReps; ++R) {
+      std::string_view Rep = Reader.getString("representation");
+      if (Reader.ok())
+        E.Reps.emplace_back(Rep);
+    }
+    if (Reader.ok())
+      Graph.addEvent(std::move(E));
+  }
+
+  uint64_t NumEdges = Reader.getVarint("edge count");
+  for (uint64_t I = 0; Reader.ok() && I < NumEdges; ++I) {
+    uint64_t From = Reader.getVarint("edge source");
+    uint64_t To = Reader.getVarint("edge target");
+    if (!Reader.ok())
+      break;
+    if (From >= Graph.numEvents() || To >= Graph.numEvents()) {
+      Reader.fail(formatString(
+          "edge %llu -> %llu out of range (%zu event(s))",
+          static_cast<unsigned long long>(From),
+          static_cast<unsigned long long>(To), Graph.numEvents()));
+      break;
+    }
+    if (From == To) {
+      Reader.fail(formatString("self-edge on event %llu",
+                               static_cast<unsigned long long>(From)));
+      break;
+    }
+    Graph.addEdge(static_cast<EventId>(From), static_cast<EventId>(To));
+  }
+
+  if (Reader.ok() && Reader.remaining() != 0)
+    Reader.fail(formatString("%zu unconsumed payload byte(s)",
+                             Reader.remaining()));
+  if (!Reader.ok())
+    return Result::failure(Reader.error());
+
+  Result Out;
+  Out.Value = std::move(Graph);
+  return Out;
+}

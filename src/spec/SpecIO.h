@@ -22,6 +22,7 @@
 
 #include "spec/LearnedSpec.h"
 #include "spec/SeedSpec.h"
+#include "support/IOResult.h"
 
 #include <string>
 #include <vector>
@@ -32,23 +33,9 @@ namespace spec {
 /// Outcome of a specification IO operation: either a value or an error
 /// message, plus recoverable per-line warnings. The uniform replacement
 /// for the mixed bool / optional / out-parameter conventions SpecIO
-/// callers used to juggle.
-template <typename T> struct IOResult {
-  T Value{};
-  /// Empty on success; a printable message on failure.
-  std::string Error;
-  /// Recoverable diagnostics (malformed lines that were skipped).
-  std::vector<std::string> Warnings;
-
-  bool ok() const { return Error.empty(); }
-  explicit operator bool() const { return ok(); }
-
-  static IOResult failure(std::string Message) {
-    IOResult R;
-    R.Error = std::move(Message);
-    return R;
-  }
-};
+/// callers used to juggle. Now an alias of the shared support/IOResult.h
+/// carrier so the graph codec and cache speak the same error language.
+template <typename T> using IOResult = io::IOResult<T>;
 
 /// Reads and parses a seed specification (App. B format) from \p Path.
 /// Strict: a truncated file (non-empty, no trailing newline) or any

@@ -1,0 +1,73 @@
+//===- tests/TestCorpus.h - Shared seeded-RNG corpus setup -------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one place tests configure corpus::CorpusGenerator: a seeded corpus
+/// of a given size, the corpus-order global graph, and a unique scratch
+/// directory helper for cache tests. Property, codec, and cache tests all
+/// draw their randomized inputs from here so "the corpus at seed S" means
+/// the same thing in every suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_TESTS_TESTCORPUS_H
+#define SELDON_TESTS_TESTCORPUS_H
+
+#include "corpus/CorpusGenerator.h"
+#include "propgraph/GraphBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include <unistd.h>
+
+namespace seldon {
+namespace testutil {
+
+/// Generates the standard test corpus for \p Seed: \p NumProjects small
+/// synthetic web apps plus the paper-style seed specification and ground
+/// truth. Deterministic in (Seed, NumProjects).
+inline corpus::Corpus makeCorpus(uint64_t Seed, int NumProjects = 8) {
+  corpus::CorpusOptions Opts;
+  Opts.NumProjects = NumProjects;
+  Opts.Seed = Seed;
+  return corpus::generateCorpus(Opts);
+}
+
+/// Builds the corpus-order global propagation graph of \p Data — the same
+/// merge order Session::buildGraph uses, so event ids match a pipeline
+/// run.
+inline propgraph::PropagationGraph
+buildGlobalGraph(const corpus::Corpus &Data,
+                 const propgraph::BuildOptions &Opts =
+                     propgraph::BuildOptions()) {
+  propgraph::PropagationGraph Global;
+  for (const pysem::Project &P : Data.Projects)
+    Global.append(propgraph::buildProjectGraph(P, Opts));
+  return Global;
+}
+
+/// Creates a fresh, uniquely named scratch directory under gtest's temp
+/// root. Each call returns a different directory, so tests sharing a
+/// binary (or running in parallel) never collide.
+inline std::string makeScratchDir(const std::string &Prefix) {
+  static std::atomic<uint64_t> Seq{0};
+  std::string Dir = ::testing::TempDir() + Prefix + "-" +
+                    std::to_string(::getpid()) + "-" +
+                    std::to_string(Seq.fetch_add(1));
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+} // namespace testutil
+} // namespace seldon
+
+#endif // SELDON_TESTS_TESTCORPUS_H

@@ -8,6 +8,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestCorpus.h"
+
 #include "constraints/ConstraintGen.h"
 #include "corpus/CorpusGenerator.h"
 #include "infer/Pipeline.h"
@@ -31,10 +33,7 @@ namespace {
 class CorpusSweepTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(CorpusSweepTest, EndToEndInvariants) {
-  corpus::CorpusOptions Opts;
-  Opts.NumProjects = 8;
-  Opts.Seed = GetParam();
-  corpus::Corpus Data = corpus::generateCorpus(Opts);
+  corpus::Corpus Data = testutil::makeCorpus(GetParam());
 
   PropagationGraph Global;
   for (const pysem::Project &P : Data.Projects) {
@@ -91,10 +90,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, CorpusSweepTest,
 
 TEST(DeterminismTest, PipelineIsBitDeterministic) {
   auto RunOnce = [] {
-    corpus::CorpusOptions Opts;
-    Opts.NumProjects = 10;
-    Opts.Seed = 77;
-    corpus::Corpus Data = corpus::generateCorpus(Opts);
+    corpus::Corpus Data = testutil::makeCorpus(77, /*NumProjects=*/10);
     infer::PipelineOptions P;
     P.Solve.MaxIterations = 300;
     return infer::runPipeline(Data.Projects, Data.Seed, P);

@@ -57,6 +57,8 @@ struct CliOptions {
   size_t RepCutoff = 5;
   size_t Top = 25;
   unsigned Jobs = 0; // 0 = all hardware threads.
+  std::string CacheDir;
+  bool CacheStats = false;
   bool Progress = false;
   bool Metrics = false;
   std::string MetricsOut;
@@ -121,6 +123,10 @@ void usage() {
       "all\n"
       "                    hardware threads; results are identical for any "
       "N)\n"
+      "  --cache-dir DIR   learn/explain: persistent propagation-graph\n"
+      "                    cache; projects whose sources are unchanged\n"
+      "                    skip parsing (identical learned specs)\n"
+      "  --cache-stats     print cache hit/miss/eviction counts to stderr\n"
       "  --progress        learn/explain: print phase progress to stderr\n"
       "  --metrics         print pipeline metrics tables to stderr on "
       "exit\n"
@@ -276,6 +282,15 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         Value = Cap;
       }
       Opts.Jobs = static_cast<unsigned>(Value);
+    } else if (Name == "--cache-dir") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.CacheDir = V;
+    } else if (Name == "--cache-stats") {
+      if (!NoValue())
+        return false;
+      Opts.CacheStats = true;
     } else if (Name == "--progress") {
       if (!NoValue())
         return false;
@@ -379,6 +394,46 @@ std::vector<pysem::Project> loadCorpus(const CliOptions &Opts, bool &Ok) {
   return Corpus;
 }
 
+/// Enables the graph cache on \p Session when --cache-dir was given.
+/// Returns false (after printing the reason) when the directory is
+/// unusable — a misspelled --cache-dir should be a CLI error, not a
+/// silently uncached run.
+bool setupCache(infer::Session &Session, const CliOptions &Opts) {
+  if (Opts.CacheDir.empty())
+    return true;
+  Session.enableCache(Opts.CacheDir);
+  if (!Session.graphCache()->valid()) {
+    std::fprintf(stderr, "error: %s\n",
+                 Session.graphCache()->error().c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Prints the run's cache counters (and any eviction diagnostics) when
+/// --cache-stats was given.
+void printCacheStats(const infer::PipelineResult &R,
+                     const CliOptions &Opts) {
+  if (!Opts.CacheStats)
+    return;
+  if (!R.UsedCache) {
+    std::fprintf(stderr, "cache: disabled (no --cache-dir)\n");
+    return;
+  }
+  const cache::CacheStats &S = R.Cache;
+  std::fprintf(stderr,
+               "cache: %llu hit(s), %llu miss(es), %llu evicted, "
+               "%llu stored, %llu bytes read, %llu bytes written\n",
+               static_cast<unsigned long long>(S.Hits),
+               static_cast<unsigned long long>(S.Misses),
+               static_cast<unsigned long long>(S.Evictions),
+               static_cast<unsigned long long>(S.Stores),
+               static_cast<unsigned long long>(S.BytesRead),
+               static_cast<unsigned long long>(S.BytesWritten));
+  for (const std::string &E : S.Errors)
+    std::fprintf(stderr, "cache: %s\n", E.c_str());
+}
+
 int cmdLearn(const CliOptions &Opts) {
   bool Ok = false;
   spec::SeedSpec Seed = loadSeed(Opts, Ok);
@@ -400,9 +455,12 @@ int cmdLearn(const CliOptions &Opts) {
   CliProgress Progress;
   if (Opts.Progress)
     Session.setObserver(&Progress);
+  if (!setupCache(Session, Opts))
+    return 1;
   Session.addProjects(Corpus);
   Session.generateConstraints(Seed);
   infer::PipelineResult R = Session.solve();
+  printCacheStats(R, Opts);
 
   std::fprintf(stderr,
                "analyzed %zu files over %u job(s): %zu candidates, "
@@ -590,9 +648,12 @@ int cmdExplain(const CliOptions &Opts) {
   CliProgress Progress;
   if (Opts.Progress)
     Session.setObserver(&Progress);
+  if (!setupCache(Session, Opts))
+    return 1;
   Session.addProjects(Corpus);
   Session.generateConstraints(Seed);
   infer::PipelineResult R = Session.solve();
+  printCacheStats(R, Opts);
 
   constraints::Explanation E = constraints::explainRep(
       R.System, R.Reps, Opts.ExplainRep, Role, R.Solve.X);
