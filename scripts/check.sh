@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Full local check: the tier-1 build + tests, then a ThreadSanitizer build
 # that runs the concurrency-sensitive tests (thread pool + metrics +
-# parallel pipeline), then a metrics smoke run of the CLI that validates
-# the --metrics-out JSON. Run from anywhere; builds land in build/ and
-# build-tsan/.
+# parallel pipeline + fault injection), then CLI smoke runs: a metrics
+# run that validates the --metrics-out JSON, a cache run, and a
+# fault-injected run that must exit degraded (2) with health.* metrics
+# and a spec byte-identical to a survivors-only run. Run from anywhere;
+# builds land in build/ and build-tsan/.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -21,9 +23,10 @@ cmake -B "$ROOT/build-tsan" -S "$ROOT" \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -g"
 cmake --build "$ROOT/build-tsan" -j "$JOBS" \
   --target threadpool_test metrics_test pipeline_parallel_test \
-           compiled_objective_test cache_fault_test cache_pipeline_test
+           compiled_objective_test cache_fault_test cache_pipeline_test \
+           fault_pipeline_test
 ctest --test-dir "$ROOT/build-tsan" --output-on-failure -j "$JOBS" \
-  -R 'ThreadPoolTest|MetricsTest|TraceTest|MetricsPipelineTest|PipelineParallelTest|CompileTest|CompiledEquivalenceTest|CodecFaultTest|CacheFaultTest|CachePipelineTest|CacheStalenessTest|CacheDegradedTest|CacheKeyTest'
+  -R 'ThreadPoolTest|MetricsTest|TraceTest|MetricsPipelineTest|PipelineParallelTest|CompileTest|CompiledEquivalenceTest|CodecFaultTest|CacheFaultTest|CachePipelineTest|CacheStalenessTest|CacheDegradedTest|CacheKeyTest|FaultPipelineTest'
 
 echo
 echo "=== metrics smoke: seldon learn --metrics-out on a toy repo ==="
@@ -102,6 +105,41 @@ if m["timers"].get("cache.load_seconds", {"count": 0})["count"] != hits:
     sys.exit("FAIL: cache.load_seconds count disagrees with cache.hits")
 print(f"OK: warm run served {hits} project(s) from the graph cache, "
       "specs byte-identical")
+EOF
+
+echo
+echo "=== fault smoke: SELDON_FAULT=parse:0 degrades but matches survivors ==="
+mkdir -p "$SMOKE/p1" "$SMOKE/p2"
+cp "$SMOKE/app.py" "$SMOKE/p1/app.py"
+cp "$SMOKE/app.py" "$SMOKE/p2/app.py"
+RC=0
+SELDON_FAULT=parse:0 "$ROOT/build/tools/seldon" learn --cutoff 1 --iters 100 \
+  --jobs 2 --metrics-out "$SMOKE/fault-metrics.json" \
+  --out "$SMOKE/degraded.spec" "$SMOKE/p1" "$SMOKE/p2" || RC=$?
+if [ "$RC" -ne 2 ]; then
+  echo "FAIL: fault-injected run exited $RC, expected degraded exit code 2"
+  exit 1
+fi
+"$ROOT/build/tools/seldon" learn --cutoff 1 --iters 100 --jobs 2 \
+  --out "$SMOKE/survivor.spec" "$SMOKE/p2"
+cmp "$SMOKE/degraded.spec" "$SMOKE/survivor.spec" \
+  || { echo "FAIL: degraded spec differs from the survivors-only run"; exit 1; }
+python3 - "$SMOKE/fault-metrics.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    m = json.load(f)
+if m["counters"].get("health.quarantined", 0) != 1:
+    sys.exit("FAIL: expected exactly one quarantined project, got "
+             f"{m['counters'].get('health.quarantined', 0)}")
+if m["gauges"].get("health.status") != 1:
+    sys.exit("FAIL: health.status gauge is not Degraded (1): "
+             f"{m['gauges'].get('health.status')}")
+if m["gauges"].get("health.deadline_expired") != 0:
+    sys.exit("FAIL: deadline flagged on a fault-only run")
+if m["gauges"].get("health.fault_trips", 0) < 1:
+    sys.exit("FAIL: fault registry recorded no trips")
+print("OK: parse fault quarantined one project, exit code 2, health.* "
+      "metrics populated, spec byte-identical to the survivors-only run")
 EOF
 
 echo

@@ -2,6 +2,8 @@
 
 #include "constraints/ConstraintGen.h"
 
+#include "support/Deadline.h"
+#include "support/FaultInjection.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
@@ -186,7 +188,8 @@ seldon::constraints::generateConstraints(const PropagationGraph &Graph,
                                          const spec::SeedSpec &Seed,
                                          const GenOptions &Opts,
                                          ThreadPool *Pool,
-                                         std::vector<double> *ShardSecondsOut) {
+                                         std::vector<double> *ShardSecondsOut,
+                                         const Deadline *StopAt) {
   ConstraintSystem Sys;
   const std::vector<Event> &Events = Graph.events();
   Sys.EventReps.resize(Events.size());
@@ -250,6 +253,13 @@ seldon::constraints::generateConstraints(const PropagationGraph &Graph,
   auto ExtractFile = [&](size_t F, unsigned Worker) {
     if (ByFile[F].empty())
       return;
+    // Cooperative cancellation at the shard boundary: a truncated system
+    // would silently change the learned scores, so expiry is a hard error
+    // the caller contextualizes (parallelFor rethrows it deterministically).
+    if (StopAt && StopAt->expired())
+      throw DeadlineError("deadline expired during constraint generation");
+    if (fault::enabled())
+      fault::maybeThrow(fault::Point::ConstraintGen, F);
     Timer ShardTimer;
     FileExtractor Extractor(Graph, Sys.EventReps, Opts, ByFile[F],
                             PerFile[F].Vars, PerFile[F].Constraints);

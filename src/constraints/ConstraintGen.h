@@ -35,6 +35,7 @@
 
 namespace seldon {
 
+class Deadline;
 class ThreadPool;
 
 namespace constraints {
@@ -65,13 +66,19 @@ struct GenOptions {
 /// concatenated in file order, so the resulting system — ids, constraint
 /// order, coefficients — is identical to the serial one. \p
 /// ShardSecondsOut (may be null) receives per-worker extraction wall time.
+///
+/// \p StopAt (may be null) is polled at every per-file shard boundary.
+/// Constraint generation is all-or-nothing — a partial system would change
+/// the learned scores silently — so an expired deadline throws
+/// DeadlineError rather than returning a truncated system.
 ConstraintSystem generateConstraints(const propgraph::PropagationGraph &Graph,
                                      const propgraph::RepTable &Reps,
                                      const spec::SeedSpec &Seed,
                                      const GenOptions &Opts = GenOptions(),
                                      ThreadPool *Pool = nullptr,
                                      std::vector<double> *ShardSecondsOut =
-                                         nullptr);
+                                         nullptr,
+                                     const Deadline *StopAt = nullptr);
 
 } // namespace constraints
 } // namespace seldon

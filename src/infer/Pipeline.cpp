@@ -2,12 +2,16 @@
 
 #include "infer/Pipeline.h"
 
+#include "support/FaultInjection.h"
 #include "support/Metrics.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <cmath>
 #include <mutex>
 
 using namespace seldon;
@@ -71,9 +75,15 @@ Session &Session::adoptGraph(PropagationGraph NewGraph) {
   return *this;
 }
 
+void Session::armDeadline() {
+  if (!RunDeadline.armed())
+    RunDeadline.arm(Opts.DeadlineSeconds);
+}
+
 Session &Session::buildGraph() {
   if (GraphReady)
     return *this;
+  armDeadline();
   unsigned Jobs = resolveJobs();
   ThreadPool *P = poolFor(Jobs);
   JobsUsed = Jobs;
@@ -88,30 +98,89 @@ Session &Session::buildGraph() {
   std::vector<PropagationGraph> PerProject(Total);
   BuildShardSeconds.assign(P ? P->numWorkers() : 1, 0.0);
 
+  // Per-project isolation boundary. Failures land in per-index slots, so
+  // the quarantine set, its order, and (under Strict) the surfaced
+  // exception are all independent of the thread schedule.
+  std::vector<std::string> FailReason(Total);
+  std::vector<std::exception_ptr> FailCause(Total);
+  std::vector<uint8_t> FailedAt(Total, 0);
+  std::atomic<bool> AnyFailed{false};
+  std::mutex HealthMutex; // Guards Health.CacheIncidents during fan-out.
+
   std::mutex ProgressMutex;
   size_t Done = 0;
   auto BuildOne = [&](size_t I, unsigned Worker) {
+    // Strict fail-fast: once one project failed, skip the rest (the
+    // captured exception rethrows after the join).
+    if (Opts.Strict && AnyFailed.load(std::memory_order_relaxed))
+      return;
     Timer ShardTimer;
-    // With a cache, try to adopt the stored frontend output; the codec is
-    // canonical, so a hit is structurally identical to a fresh build and
-    // every downstream stage stays bit-deterministic. Misses (including
-    // evicted corrupt entries) rebuild and write back.
     bool Loaded = false;
-    if (Cache) {
-      cache::CacheKey Key = cache::projectCacheKey(*Projects[I], Opts.Build);
-      if (std::optional<PropagationGraph> G = Cache->load(Key)) {
-        PerProject[I] = std::move(*G);
+    try {
+      if (RunDeadline.expired())
+        throw DeadlineError("run deadline expired before project build");
+      if (fault::enabled())
+        fault::maybeThrow(fault::Point::Parse, I);
+      // With a cache, try to adopt the stored frontend output; the codec
+      // is canonical, so a hit is structurally identical to a fresh build
+      // and every downstream stage stays bit-deterministic. Misses
+      // (including evicted corrupt entries) rebuild and write back. A
+      // *throwing* cache (filesystem exceptions, injected faults) is
+      // degraded to a rebuild / skipped write-back, never a quarantine:
+      // the cache is transparent, so the run stays byte-identical.
+      std::optional<PropagationGraph> FromCache;
+      cache::CacheKey Key;
+      if (Cache) {
+        Key = cache::projectCacheKey(*Projects[I], Opts.Build);
+        try {
+          if (fault::enabled())
+            fault::maybeThrow(fault::Point::CacheRead, I);
+          FromCache = Cache->load(Key);
+        } catch (const std::exception &E) {
+          std::lock_guard<std::mutex> Lock(HealthMutex);
+          Health.CacheIncidents.push_back(
+              "project " + Projects[I]->name() +
+              ": cache read degraded to rebuild: " + E.what());
+        }
+      }
+      if (FromCache) {
+        PerProject[I] = std::move(*FromCache);
         Loaded = true;
       } else {
         PerProject[I] = buildProjectGraph(*Projects[I], Opts.Build);
-        Cache->store(Key, PerProject[I]);
+        if (fault::enabled())
+          fault::maybeThrow(fault::Point::GraphBuild, I);
+        if (Cache) {
+          try {
+            if (fault::enabled())
+              fault::maybeThrow(fault::Point::CacheWrite, I);
+            Cache->store(Key, PerProject[I]);
+          } catch (const std::exception &E) {
+            std::lock_guard<std::mutex> Lock(HealthMutex);
+            Health.CacheIncidents.push_back(
+                "project " + Projects[I]->name() +
+                ": cache write skipped: " + E.what());
+          }
+        }
       }
-    } else {
-      PerProject[I] = buildProjectGraph(*Projects[I], Opts.Build);
+    } catch (...) {
+      // Quarantine: drop any partial graph so the merge below sees either
+      // a complete per-project graph or nothing.
+      PerProject[I] = PropagationGraph();
+      FailCause[I] = std::current_exception();
+      try {
+        throw;
+      } catch (const std::exception &E) {
+        FailReason[I] = E.what();
+      } catch (...) {
+        FailReason[I] = "unknown exception";
+      }
+      FailedAt[I] = 1;
+      AnyFailed.store(true, std::memory_order_relaxed);
     }
     double Seconds = ShardTimer.seconds();
     BuildShardSeconds[Worker] += Seconds;
-    if (ProjectTimer && !Loaded)
+    if (ProjectTimer && !Loaded && !FailedAt[I])
       ProjectTimer->record(Seconds);
     if (Observer) {
       std::lock_guard<std::mutex> Lock(ProgressMutex);
@@ -124,19 +193,50 @@ Session &Session::buildGraph() {
     for (size_t I = 0; I < Total; ++I)
       BuildOne(I, 0);
 
-  // Deterministic merge: append in corpus order, so event ids and file
-  // indices are identical to a serial walk.
+  if (Opts.Strict && AnyFailed.load(std::memory_order_relaxed)) {
+    for (size_t I = 0; I < Total; ++I)
+      if (FailedAt[I])
+        std::rethrow_exception(FailCause[I]);
+  }
+
+  // Deterministic merge: append the survivors in corpus order, so event
+  // ids and file indices are identical to a serial walk over only the
+  // surviving projects — quarantined ones contribute nothing.
   NumFiles = 0;
+  bool DeadlineHit = false;
   for (size_t I = 0; I < Total; ++I) {
+    if (FailedAt[I]) {
+      Health.Quarantined.push_back(
+          {I, Projects[I]->name(), FailReason[I]});
+      if (FailCause[I]) {
+        try {
+          std::rethrow_exception(FailCause[I]);
+        } catch (const DeadlineError &) {
+          DeadlineHit = true;
+        } catch (...) {
+        }
+      }
+      PerProject[I] = PropagationGraph();
+      continue;
+    }
     NumFiles += Projects[I]->modules().size();
     Graph.append(PerProject[I]);
     PerProject[I] = PropagationGraph(); // Free as we go.
+  }
+  if (DeadlineHit) {
+    Health.DeadlineExpired = true;
+    Health.DeadlineStage = phaseName(Phase::BuildGraph);
   }
   BuildSeconds = BuildSpan.finish();
   if (Reg.enabled()) {
     Reg.gauge("build.projects").set(static_cast<double>(Total));
     Reg.gauge("build.files").set(static_cast<double>(NumFiles));
     Reg.gauge("build.events").set(static_cast<double>(Graph.numEvents()));
+    if (!Health.Quarantined.empty())
+      Reg.counter("health.quarantined").add(Health.Quarantined.size());
+    if (!Health.CacheIncidents.empty())
+      Reg.counter("health.cache_incidents")
+          .add(Health.CacheIncidents.size());
   }
   if (Observer)
     Observer->onStageFinished(Phase::BuildGraph, BuildSeconds);
@@ -146,6 +246,7 @@ Session &Session::buildGraph() {
 
 Session &Session::generateConstraints(const spec::SeedSpec &Seed) {
   buildGraph();
+  armDeadline(); // adoptGraph() skips buildGraph's arming.
   unsigned Jobs = resolveJobs();
   ThreadPool *P = poolFor(Jobs);
   JobsUsed = Jobs;
@@ -165,8 +266,18 @@ Session &Session::generateConstraints(const spec::SeedSpec &Seed) {
   // would starve the §4.3 frequency cutoff.
   Reps = RepTable();
   Reps.countOccurrences(Graph);
-  System = constraints::generateConstraints(*LearnGraph, Reps, Seed,
-                                            Opts.Gen, P, &GenShardSeconds);
+  try {
+    System = constraints::generateConstraints(*LearnGraph, Reps, Seed,
+                                              Opts.Gen, P, &GenShardSeconds,
+                                              &RunDeadline);
+  } catch (const DeadlineError &) {
+    // Constraint generation is all-or-nothing (a truncated system would
+    // change the learned scores silently), so expiry propagates — but the
+    // health report records which stage the budget killed.
+    Health.DeadlineExpired = true;
+    Health.DeadlineStage = phaseName(Phase::GenerateConstraints);
+    throw;
+  }
   GenSeconds = GenSpan.finish();
   if (Reg.enabled()) {
     Reg.gauge("gen.constraints")
@@ -186,6 +297,7 @@ Session &Session::generateConstraints(const spec::SeedSpec &Seed) {
 PipelineResult Session::solve() {
   assert(SystemReady &&
          "Session::solve() requires generateConstraints() first");
+  armDeadline();
   unsigned Jobs = resolveJobs();
   ThreadPool *P = poolFor(Jobs);
   JobsUsed = Jobs;
@@ -207,6 +319,19 @@ PipelineResult Session::solve() {
     Result.Cache = Cache->stats();
 
   solver::SolveOptions SolveOpts = Opts.Solve;
+  if (RunDeadline.armed()) {
+    // Cap the solver's own budget by what the run budget has left, and let
+    // it poll the shared deadline between iterations.
+    double Remaining = RunDeadline.remainingSeconds();
+    if (SolveOpts.BudgetSeconds <= 0.0 ||
+        Remaining < SolveOpts.BudgetSeconds)
+      SolveOpts.BudgetSeconds = std::max(Remaining, 1e-9);
+    const Deadline *StopAt = &RunDeadline;
+    auto UserStop = SolveOpts.ShouldStop;
+    SolveOpts.ShouldStop = [StopAt, UserStop]() {
+      return StopAt->expired() || (UserStop && UserStop());
+    };
+  }
   if (Observer) {
     ProgressObserver *Obs = Observer;
     auto UserCallback = SolveOpts.OnIteration;
@@ -254,6 +379,17 @@ PipelineResult Session::solve() {
     RunSolver(Obj);
   }
   Result.SolveSeconds = SolveSpan.finish();
+
+  // Fold solver guard activity into the run health report.
+  Health.SolverNonFiniteSteps = Result.Solve.NonFiniteSteps;
+  Health.SolverRecoveries = Result.Solve.Recoveries;
+  Health.SolverFellBack = Result.Solve.FellBack;
+  if (Result.Solve.DeadlineExpired && !Health.DeadlineExpired) {
+    Health.DeadlineExpired = true;
+    Health.DeadlineStage = phaseName(Phase::Solve);
+  }
+  Result.Health = Health;
+
   if (Reg.enabled()) {
     const solver::CompileStats &CS = Result.SolverStats;
     Reg.gauge("solver.rows_before").set(static_cast<double>(CS.RowsBefore));
@@ -267,6 +403,21 @@ PipelineResult Session::solve() {
         .set(Result.UsedCompiledSolver ? 1.0 : 0.0);
     Reg.gauge("solve.final_objective").set(Result.Solve.FinalObjective);
     Reg.gauge("solve.converged").set(Result.Solve.Converged ? 1.0 : 0.0);
+    if (Health.SolverNonFiniteSteps > 0)
+      Reg.counter("health.solver_nonfinite")
+          .add(static_cast<uint64_t>(Health.SolverNonFiniteSteps));
+    if (Health.SolverRecoveries > 0)
+      Reg.counter("health.solver_recoveries")
+          .add(static_cast<uint64_t>(Health.SolverRecoveries));
+    Reg.gauge("health.solver_fellback")
+        .set(Health.SolverFellBack ? 1.0 : 0.0);
+    Reg.gauge("health.deadline_expired")
+        .set(Health.DeadlineExpired ? 1.0 : 0.0);
+    Reg.gauge("health.status")
+        .set(static_cast<double>(Health.status()));
+    if (fault::enabled())
+      Reg.gauge("health.fault_trips")
+          .set(static_cast<double>(fault::totalTrips()));
   }
   if (Observer)
     Observer->onStageFinished(Phase::Solve, Result.SolveSeconds);

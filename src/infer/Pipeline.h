@@ -31,12 +31,14 @@
 
 #include "cache/GraphCache.h"
 #include "constraints/ConstraintGen.h"
+#include "infer/RunHealth.h"
 #include "propgraph/GraphBuilder.h"
 #include "spec/LearnedSpec.h"
 #include "spec/SeedSpec.h"
 #include "solver/AdamOptimizer.h"
 #include "solver/CompiledObjective.h"
 #include "solver/ProjectedGradient.h"
+#include "support/Deadline.h"
 
 #include <memory>
 #include <vector>
@@ -75,6 +77,16 @@ struct PipelineOptions {
   /// gradient evaluation. 0 = hardware concurrency, 1 = fully serial.
   /// The learned scores are bit-identical for every value.
   unsigned Jobs = 0;
+  /// Fail fast instead of quarantining: the first project whose
+  /// parse/build throws rethrows out of buildGraph() (lowest corpus index
+  /// wins, so the surfaced error is deterministic at any Jobs value).
+  bool Strict = false;
+  /// Whole-run wall-clock budget in seconds (0 = unlimited), armed when
+  /// the first stage starts. Projects not built before expiry are
+  /// quarantined, constraint generation aborts with DeadlineError, and
+  /// the solver's remaining budget is capped — the run ends with partial,
+  /// clearly-flagged results instead of hanging. See RunHealth.
+  double DeadlineSeconds = 0.0;
 };
 
 /// The pipeline stages a ProgressObserver is notified about.
@@ -141,6 +153,11 @@ struct PipelineResult {
   bool UsedCache = false;
   cache::CacheStats Cache;
 
+  /// What the fault-tolerant runtime had to do: quarantined projects,
+  /// solver recoveries, deadline expiries, degraded cache operations.
+  /// Health.status() is Clean on an undisturbed run.
+  RunHealth Health;
+
   /// Worker threads the run actually used.
   unsigned JobsUsed = 1;
   /// Per-worker busy time inside the graph-building fan-out; sums to the
@@ -202,6 +219,13 @@ public:
   /// over Jobs workers; the per-project graphs are merged in corpus order,
   /// so event ids match the serial run exactly. No-op if a graph was
   /// adopted or already built.
+  ///
+  /// Each project runs inside an isolation boundary: a throwing
+  /// parse/build/cache-load quarantines that project (captured in
+  /// health()) and the merge continues over the survivors — the resulting
+  /// graph, and every downstream artifact, is byte-identical to a run
+  /// over only the surviving projects at any Jobs value. Options
+  /// Strict restores fail-fast.
   Session &buildGraph();
 
   /// Counts representations and generates the constraint system for
@@ -218,14 +242,22 @@ public:
   const propgraph::PropagationGraph &graph() const { return Graph; }
   bool hasGraph() const { return GraphReady; }
 
+  /// The health report accumulated so far (quarantines after buildGraph,
+  /// solver fields after solve — solve() also embeds a snapshot in its
+  /// PipelineResult).
+  const RunHealth &health() const { return Health; }
+
 private:
   unsigned resolveJobs() const;
   ThreadPool *poolFor(unsigned Jobs);
+  void armDeadline();
 
   PipelineOptions Opts;
   ProgressObserver *Observer = nullptr;
   std::vector<const pysem::Project *> Projects;
   std::unique_ptr<cache::GraphCache> Cache;
+  RunHealth Health;
+  Deadline RunDeadline;
 
   propgraph::PropagationGraph Graph;
   bool GraphReady = false;

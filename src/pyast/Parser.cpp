@@ -58,6 +58,19 @@ void Parser::synchronizeToLineEnd() {
 
 SourceLoc Parser::locHere() const { return {current().Line, current().Col}; }
 
+namespace {
+
+/// RAII recursion counter for the descent; paired with the MaxNestingDepth
+/// checks in parseStatement/parseAtom, the two funnels every statement and
+/// expression recursion passes through.
+struct DepthScope {
+  explicit DepthScope(int &Depth) : Depth(Depth) { ++Depth; }
+  ~DepthScope() { --Depth; }
+  int &Depth;
+};
+
+} // namespace
+
 //===----------------------------------------------------------------------===//
 // Statements
 //===----------------------------------------------------------------------===//
@@ -93,6 +106,12 @@ std::vector<Stmt *> Parser::parseStatementsUntil(TokenKind Terminator) {
 }
 
 Stmt *Parser::parseStatement() {
+  if (Depth >= MaxNestingDepth) {
+    errorHere("statement nesting too deep");
+    synchronizeToLineEnd();
+    return nullptr;
+  }
+  DepthScope Scope(Depth);
   switch (current().Kind) {
   case TokenKind::KwDef:
     return parseFunctionDef({});
@@ -876,6 +895,12 @@ void Parser::parseCallArgs(std::vector<Expr *> &Args,
 
 Expr *Parser::parseAtom() {
   SourceLoc Loc = locHere();
+  if (Depth >= MaxNestingDepth) {
+    errorHere("expression nesting too deep");
+    synchronizeToLineEnd();
+    return Ctx.create<NoneExpr>(Loc);
+  }
+  DepthScope Scope(Depth);
   switch (current().Kind) {
   case TokenKind::Name: {
     Token Tok = advance();

@@ -107,6 +107,15 @@ private:
   std::vector<Token> Tokens;
   size_t Pos = 0;
   std::vector<ParseError> Errors;
+
+  /// Recursion-depth ceiling for the descent (statements and expressions
+  /// share it). Pathologically nested input — e.g. ten thousand opening
+  /// parentheses — would otherwise overflow the native stack; at the limit
+  /// the parser emits a ParseError, resynchronizes to the end of the
+  /// logical line, and substitutes a placeholder node, exactly like any
+  /// other recovered syntax error.
+  static constexpr int MaxNestingDepth = 256;
+  int Depth = 0;
 };
 
 /// Convenience: lex and parse \p Source into \p Ctx, appending any lexer and

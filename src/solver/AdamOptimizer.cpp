@@ -3,8 +3,11 @@
 #include "solver/AdamOptimizer.h"
 
 #include "solver/CompiledObjective.h"
+#include "solver/NumericGuard.h"
 #include "solver/SolveTelemetry.h"
+#include "support/Timer.h"
 
+#include <algorithm>
 #include <cmath>
 
 using namespace seldon;
@@ -25,16 +28,59 @@ SolveResult AdamOptimizer::minimize(const ObjT &Obj,
   const size_t N = Obj.numVars();
   std::vector<double> M(N, 0.0), V(N, 0.0), Grad, Mapped;
   SolveTelemetry Telemetry;
+  Timer Budget;
   // The only constraint evaluation per iteration: one fused call yields
   // both the objective value at the current iterate and its subgradient.
-  double Value = Obj.valueAndGradient(Result.X, Grad);
+  double Value = guardedEval(Obj, Result.X, Grad, 0);
   std::vector<double> Best = Result.X;
   double BestValue = Value;
   // Bias-correction powers β₁ᵗ/β₂ᵗ, maintained incrementally instead of
   // calling std::pow every iteration.
   double Beta1T = 1.0, Beta2T = 1.0;
+  // 1.0 on a healthy run (the update below is bit-identical to the
+  // unscaled one); halved by each recovery rung.
+  double StepScale = 1.0;
+
+  // Non-finite recovery ladder: revert to the best finite iterate, clear
+  // the Adam moments (stale momentum would relaunch the iterate toward
+  // the region that produced the NaN/Inf), halve the step scale, and
+  // re-evaluate. Bounded by MaxRecoveries; when the ladder runs dry the
+  // solve falls back to best-so-far with FellBack set.
+  auto Recover = [&](int Iter) -> bool {
+    ++Result.NonFiniteSteps;
+    if (!std::isfinite(BestValue)) // Poisoned initial evaluation: the
+      BestValue =                  // projected start is still finite.
+          std::numeric_limits<double>::infinity();
+    while (Result.Recoveries < Options.MaxRecoveries) {
+      ++Result.Recoveries;
+      Result.X = Best;
+      std::fill(M.begin(), M.end(), 0.0);
+      std::fill(V.begin(), V.end(), 0.0);
+      Beta1T = Beta2T = 1.0;
+      StepScale *= 0.5;
+      Value = guardedEval(Obj, Result.X, Grad, Iter);
+      if (allFinite(Value, Grad))
+        return true;
+      ++Result.NonFiniteSteps;
+    }
+    Result.FellBack = true;
+    return false;
+  };
+
+  if (!allFinite(Value, Grad) && !Recover(0)) {
+    // Nothing ever evaluated finite. The projected start is a valid
+    // iterate; return it rather than a NaN-poisoned spec.
+    Result.FinalObjective = 0.0;
+    return Result;
+  }
 
   for (int Iter = 1; Iter <= Options.MaxIterations; ++Iter) {
+    if ((Options.ShouldStop && Options.ShouldStop()) ||
+        (Options.BudgetSeconds > 0 &&
+         Budget.seconds() >= Options.BudgetSeconds)) {
+      Result.DeadlineExpired = true;
+      break;
+    }
     // Stationarity test via the projected-gradient mapping: at a solution,
     // a plain projected step does not move the iterate. (Comparing
     // objective values is unreliable here: an iterate pinned to the box
@@ -43,7 +89,7 @@ SolveResult AdamOptimizer::minimize(const ObjT &Obj,
     // no extra constraint sweep.
     Mapped = Result.X;
     for (size_t I = 0; I < N; ++I)
-      Mapped[I] -= Options.LearningRate * Grad[I];
+      Mapped[I] -= Options.LearningRate * StepScale * Grad[I];
     Obj.project(Mapped);
     double StepNorm = 0.0;
     for (size_t I = 0; I < N; ++I)
@@ -64,13 +110,20 @@ SolveResult AdamOptimizer::minimize(const ObjT &Obj,
       V[I] = Options.Beta2 * V[I] + (1.0 - Options.Beta2) * Grad[I] * Grad[I];
       double MHat = M[I] / (1.0 - Beta1T);
       double VHat = V[I] / (1.0 - Beta2T);
-      Result.X[I] -=
-          Options.LearningRate * MHat / (std::sqrt(VHat) + Options.Epsilon);
+      Result.X[I] -= Options.LearningRate * StepScale * MHat /
+                     (std::sqrt(VHat) + Options.Epsilon);
     }
     Obj.project(Result.X);
     Result.Iterations = Iter;
 
-    Value = Obj.valueAndGradient(Result.X, Grad);
+    Value = guardedEval(Obj, Result.X, Grad, Iter);
+    if (!allFinite(Value, Grad)) {
+      // Roll back before any telemetry or callback sees the poisoned
+      // evaluation; a recovered iteration resumes from the reverted state.
+      if (!Recover(Iter))
+        break;
+      continue;
+    }
     // Subgradient iterations are not monotone; keep the best point seen.
     if (Value < BestValue) {
       BestValue = Value;
@@ -84,12 +137,16 @@ SolveResult AdamOptimizer::minimize(const ObjT &Obj,
 
   // Value is the objective at the final iterate: the loop left it there
   // after the last step (or at the initial point when the loop never ran).
+  // A FellBack break leaves Value non-finite, so the comparison routes to
+  // the best finite iterate.
   if (Value <= BestValue) {
     Result.FinalObjective = Value;
   } else {
     Result.X = std::move(Best);
     Result.FinalObjective = BestValue;
   }
+  if (!std::isfinite(Result.FinalObjective))
+    Result.FinalObjective = 0.0; // Nothing finite past the start (FellBack).
   return Result;
 }
 

@@ -155,9 +155,23 @@ struct SolveOptions {
   double Beta1 = 0.9;
   double Beta2 = 0.999;
   double Epsilon = 1e-8;
+  /// Wall-clock budget for the whole minimize() call; 0 is unlimited.
+  /// Checked cooperatively once per iteration: an expired budget stops the
+  /// loop and returns the best iterate so far with DeadlineExpired set —
+  /// partial and flagged, never a hang.
+  double BudgetSeconds = 0.0;
+  /// Bound on the non-finite recovery ladder (see docs/architecture.md
+  /// "Failure discipline"): each recovery reverts to the best finite
+  /// iterate, resets the Adam moments, and halves the step scale. Once
+  /// exhausted the solve falls back to best-so-far with FellBack set.
+  int MaxRecoveries = 8;
+  /// Cooperative cancellation, polled once per iteration (run-level
+  /// deadline). Returning true stops the loop like an expired budget.
+  std::function<bool()> ShouldStop;
   /// Invoked after every completed iteration with (iteration, current
   /// objective value). Called from the optimizing thread; must not mutate
-  /// the objective.
+  /// the objective. Never invoked with a non-finite objective value —
+  /// poisoned evaluations are rolled back before any callback fires.
   std::function<void(int Iteration, double Objective)> OnIteration;
 };
 
@@ -166,6 +180,19 @@ struct SolveResult {
   double FinalObjective = 0.0;
   int Iterations = 0;
   bool Converged = false;
+
+  /// Evaluations whose objective value or gradient came back non-finite
+  /// (NaN/Inf). Zero on a healthy run — the guards never change the
+  /// trajectory of a finite solve.
+  int NonFiniteSteps = 0;
+  /// Recovery-ladder rungs taken (revert + moment reset + step backoff)
+  /// that produced a finite re-evaluation.
+  int Recoveries = 0;
+  /// The ladder ran dry: the result is the best finite iterate seen (or
+  /// the projected initial point when nothing ever evaluated finite).
+  bool FellBack = false;
+  /// BudgetSeconds or ShouldStop ended the loop before convergence.
+  bool DeadlineExpired = false;
 };
 
 } // namespace solver

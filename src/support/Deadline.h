@@ -1,0 +1,76 @@
+//===- support/Deadline.h - Cooperative wall-clock budget --------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cooperative wall-clock budget for long pipeline runs. The pipeline
+/// never preempts work: every fan-out (per-project build, per-file
+/// constraint shard) and the solver loop poll expired() at their natural
+/// boundaries and wind the run down with partial, clearly-flagged results
+/// instead of hanging — see docs/architecture.md "Failure discipline".
+///
+/// arm() happens-before the parallel phases (task submission synchronizes
+/// through the pool's queue mutex), so the plain fields are safe to poll
+/// from workers; expired() is a single steady_clock read.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_SUPPORT_DEADLINE_H
+#define SELDON_SUPPORT_DEADLINE_H
+
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+
+namespace seldon {
+
+/// Thrown by stages that cannot produce partial results (constraint
+/// generation) when the deadline expires mid-stage; callers turn it into a
+/// contextualized failure instead of a hang.
+class DeadlineError : public std::runtime_error {
+public:
+  explicit DeadlineError(const std::string &What)
+      : std::runtime_error(What) {}
+};
+
+/// An optional wall-clock limit, disabled until armed.
+class Deadline {
+public:
+  Deadline() = default;
+
+  /// Starts the budget: the deadline is \p Seconds from now. Non-positive
+  /// seconds leave the deadline disarmed. Re-arming restarts the budget.
+  void arm(double Seconds) {
+    if (Seconds <= 0)
+      return;
+    Limit = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(Seconds));
+    Armed = true;
+  }
+
+  bool armed() const { return Armed; }
+
+  /// True once the budget is exhausted; always false when disarmed.
+  bool expired() const { return Armed && Clock::now() >= Limit; }
+
+  /// Seconds left, clamped to 0; +inf when disarmed.
+  double remainingSeconds() const {
+    if (!Armed)
+      return std::numeric_limits<double>::infinity();
+    double Left =
+        std::chrono::duration<double>(Limit - Clock::now()).count();
+    return Left > 0 ? Left : 0.0;
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Limit;
+  bool Armed = false;
+};
+
+} // namespace seldon
+
+#endif // SELDON_SUPPORT_DEADLINE_H

@@ -1,0 +1,180 @@
+//===- support/FaultInjection.cpp - Deterministic fault points ------------===//
+
+#include "support/FaultInjection.h"
+
+#include "support/StrUtil.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <vector>
+
+using namespace seldon;
+using namespace seldon::fault;
+
+namespace {
+
+/// One armed (point, key) pair. Consumed guards the one-shot semantics;
+/// it is atomic because trips race from pool workers.
+struct ArmedKey {
+  uint64_t Key = 0;
+  std::atomic<bool> Consumed{false};
+
+  ArmedKey() = default;
+  explicit ArmedKey(uint64_t Key) : Key(Key) {}
+  ArmedKey(const ArmedKey &Other)
+      : Key(Other.Key),
+        Consumed(Other.Consumed.load(std::memory_order_relaxed)) {}
+};
+
+struct PointState {
+  bool All = false; ///< `point:*` — trips for every key, never consumed.
+  std::vector<ArmedKey> Keys;
+  std::atomic<uint64_t> Trips{0};
+
+  void clear() {
+    All = false;
+    Keys.clear();
+    Trips.store(0, std::memory_order_relaxed);
+  }
+};
+
+struct FaultState {
+  std::atomic<bool> AnyArmed{false};
+  PointState Points[NumPoints];
+};
+
+FaultState &state() {
+  static FaultState S;
+  return S;
+}
+
+} // namespace
+
+const char *seldon::fault::pointName(Point P) {
+  switch (P) {
+  case Point::Parse:
+    return "parse";
+  case Point::GraphBuild:
+    return "graph-build";
+  case Point::CacheRead:
+    return "cache-read";
+  case Point::CacheWrite:
+    return "cache-write";
+  case Point::ConstraintGen:
+    return "constraint-gen";
+  case Point::SolverStep:
+    return "solver-step";
+  }
+  return "?";
+}
+
+bool seldon::fault::enabled() {
+  return state().AnyArmed.load(std::memory_order_relaxed);
+}
+
+void seldon::fault::reset() {
+  FaultState &S = state();
+  S.AnyArmed.store(false, std::memory_order_relaxed);
+  for (PointState &P : S.Points)
+    P.clear();
+}
+
+bool seldon::fault::configure(const std::string &Spec, std::string *Error) {
+  reset();
+  bool Armed = false;
+  for (std::string_view Item : splitString(Spec, ',')) {
+    Item = trim(Item);
+    if (Item.empty())
+      continue;
+    size_t Colon = Item.find(':');
+    if (Colon == std::string_view::npos) {
+      if (Error)
+        *Error = "fault item '" + std::string(Item) +
+                 "' is not of the form point:key";
+      reset();
+      return false;
+    }
+    std::string Name(trim(Item.substr(0, Colon)));
+    std::string Key(trim(Item.substr(Colon + 1)));
+
+    int Found = -1;
+    for (int P = 0; P < NumPoints; ++P)
+      if (Name == pointName(static_cast<Point>(P)))
+        Found = P;
+    if (Found < 0) {
+      if (Error)
+        *Error = "unknown fault point '" + Name + "'";
+      reset();
+      return false;
+    }
+
+    PointState &PS = state().Points[Found];
+    if (Key == "*") {
+      PS.All = true;
+    } else {
+      errno = 0;
+      char *End = nullptr;
+      unsigned long long Value = std::strtoull(Key.c_str(), &End, 10);
+      if (Key.empty() || *End != '\0' || errno == ERANGE) {
+        if (Error)
+          *Error = "fault key '" + Key + "' for point '" + Name +
+                   "' is not a non-negative integer or '*'";
+        reset();
+        return false;
+      }
+      PS.Keys.emplace_back(static_cast<uint64_t>(Value));
+    }
+    Armed = true;
+  }
+  state().AnyArmed.store(Armed, std::memory_order_relaxed);
+  return true;
+}
+
+bool seldon::fault::configureFromEnv(std::string *Error) {
+  const char *Spec = std::getenv("SELDON_FAULT");
+  if (!Spec || !*Spec)
+    return true;
+  return configure(Spec, Error);
+}
+
+bool seldon::fault::shouldTrip(Point P, uint64_t Key) {
+  FaultState &S = state();
+  if (!S.AnyArmed.load(std::memory_order_relaxed))
+    return false;
+  PointState &PS = S.Points[static_cast<int>(P)];
+  if (PS.All) {
+    PS.Trips.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  for (ArmedKey &A : PS.Keys) {
+    if (A.Key != Key)
+      continue;
+    // One-shot: the first evaluation wins the exchange and trips; a retry
+    // of the same work item sees the fault consumed.
+    if (!A.Consumed.exchange(true, std::memory_order_relaxed)) {
+      PS.Trips.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void seldon::fault::maybeThrow(Point P, uint64_t Key) {
+  if (shouldTrip(P, Key))
+    throw InjectedFault(std::string("injected fault at ") + pointName(P) +
+                        " #" + std::to_string(Key));
+}
+
+uint64_t seldon::fault::tripCount(Point P) {
+  return state().Points[static_cast<int>(P)].Trips.load(
+      std::memory_order_relaxed);
+}
+
+uint64_t seldon::fault::totalTrips() {
+  uint64_t Total = 0;
+  for (int P = 0; P < NumPoints; ++P)
+    Total += tripCount(static_cast<Point>(P));
+  return Total;
+}

@@ -1,0 +1,101 @@
+//===- support/FaultInjection.h - Deterministic fault points -----*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A registry of named fault points the pipeline's recovery paths can be
+/// exercised through. Each fault point sits on one stage boundary (a
+/// per-project parse, a cache read, a solver step); tests — and the
+/// `SELDON_FAULT` environment variable — arm points by name plus a
+/// deterministic key:
+///
+///   SELDON_FAULT="parse:2,solver-step:5"   fail project 2's parse and
+///                                          poison solver iteration 5
+///   SELDON_FAULT="cache-read:*"            fail every cache read
+///
+/// The key is always a value the *caller* owns (project index, file index,
+/// solver iteration), never an invocation ordinal, so an armed fault trips
+/// at the same place regardless of thread schedule — recovery tests stay
+/// deterministic at any `--jobs`, including under TSan.
+///
+/// A keyed arm is one-shot: it trips the first time its (point, key) pair
+/// is evaluated and is consumed, so a retry of the same work item (the
+/// solver re-evaluating an iterate after backoff) observes the fault
+/// exactly once. `*` arms are persistent.
+///
+/// The unarmed fast path is one relaxed atomic load (see enabled()).
+/// Configuration is not thread-safe; arm faults before the run fans out.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_SUPPORT_FAULTINJECTION_H
+#define SELDON_SUPPORT_FAULTINJECTION_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace seldon {
+namespace fault {
+
+/// Every registered fault point, one per guarded stage boundary.
+enum class Point {
+  Parse,         ///< Per-project frontend work in Session::buildGraph.
+  GraphBuild,    ///< Per-project propagation-graph extraction.
+  CacheRead,     ///< Per-project graph-cache load.
+  CacheWrite,    ///< Per-project graph-cache write-back.
+  ConstraintGen, ///< Per-file constraint-extraction shard.
+  SolverStep,    ///< One optimizer iteration (poisons the objective).
+};
+constexpr int NumPoints = 6;
+
+/// The spec-string name of \p P ("parse", "graph-build", ...).
+const char *pointName(Point P);
+
+/// The exception an armed fault point throws (for throwing points).
+class InjectedFault : public std::runtime_error {
+public:
+  explicit InjectedFault(const std::string &What)
+      : std::runtime_error(What) {}
+};
+
+/// True when any fault is armed. One relaxed atomic load; call sites
+/// should gate on this so unarmed runs pay nothing else.
+bool enabled();
+
+/// Arms the faults described by \p Spec — a comma-separated list of
+/// `point:key` (decimal key) or `point:*` items over the pointName()
+/// names. Replaces the previous configuration. Returns false and writes a
+/// description into \p Error (may be null) on a malformed spec.
+bool configure(const std::string &Spec, std::string *Error = nullptr);
+
+/// Arms faults from the SELDON_FAULT environment variable. Returns false
+/// on a malformed value (error description in \p Error); an unset or empty
+/// variable is a no-op success.
+bool configureFromEnv(std::string *Error = nullptr);
+
+/// Disarms everything and zeroes the trip counters.
+void reset();
+
+/// True — consuming a one-shot arm — when \p P is armed for \p Key.
+/// Callers that cannot throw use this to synthesize their failure (the
+/// solver poisons its objective value instead of throwing).
+bool shouldTrip(Point P, uint64_t Key);
+
+/// Throws InjectedFault("injected fault at <point> #<key>") when \p P is
+/// armed for \p Key.
+void maybeThrow(Point P, uint64_t Key);
+
+/// Times \p P tripped since the last configure()/reset().
+uint64_t tripCount(Point P);
+
+/// Total trips across all points.
+uint64_t totalTrips();
+
+} // namespace fault
+} // namespace seldon
+
+#endif // SELDON_SUPPORT_FAULTINJECTION_H

@@ -55,6 +55,24 @@ buildGlobalGraph(const corpus::Corpus &Data,
   return Global;
 }
 
+/// Adds every project of \p Data except the corpus indices in \p Skip to
+/// \p Session (relative order preserved) — the survivor set of a
+/// quarantine test. Templated so this header stays independent of
+/// infer/Pipeline.h.
+template <class SessionT>
+inline void addProjectsExcept(SessionT &Session, const corpus::Corpus &Data,
+                              std::initializer_list<size_t> Skip) {
+  auto Skipped = [&](size_t I) {
+    for (size_t S : Skip)
+      if (S == I)
+        return true;
+    return false;
+  };
+  for (size_t I = 0; I < Data.Projects.size(); ++I)
+    if (!Skipped(I))
+      Session.addProject(Data.Projects[I]);
+}
+
 /// Creates a fresh, uniquely named scratch directory under gtest's temp
 /// root. Each call returns a different directory, so tests sharing a
 /// binary (or running in parallel) never collide.

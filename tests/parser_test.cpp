@@ -400,4 +400,54 @@ INSTANTIATE_TEST_SUITE_P(
         "x = not a is not b\n", "x = v not in c\n",
         "t = a,\n", "x, = f()\n", "def f(*, kw=1):\n    pass\n"));
 
+TEST(ParserTest, DeeplyNestedExpressionRecoversInsteadOfOverflowing) {
+  // ~10k parenthesis levels: a naive recursive descent would blow the
+  // native stack; the depth limit must turn this into an ordinary
+  // recovered syntax error.
+  constexpr int Depth = 10'000;
+  std::string Source = "x = ";
+  Source.append(Depth, '(');
+  Source += "1";
+  Source.append(Depth, ')');
+  Source += "\n";
+
+  auto P = parse(Source);
+  ASSERT_NE(P->Module, nullptr);
+  ASSERT_FALSE(P->Errors.empty());
+  bool SawDepthError = false;
+  for (const ParseError &E : P->Errors)
+    if (E.Message.find("nesting too deep") != std::string::npos)
+      SawDepthError = true;
+  EXPECT_TRUE(SawDepthError)
+      << "first diagnostic: " << P->Errors.front().Message;
+}
+
+TEST(ParserTest, DeeplyNestedStatementsRecoverInsteadOfOverflowing) {
+  // 600 levels is comfortably past MaxNestingDepth while keeping the
+  // (quadratic, indentation-dominated) source small.
+  constexpr int Depth = 600;
+  std::string Source;
+  for (int I = 0; I < Depth; ++I) {
+    Source.append(static_cast<size_t>(I) * 4, ' ');
+    Source += "if x:\n";
+  }
+  Source.append(static_cast<size_t>(Depth) * 4, ' ');
+  Source += "pass\n";
+
+  auto P = parse(Source);
+  ASSERT_NE(P->Module, nullptr);
+  ASSERT_FALSE(P->Errors.empty());
+}
+
+TEST(ParserTest, NestingJustBelowTheLimitStaysClean) {
+  constexpr int Depth = 200; // MaxNestingDepth is 256.
+  std::string Source = "x = ";
+  Source.append(Depth, '(');
+  Source += "1";
+  Source.append(Depth, ')');
+  Source += "\n";
+  auto P = parseClean(Source);
+  ASSERT_EQ(P->Module->Body.size(), 1u);
+}
+
 } // namespace

@@ -29,8 +29,10 @@
 #include "taint/ReportRenderer.h"
 #include "taint/TaintAnalyzer.h"
 
+#include "support/FaultInjection.h"
 #include "support/Metrics.h"
 #include "support/StrUtil.h"
+#include "support/TablePrinter.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -38,7 +40,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -57,6 +61,8 @@ struct CliOptions {
   size_t RepCutoff = 5;
   size_t Top = 25;
   unsigned Jobs = 0; // 0 = all hardware threads.
+  bool Strict = false;
+  double DeadlineSeconds = 0.0;
   std::string CacheDir;
   bool CacheStats = false;
   bool Progress = false;
@@ -123,6 +129,12 @@ void usage() {
       "all\n"
       "                    hardware threads; results are identical for any "
       "N)\n"
+      "  --strict          learn/explain: fail on the first broken "
+      "project\n"
+      "                    instead of quarantining it and continuing\n"
+      "  --deadline-s S    learn/explain: whole-run wall-clock budget in\n"
+      "                    seconds; an expiring run ends with partial,\n"
+      "                    clearly-flagged results (exit code 2)\n"
       "  --cache-dir DIR   learn/explain: persistent propagation-graph\n"
       "                    cache; projects whose sources are unchanged\n"
       "                    skip parsing (identical learned specs)\n"
@@ -282,6 +294,22 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         Value = Cap;
       }
       Opts.Jobs = static_cast<unsigned>(Value);
+    } else if (Name == "--strict") {
+      if (!NoValue())
+        return false;
+      Opts.Strict = true;
+    } else if (Name == "--deadline-s") {
+      const char *V = Next();
+      double Value;
+      if (!V || !parseStrictDouble(Name, V, Value))
+        return false;
+      if (Value < 0.0) {
+        std::fprintf(stderr,
+                     "error: --deadline-s must be non-negative, got %s\n",
+                     V);
+        return false;
+      }
+      Opts.DeadlineSeconds = Value;
     } else if (Name == "--cache-dir") {
       const char *V = Next();
       if (!V)
@@ -434,6 +462,46 @@ void printCacheStats(const infer::PipelineResult &R,
     std::fprintf(stderr, "cache: %s\n", E.c_str());
 }
 
+/// Prints the run-health summary to stderr and returns the exit code the
+/// health implies for an otherwise-successful run: 0 clean, 2 degraded. A
+/// clean run prints nothing.
+int reportHealth(const infer::RunHealth &H) {
+  if (H.status() == infer::RunStatus::Clean) {
+    // Incidents without degradation (transparent cache failures) are still
+    // worth a line each.
+    for (const std::string &I : H.CacheIncidents)
+      std::fprintf(stderr, "health: %s\n", I.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "health: %s\n",
+               infer::runStatusName(H.status()));
+  if (!H.Quarantined.empty()) {
+    std::fprintf(stderr, "health: quarantined %zu project(s):\n",
+                 H.Quarantined.size());
+    TablePrinter Table({"index", "project", "reason"});
+    for (const infer::QuarantinedProject &Q : H.Quarantined)
+      Table.addRow({std::to_string(Q.Index), Q.Name, Q.Reason});
+    std::ostringstream OS;
+    Table.print(OS);
+    std::fputs(OS.str().c_str(), stderr);
+  }
+  for (const std::string &I : H.CacheIncidents)
+    std::fprintf(stderr, "health: %s\n", I.c_str());
+  if (H.SolverNonFiniteSteps > 0 || H.SolverRecoveries > 0)
+    std::fprintf(stderr,
+                 "health: solver hit %d non-finite step(s), recovered %d "
+                 "time(s)%s\n",
+                 H.SolverNonFiniteSteps, H.SolverRecoveries,
+                 H.SolverFellBack ? ", fell back to best finite iterate"
+                                  : "");
+  if (H.DeadlineExpired)
+    std::fprintf(stderr,
+                 "health: run deadline expired during the %s stage; "
+                 "results are partial\n",
+                 H.DeadlineStage.c_str());
+  return 2;
+}
+
 int cmdLearn(const CliOptions &Opts) {
   bool Ok = false;
   spec::SeedSpec Seed = loadSeed(Opts, Ok);
@@ -450,6 +518,8 @@ int cmdLearn(const CliOptions &Opts) {
   PipelineOpts.Gen.RepCutoff = Opts.RepCutoff;
   PipelineOpts.Jobs = Opts.Jobs;
   PipelineOpts.UseCompiledSolver = !Opts.LegacySolver;
+  PipelineOpts.Strict = Opts.Strict;
+  PipelineOpts.DeadlineSeconds = Opts.DeadlineSeconds;
 
   infer::Session Session(PipelineOpts);
   CliProgress Progress;
@@ -486,10 +556,13 @@ int cmdLearn(const CliOptions &Opts) {
                  R.Solve.Iterations);
   }
 
+  // The spec is written even on a degraded run — it is valid for the
+  // surviving corpus — but the exit code (2) flags the degradation.
+  int HealthRc = reportHealth(R.Health);
   if (Opts.OutFile.empty())
     return writeOutput(Opts,
                        spec::writeLearnedSpec(R.Learned, Opts.Threshold))
-               ? 0
+               ? HealthRc
                : 1;
   spec::IOResult<size_t> Saved =
       spec::saveLearnedSpec(R.Learned, Opts.OutFile, Opts.Threshold);
@@ -499,7 +572,7 @@ int cmdLearn(const CliOptions &Opts) {
   }
   std::fprintf(stderr, "wrote %s (%zu bytes)\n", Opts.OutFile.c_str(),
                Saved.Value);
-  return 0;
+  return HealthRc;
 }
 
 int cmdAnalyze(const CliOptions &Opts) {
@@ -643,6 +716,8 @@ int cmdExplain(const CliOptions &Opts) {
   PipelineOpts.Gen.RepCutoff = Opts.RepCutoff;
   PipelineOpts.Jobs = Opts.Jobs;
   PipelineOpts.UseCompiledSolver = !Opts.LegacySolver;
+  PipelineOpts.Strict = Opts.Strict;
+  PipelineOpts.DeadlineSeconds = Opts.DeadlineSeconds;
 
   infer::Session Session(PipelineOpts);
   CliProgress Progress;
@@ -654,6 +729,7 @@ int cmdExplain(const CliOptions &Opts) {
   Session.generateConstraints(Seed);
   infer::PipelineResult R = Session.solve();
   printCacheStats(R, Opts);
+  int HealthRc = reportHealth(R.Health);
 
   constraints::Explanation E = constraints::explainRep(
       R.System, R.Reps, Opts.ExplainRep, Role, R.Solve.X);
@@ -676,7 +752,7 @@ int cmdExplain(const CliOptions &Opts) {
     Out += formatString("  [%s, residual %+.3f] %s\n",
                         C.OnLhs ? "caps it" : "demands it", C.Residual,
                         C.Text.c_str());
-  return writeOutput(Opts, Out) ? 0 : 1;
+  return writeOutput(Opts, Out) ? HealthRc : 1;
 }
 
 int cmdStats(const CliOptions &Opts) {
@@ -817,13 +893,34 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, Opts))
     return 1;
 
+  // SELDON_FAULT arms the deterministic fault-injection points (testing
+  // the degraded paths end to end); a malformed spec is a CLI error.
+  std::string FaultError;
+  if (!fault::configureFromEnv(&FaultError)) {
+    std::fprintf(stderr, "error: SELDON_FAULT: %s\n", FaultError.c_str());
+    return 1;
+  }
+
   // Enable before any pipeline work so corpus loading (per-file parse
   // timings) is captured too. Metrics are write-only: enabling them never
   // changes any learned score or report.
   if (Opts.Metrics || !Opts.MetricsOut.empty())
     metrics::Registry::global().setEnabled(true);
 
-  int Rc = runCommand(Command, Opts);
+  // Top-level failure boundary: anything the pipeline could not recover
+  // from (strict mode, an expired constraint-generation deadline, I/O)
+  // surfaces as a diagnostic and a failed exit code, never a crash. The
+  // metrics snapshot is still emitted so a failed run can be post-mortemed.
+  int Rc;
+  try {
+    Rc = runCommand(Command, Opts);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "error: %s\n", E.what());
+    Rc = 1;
+  } catch (...) {
+    std::fprintf(stderr, "error: unknown exception\n");
+    Rc = 1;
+  }
   if (!emitMetrics(Opts) && Rc == 0)
     Rc = 1;
   return Rc;
