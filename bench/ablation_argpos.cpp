@@ -119,8 +119,10 @@ int main() {
     Opts.Build.ArgPositionReps = ArgPos;
     spec::SeedSpec Seed =
         ArgPos ? argPositionSeed(Data.Seed, Universe) : Data.Seed;
-    infer::PipelineResult R =
-        infer::runPipeline(Data.Projects, Seed, Opts);
+    infer::Session S(Opts);
+    S.addProjects(Data.Projects);
+    S.generateConstraints(Seed);
+    infer::PipelineResult R = S.solve();
 
     CorpusRun Run;
     Run.Data.Truth = Data.Truth;

@@ -38,8 +38,10 @@ int main() {
   for (bool Collapse : {false, true}) {
     infer::PipelineOptions Opts = standardPipelineOptions();
     Opts.CollapseForLearning = Collapse;
-    infer::PipelineResult R =
-        infer::runPipeline(Data.Projects, Data.Seed, Opts);
+    infer::Session S(Opts);
+    S.addProjects(Data.Projects);
+    S.generateConstraints(Data.Seed);
+    infer::PipelineResult R = S.solve();
 
     size_t Predicted = 0, Correct = 0;
     for (Role Ro : {Role::Source, Role::Sanitizer, Role::Sink}) {

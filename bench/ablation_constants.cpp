@@ -68,8 +68,10 @@ int main() {
     for (double C : {0.5, 0.75, 1.0}) {
       infer::PipelineOptions Opts = standardPipelineOptions();
       Opts.Gen.C = C;
-      infer::PipelineResult R =
-          infer::runPipeline(Data.Projects, Data.Seed, Opts);
+      infer::Session S(Opts);
+      S.addProjects(Data.Projects);
+      S.generateConstraints(Data.Seed);
+      infer::PipelineResult R = S.solve();
       addRow(Table, formatString("%.2f", C), evaluate(R, Data));
     }
     Table.print(std::cout);
@@ -85,8 +87,10 @@ int main() {
     for (double Lambda : {0.01, 0.1, 1.0}) {
       infer::PipelineOptions Opts = standardPipelineOptions();
       Opts.Lambda = Lambda;
-      infer::PipelineResult R =
-          infer::runPipeline(Data.Projects, Data.Seed, Opts);
+      infer::Session S(Opts);
+      S.addProjects(Data.Projects);
+      S.generateConstraints(Data.Seed);
+      infer::PipelineResult R = S.solve();
       addRow(Table, formatString("%.2f", Lambda), evaluate(R, Data));
     }
     Table.print(std::cout);
@@ -105,8 +109,10 @@ int main() {
       Opts.UseAdam = UseAdam;
       if (!UseAdam)
         Opts.Solve.LearningRate = 0.1; // PGD needs a larger base step.
-      infer::PipelineResult R =
-          infer::runPipeline(Data.Projects, Data.Seed, Opts);
+      infer::Session S(Opts);
+      S.addProjects(Data.Projects);
+      S.generateConstraints(Data.Seed);
+      infer::PipelineResult R = S.solve();
       addRow(Table, UseAdam ? "Adam (paper)" : "Projected subgradient",
              evaluate(R, Data));
     }

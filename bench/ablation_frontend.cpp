@@ -38,8 +38,10 @@ struct RowResult {
 RowResult runConfig(const corpus::Corpus &Data,
                     const infer::PipelineOptions &Opts) {
   RowResult Out;
-  infer::PipelineResult R =
-      infer::runPipeline(Data.Projects, Data.Seed, Opts);
+  infer::Session S(Opts);
+  S.addProjects(Data.Projects);
+  S.generateConstraints(Data.Seed);
+  infer::PipelineResult R = S.solve();
   Out.Edges = R.Graph.numEdges();
   Out.Seconds = R.BuildSeconds + R.inferenceSeconds();
 
@@ -105,13 +107,15 @@ int main() {
   // previous solution with a small budget and verify the solution holds.
   {
     infer::PipelineOptions Opts = standardPipelineOptions();
-    infer::PipelineResult Full =
-        infer::runPipeline(Data.Projects, Data.Seed, Opts);
-    infer::PipelineOptions Warm = Opts;
-    Warm.Solve.MaxIterations = 50;
-    Warm.WarmStart = &Full.Learned;
-    infer::PipelineResult Retrained =
-        infer::runPipeline(Data.Projects, Data.Seed, Warm);
+    // One Session, two solves: the retrain reuses the parsed graph and the
+    // generated constraint system, exactly the production retraining path.
+    infer::Session S(Opts);
+    S.addProjects(Data.Projects);
+    S.generateConstraints(Data.Seed);
+    infer::PipelineResult Full = S.solve();
+    S.options().Solve.MaxIterations = 50;
+    S.options().WarmStart = &Full.Learned;
+    infer::PipelineResult Retrained = S.solve();
     size_t Kept = 0, Total = 0;
     for (Role Ro : {Role::Source, Role::Sanitizer, Role::Sink})
       for (const auto &[Rep, Score] : Full.Learned.ranked(Ro, ScoreThreshold)) {

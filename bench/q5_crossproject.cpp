@@ -85,8 +85,10 @@ int main() {
     infer::PipelineOptions SingleOpts = PipelineOpts;
     SingleOpts.Gen.RepCutoff = 1;
     propgraph::PropagationGraph G = propgraph::buildProjectGraph(Proj);
-    infer::PipelineResult Individual =
-        infer::runPipelineOnGraph(std::move(G), Run.Data.Seed, SingleOpts);
+    infer::Session Single(SingleOpts);
+    Single.adoptGraph(std::move(G));
+    Single.generateConstraints(Run.Data.Seed);
+    infer::PipelineResult Individual = Single.solve();
 
     Tally Indiv = projectedPrecision(Individual.Learned, Run.Data.Truth,
                                      Run.Data.Seed, Reps);

@@ -43,8 +43,10 @@ int main() {
                       "# Correct", "Precision"});
   double FullPrecision = 0.0, HalfPrecision = 0.0;
   for (SeedRun &R : Runs) {
-    infer::PipelineResult Result =
-        infer::runPipeline(Data.Projects, R.Seed, PipelineOpts);
+    infer::Session S(PipelineOpts);
+    S.addProjects(Data.Projects);
+    S.generateConstraints(R.Seed);
+    infer::PipelineResult Result = S.solve();
     size_t Predicted = 0, Correct = 0;
     for (Role Role : {Role::Source, Role::Sanitizer, Role::Sink}) {
       // Precision is always measured against the FULL seed's exclusions so

@@ -84,7 +84,10 @@ int main() {
     infer::PipelineOptions Opts = eval::standardPipelineOptions();
     std::vector<pysem::Project> One;
     One.push_back(std::move(Large));
-    infer::PipelineResult R = infer::runPipeline(One, Seed, Opts);
+    infer::Session S(Opts);
+    S.addProjects(One);
+    S.generateConstraints(Seed);
+    infer::PipelineResult R = S.solve();
     SeldonLargeSeconds = R.inferenceSeconds();
     SolverStats = R.SolverStats;
   }

@@ -23,7 +23,10 @@ int main() {
   corpus::CorpusOptions Opts;
   Opts.NumProjects = 80;
   corpus::Corpus Data = corpus::generateCorpus(Opts);
-  infer::PipelineResult R = infer::runPipeline(Data.Projects, Data.Seed);
+  infer::Session S;
+  S.addProjects(Data.Projects);
+  S.generateConstraints(Data.Seed);
+  infer::PipelineResult R = S.solve();
   std::printf("Learned %zu scored representations from %zu files.\n\n",
               R.Learned.size(), R.NumFiles);
 

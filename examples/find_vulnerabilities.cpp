@@ -24,8 +24,10 @@ int main() {
   std::printf("Training corpus: %zu projects, %zu files, %zu lines.\n",
               Data.Projects.size(), Data.NumFiles, Data.TotalLines);
 
-  infer::PipelineResult Result =
-      infer::runPipeline(Data.Projects, Data.Seed);
+  infer::Session Learn;
+  Learn.addProjects(Data.Projects);
+  Learn.generateConstraints(Data.Seed);
+  infer::PipelineResult Result = Learn.solve();
   std::printf("Learned %zu scored representations from %zu constraints "
               "in %.2fs.\n\n",
               Result.Learned.size(), Result.System.Constraints.size(),

@@ -56,7 +56,10 @@ int main() {
 
   // 3. Run the pipeline: propagation graphs -> linear constraints ->
   //    projected Adam -> per-(API, role) scores.
-  infer::PipelineResult Result = infer::runPipeline(Corpus, Seed);
+  infer::Session S;
+  S.addProjects(Corpus);
+  S.generateConstraints(Seed);
+  infer::PipelineResult Result = S.solve();
 
   std::printf("Learned specification (score >= 0.1):\n");
   for (propgraph::Role R :

@@ -4,8 +4,10 @@
 # parallel pipeline + fault injection), then CLI smoke runs: a metrics
 # run that validates the --metrics-out JSON, a cache run, and a
 # fault-injected run that must exit degraded (2) with health.* metrics
-# and a spec byte-identical to a survivors-only run. Run from anywhere;
-# builds land in build/ and build-tsan/.
+# and a spec byte-identical to a survivors-only run, and a seldond smoke
+# that proves warm daemon answers match a cold CLI run byte-for-byte
+# without re-parsing. Run from anywhere; builds land in build/ and
+# build-tsan/.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -24,9 +26,9 @@ cmake -B "$ROOT/build-tsan" -S "$ROOT" \
 cmake --build "$ROOT/build-tsan" -j "$JOBS" \
   --target threadpool_test metrics_test pipeline_parallel_test \
            compiled_objective_test cache_fault_test cache_pipeline_test \
-           fault_pipeline_test
+           fault_pipeline_test service_test
 ctest --test-dir "$ROOT/build-tsan" --output-on-failure -j "$JOBS" \
-  -R 'ThreadPoolTest|MetricsTest|TraceTest|MetricsPipelineTest|PipelineParallelTest|CompileTest|CompiledEquivalenceTest|CodecFaultTest|CacheFaultTest|CachePipelineTest|CacheStalenessTest|CacheDegradedTest|CacheKeyTest|FaultPipelineTest'
+  -R 'ThreadPoolTest|MetricsTest|TraceTest|MetricsPipelineTest|PipelineParallelTest|CompileTest|CompiledEquivalenceTest|CodecFaultTest|CacheFaultTest|CachePipelineTest|CacheStalenessTest|CacheDegradedTest|CacheKeyTest|FaultPipelineTest|ServiceTest|ServiceJsonTest|ProtocolTest'
 
 echo
 echo "=== metrics smoke: seldon learn --metrics-out on a toy repo ==="
@@ -140,6 +142,85 @@ if m["gauges"].get("health.fault_trips", 0) < 1:
     sys.exit("FAIL: fault registry recorded no trips")
 print("OK: parse fault quarantined one project, exit code 2, health.* "
       "metrics populated, spec byte-identical to the survivors-only run")
+EOF
+
+echo
+echo "=== daemon smoke: seldond --once vs a cold seldon explain ==="
+# Cold reference: one-shot CLI query on the same corpus and settings.
+"$ROOT/build/tools/seldon" explain --json --rep 'flask.escape()' \
+  --role sanitizer --cutoff 1 --iters 200 "$SMOKE" > "$SMOKE/cold.json"
+cat > "$SMOKE/requests.txt" <<'REQ'
+{"v":1,"id":1,"op":"status"}
+{"v":1,"id":2,"op":"query","rep":"flask.escape()","role":"sanitizer"}
+{"v":1,"id":3,"op":"query","rep":"flask.escape()","role":"sanitizer"}
+{"v":1,"id":4,"op":"learn","iters":200,"warm":true}
+{"v":1,"id":5,"op":"status"}
+{"v":1,"id":6,"op":"shutdown"}
+REQ
+"$ROOT/build/tools/seldond" --once --cutoff 1 --iters 200 "$SMOKE" \
+  < "$SMOKE/requests.txt" > "$SMOKE/responses.txt" 2> "$SMOKE/seldond.log"
+python3 - "$SMOKE/responses.txt" "$SMOKE/cold.json" <<'EOF'
+import json, sys
+lines = open(sys.argv[1]).read().splitlines()
+cold = open(sys.argv[2]).read().rstrip("\n")
+if len(lines) != 6:
+    sys.exit(f"FAIL: expected 6 response lines, got {len(lines)}")
+for n, line in enumerate(lines, 1):
+    r = json.loads(line)
+    if r.get("v") != 1 or r.get("id") != n or r.get("ok") is not True:
+        sys.exit(f"FAIL: bad envelope on line {n}: {line[:120]}")
+    # The envelope emits `result` last, so byte splicing must work.
+    if not line.startswith(f'{{"v":1,"id":{n},"ok":true,"result":'):
+        sys.exit(f"FAIL: envelope key order broken on line {n}")
+def result_bytes(line):
+    return line.split('"result":', 1)[1][:-1]
+# Warm daemon answers == cold CLI run, byte for byte; and the repeated
+# query is byte-identical (nothing recomputed differently).
+q2, q3 = result_bytes(lines[1]), result_bytes(lines[2])
+if q2 != cold:
+    sys.exit(f"FAIL: warm query differs from cold explain --json:\n"
+             f"  daemon: {q2[:200]}\n  cli:    {cold[:200]}")
+if q3 != q2:
+    sys.exit("FAIL: second identical query returned different bytes")
+# No re-parse: parse.files must not move across queries and a learn,
+# and must equal the corpus file count from the initial status.
+s1, s5 = json.loads(result_bytes(lines[0])), json.loads(result_bytes(lines[4]))
+files = s1["corpus"]["files"]
+p1, p5 = s1["metrics"]["parse_files"], s5["metrics"]["parse_files"]
+if p1 != files:
+    sys.exit(f"FAIL: initial parse_files {p1} != corpus files {files}")
+if p5 != p1:
+    sys.exit(f"FAIL: parse_files moved {p1} -> {p5}: the daemon re-parsed")
+if not json.loads(result_bytes(lines[3])).get("converged", False):
+    sys.exit("FAIL: warm learn did not converge")
+if json.loads(result_bytes(lines[5])) != {"stopping": True}:
+    sys.exit("FAIL: shutdown did not acknowledge")
+print(f"OK: warm daemon == cold CLI byte-for-byte, {files} file(s) "
+      "parsed exactly once across queries and a learn")
+EOF
+
+# Warm restart through the graph cache: the second daemon start must
+# serve every project graph from the cache (sources are still read once —
+# they feed the content-hashed cache key — but no graph is rebuilt).
+"$ROOT/build/tools/seldond" --once --cutoff 1 --iters 200 \
+  --cache-dir "$SMOKE/dcache" "$SMOKE" \
+  <<< '{"v":1,"id":1,"op":"shutdown"}' > /dev/null 2>&1
+printf '%s\n' '{"v":1,"id":1,"op":"status"}' '{"v":1,"id":2,"op":"shutdown"}' |
+  "$ROOT/build/tools/seldond" --once --cutoff 1 --iters 200 \
+    --cache-dir "$SMOKE/dcache" "$SMOKE" > "$SMOKE/restart.txt" 2>/dev/null
+python3 - "$SMOKE/restart.txt" <<'EOF'
+import json, sys
+status = json.loads(
+    open(sys.argv[1]).read().splitlines()[0].split('"result":', 1)[1][:-1])
+cache = status["cache"]
+if not cache["enabled"] or cache["hits"] < 1 or cache["misses"] != 0:
+    sys.exit(f"FAIL: warm daemon restart did not hit the cache: {cache}")
+if status["metrics"]["parse_files"] != status["corpus"]["files"]:
+    sys.exit("FAIL: restart parse_files "
+             f"{status['metrics']['parse_files']} != corpus files "
+             f"{status['corpus']['files']}")
+print(f"OK: daemon restart served {cache['hits']} project(s) from the "
+      "graph cache, no graphs rebuilt")
 EOF
 
 echo

@@ -35,8 +35,10 @@ seldon::eval::runStandardExperiment(const corpus::CorpusOptions &CorpusOpts,
                                     const infer::PipelineOptions &PipelineOpts) {
   CorpusRun Run;
   Run.Data = corpus::generateCorpus(CorpusOpts);
-  Run.Pipeline = infer::runPipeline(Run.Data.Projects, Run.Data.Seed,
-                                    PipelineOpts);
+  infer::Session S(PipelineOpts);
+  S.addProjects(Run.Data.Projects);
+  S.generateConstraints(Run.Data.Seed);
+  Run.Pipeline = S.solve();
   return Run;
 }
 

@@ -277,12 +277,16 @@ private:
 
 /// Deprecated: use Session. Runs the full pipeline over already-parsed
 /// \p Corpus with seeds \p Seed.
+[[deprecated("use infer::Session (addProjects / generateConstraints / "
+             "solve)")]]
 PipelineResult runPipeline(const std::vector<pysem::Project> &Corpus,
                            const spec::SeedSpec &Seed,
                            const PipelineOptions &Opts = PipelineOptions());
 
 /// Deprecated: use Session::adoptGraph. Runs constraint generation +
 /// solving over an existing global graph.
+[[deprecated("use infer::Session::adoptGraph + generateConstraints + "
+             "solve")]]
 PipelineResult runPipelineOnGraph(propgraph::PropagationGraph Graph,
                                   const spec::SeedSpec &Seed,
                                   const PipelineOptions &Opts =

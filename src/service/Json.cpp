@@ -1,0 +1,389 @@
+//===- service/Json.cpp - Minimal JSON values for the wire protocol -------===//
+
+#include "service/Json.h"
+
+#include "support/StrUtil.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+using namespace seldon;
+using namespace seldon::service;
+
+const JsonValue *JsonValue::get(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  auto It = Object.find(Key);
+  return It == Object.end() ? nullptr : &It->second;
+}
+
+JsonValue JsonValue::makeBool(bool B) {
+  JsonValue V;
+  V.K = Kind::Bool;
+  V.Boolean = B;
+  return V;
+}
+
+JsonValue JsonValue::makeNumber(double N) {
+  JsonValue V;
+  V.K = Kind::Number;
+  V.Number = N;
+  return V;
+}
+
+JsonValue JsonValue::makeString(std::string S) {
+  JsonValue V;
+  V.K = Kind::String;
+  V.Str = std::move(S);
+  return V;
+}
+
+std::string seldon::service::renderJsonNumber(double N) {
+  if (!std::isfinite(N))
+    return "null"; // JSON has no NaN/Inf; the protocol never emits them.
+  double Integral;
+  if (std::modf(N, &Integral) == 0.0 && std::fabs(N) < 1e15)
+    return formatString("%.0f", N);
+  // Shortest %g that round-trips: 0.1 renders as "0.1", not the full
+  // 17-digit expansion, while arbitrary doubles still survive exactly.
+  for (int Precision = 1; Precision < 17; ++Precision) {
+    std::string Candidate = formatString("%.*g", Precision, N);
+    if (std::strtod(Candidate.c_str(), nullptr) == N)
+      return Candidate;
+  }
+  return formatString("%.17g", N);
+}
+
+std::string JsonValue::render() const {
+  switch (K) {
+  case Kind::Null:
+    return "null";
+  case Kind::Bool:
+    return Boolean ? "true" : "false";
+  case Kind::Number:
+    return renderJsonNumber(Number);
+  case Kind::String:
+    return "\"" + jsonEscape(Str) + "\"";
+  case Kind::Array: {
+    std::string Out = "[";
+    for (size_t I = 0; I < Array.size(); ++I) {
+      if (I)
+        Out += ",";
+      Out += Array[I].render();
+    }
+    return Out + "]";
+  }
+  case Kind::Object: {
+    std::string Out = "{";
+    bool First = true;
+    for (const auto &[Key, Value] : Object) {
+      if (!First)
+        Out += ",";
+      First = false;
+      Out += "\"" + jsonEscape(Key) + "\":" + Value.render();
+    }
+    return Out + "}";
+  }
+  }
+  return "null";
+}
+
+namespace seldon {
+namespace service {
+
+/// Recursive-descent parser over a string_view. Bounded nesting depth so a
+/// pathological request ("[[[[...") cannot exhaust the C++ stack.
+class JsonParser {
+public:
+  JsonParser(std::string_view Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  bool parseDocument(JsonValue &Out) {
+    skipWhitespace();
+    if (!parseValue(Out, 0))
+      return false;
+    skipWhitespace();
+    if (Pos != Text.size())
+      return fail("trailing characters after JSON value");
+    return true;
+  }
+
+private:
+  static constexpr int MaxDepth = 64;
+
+  bool fail(const std::string &What) {
+    Error = What + formatString(" at byte %zu", Pos);
+    return false;
+  }
+
+  void skipWhitespace() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool parseLiteral(const char *Word) {
+    size_t Len = std::strlen(Word);
+    if (Text.size() - Pos < Len || Text.substr(Pos, Len) != Word)
+      return false;
+    Pos += Len;
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out, int Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    skipWhitespace();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    switch (C) {
+    case '{':
+      return parseObject(Out, Depth);
+    case '[':
+      return parseArray(Out, Depth);
+    case '"': {
+      Out.K = JsonValue::Kind::String;
+      return parseString(Out.Str);
+    }
+    case 't':
+      if (parseLiteral("true")) {
+        Out = JsonValue::makeBool(true);
+        return true;
+      }
+      return fail("invalid literal");
+    case 'f':
+      if (parseLiteral("false")) {
+        Out = JsonValue::makeBool(false);
+        return true;
+      }
+      return fail("invalid literal");
+    case 'n':
+      if (parseLiteral("null")) {
+        Out = JsonValue::makeNull();
+        return true;
+      }
+      return fail("invalid literal");
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(JsonValue &Out, int Depth) {
+    ++Pos; // '{'
+    Out.K = JsonValue::Kind::Object;
+    skipWhitespace();
+    if (consume('}'))
+      return true;
+    while (true) {
+      skipWhitespace();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected object key");
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWhitespace();
+      if (!consume(':'))
+        return fail("expected ':' after object key");
+      JsonValue Value;
+      if (!parseValue(Value, Depth + 1))
+        return false;
+      Out.Object[Key] = std::move(Value); // Duplicate keys: last one wins.
+      skipWhitespace();
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return true;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parseArray(JsonValue &Out, int Depth) {
+    ++Pos; // '['
+    Out.K = JsonValue::Kind::Array;
+    skipWhitespace();
+    if (consume(']'))
+      return true;
+    while (true) {
+      JsonValue Value;
+      if (!parseValue(Value, Depth + 1))
+        return false;
+      Out.Array.push_back(std::move(Value));
+      skipWhitespace();
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return true;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parseHex4(unsigned &Out) {
+    if (Text.size() - Pos < 4)
+      return fail("truncated \\u escape");
+    Out = 0;
+    for (int I = 0; I < 4; ++I) {
+      char C = Text[Pos++];
+      Out <<= 4;
+      if (C >= '0' && C <= '9')
+        Out |= static_cast<unsigned>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Out |= static_cast<unsigned>(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        Out |= static_cast<unsigned>(C - 'A' + 10);
+      else
+        return fail("invalid \\u escape digit");
+    }
+    return true;
+  }
+
+  void appendUtf8(std::string &Out, unsigned Code) {
+    if (Code < 0x80) {
+      Out += static_cast<char>(Code);
+    } else if (Code < 0x800) {
+      Out += static_cast<char>(0xC0 | (Code >> 6));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    } else if (Code < 0x10000) {
+      Out += static_cast<char>(0xE0 | (Code >> 12));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    } else {
+      Out += static_cast<char>(0xF0 | (Code >> 18));
+      Out += static_cast<char>(0x80 | ((Code >> 12) & 0x3F));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // '"'
+    Out.clear();
+    while (true) {
+      if (Pos >= Text.size())
+        return fail("unterminated string");
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("raw control character in string");
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        unsigned Code = 0;
+        if (!parseHex4(Code))
+          return false;
+        // Surrogate pair: a high surrogate must be followed by \uDC00..
+        if (Code >= 0xD800 && Code <= 0xDBFF) {
+          if (Text.size() - Pos < 2 || Text[Pos] != '\\' ||
+              Text[Pos + 1] != 'u')
+            return fail("unpaired surrogate");
+          Pos += 2;
+          unsigned Low = 0;
+          if (!parseHex4(Low))
+            return false;
+          if (Low < 0xDC00 || Low > 0xDFFF)
+            return fail("invalid low surrogate");
+          Code = 0x10000 + ((Code - 0xD800) << 10) + (Low - 0xDC00);
+        } else if (Code >= 0xDC00 && Code <= 0xDFFF) {
+          return fail("unpaired surrogate");
+        }
+        appendUtf8(Out, Code);
+        break;
+      }
+      default:
+        return fail("invalid escape character");
+      }
+    }
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    auto Digits = [&]() {
+      size_t Before = Pos;
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+      return Pos > Before;
+    };
+    if (!Digits())
+      return fail("invalid number");
+    // JSON forbids leading zeros ("01"), but strtod accepts them; keep the
+    // parser permissive there — requests are machine-generated anyway.
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      ++Pos;
+      if (!Digits())
+        return fail("invalid number (no fraction digits)");
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (!Digits())
+        return fail("invalid number (no exponent digits)");
+    }
+    std::string Slice(Text.substr(Start, Pos - Start));
+    errno = 0;
+    char *End = nullptr;
+    double Value = std::strtod(Slice.c_str(), &End);
+    if (errno == ERANGE || End != Slice.c_str() + Slice.size())
+      return fail("number out of range");
+    Out = JsonValue::makeNumber(Value);
+    return true;
+  }
+
+  std::string_view Text;
+  std::string &Error;
+  size_t Pos = 0;
+};
+
+} // namespace service
+} // namespace seldon
+
+bool seldon::service::parseJson(std::string_view Text, JsonValue &Out,
+                                std::string &Error) {
+  Out = JsonValue();
+  JsonParser Parser(Text, Error);
+  return Parser.parseDocument(Out);
+}

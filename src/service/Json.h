@@ -1,0 +1,94 @@
+//===- service/Json.h - Minimal JSON values for the wire protocol -*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately small JSON value type and recursive-descent parser for
+/// the `seldond` request protocol. The daemon only ever parses one request
+/// line at a time, so the implementation favors strictness and clear
+/// errors over speed: the full input must be consumed, duplicate keys keep
+/// the last value, depth is bounded (a hostile request cannot blow the
+/// stack), and every failure produces a byte-offset diagnostic. Rendering
+/// goes the other way through render(): numbers that hold integral values
+/// print without a fractional part, so request ids round-trip exactly.
+///
+/// Responses are *built* with plain string concatenation (see
+/// Protocol.cpp / QueryResult.cpp) — this type is for the parse side.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_SERVICE_JSON_H
+#define SELDON_SERVICE_JSON_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seldon {
+namespace service {
+
+/// One parsed JSON value. Object keys are kept sorted (std::map) so
+/// iteration — and anything rendered from it — is deterministic.
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool boolValue() const { return Boolean; }
+  double numberValue() const { return Number; }
+  const std::string &stringValue() const { return Str; }
+  const std::vector<JsonValue> &arrayValue() const { return Array; }
+  const std::map<std::string, JsonValue> &objectValue() const {
+    return Object;
+  }
+
+  /// Member lookup on an object; null for missing keys or non-objects.
+  const JsonValue *get(const std::string &Key) const;
+
+  /// Renders this value back to JSON text. Integral numbers print without
+  /// a fractional part (id 3 comes back as `3`, not `3.000000`).
+  std::string render() const;
+
+  static JsonValue makeNull() { return JsonValue(); }
+  static JsonValue makeBool(bool B);
+  static JsonValue makeNumber(double N);
+  static JsonValue makeString(std::string S);
+
+private:
+  friend class JsonParser;
+
+  Kind K = Kind::Null;
+  bool Boolean = false;
+  double Number = 0.0;
+  std::string Str;
+  std::vector<JsonValue> Array;
+  std::map<std::string, JsonValue> Object;
+};
+
+/// Parses \p Text as one complete JSON document (trailing whitespace
+/// allowed, nothing else). Returns false with a byte-offset diagnostic in
+/// \p Error on malformed input; \p Out is unspecified on failure.
+bool parseJson(std::string_view Text, JsonValue &Out, std::string &Error);
+
+/// Renders \p N the way JsonValue::render does: integral values without a
+/// fractional part, everything else with enough digits to round-trip.
+std::string renderJsonNumber(double N);
+
+} // namespace service
+} // namespace seldon
+
+#endif // SELDON_SERVICE_JSON_H

@@ -1,0 +1,388 @@
+//===- service/Service.cpp - Warm inference service -----------------------===//
+
+#include "service/Service.h"
+
+#include "propgraph/GraphBuilder.h"
+#include "pysem/ProjectLoader.h"
+#include "service/QueryResult.h"
+#include "spec/SpecIO.h"
+#include "support/Metrics.h"
+#include "support/StrUtil.h"
+#include "taint/JsonExport.h"
+#include "taint/ReportRenderer.h"
+#include "taint/TaintAnalyzer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+using namespace seldon;
+using namespace seldon::service;
+
+namespace {
+
+/// A structured operation failure; handle() turns it into an error
+/// response with the carried code.
+class OpError : public std::runtime_error {
+public:
+  OpError(ErrorCode Code, const std::string &Message)
+      : std::runtime_error(Message), Code(Code) {}
+  ErrorCode Code;
+};
+
+[[noreturn]] void badRequest(const std::string &Message) {
+  throw OpError(ErrorCode::BadRequest, Message);
+}
+
+void checkDeadline(const Deadline &D, const char *Stage) {
+  if (D.expired())
+    throw DeadlineError(
+        formatString("request deadline expired before %s", Stage));
+}
+
+/// Reads an optional positive-integer parameter; \p Fallback when absent.
+long readIntParam(const Request &Req, const char *Name, long Fallback,
+                  long Min, long Max) {
+  const JsonValue *V = Req.Params.get(Name);
+  if (!V)
+    return Fallback;
+  if (!V->isNumber() ||
+      std::floor(V->numberValue()) != V->numberValue() ||
+      V->numberValue() < static_cast<double>(Min) ||
+      V->numberValue() > static_cast<double>(Max))
+    badRequest(formatString("\"%s\" must be an integer in [%ld, %ld]", Name,
+                            Min, Max));
+  return static_cast<long>(V->numberValue());
+}
+
+bool readBoolParam(const Request &Req, const char *Name, bool Fallback) {
+  const JsonValue *V = Req.Params.get(Name);
+  if (!V)
+    return Fallback;
+  if (!V->isBool())
+    badRequest(formatString("\"%s\" must be a boolean", Name));
+  return V->boolValue();
+}
+
+} // namespace
+
+Service::Service(Options Opts) : Opts(std::move(Opts)) {}
+
+Service::~Service() = default;
+
+bool Service::start(std::string &Error) {
+  if (Opts.SeedFile.empty()) {
+    Seed = spec::SeedSpec::parse(spec::paperSeedSpecText());
+  } else {
+    spec::IOResult<spec::SeedSpec> Loaded =
+        spec::loadSeedSpec(Opts.SeedFile);
+    for (const std::string &W : Loaded.Warnings)
+      std::fprintf(stderr, "seed: %s\n", W.c_str());
+    if (!Loaded) {
+      Error = Loaded.Error;
+      return false;
+    }
+    Seed = std::move(Loaded.Value);
+  }
+
+  if (Opts.CorpusDirs.empty()) {
+    Error = "no corpus directories to serve";
+    return false;
+  }
+  std::vector<std::vector<std::string>> LoadErrors;
+  std::vector<std::optional<pysem::Project>> Loaded =
+      pysem::loadProjectsFromDirs(Opts.CorpusDirs, pysem::LoadOptions(),
+                                  Opts.Jobs, &LoadErrors);
+  for (size_t I = 0; I < Loaded.size(); ++I) {
+    for (const std::string &E : LoadErrors[I])
+      std::fprintf(stderr, "warning: %s\n", E.c_str());
+    if (!Loaded[I]) {
+      Error = Opts.CorpusDirs[I] + " is not a directory";
+      return false;
+    }
+    Corpus.push_back(std::move(*Loaded[I]));
+  }
+
+  infer::PipelineOptions P;
+  P.Solve.MaxIterations = Opts.Iterations;
+  P.Gen.RepCutoff = Opts.RepCutoff;
+  P.Jobs = Opts.Jobs;
+  P.UseCompiledSolver = !Opts.LegacySolver;
+  P.Strict = Opts.Strict;
+  // Session::armDeadline is one-shot, which is wrong for a daemon: the
+  // run deadline stays disarmed forever and per-request budgets flow
+  // through SolveOptions (learn) or per-stage polls (query/taint).
+  P.DeadlineSeconds = 0.0;
+  Session = std::make_unique<infer::Session>(P);
+  if (!Opts.CacheDir.empty()) {
+    Session->enableCache(Opts.CacheDir);
+    if (!Session->graphCache()->valid()) {
+      Error = Session->graphCache()->error();
+      return false;
+    }
+  }
+  Session->addProjects(Corpus);
+  try {
+    Session->generateConstraints(Seed);
+    Warm = Session->solve();
+  } catch (const std::exception &E) {
+    Error = E.what();
+    return false;
+  }
+  Started = true;
+  return true;
+}
+
+bool Service::tryAdmit() {
+  size_t Prev = Admitted.fetch_add(1, std::memory_order_acq_rel);
+  if (Prev >= Opts.MaxInFlight) {
+    Admitted.fetch_sub(1, std::memory_order_acq_rel);
+    return false;
+  }
+  return true;
+}
+
+void Service::release() {
+  Admitted.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+std::string Service::serve(const std::string &Line) {
+  if (!tryAdmit())
+    return overloadedResponse(Line);
+  std::string Response = handle(Line);
+  release();
+  return Response;
+}
+
+std::string Service::overloadedResponse(const std::string &Line) const {
+  // Best-effort id salvage; parseRequest fills Out.Id whenever the line
+  // parses as an object, even when validation fails afterwards.
+  Request Req;
+  RequestError Err;
+  (void)parseRequest(Line, Opts.MaxRequestBytes, Req, Err);
+  return renderErrorResponse(
+      Req.Id, ErrorCode::Overloaded,
+      formatString("%zu request(s) already in flight; retry later",
+                   Opts.MaxInFlight));
+}
+
+std::string Service::handle(const std::string &Line) {
+  Handled.fetch_add(1, std::memory_order_relaxed);
+  Request Req;
+  RequestError Err;
+  if (!parseRequest(Line, Opts.MaxRequestBytes, Req, Err)) {
+    Failed.fetch_add(1, std::memory_order_relaxed);
+    return renderErrorResponse(Req.Id, Err.Code, Err.Message);
+  }
+  if (shuttingDown()) {
+    Failed.fetch_add(1, std::memory_order_relaxed);
+    return renderErrorResponse(Req.Id, ErrorCode::ShuttingDown,
+                               "service is draining");
+  }
+  try {
+    if (!Started)
+      throw OpError(ErrorCode::Internal, "service not started");
+    Deadline D;
+    double Budget = Opts.RequestDeadlineSeconds;
+    if (const JsonValue *DS = Req.Params.get("deadline_s")) {
+      if (!DS->isNumber() || DS->numberValue() < 0.0)
+        badRequest("\"deadline_s\" must be a non-negative number");
+      Budget = DS->numberValue();
+    }
+    D.arm(Budget);
+    return renderOkResponse(Req.Id, dispatch(Req, D));
+  } catch (const OpError &E) {
+    Failed.fetch_add(1, std::memory_order_relaxed);
+    return renderErrorResponse(Req.Id, E.Code, E.what());
+  } catch (const DeadlineError &E) {
+    Failed.fetch_add(1, std::memory_order_relaxed);
+    return renderErrorResponse(Req.Id, ErrorCode::Deadline, E.what());
+  } catch (const std::exception &E) {
+    Failed.fetch_add(1, std::memory_order_relaxed);
+    return renderErrorResponse(Req.Id, ErrorCode::Internal, E.what());
+  } catch (...) {
+    Failed.fetch_add(1, std::memory_order_relaxed);
+    return renderErrorResponse(Req.Id, ErrorCode::Internal,
+                               "unknown exception");
+  }
+}
+
+std::string Service::dispatch(const Request &Req, Deadline &D) {
+  if (Req.Op == "status")
+    return opStatus();
+  if (Req.Op == "query")
+    return opQuery(Req, D);
+  if (Req.Op == "learn")
+    return opLearn(Req, D);
+  if (Req.Op == "taint")
+    return opTaint(Req, D);
+  if (Req.Op == "shutdown") {
+    ShuttingDown.store(true, std::memory_order_release);
+    return "{\"stopping\":true}";
+  }
+  throw OpError(ErrorCode::UnknownOp,
+                formatString("unknown op \"%s\" (expected status, query, "
+                             "learn, taint, or shutdown)",
+                             Req.Op.c_str()));
+}
+
+std::string Service::opStatus() {
+  std::shared_lock<std::shared_mutex> Lock(WarmMutex);
+  metrics::Registry &Reg = metrics::Registry::global();
+  return formatString(
+      "{\"protocol\":%d,"
+      "\"corpus\":{\"projects\":%zu,\"files\":%zu,\"events\":%zu,"
+      "\"edges\":%zu},"
+      "\"system\":{\"candidates\":%zu,\"constraints\":%zu},"
+      "\"spec\":{\"size\":%zu,\"threshold\":%s},"
+      "\"solve\":{\"iterations\":%d,\"converged\":%s},"
+      "\"health\":{\"status\":\"%s\",\"quarantined\":%zu},"
+      "\"cache\":{\"enabled\":%s,\"hits\":%llu,\"misses\":%llu,"
+      "\"stores\":%llu},"
+      "\"requests\":{\"handled\":%llu,\"failed\":%llu,\"active\":%zu},"
+      "\"metrics\":{\"parse_files\":%llu,\"taint_analyses\":%llu}}",
+      ProtocolVersion, Corpus.size(), Warm.NumFiles,
+      Warm.Graph.numEvents(), Warm.Graph.numEdges(),
+      Warm.System.NumCandidates, Warm.System.Constraints.size(),
+      Warm.Learned.size(),
+      renderJsonNumber(Opts.Threshold).c_str(), Warm.Solve.Iterations,
+      Warm.Solve.Converged ? "true" : "false",
+      infer::runStatusName(Warm.Health.status()),
+      Warm.Health.Quarantined.size(),
+      Warm.UsedCache ? "true" : "false",
+      static_cast<unsigned long long>(Warm.Cache.Hits),
+      static_cast<unsigned long long>(Warm.Cache.Misses),
+      static_cast<unsigned long long>(Warm.Cache.Stores),
+      static_cast<unsigned long long>(
+          Handled.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          Failed.load(std::memory_order_relaxed)),
+      Admitted.load(std::memory_order_relaxed),
+      static_cast<unsigned long long>(Reg.counter("parse.files").value()),
+      static_cast<unsigned long long>(
+          Reg.counter("taint.analyses").value()));
+}
+
+std::string Service::opQuery(const Request &Req, Deadline &D) {
+  const JsonValue *Rep = Req.Params.get("rep");
+  if (!Rep || !Rep->isString() || Rep->stringValue().empty())
+    badRequest("\"rep\" must be a non-empty string");
+  std::string RoleName = "source";
+  if (const JsonValue *R = Req.Params.get("role")) {
+    if (!R->isString())
+      badRequest("\"role\" must be a string");
+    RoleName = R->stringValue();
+  }
+  propgraph::Role Role;
+  if (!roleFromName(RoleName, Role))
+    badRequest("\"role\" must be source|sanitizer|sink");
+
+  checkDeadline(D, "query");
+  std::shared_lock<std::shared_mutex> Lock(WarmMutex);
+  QueryResult Q =
+      queryRep(Warm.System, Warm.Reps, Rep->stringValue(), Role,
+               Warm.Solve.X);
+  return renderQueryJson(Q);
+}
+
+std::string Service::opLearn(const Request &Req, Deadline &D) {
+  long Iters =
+      readIntParam(Req, "iters", Opts.Iterations, 1, 10'000'000);
+  bool WarmStart = readBoolParam(Req, "warm", false);
+
+  checkDeadline(D, "solve");
+  std::unique_lock<std::shared_mutex> Lock(WarmMutex);
+  solver::SolveOptions &SO = Session->options().Solve;
+  SO.MaxIterations = static_cast<int>(Iters);
+  if (D.armed())
+    SO.BudgetSeconds = D.remainingSeconds();
+  SO.ShouldStop = [&D]() { return D.expired(); };
+  spec::LearnedSpec WarmCopy;
+  if (WarmStart) {
+    WarmCopy = Warm.Learned;
+    Session->options().WarmStart = &WarmCopy;
+  }
+  auto Restore = [&]() {
+    SO.MaxIterations = Opts.Iterations;
+    SO.BudgetSeconds = 0.0;
+    SO.ShouldStop = nullptr;
+    Session->options().WarmStart = nullptr;
+  };
+  infer::PipelineResult R;
+  try {
+    // The graph and constraint system are warm (GraphReady/SystemReady
+    // from start()); solve() alone re-optimizes — no re-parse, no re-gen.
+    R = Session->solve();
+  } catch (...) {
+    Restore();
+    throw;
+  }
+  Restore();
+  Warm = std::move(R);
+  return formatString(
+      "{\"iterations\":%d,\"converged\":%s,\"constraints\":%zu,"
+      "\"candidates\":%zu,\"spec_size\":%zu,\"warm_started\":%s,"
+      "\"health\":\"%s\"}",
+      Warm.Solve.Iterations, Warm.Solve.Converged ? "true" : "false",
+      Warm.System.Constraints.size(), Warm.System.NumCandidates,
+      Warm.Learned.size(), WarmStart ? "true" : "false",
+      infer::runStatusName(Warm.Health.status()));
+}
+
+std::string Service::opTaint(const Request &Req, Deadline &D) {
+  const JsonValue *Files = Req.Params.get("files");
+  const JsonValue *Path = Req.Params.get("path");
+  if ((Files != nullptr) == (Path != nullptr))
+    badRequest("taint needs exactly one of \"files\" (object of "
+               "name -> source) or \"path\" (directory)");
+  double Threshold = Opts.Threshold;
+  if (const JsonValue *T = Req.Params.get("threshold")) {
+    if (!T->isNumber())
+      badRequest("\"threshold\" must be a number");
+    Threshold = T->numberValue();
+  }
+  bool Dedup = readBoolParam(Req, "dedup", true);
+
+  pysem::Project Payload("payload");
+  if (Files) {
+    if (!Files->isObject() || Files->objectValue().empty())
+      badRequest("\"files\" must be a non-empty object of "
+                 "name -> source");
+    // std::map iteration is sorted by name, so the payload graph — and
+    // therefore the report order — is deterministic.
+    for (const auto &[Name, Source] : Files->objectValue()) {
+      if (!Source.isString())
+        badRequest(
+            formatString("\"files\" entry \"%s\" must be a string",
+                         Name.c_str()));
+      Payload.addModule(Name, Source.stringValue());
+    }
+  } else {
+    if (!Path->isString() || Path->stringValue().empty())
+      badRequest("\"path\" must be a non-empty string");
+    std::vector<std::string> LoadErrors;
+    std::optional<pysem::Project> Loaded = pysem::loadProjectFromDir(
+        Path->stringValue(), pysem::LoadOptions(), &LoadErrors);
+    if (!Loaded)
+      badRequest(Path->stringValue() + " is not a directory");
+    Payload = std::move(*Loaded);
+  }
+
+  checkDeadline(D, "graph build");
+  propgraph::PropagationGraph Graph =
+      propgraph::buildProjectGraph(Payload);
+
+  checkDeadline(D, "taint analysis");
+  std::shared_lock<std::shared_mutex> Lock(WarmMutex);
+  taint::RoleResolver Roles(&Seed.Spec, &Warm.Learned, Threshold);
+  taint::TaintAnalyzer Analyzer(Graph);
+  std::vector<taint::Violation> Reports = Analyzer.analyze(Roles);
+  if (Dedup)
+    Reports = taint::dedupByRepPair(Graph, Reports);
+  std::vector<double> Confidence = taint::rankViolations(
+      Graph, Reports, &Seed.Spec, &Warm.Learned, Threshold);
+  return taint::reportsToJson(Graph, Reports, &Confidence);
+}

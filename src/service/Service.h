@@ -1,0 +1,162 @@
+//===- service/Service.h - Warm inference service ----------------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The request-serving core of `seldond`: loads a corpus once through the
+/// staged infer::Session (so the propagation graph, constraint system, and
+/// learned specification stay warm in memory), then answers protocol
+/// requests against that state without re-parsing anything.
+///
+/// Operations (all v1, see docs/architecture.md "The inference service"):
+///
+///   status    corpus/system/spec/health counters, request + parse metrics
+///   query     per-(representation, role) score with supporting
+///             constraints — renders through service::QueryResult, so the
+///             answer is byte-identical to `seldon explain --json`
+///   learn     re-solve with the warm graph and constraint system
+///             (optionally warm-started from the current spec); swaps the
+///             served specification atomically
+///   taint     analyze a payload project (inline sources or a directory)
+///             against the warm seed + learned specification
+///   shutdown  drain: every later request gets a `shutting-down` error
+///
+/// Threading: handle() is safe to call from any number of threads. Reads
+/// (status/query/taint) share the warm state under a shared_mutex; learn
+/// takes it exclusively and is the only writer. Admission is a counted
+/// gate sized by Options::MaxInFlight — the transport admits a request
+/// before handing it to the ThreadPool and releases it after the response
+/// is written, so a flood degrades into `overloaded` errors instead of an
+/// unbounded queue.
+///
+/// Deadlines: each request gets a cooperative support/Deadline (server
+/// default, overridable per request via "deadline_s"). The Session's own
+/// run deadline stays disarmed — Session::armDeadline is one-shot, which
+/// is wrong for a daemon — so learn budgets flow through
+/// SolveOptions::BudgetSeconds/ShouldStop and query/taint poll at stage
+/// boundaries. An expiry is a structured `deadline` error, never a hang;
+/// a handler that throws is an `internal` error, never a crash
+/// (reusing the PR-5 failure discipline; fault injection points inside
+/// the pipeline surface the same way).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_SERVICE_SERVICE_H
+#define SELDON_SERVICE_SERVICE_H
+
+#include "infer/Pipeline.h"
+#include "pysem/Project.h"
+#include "service/Protocol.h"
+#include "spec/SeedSpec.h"
+#include "support/Deadline.h"
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+namespace seldon {
+namespace service {
+
+/// The long-lived inference service behind `seldond`.
+class Service {
+public:
+  struct Options {
+    /// Seed specification file (App. B format); empty = built-in seed.
+    std::string SeedFile;
+    /// Repositories to load at start() and keep warm.
+    std::vector<std::string> CorpusDirs;
+    /// Persistent propagation-graph cache directory (empty = no cache).
+    std::string CacheDir;
+    /// Solver iterations for the initial solve and the `learn` default.
+    int Iterations = 600;
+    size_t RepCutoff = 5;
+    /// Threshold used for spec sizing in status and as the `taint`
+    /// default.
+    double Threshold = 0.1;
+    unsigned Jobs = 0;
+    bool LegacySolver = false;
+    /// Fail start() on the first broken project instead of quarantining.
+    bool Strict = false;
+    /// Default per-request wall-clock budget (0 = unlimited). Requests
+    /// may override with a "deadline_s" member.
+    double RequestDeadlineSeconds = 0.0;
+    /// Admission slots: requests admitted beyond this count are answered
+    /// with `overloaded`.
+    size_t MaxInFlight = 64;
+    /// Request frame cap in bytes.
+    size_t MaxRequestBytes = DefaultMaxRequestBytes;
+  };
+
+  explicit Service(Options Opts);
+  ~Service();
+
+  Service(const Service &) = delete;
+  Service &operator=(const Service &) = delete;
+
+  /// Loads the seed and corpus, builds the graph (through the cache when
+  /// configured), generates constraints, and solves — the expensive cold
+  /// start the daemon pays exactly once. Returns false with a diagnostic
+  /// in \p Error on failure.
+  bool start(std::string &Error);
+
+  /// Handles one request line (newline already stripped) and returns the
+  /// response line (no trailing newline). Never throws. Thread-safe.
+  std::string handle(const std::string &Line);
+
+  /// Claims an admission slot; false when MaxInFlight are already held.
+  bool tryAdmit();
+  /// Returns a slot claimed by tryAdmit().
+  void release();
+
+  /// Admission + handle() + release in one call — the serial (`--once`)
+  /// path and the simplest correct usage for one-off callers.
+  std::string serve(const std::string &Line);
+
+  /// The `overloaded` response for \p Line (salvages the request id so
+  /// the caller can correlate).
+  std::string overloadedResponse(const std::string &Line) const;
+
+  /// True once a `shutdown` request was accepted.
+  bool shuttingDown() const {
+    return ShuttingDown.load(std::memory_order_acquire);
+  }
+
+  const Options &options() const { return Opts; }
+
+  /// The warm pipeline result (test hook). Not synchronized against a
+  /// concurrent `learn`; call only when no requests are in flight.
+  const infer::PipelineResult &warm() const { return Warm; }
+
+private:
+  std::string dispatch(const Request &Req, Deadline &D);
+  std::string opStatus();
+  std::string opQuery(const Request &Req, Deadline &D);
+  std::string opLearn(const Request &Req, Deadline &D);
+  std::string opTaint(const Request &Req, Deadline &D);
+
+  Options Opts;
+  spec::SeedSpec Seed;
+  std::vector<pysem::Project> Corpus;
+  std::unique_ptr<infer::Session> Session;
+
+  /// Warm state served to query/taint/status; guarded by WarmMutex
+  /// (shared for reads, exclusive for learn).
+  mutable std::shared_mutex WarmMutex;
+  infer::PipelineResult Warm;
+  bool Started = false;
+
+  std::atomic<size_t> Admitted{0};
+  std::atomic<uint64_t> Handled{0};
+  std::atomic<uint64_t> Failed{0};
+  std::atomic<bool> ShuttingDown{false};
+};
+
+} // namespace service
+} // namespace seldon
+
+#endif // SELDON_SERVICE_SERVICE_H

@@ -1,0 +1,219 @@
+//===- support/ArgParser.cpp - Declarative CLI flag parsing ---------------===//
+
+#include "support/ArgParser.h"
+
+#include "support/StrUtil.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace seldon;
+
+bool seldon::parseStrictUnsigned(const std::string &Flag,
+                                 const std::string &Text,
+                                 unsigned long &Out) {
+  if (Text.empty() || Text[0] < '0' || Text[0] > '9') {
+    std::fprintf(stderr,
+                 "error: %s expects a non-negative integer, got '%s'\n",
+                 Flag.c_str(), Text.c_str());
+    return false;
+  }
+  errno = 0;
+  char *End = nullptr;
+  unsigned long Value = std::strtoul(Text.c_str(), &End, 10);
+  if (errno == ERANGE || *End != '\0') {
+    std::fprintf(stderr,
+                 "error: %s expects a non-negative integer, got '%s'\n",
+                 Flag.c_str(), Text.c_str());
+    return false;
+  }
+  Out = Value;
+  return true;
+}
+
+bool seldon::parseStrictDouble(const std::string &Flag,
+                               const std::string &Text, double &Out) {
+  errno = 0;
+  char *End = nullptr;
+  double Value = std::strtod(Text.c_str(), &End);
+  if (Text.empty() || End == Text.c_str() || *End != '\0' ||
+      errno == ERANGE || !std::isfinite(Value)) {
+    std::fprintf(stderr, "error: %s expects a number, got '%s'\n",
+                 Flag.c_str(), Text.c_str());
+    return false;
+  }
+  Out = Value;
+  return true;
+}
+
+ArgParser::Flag *ArgParser::find(const std::string &Name) {
+  for (Flag &F : Flags)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+const ArgParser::Flag *ArgParser::find(const std::string &Name) const {
+  for (const Flag &F : Flags)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+ArgParser &ArgParser::flag(const std::string &Name, bool *Target,
+                           const std::string &Help) {
+  assert(!find(Name) && "duplicate flag registration");
+  Flag F;
+  F.Name = Name;
+  F.Help = Help;
+  F.FlagKind = Kind::Bool;
+  F.BoolTarget = Target;
+  Flags.push_back(std::move(F));
+  return *this;
+}
+
+ArgParser &ArgParser::string(const std::string &Name, std::string *Target,
+                             const std::string &ValueName,
+                             const std::string &Help) {
+  assert(!find(Name) && "duplicate flag registration");
+  Flag F;
+  F.Name = Name;
+  F.ValueName = ValueName;
+  F.Help = Help;
+  F.FlagKind = Kind::String;
+  F.StringTarget = Target;
+  Flags.push_back(std::move(F));
+  return *this;
+}
+
+ArgParser &ArgParser::unsignedInt(const std::string &Name,
+                                  unsigned long *Target,
+                                  const std::string &ValueName,
+                                  const std::string &Help) {
+  assert(!find(Name) && "duplicate flag registration");
+  Flag F;
+  F.Name = Name;
+  F.ValueName = ValueName;
+  F.Help = Help;
+  F.FlagKind = Kind::Unsigned;
+  F.UnsignedTarget = Target;
+  Flags.push_back(std::move(F));
+  return *this;
+}
+
+ArgParser &ArgParser::decimal(const std::string &Name, double *Target,
+                              const std::string &ValueName,
+                              const std::string &Help) {
+  assert(!find(Name) && "duplicate flag registration");
+  Flag F;
+  F.Name = Name;
+  F.ValueName = ValueName;
+  F.Help = Help;
+  F.FlagKind = Kind::Double;
+  F.DoubleTarget = Target;
+  Flags.push_back(std::move(F));
+  return *this;
+}
+
+bool ArgParser::parse(int Argc, char **Argv, int Begin,
+                      std::vector<std::string> *Positional) {
+  for (Flag &F : Flags)
+    F.Seen = false;
+  for (int I = Begin; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--", 0) != 0) {
+      Positional->push_back(Arg);
+      continue;
+    }
+
+    // Split `--name=value`; the inline value then serves as the flag's
+    // value, and a flag that takes no value errors out on it.
+    std::string Name = Arg;
+    std::string Inline;
+    bool HasInline = false;
+    size_t Eq = Arg.find('=');
+    if (Eq != std::string::npos) {
+      Name = Arg.substr(0, Eq);
+      Inline = Arg.substr(Eq + 1);
+      HasInline = true;
+    }
+
+    Flag *F = find(Name);
+    if (!F) {
+      std::fprintf(stderr, "error: unknown option %s\n", Name.c_str());
+      return false;
+    }
+    F->Seen = true;
+
+    if (F->FlagKind == Kind::Bool) {
+      if (HasInline) {
+        std::fprintf(stderr, "error: %s takes no value\n", Name.c_str());
+        return false;
+      }
+      *F->BoolTarget = true;
+      continue;
+    }
+
+    const char *Value = nullptr;
+    if (HasInline) {
+      Value = Inline.c_str();
+    } else if (I + 1 < Argc) {
+      Value = Argv[++I];
+    } else {
+      std::fprintf(stderr, "error: %s needs a value\n", Name.c_str());
+      return false;
+    }
+
+    switch (F->FlagKind) {
+    case Kind::String:
+      *F->StringTarget = Value;
+      break;
+    case Kind::Unsigned:
+      if (!parseStrictUnsigned(Name, Value, *F->UnsignedTarget))
+        return false;
+      break;
+    case Kind::Double:
+      if (!parseStrictDouble(Name, Value, *F->DoubleTarget))
+        return false;
+      break;
+    case Kind::Bool:
+      break; // Handled above.
+    }
+  }
+  return true;
+}
+
+bool ArgParser::seen(const std::string &Name) const {
+  const Flag *F = find(Name);
+  return F && F->Seen;
+}
+
+std::string ArgParser::usage() const {
+  // Measure the widest "--name VALUE" column so help lines align.
+  size_t Widest = 0;
+  auto Heading = [](const Flag &F) {
+    std::string H = F.Name;
+    if (!F.ValueName.empty())
+      H += " " + F.ValueName;
+    return H;
+  };
+  for (const Flag &F : Flags)
+    Widest = std::max(Widest, Heading(F).size());
+
+  std::string Out;
+  for (const Flag &F : Flags) {
+    std::string Head = Heading(F);
+    std::vector<std::string> HelpLines = splitString(F.Help, '\n');
+    Out += formatString("  %-*s  %s\n", static_cast<int>(Widest),
+                        Head.c_str(),
+                        HelpLines.empty() ? "" : HelpLines[0].c_str());
+    for (size_t L = 1; L < HelpLines.size(); ++L)
+      Out += formatString("  %-*s  %s\n", static_cast<int>(Widest), "",
+                          HelpLines[L].c_str());
+  }
+  return Out;
+}

@@ -1,0 +1,132 @@
+//===- tests/argparser_test.cpp - Declarative CLI flag parsing ------------===//
+//
+// The ArgParser contract shared by `seldon` and `seldond`: typed flags in
+// both `--name value` and `--name=value` spellings, strict numerics that
+// never let garbage through atoi, positional collection, and usage text
+// generated from the same table that parses — so help cannot drift.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ArgParser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace seldon;
+
+namespace {
+
+/// Runs \p Parser over \p Args as if they were argv[Begin..]; returns
+/// parse()'s verdict and fills \p Positional.
+bool parseArgs(ArgParser &Parser, std::vector<std::string> Args,
+               std::vector<std::string> *Positional) {
+  std::vector<std::string> Storage = std::move(Args);
+  std::vector<char *> Argv;
+  Argv.push_back(const_cast<char *>("test"));
+  for (std::string &A : Storage)
+    Argv.push_back(A.data());
+  return Parser.parse(static_cast<int>(Argv.size()), Argv.data(), 1,
+                      Positional);
+}
+
+TEST(ArgParserTest, TypedFlagsInBothSpellings) {
+  bool Verbose = false;
+  std::string Out;
+  unsigned long Iters = 600;
+  double Threshold = 0.1;
+  ArgParser Parser;
+  Parser.flag("--verbose", &Verbose, "chatty")
+      .string("--out", &Out, "FILE", "output file")
+      .unsignedInt("--iters", &Iters, "N", "iterations")
+      .decimal("--threshold", &Threshold, "X", "score cutoff");
+
+  std::vector<std::string> Positional;
+  ASSERT_TRUE(parseArgs(Parser,
+                        {"--verbose", "--out", "spec.txt", "--iters=250",
+                         "--threshold", "0.25", "dir1", "dir2"},
+                        &Positional));
+  EXPECT_TRUE(Verbose);
+  EXPECT_EQ(Out, "spec.txt");
+  EXPECT_EQ(Iters, 250ul);
+  EXPECT_DOUBLE_EQ(Threshold, 0.25);
+  EXPECT_EQ(Positional, (std::vector<std::string>{"dir1", "dir2"}));
+  EXPECT_TRUE(Parser.seen("--out"));
+  EXPECT_FALSE(Parser.seen("--missing"));
+}
+
+TEST(ArgParserTest, DefaultsSurviveWhenFlagsAbsent) {
+  unsigned long Iters = 600;
+  std::string Out = "default.spec";
+  ArgParser Parser;
+  Parser.unsignedInt("--iters", &Iters, "N", "iterations")
+      .string("--out", &Out, "FILE", "output");
+  std::vector<std::string> Positional;
+  ASSERT_TRUE(parseArgs(Parser, {"corpus"}, &Positional));
+  EXPECT_EQ(Iters, 600ul);
+  EXPECT_EQ(Out, "default.spec");
+  EXPECT_FALSE(Parser.seen("--iters"));
+}
+
+TEST(ArgParserTest, ErrorsRejectTheWholeLine) {
+  bool Flag = false;
+  unsigned long N = 0;
+  double D = 0.0;
+  std::string S;
+  std::vector<std::string> Positional;
+  const std::vector<std::vector<std::string>> Bad = {
+      {"--unknown"},         // unregistered option
+      {"--n", "banana"},     // not a number
+      {"--n", "-1"},         // signs rejected
+      {"--n", "12x"},        // trailing junk
+      {"--n"},               // missing value
+      {"--d", "1.2.3"},      // malformed decimal
+      {"--d", "inf"},        // must be finite
+      {"--b=1"},             // inline value on a boolean flag
+      {"--s"},               // missing string value
+  };
+  for (const std::vector<std::string> &Args : Bad) {
+    ArgParser Parser;
+    Parser.flag("--b", &Flag, "bool")
+        .unsignedInt("--n", &N, "N", "count")
+        .decimal("--d", &D, "X", "number")
+        .string("--s", &S, "V", "value");
+    EXPECT_FALSE(parseArgs(Parser, Args, &Positional)) << Args.front();
+  }
+}
+
+TEST(ArgParserTest, StrictNumericHelpers) {
+  unsigned long U = 0;
+  EXPECT_TRUE(parseStrictUnsigned("--n", "42", U));
+  EXPECT_EQ(U, 42ul);
+  EXPECT_FALSE(parseStrictUnsigned("--n", "", U));
+  EXPECT_FALSE(parseStrictUnsigned("--n", "-3", U));
+  EXPECT_FALSE(parseStrictUnsigned("--n", "+3", U));
+  EXPECT_FALSE(parseStrictUnsigned("--n", "3 ", U));
+  EXPECT_FALSE(parseStrictUnsigned("--n", "99999999999999999999999", U));
+
+  double D = 0.0;
+  EXPECT_TRUE(parseStrictDouble("--x", "0.5", D));
+  EXPECT_DOUBLE_EQ(D, 0.5);
+  EXPECT_TRUE(parseStrictDouble("--x", "-2", D));
+  EXPECT_FALSE(parseStrictDouble("--x", "nan", D));
+  EXPECT_FALSE(parseStrictDouble("--x", "0.5abc", D));
+}
+
+TEST(ArgParserTest, UsageRendersEveryRegisteredFlag) {
+  bool Flag = false;
+  unsigned long N = 0;
+  std::string S;
+  ArgParser Parser;
+  Parser.flag("--progress", &Flag, "report phases to stderr")
+      .unsignedInt("--jobs", &N, "N", "worker threads")
+      .string("--out", &S, "FILE", "write the learned spec to FILE");
+  std::string Usage = Parser.usage();
+  EXPECT_NE(Usage.find("--progress"), std::string::npos);
+  EXPECT_NE(Usage.find("--jobs N"), std::string::npos);
+  EXPECT_NE(Usage.find("--out FILE"), std::string::npos);
+  EXPECT_NE(Usage.find("write the learned spec"), std::string::npos);
+}
+
+} // namespace

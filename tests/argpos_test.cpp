@@ -167,7 +167,10 @@ TEST(ArgPosTest, ArgSinkLearnableThroughPipeline) {
   Opts.Build.ArgPositionReps = true;
   Opts.Solve.MaxIterations = 2000;
   Opts.Solve.LearningRate = 0.02;
-  infer::PipelineResult R = infer::runPipeline(Corpus, Seed, Opts);
+  infer::Session S(Opts);
+  S.addProjects(Corpus);
+  S.generateConstraints(Seed);
+  infer::PipelineResult R = S.solve();
   EXPECT_GT(R.Learned.score("db.exec()[arg0]", Role::Sink), 0.3);
   EXPECT_LT(R.Learned.score("db.exec()[kw:timeout]", Role::Sink), 0.1);
 }

@@ -34,7 +34,10 @@ struct ExplainFixture {
     Seed = spec::SeedSpec::parse("o: web.read()\ni: db.exec()\n");
     infer::PipelineOptions Opts;
     Opts.Solve.MaxIterations = 1500;
-    Result = infer::runPipeline(Corpus, Seed, Opts);
+    infer::Session S(Opts);
+    S.addProjects(Corpus);
+    S.generateConstraints(Seed);
+    Result = S.solve();
   }
 
   constraints::Explanation explain(const std::string &Rep, Role R) {

@@ -11,6 +11,10 @@
 
 #include <gtest/gtest.h>
 
+// These tests deliberately cover the deprecated one-shot wrappers; they must
+// keep working (and matching Session) until the wrappers are removed.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 using namespace seldon;
 using namespace seldon::infer;
 using namespace seldon::propgraph;

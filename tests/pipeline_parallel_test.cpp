@@ -91,8 +91,11 @@ TEST(PipelineParallelTest, FourJobsBitIdenticalToSerial) {
 
 TEST(PipelineParallelTest, DeprecatedWrapperMatchesSession) {
   corpus::Corpus Data = smallCorpus();
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   PipelineResult FromWrapper =
       runPipeline(Data.Projects, Data.Seed, testOptions(1));
+#pragma GCC diagnostic pop
   PipelineResult FromSession = runWithJobs(Data, 1);
   EXPECT_EQ(spec::writeLearnedSpec(FromWrapper.Learned),
             spec::writeLearnedSpec(FromSession.Learned));

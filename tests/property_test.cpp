@@ -93,7 +93,10 @@ TEST(DeterminismTest, PipelineIsBitDeterministic) {
     corpus::Corpus Data = testutil::makeCorpus(77, /*NumProjects=*/10);
     infer::PipelineOptions P;
     P.Solve.MaxIterations = 300;
-    return infer::runPipeline(Data.Projects, Data.Seed, P);
+    infer::Session S(P);
+    S.addProjects(Data.Projects);
+    S.generateConstraints(Data.Seed);
+    return S.solve();
   };
   infer::PipelineResult A = RunOnce();
   infer::PipelineResult B = RunOnce();

@@ -1,0 +1,473 @@
+//===- tests/service_test.cpp - The seldond inference service -------------===//
+//
+// Exercises the service layer end to end without a process boundary:
+// protocol framing and its structured error paths, the warm Service
+// against a throwaway corpus (query/learn/taint/status/shutdown), the
+// CLI-vs-daemon byte-identity contract, concurrent queries racing a
+// learn (the shared_mutex contract — meaningful under TSan), and the
+// Unix-socket transport through SocketClient.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Json.h"
+#include "service/Protocol.h"
+#include "service/QueryResult.h"
+#include "service/Service.h"
+#include "service/SocketServer.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+using namespace seldon;
+using namespace seldon::service;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// JSON framing
+//===----------------------------------------------------------------------===//
+
+JsonValue parseOk(const std::string &Text) {
+  JsonValue V;
+  std::string Error;
+  EXPECT_TRUE(parseJson(Text, V, Error)) << Text << ": " << Error;
+  return V;
+}
+
+TEST(ServiceJsonTest, RoundTripsScalarsAndContainers) {
+  for (const char *Doc :
+       {"null", "true", "false", "3", "-2.5", "\"hi\"", "[]", "[1,2,3]",
+        "{}", "{\"a\":1,\"b\":[true,null]}",
+        "{\"nested\":{\"deep\":\"\\\"quoted\\\"\"}}"})
+    EXPECT_EQ(parseOk(Doc).render(), Doc);
+}
+
+TEST(ServiceJsonTest, EscapesAndUnicodeSurvive) {
+  JsonValue V = parseOk("\"a\\n\\t\\u00e9\\ud83d\\ude00b\"");
+  EXPECT_EQ(V.stringValue(), "a\n\t\xC3\xA9\xF0\x9F\x98\x80"
+                             "b");
+}
+
+TEST(ServiceJsonTest, MalformedInputsFailWithOffsets) {
+  JsonValue V;
+  std::string Error;
+  for (const char *Doc : {"", "{", "[1,", "{\"a\":}", "tru", "1.2.3",
+                          "\"unterminated", "{\"a\":1}x", "nan",
+                          "\"bad \\q escape\"", "\"\\ud800\""}) {
+    EXPECT_FALSE(parseJson(Doc, V, Error)) << Doc;
+    EXPECT_NE(Error.find("at byte"), std::string::npos) << Error;
+  }
+}
+
+TEST(ServiceJsonTest, DepthIsBounded) {
+  std::string Deep(100, '[');
+  JsonValue V;
+  std::string Error;
+  EXPECT_FALSE(parseJson(Deep, V, Error));
+  EXPECT_NE(Error.find("nesting too deep"), std::string::npos);
+}
+
+TEST(ServiceJsonTest, NumbersRenderShortestRoundTrip) {
+  EXPECT_EQ(renderJsonNumber(3.0), "3");
+  EXPECT_EQ(renderJsonNumber(-7.0), "-7");
+  EXPECT_EQ(renderJsonNumber(0.1), "0.1");
+  EXPECT_EQ(renderJsonNumber(2.5), "2.5");
+  // Whatever it prints must parse back to the exact double.
+  for (double N : {1.0 / 3.0, 1e-7, 123456.789, 0.30000000000000004})
+    EXPECT_EQ(std::stod(renderJsonNumber(N)), N);
+}
+
+//===----------------------------------------------------------------------===//
+// Request parsing + response envelopes
+//===----------------------------------------------------------------------===//
+
+TEST(ProtocolTest, ValidRequestParses) {
+  Request Req;
+  RequestError Err;
+  ASSERT_TRUE(parseRequest(
+      "{\"v\":1,\"id\":\"q7\",\"op\":\"query\",\"rep\":\"f()\"}",
+      DefaultMaxRequestBytes, Req, Err));
+  EXPECT_EQ(Req.Version, 1);
+  EXPECT_EQ(Req.Id.render(), "\"q7\"");
+  EXPECT_EQ(Req.Op, "query");
+  ASSERT_NE(Req.Params.get("rep"), nullptr);
+  EXPECT_EQ(Req.Params.get("rep")->stringValue(), "f()");
+}
+
+TEST(ProtocolTest, MissingIdIsNull) {
+  Request Req;
+  RequestError Err;
+  ASSERT_TRUE(parseRequest("{\"v\":1,\"op\":\"status\"}",
+                           DefaultMaxRequestBytes, Req, Err));
+  EXPECT_TRUE(Req.Id.isNull());
+}
+
+struct BadLine {
+  const char *Line;
+  ErrorCode Expected;
+};
+
+TEST(ProtocolTest, StructuredErrorsInOrder) {
+  const BadLine Cases[] = {
+      {"not json at all", ErrorCode::BadJson},
+      {"[1,2,3]", ErrorCode::BadRequest},          // not an object
+      {"{\"op\":\"status\"}", ErrorCode::BadRequest}, // no v
+      {"{\"v\":\"1\",\"op\":\"status\"}", ErrorCode::BadRequest},
+      {"{\"v\":1.5,\"op\":\"status\"}", ErrorCode::BadRequest},
+      {"{\"v\":9,\"op\":\"status\"}", ErrorCode::UnsupportedVersion},
+      {"{\"v\":1}", ErrorCode::BadRequest},        // no op
+      {"{\"v\":1,\"op\":7}", ErrorCode::BadRequest},
+      {"{\"v\":1,\"op\":\"\"}", ErrorCode::BadRequest},
+      {"{\"v\":1,\"id\":[1],\"op\":\"status\"}", ErrorCode::BadRequest},
+  };
+  for (const BadLine &C : Cases) {
+    Request Req;
+    RequestError Err;
+    EXPECT_FALSE(parseRequest(C.Line, DefaultMaxRequestBytes, Req, Err))
+        << C.Line;
+    EXPECT_EQ(errorCodeName(Err.Code), std::string(errorCodeName(C.Expected)))
+        << C.Line << ": " << Err.Message;
+  }
+}
+
+TEST(ProtocolTest, IdSalvagedOnLaterFailures) {
+  // Version gating happens after id salvage, so even an unsupported
+  // version echoes the caller's id.
+  Request Req;
+  RequestError Err;
+  EXPECT_FALSE(parseRequest("{\"v\":9,\"id\":5,\"op\":\"status\"}",
+                            DefaultMaxRequestBytes, Req, Err));
+  EXPECT_EQ(Err.Code, ErrorCode::UnsupportedVersion);
+  EXPECT_EQ(Req.Id.render(), "5");
+}
+
+TEST(ProtocolTest, OversizedLineIsRejectedBeforeParsing) {
+  std::string Huge = "{\"v\":1,\"op\":\"status\",\"pad\":\"" +
+                     std::string(4096, 'x') + "\"}";
+  Request Req;
+  RequestError Err;
+  EXPECT_FALSE(parseRequest(Huge, /*MaxBytes=*/1024, Req, Err));
+  EXPECT_EQ(Err.Code, ErrorCode::Oversized);
+}
+
+TEST(ProtocolTest, EnvelopeKeyOrderIsFixed) {
+  // `result` is last so consumers can splice the payload off the end of
+  // the line without a JSON parser; check.sh relies on this.
+  EXPECT_EQ(renderOkResponse(JsonValue::makeNumber(7), "{\"a\":1}"),
+            "{\"v\":1,\"id\":7,\"ok\":true,\"result\":{\"a\":1}}");
+  EXPECT_EQ(renderErrorResponse(JsonValue::makeNull(), ErrorCode::BadJson,
+                                "bad \"stuff\""),
+            "{\"v\":1,\"id\":null,\"ok\":false,\"error\":{\"code\":"
+            "\"bad-json\",\"message\":\"bad \\\"stuff\\\"\"}}");
+}
+
+//===----------------------------------------------------------------------===//
+// The warm service
+//===----------------------------------------------------------------------===//
+
+/// Splices the `result` payload off a success envelope (the same
+/// byte-oriented extraction the smoke script uses).
+std::string resultOf(const std::string &Response) {
+  size_t At = Response.find("\"result\":");
+  EXPECT_NE(At, std::string::npos) << Response;
+  if (At == std::string::npos)
+    return std::string();
+  return Response.substr(At + 9, Response.size() - At - 9 - 1);
+}
+
+class ServiceTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Root = fs::temp_directory_path() /
+           ("seldon_service_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(Root / "repo");
+    std::ofstream Out(Root / "repo" / "app.py");
+    Out << "from flask import request\n"
+           "import flask\n"
+           "\n"
+           "def greet():\n"
+           "    name = request.args.get('name')\n"
+           "    flask.make_response('<h1>' + name + '</h1>')\n"
+           "\n"
+           "def safe():\n"
+           "    name = request.args.get('name')\n"
+           "    flask.make_response(flask.escape(name))\n";
+  }
+
+  void TearDown() override {
+    std::error_code Ec;
+    fs::remove_all(Root, Ec);
+  }
+
+  Service::Options testOptions() {
+    Service::Options Opts;
+    Opts.CorpusDirs = {(Root / "repo").string()};
+    Opts.Iterations = 200;
+    Opts.RepCutoff = 1;
+    return Opts;
+  }
+
+  std::unique_ptr<Service> startService(Service::Options Opts) {
+    auto Svc = std::make_unique<Service>(std::move(Opts));
+    std::string Error;
+    if (!Svc->start(Error)) {
+      ADD_FAILURE() << "start: " << Error;
+      return nullptr;
+    }
+    return Svc;
+  }
+
+  fs::path Root;
+};
+
+TEST_F(ServiceTest, StatusReportsTheWarmCorpus) {
+  auto Svc = startService(testOptions());
+  ASSERT_TRUE(Svc);
+  std::string R = Svc->serve("{\"v\":1,\"id\":1,\"op\":\"status\"}");
+  EXPECT_NE(R.find("\"ok\":true"), std::string::npos) << R;
+  EXPECT_NE(R.find("\"projects\":1"), std::string::npos) << R;
+  EXPECT_NE(R.find("\"files\":1"), std::string::npos) << R;
+  EXPECT_NE(R.find("\"protocol\":1"), std::string::npos) << R;
+}
+
+TEST_F(ServiceTest, QueryIsByteIdenticalToDirectRendering) {
+  // The daemon's wire answer must be exactly renderQueryJson(queryRep())
+  // over the warm artifacts — the same call `seldon explain --json`
+  // makes, which is what pins CLI and daemon together.
+  auto Svc = startService(testOptions());
+  ASSERT_TRUE(Svc);
+  std::string R = Svc->serve(
+      "{\"v\":1,\"id\":2,\"op\":\"query\",\"rep\":\"flask.escape()\","
+      "\"role\":\"sanitizer\"}");
+  ASSERT_NE(R.find("\"ok\":true"), std::string::npos) << R;
+
+  const infer::PipelineResult &Warm = Svc->warm();
+  QueryResult Direct =
+      queryRep(Warm.System, Warm.Reps, "flask.escape()",
+               propgraph::Role::Sanitizer, Warm.Solve.X);
+  EXPECT_TRUE(Direct.Found);
+  EXPECT_EQ(resultOf(R), renderQueryJson(Direct));
+}
+
+TEST_F(ServiceTest, LearnThenQueryServesTheNewSolve) {
+  auto Svc = startService(testOptions());
+  ASSERT_TRUE(Svc);
+  std::string Before = Svc->serve(
+      "{\"v\":1,\"id\":1,\"op\":\"query\",\"rep\":\"flask.escape()\","
+      "\"role\":\"sanitizer\"}");
+
+  std::string Learn = Svc->serve(
+      "{\"v\":1,\"id\":2,\"op\":\"learn\",\"iters\":200,\"warm\":true}");
+  EXPECT_NE(Learn.find("\"ok\":true"), std::string::npos) << Learn;
+  EXPECT_NE(Learn.find("\"warm_started\":true"), std::string::npos);
+
+  std::string After = Svc->serve(
+      "{\"v\":1,\"id\":3,\"op\":\"query\",\"rep\":\"flask.escape()\","
+      "\"role\":\"sanitizer\"}");
+  ASSERT_NE(After.find("\"ok\":true"), std::string::npos) << After;
+
+  // Differential check: the served answer equals a direct render of the
+  // post-learn artifacts, byte for byte (modulo the echoed id).
+  const infer::PipelineResult &Warm = Svc->warm();
+  QueryResult Direct =
+      queryRep(Warm.System, Warm.Reps, "flask.escape()",
+               propgraph::Role::Sanitizer, Warm.Solve.X);
+  EXPECT_EQ(resultOf(After), renderQueryJson(Direct));
+  // Same corpus, same iteration count: the re-solve lands on the same
+  // scores, so the wire bytes match the pre-learn answer too.
+  EXPECT_EQ(resultOf(After), resultOf(Before));
+}
+
+TEST_F(ServiceTest, TaintAnalyzesAnInlinePayload) {
+  auto Svc = startService(testOptions());
+  ASSERT_TRUE(Svc);
+  std::string R = Svc->serve(
+      "{\"v\":1,\"id\":4,\"op\":\"taint\",\"files\":{\"app.py\":"
+      "\"from flask import request\\nimport flask\\n"
+      "def greet():\\n    name = request.args.get('name')\\n"
+      "    flask.make_response('<h1>' + name + '</h1>')\\n\"}}");
+  EXPECT_NE(R.find("\"ok\":true"), std::string::npos) << R;
+  EXPECT_NE(R.find("flask.request.args.get()"), std::string::npos) << R;
+  EXPECT_NE(R.find("flask.make_response()"), std::string::npos) << R;
+  EXPECT_EQ(R.back(), '}');
+  EXPECT_EQ(R.find('\n'), std::string::npos)
+      << "responses must be single lines";
+}
+
+TEST_F(ServiceTest, OperationErrorsAreStructured) {
+  auto Svc = startService(testOptions());
+  ASSERT_TRUE(Svc);
+  struct Case {
+    const char *Line;
+    const char *Code;
+  };
+  const Case Cases[] = {
+      {"{\"v\":1,\"id\":1,\"op\":\"frobnicate\"}", "\"unknown-op\""},
+      {"{\"v\":1,\"id\":2,\"op\":\"query\"}", "\"bad-request\""},
+      {"{\"v\":1,\"id\":3,\"op\":\"query\",\"rep\":\"f()\","
+       "\"role\":\"oracle\"}",
+       "\"bad-request\""},
+      {"{\"v\":1,\"id\":4,\"op\":\"learn\",\"iters\":0}", "\"bad-request\""},
+      {"{\"v\":1,\"id\":5,\"op\":\"taint\"}", "\"bad-request\""},
+      {"{\"v\":1,\"id\":6,\"op\":\"taint\",\"files\":{}}",
+       "\"bad-request\""},
+      {"{\"v\":1,\"id\":7,\"op\":\"status\",\"deadline_s\":-1}",
+       "\"bad-request\""},
+      {"not json", "\"bad-json\""},
+      {"{\"v\":3,\"id\":8,\"op\":\"status\"}", "\"unsupported-version\""},
+  };
+  for (const Case &C : Cases) {
+    std::string R = Svc->serve(C.Line);
+    EXPECT_NE(R.find("\"ok\":false"), std::string::npos) << C.Line;
+    EXPECT_NE(R.find(C.Code), std::string::npos) << C.Line << " -> " << R;
+  }
+}
+
+TEST_F(ServiceTest, ExpiredDeadlineIsAStructuredError) {
+  auto Svc = startService(testOptions());
+  ASSERT_TRUE(Svc);
+  // A (near-)zero budget expires before the first stage poll.
+  std::string R = Svc->serve(
+      "{\"v\":1,\"id\":1,\"op\":\"query\",\"rep\":\"flask.escape()\","
+      "\"deadline_s\":1e-9}");
+  EXPECT_NE(R.find("\"ok\":false"), std::string::npos) << R;
+  EXPECT_NE(R.find("\"deadline\""), std::string::npos) << R;
+}
+
+TEST_F(ServiceTest, AdmissionGateDegradesToOverloaded) {
+  Service::Options Opts = testOptions();
+  Opts.MaxInFlight = 2;
+  auto Svc = startService(std::move(Opts));
+  ASSERT_TRUE(Svc);
+  ASSERT_TRUE(Svc->tryAdmit());
+  ASSERT_TRUE(Svc->tryAdmit());
+  EXPECT_FALSE(Svc->tryAdmit());
+  std::string R = Svc->serve("{\"v\":1,\"id\":9,\"op\":\"status\"}");
+  EXPECT_NE(R.find("\"overloaded\""), std::string::npos) << R;
+  EXPECT_NE(R.find("\"id\":9"), std::string::npos)
+      << "overload must still echo the id: " << R;
+  Svc->release();
+  EXPECT_NE(Svc->serve("{\"v\":1,\"id\":10,\"op\":\"status\"}")
+                .find("\"ok\":true"),
+            std::string::npos);
+  Svc->release();
+}
+
+TEST_F(ServiceTest, ShutdownDrains) {
+  auto Svc = startService(testOptions());
+  ASSERT_TRUE(Svc);
+  std::string R = Svc->serve("{\"v\":1,\"id\":1,\"op\":\"shutdown\"}");
+  EXPECT_NE(R.find("{\"stopping\":true}"), std::string::npos) << R;
+  EXPECT_TRUE(Svc->shuttingDown());
+  std::string After = Svc->serve("{\"v\":1,\"id\":2,\"op\":\"status\"}");
+  EXPECT_NE(After.find("\"shutting-down\""), std::string::npos) << After;
+}
+
+TEST_F(ServiceTest, ConcurrentQueriesRaceALearnSafely) {
+  // The shared_mutex contract: readers (query/status) race a writer
+  // (learn) from many threads. Under TSan this is the data-race proof;
+  // everywhere it checks that every response is well-formed and that
+  // query answers are byte-stable (same corpus + same iteration count
+  // means every re-solve lands on identical scores).
+  auto Svc = startService(testOptions());
+  ASSERT_TRUE(Svc);
+  const std::string QueryLine =
+      "{\"v\":1,\"id\":0,\"op\":\"query\",\"rep\":\"flask.escape()\","
+      "\"role\":\"sanitizer\"}";
+  const std::string Expected = resultOf(Svc->serve(QueryLine));
+
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&] {
+      for (int I = 0; I < 25; ++I) {
+        std::string R = Svc->serve(QueryLine);
+        if (R.find("\"ok\":true") == std::string::npos ||
+            resultOf(R) != Expected)
+          Failures.fetch_add(1);
+      }
+    });
+  Threads.emplace_back([&] {
+    for (int I = 0; I < 3; ++I) {
+      std::string R = Svc->serve(
+          "{\"v\":1,\"id\":0,\"op\":\"learn\",\"iters\":200}");
+      if (R.find("\"ok\":true") == std::string::npos)
+        Failures.fetch_add(1);
+    }
+  });
+  Threads.emplace_back([&] {
+    for (int I = 0; I < 25; ++I)
+      if (Svc->serve("{\"v\":1,\"id\":0,\"op\":\"status\"}")
+              .find("\"ok\":true") == std::string::npos)
+        Failures.fetch_add(1);
+  });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Socket transport
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServiceTest, SocketRoundTripAndDrain) {
+  auto Svc = startService(testOptions());
+  ASSERT_TRUE(Svc);
+  ThreadPool Pool(2);
+  std::string Socket = (Root / "seldond.sock").string();
+  SocketServer Server(*Svc, Pool, Socket);
+  std::string Error;
+  ASSERT_TRUE(Server.listen(Error)) << Error;
+  std::thread Accept([&] { Server.run(); });
+
+  {
+    SocketClient Client;
+    ASSERT_TRUE(Client.connect(Socket, Error)) << Error;
+    std::string R;
+    ASSERT_TRUE(Client.roundTrip("{\"v\":1,\"id\":1,\"op\":\"status\"}", R));
+    EXPECT_NE(R.find("\"ok\":true"), std::string::npos) << R;
+    ASSERT_TRUE(Client.roundTrip(
+        "{\"v\":1,\"id\":2,\"op\":\"query\",\"rep\":\"flask.escape()\","
+        "\"role\":\"sanitizer\"}",
+        R));
+    EXPECT_NE(R.find("\"found\":true"), std::string::npos) << R;
+    // Requests on one connection answer in order.
+    ASSERT_TRUE(Client.sendLine("{\"v\":1,\"id\":3,\"op\":\"status\"}"));
+    ASSERT_TRUE(Client.sendLine("{\"v\":1,\"id\":4,\"op\":\"status\"}"));
+    ASSERT_TRUE(Client.recvLine(R));
+    EXPECT_NE(R.find("\"id\":3"), std::string::npos) << R;
+    ASSERT_TRUE(Client.recvLine(R));
+    EXPECT_NE(R.find("\"id\":4"), std::string::npos) << R;
+  }
+
+  // A second live binding of the same path must be refused.
+  {
+    SocketServer Second(*Svc, Pool, Socket);
+    std::string E2;
+    EXPECT_FALSE(Second.listen(E2));
+    EXPECT_NE(E2.find("already listening"), std::string::npos) << E2;
+  }
+
+  {
+    SocketClient Client;
+    ASSERT_TRUE(Client.connect(Socket, Error)) << Error;
+    std::string R;
+    ASSERT_TRUE(
+        Client.roundTrip("{\"v\":1,\"id\":5,\"op\":\"shutdown\"}", R));
+    EXPECT_NE(R.find("{\"stopping\":true}"), std::string::npos) << R;
+  }
+  Accept.join();
+  EXPECT_TRUE(Svc->shuttingDown());
+  EXPECT_FALSE(fs::exists(Socket)) << "drained server must unlink its socket";
+}
+
+} // namespace

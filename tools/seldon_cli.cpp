@@ -19,16 +19,17 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "constraints/Explain.h"
 #include "infer/Pipeline.h"
 #include "propgraph/GraphExport.h"
 #include "propgraph/GraphStats.h"
 #include "pysem/ProjectLoader.h"
+#include "service/QueryResult.h"
 #include "spec/SpecIO.h"
 #include "taint/JsonExport.h"
 #include "taint/ReportRenderer.h"
 #include "taint/TaintAnalyzer.h"
 
+#include "support/ArgParser.h"
 #include "support/FaultInjection.h"
 #include "support/Metrics.h"
 #include "support/StrUtil.h"
@@ -102,7 +103,79 @@ public:
   }
 };
 
+/// Pre-validation integer targets; parseArgs() range-checks them into
+/// CliOptions after the flag sweep.
+struct RawCliOptions {
+  unsigned long Iters = 600;
+  unsigned long Cutoff = 5;
+  unsigned long Top = 25;
+  unsigned long Jobs = 0;
+  bool NoDedup = false;
+};
+
+/// Registers the shared flag vocabulary on \p Parser. The usage screen is
+/// generated from this same table, so help and behavior cannot drift.
+void registerFlags(ArgParser &Parser, CliOptions &Opts,
+                   RawCliOptions &Raw) {
+  Parser
+      .string("--seed", &Opts.SeedFile, "FILE",
+              "seed specification (App. B format; default: built-in)")
+      .string("--spec", &Opts.SpecFile, "FILE",
+              "learned specification to analyze with")
+      .string("--out", &Opts.OutFile, "FILE",
+              "output file (default: stdout)")
+      .decimal("--threshold", &Opts.Threshold, "T",
+               "score threshold (default 0.1)")
+      .unsignedInt("--iters", &Raw.Iters, "N",
+                   "solver iterations (default 600)")
+      .unsignedInt("--cutoff", &Raw.Cutoff, "N",
+                   "representation frequency cutoff (default 5)")
+      .unsignedInt("--top", &Raw.Top, "N",
+                   "max reports to print (default 25)")
+      .unsignedInt("--jobs", &Raw.Jobs, "N",
+                   "worker threads for parsing/learning (default: all\n"
+                   "hardware threads; results are identical for any N)")
+      .flag("--strict", &Opts.Strict,
+            "learn/explain: fail on the first broken project\n"
+            "instead of quarantining it and continuing")
+      .decimal("--deadline-s", &Opts.DeadlineSeconds, "S",
+               "learn/explain: whole-run wall-clock budget in\n"
+               "seconds; an expiring run ends with partial,\n"
+               "clearly-flagged results (exit code 2)")
+      .string("--cache-dir", &Opts.CacheDir, "DIR",
+              "learn/explain: persistent propagation-graph\n"
+              "cache; projects whose sources are unchanged\n"
+              "skip parsing (identical learned specs)")
+      .flag("--cache-stats", &Opts.CacheStats,
+            "print cache hit/miss/eviction counts to stderr")
+      .flag("--progress", &Opts.Progress,
+            "learn/explain: print phase progress to stderr")
+      .flag("--metrics", &Opts.Metrics,
+            "print pipeline metrics tables to stderr on exit")
+      .string("--metrics-out", &Opts.MetricsOut, "F",
+              "write the metrics snapshot as JSON to F")
+      .flag("--solver-stats", &Opts.SolverStats,
+            "learn: print compiled-system statistics (rows\n"
+            "before/after dedup, non-zeros, ms/iteration)")
+      .flag("--legacy-solver", &Opts.LegacySolver,
+            "learn/explain: solve with the uncompiled\n"
+            "reference evaluator (same learned spec, slower)")
+      .flag("--no-dedup", &Raw.NoDedup,
+            "keep duplicate (source, sink) API pairs")
+      .flag("--json", &Opts.Json,
+            "analyze/explain: emit machine-readable JSON")
+      .flag("--dot", &Opts.Dot, "graph: emit Graphviz DOT")
+      .string("--rep", &Opts.ExplainRep, "R",
+              "explain: the representation to explain")
+      .string("--role", &Opts.ExplainRole, "ROLE",
+              "explain: source|sanitizer|sink (default source)");
+}
+
 void usage() {
+  CliOptions Opts;
+  RawCliOptions Raw;
+  ArgParser Parser;
+  registerFlags(Parser, Opts, Raw);
   std::fprintf(
       stderr,
       "usage: seldon <command> [options] <paths...>\n"
@@ -116,254 +189,45 @@ void usage() {
       "  stats     propagation-graph statistics for repositories\n"
       "  seed      print the built-in seed specification\n"
       "\n"
-      "options:\n"
-      "  --seed FILE       seed specification (App. B format; default: "
-      "built-in)\n"
-      "  --spec FILE       learned specification to analyze with\n"
-      "  --out FILE        output file (default: stdout)\n"
-      "  --threshold T     score threshold (default 0.1)\n"
-      "  --iters N         solver iterations (default 600)\n"
-      "  --cutoff N        representation frequency cutoff (default 5)\n"
-      "  --top N           max reports to print (default 25)\n"
-      "  --jobs N          worker threads for parsing/learning (default: "
-      "all\n"
-      "                    hardware threads; results are identical for any "
-      "N)\n"
-      "  --strict          learn/explain: fail on the first broken "
-      "project\n"
-      "                    instead of quarantining it and continuing\n"
-      "  --deadline-s S    learn/explain: whole-run wall-clock budget in\n"
-      "                    seconds; an expiring run ends with partial,\n"
-      "                    clearly-flagged results (exit code 2)\n"
-      "  --cache-dir DIR   learn/explain: persistent propagation-graph\n"
-      "                    cache; projects whose sources are unchanged\n"
-      "                    skip parsing (identical learned specs)\n"
-      "  --cache-stats     print cache hit/miss/eviction counts to stderr\n"
-      "  --progress        learn/explain: print phase progress to stderr\n"
-      "  --metrics         print pipeline metrics tables to stderr on "
-      "exit\n"
-      "  --metrics-out F   write the metrics snapshot as JSON to F\n"
-      "  --solver-stats    learn: print compiled-system statistics (rows\n"
-      "                    before/after dedup, non-zeros, ms/iteration)\n"
-      "  --legacy-solver   learn/explain: solve with the uncompiled\n"
-      "                    reference evaluator (same learned spec, slower)\n"
-      "  --no-dedup        keep duplicate (source, sink) API pairs\n"
-      "  --json            analyze: emit reports as JSON\n"
-      "  --dot             graph: emit Graphviz DOT\n"
-      "  --rep R           explain: the representation to explain\n"
-      "  --role ROLE       explain: source|sanitizer|sink (default "
-      "source)\n");
-}
-
-/// Strictly parses \p Text as a base-10 unsigned integer. Rejects empty
-/// strings, signs, trailing junk, and overflow — `--jobs=-1` must be a CLI
-/// error, not 4 billion threads.
-bool parseStrictUnsigned(const std::string &Flag, const std::string &Text,
-                         unsigned long &Out) {
-  if (Text.empty() || Text[0] < '0' || Text[0] > '9') {
-    std::fprintf(stderr,
-                 "error: %s expects a non-negative integer, got '%s'\n",
-                 Flag.c_str(), Text.c_str());
-    return false;
-  }
-  errno = 0;
-  char *End = nullptr;
-  unsigned long Value = std::strtoul(Text.c_str(), &End, 10);
-  if (errno == ERANGE || *End != '\0') {
-    std::fprintf(stderr,
-                 "error: %s expects a non-negative integer, got '%s'\n",
-                 Flag.c_str(), Text.c_str());
-    return false;
-  }
-  Out = Value;
-  return true;
-}
-
-/// Strictly parses \p Text as a finite decimal number (full consume).
-bool parseStrictDouble(const std::string &Flag, const std::string &Text,
-                       double &Out) {
-  errno = 0;
-  char *End = nullptr;
-  double Value = std::strtod(Text.c_str(), &End);
-  if (Text.empty() || End == Text.c_str() || *End != '\0' ||
-      errno == ERANGE) {
-    std::fprintf(stderr, "error: %s expects a number, got '%s'\n",
-                 Flag.c_str(), Text.c_str());
-    return false;
-  }
-  Out = Value;
-  return true;
+      "options:\n%s",
+      Parser.usage().c_str());
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
-  for (int I = 2; I < Argc; ++I) {
-    std::string Arg = Argv[I];
+  RawCliOptions Raw;
+  ArgParser Parser;
+  registerFlags(Parser, Opts, Raw);
+  if (!Parser.parse(Argc, Argv, 2, &Opts.Paths))
+    return false;
 
-    // Split `--name=value`; Next() then serves the inline value, and a
-    // flag that takes no value errors out on it.
-    std::string Name = Arg;
-    std::string Inline;
-    bool HasInline = false;
-    if (Arg.rfind("--", 0) == 0) {
-      size_t Eq = Arg.find('=');
-      if (Eq != std::string::npos) {
-        Name = Arg.substr(0, Eq);
-        Inline = Arg.substr(Eq + 1);
-        HasInline = true;
-      }
-    }
-    auto Next = [&]() -> const char * {
-      if (HasInline)
-        return Inline.c_str();
-      if (I + 1 >= Argc) {
-        std::fprintf(stderr, "error: %s needs a value\n", Name.c_str());
-        return nullptr;
-      }
-      return Argv[++I];
-    };
-    auto NoValue = [&]() -> bool {
-      if (HasInline)
-        std::fprintf(stderr, "error: %s takes no value\n", Name.c_str());
-      return !HasInline;
-    };
-
-    if (Name == "--seed") {
-      const char *V = Next();
-      if (!V)
-        return false;
-      Opts.SeedFile = V;
-    } else if (Name == "--spec") {
-      const char *V = Next();
-      if (!V)
-        return false;
-      Opts.SpecFile = V;
-    } else if (Name == "--out") {
-      const char *V = Next();
-      if (!V)
-        return false;
-      Opts.OutFile = V;
-    } else if (Name == "--metrics-out") {
-      const char *V = Next();
-      if (!V)
-        return false;
-      Opts.MetricsOut = V;
-    } else if (Name == "--threshold") {
-      const char *V = Next();
-      double Value;
-      if (!V || !parseStrictDouble(Name, V, Value))
-        return false;
-      Opts.Threshold = Value;
-    } else if (Name == "--iters") {
-      const char *V = Next();
-      unsigned long Value;
-      if (!V || !parseStrictUnsigned(Name, V, Value))
-        return false;
-      if (Value == 0 || Value > 10'000'000) {
-        std::fprintf(stderr,
-                     "error: --iters must be in [1, 10000000], got %s\n",
-                     V);
-        return false;
-      }
-      Opts.Iterations = static_cast<int>(Value);
-    } else if (Name == "--cutoff") {
-      const char *V = Next();
-      unsigned long Value;
-      if (!V || !parseStrictUnsigned(Name, V, Value))
-        return false;
-      Opts.RepCutoff = static_cast<size_t>(Value);
-    } else if (Name == "--top") {
-      const char *V = Next();
-      unsigned long Value;
-      if (!V || !parseStrictUnsigned(Name, V, Value))
-        return false;
-      Opts.Top = static_cast<size_t>(Value);
-    } else if (Name == "--jobs") {
-      const char *V = Next();
-      unsigned long Value;
-      if (!V || !parseStrictUnsigned(Name, V, Value))
-        return false;
-      // 0 means "all hardware threads"; anything above a generous
-      // oversubscription cap is almost certainly a typo (or an unchecked
-      // negative) and would only thrash, so clamp it loudly.
-      unsigned long Cap = 8ul * ThreadPool::hardwareConcurrency();
-      if (Value > Cap) {
-        std::fprintf(stderr,
-                     "warning: --jobs %lu exceeds %lu (8x hardware "
-                     "threads); clamping to %lu\n",
-                     Value, Cap, Cap);
-        Value = Cap;
-      }
-      Opts.Jobs = static_cast<unsigned>(Value);
-    } else if (Name == "--strict") {
-      if (!NoValue())
-        return false;
-      Opts.Strict = true;
-    } else if (Name == "--deadline-s") {
-      const char *V = Next();
-      double Value;
-      if (!V || !parseStrictDouble(Name, V, Value))
-        return false;
-      if (Value < 0.0) {
-        std::fprintf(stderr,
-                     "error: --deadline-s must be non-negative, got %s\n",
-                     V);
-        return false;
-      }
-      Opts.DeadlineSeconds = Value;
-    } else if (Name == "--cache-dir") {
-      const char *V = Next();
-      if (!V)
-        return false;
-      Opts.CacheDir = V;
-    } else if (Name == "--cache-stats") {
-      if (!NoValue())
-        return false;
-      Opts.CacheStats = true;
-    } else if (Name == "--progress") {
-      if (!NoValue())
-        return false;
-      Opts.Progress = true;
-    } else if (Name == "--metrics") {
-      if (!NoValue())
-        return false;
-      Opts.Metrics = true;
-    } else if (Name == "--solver-stats") {
-      if (!NoValue())
-        return false;
-      Opts.SolverStats = true;
-    } else if (Name == "--legacy-solver") {
-      if (!NoValue())
-        return false;
-      Opts.LegacySolver = true;
-    } else if (Name == "--no-dedup") {
-      if (!NoValue())
-        return false;
-      Opts.Dedup = false;
-    } else if (Name == "--json") {
-      if (!NoValue())
-        return false;
-      Opts.Json = true;
-    } else if (Name == "--rep") {
-      const char *V = Next();
-      if (!V)
-        return false;
-      Opts.ExplainRep = V;
-    } else if (Name == "--role") {
-      const char *V = Next();
-      if (!V)
-        return false;
-      Opts.ExplainRole = V;
-    } else if (Name == "--dot") {
-      if (!NoValue())
-        return false;
-      Opts.Dot = true;
-    } else if (Name.rfind("--", 0) == 0) {
-      std::fprintf(stderr, "error: unknown option %s\n", Name.c_str());
-      return false;
-    } else {
-      Opts.Paths.push_back(Arg);
-    }
+  if (Raw.Iters == 0 || Raw.Iters > 10'000'000) {
+    std::fprintf(stderr,
+                 "error: --iters must be in [1, 10000000], got %lu\n",
+                 Raw.Iters);
+    return false;
   }
+  Opts.Iterations = static_cast<int>(Raw.Iters);
+  Opts.RepCutoff = static_cast<size_t>(Raw.Cutoff);
+  Opts.Top = static_cast<size_t>(Raw.Top);
+  if (Opts.DeadlineSeconds < 0.0) {
+    std::fprintf(stderr,
+                 "error: --deadline-s must be non-negative, got %g\n",
+                 Opts.DeadlineSeconds);
+    return false;
+  }
+  // 0 means "all hardware threads"; anything above a generous
+  // oversubscription cap is almost certainly a typo (or an unchecked
+  // negative) and would only thrash, so clamp it loudly.
+  unsigned long Cap = 8ul * ThreadPool::hardwareConcurrency();
+  if (Raw.Jobs > Cap) {
+    std::fprintf(stderr,
+                 "warning: --jobs %lu exceeds %lu (8x hardware "
+                 "threads); clamping to %lu\n",
+                 Raw.Jobs, Cap, Cap);
+    Raw.Jobs = Cap;
+  }
+  Opts.Jobs = static_cast<unsigned>(Raw.Jobs);
+  Opts.Dedup = !Raw.NoDedup;
   return true;
 }
 
@@ -690,13 +554,7 @@ int cmdExplain(const CliOptions &Opts) {
     return 1;
   }
   propgraph::Role Role;
-  if (Opts.ExplainRole == "source")
-    Role = propgraph::Role::Source;
-  else if (Opts.ExplainRole == "sanitizer")
-    Role = propgraph::Role::Sanitizer;
-  else if (Opts.ExplainRole == "sink")
-    Role = propgraph::Role::Sink;
-  else {
+  if (!service::roleFromName(Opts.ExplainRole, Role)) {
     std::fprintf(stderr, "error: --role must be source|sanitizer|sink\n");
     return 1;
   }
@@ -731,28 +589,24 @@ int cmdExplain(const CliOptions &Opts) {
   printCacheStats(R, Opts);
   int HealthRc = reportHealth(R.Health);
 
-  constraints::Explanation E = constraints::explainRep(
-      R.System, R.Reps, Opts.ExplainRep, Role, R.Solve.X);
-  if (!E.Found) {
+  // The same QueryResult + renderers serve the `seldond` query op, so the
+  // CLI and the daemon cannot drift — a warm daemon answer is
+  // byte-identical to this cold run.
+  service::QueryResult Q = service::queryRep(R.System, R.Reps,
+                                             Opts.ExplainRep, Role,
+                                             R.Solve.X);
+  if (Opts.Json)
+    return writeOutput(Opts, service::renderQueryJson(Q) + "\n")
+               ? HealthRc
+               : 1;
+  if (!Q.Found) {
     std::fprintf(stderr,
                  "'%s' has no %s variable (blacklisted, below the "
                  "frequency cutoff, or not a candidate)\n",
                  Opts.ExplainRep.c_str(), Opts.ExplainRole.c_str());
     return 1;
   }
-  std::string Out = formatString(
-      "%s as %s: score %.3f%s\n%zu constraint(s) mention it:\n",
-      Opts.ExplainRep.c_str(), Opts.ExplainRole.c_str(), E.Score,
-      E.Pinned ? formatString(" (pinned to %.0f by the seed)",
-                              E.PinnedValue)
-                     .c_str()
-               : "",
-      E.Constraints.size());
-  for (const constraints::ExplainedConstraint &C : E.Constraints)
-    Out += formatString("  [%s, residual %+.3f] %s\n",
-                        C.OnLhs ? "caps it" : "demands it", C.Residual,
-                        C.Text.c_str());
-  return writeOutput(Opts, Out) ? HealthRc : 1;
+  return writeOutput(Opts, service::renderQueryText(Q)) ? HealthRc : 1;
 }
 
 int cmdStats(const CliOptions &Opts) {
