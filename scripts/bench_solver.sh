@@ -7,8 +7,16 @@
 # is not at least 2x faster serially, or if the warm cache run is not
 # all-hits and faster to parse than the cold run.
 #
+# A third section benchmarks incremental re-learning (bench/incr_learn):
+# learn a corpus cold, touch one project, and re-learn through the shard
+# cache with a warm-started solve. Gated: exactly one shard may rebuild,
+# the composed cold-init replay must be byte-identical to a from-scratch
+# learn, the warm solve must select the same roles, and the re-learn must
+# be at least 5x faster than the cold learn.
+#
 # Knobs: SELDON_PROJECTS (corpus size, default 300), SELDON_JOBS,
-# SELDON_CACHE_PROJECTS (cache-comparison corpus size, default 60).
+# SELDON_CACHE_PROJECTS (cache-comparison corpus size, default 60),
+# SELDON_INCR_PROJECTS (incremental corpus size, default 300).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -17,25 +25,33 @@ JOBS="${JOBS:-$(nproc)}"
 
 cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
 cmake --build "$ROOT/build" -j "$JOBS" \
-  --target solver_kernel fig10_scaling >/dev/null
+  --target solver_kernel fig10_scaling incr_learn >/dev/null
 
 "$ROOT/build/bench/solver_kernel" > "$OUT"
 
 # Cache-only fig10 run: SELDON_FIG10_SWEEP=0 skips the scaling sweep, and
 # fig10_scaling halves SELDON_PROJECTS' doubling, so pass the size as-is.
 CACHE_JSON="$(mktemp)"
-trap 'rm -f "$CACHE_JSON"' EXIT
+INCR_JSON="$(mktemp)"
+trap 'rm -f "$CACHE_JSON" "$INCR_JSON"' EXIT
 SELDON_FIG10_SWEEP=0 SELDON_CACHE_OUT="$CACHE_JSON" \
   SELDON_PROJECTS="$(( ${SELDON_CACHE_PROJECTS:-60} / 2 ))" \
   "$ROOT/build/bench/fig10_scaling" >&2
 
-# Merge {"cache": ...} into the solver summary.
-python3 - "$OUT" "$CACHE_JSON" <<'EOF'
+# Incremental re-learn: touch one project, replay the other shards.
+SELDON_INCR_OUT="$INCR_JSON" \
+  SELDON_PROJECTS="${SELDON_INCR_PROJECTS:-300}" \
+  "$ROOT/build/bench/incr_learn" >&2
+
+# Merge {"cache": ...} and {"incr": ...} into the solver summary.
+python3 - "$OUT" "$CACHE_JSON" "$INCR_JSON" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     summary = json.load(f)
 with open(sys.argv[2]) as f:
     summary["cache"] = json.load(f)
+with open(sys.argv[3]) as f:
+    summary["incr"] = json.load(f)
 with open(sys.argv[1], "w") as f:
     json.dump(summary, f, indent=2)
     f.write("\n")
@@ -77,8 +93,28 @@ if c["cold_misses"] != c["projects"]:
 if c["warm_parse_seconds"] >= c["cold_parse_seconds"]:
     sys.exit(f"FAIL: warm parse {c['warm_parse_seconds']:.3f}s not faster "
              f"than cold {c['cold_parse_seconds']:.3f}s")
+
+# The incremental re-learn: one touched project must rebuild exactly one
+# shard, the composed system must reproduce the from-scratch spec byte
+# for byte, the warm-started short solve must pick the same roles, and
+# the end-to-end re-learn must beat the cold learn by at least 5x.
+i = r["incr"]
+if not i["byte_identical"]:
+    sys.exit("FAIL: composed re-learn spec differs from from-scratch")
+if not i["warm_roles_match"]:
+    sys.exit("FAIL: warm-started solve selected different roles")
+if i["shards_rebuilt"] != 1:
+    sys.exit(f"FAIL: touched 1 project but {i['shards_rebuilt']} shard(s) "
+             "rebuilt")
+if i["shards_hit"] != i["projects"] - 1:
+    sys.exit(f"FAIL: expected {i['projects'] - 1} shard hits, got "
+             f"{i['shards_hit']}")
+if i["incr_speedup"] < 5.0:
+    sys.exit(f"FAIL: incremental re-learn {i['incr_speedup']:.2f}x < 5x")
 print(f"OK: {r['serial_speedup']:.2f}x serial speedup, "
       f"{r['dedup_ratio']:.2f}x dedup, specs byte-identical, "
       f"metrics snapshot consistent; cache warm parse "
-      f"{c['warm_parse_speedup']:.2f}x faster, {c['warm_hits']} hit(s)")
+      f"{c['warm_parse_speedup']:.2f}x faster, {c['warm_hits']} hit(s); "
+      f"incremental re-learn {i['incr_speedup']:.2f}x faster than cold "
+      f"({i['shards_hit']}/{i['projects']} shards replayed)")
 EOF

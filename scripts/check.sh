@@ -26,9 +26,10 @@ cmake -B "$ROOT/build-tsan" -S "$ROOT" \
 cmake --build "$ROOT/build-tsan" -j "$JOBS" \
   --target threadpool_test metrics_test pipeline_parallel_test \
            compiled_objective_test cache_fault_test cache_pipeline_test \
-           fault_pipeline_test service_test
+           fault_pipeline_test service_test shard_fault_test \
+           shard_pipeline_test
 ctest --test-dir "$ROOT/build-tsan" --output-on-failure -j "$JOBS" \
-  -R 'ThreadPoolTest|MetricsTest|TraceTest|MetricsPipelineTest|PipelineParallelTest|CompileTest|CompiledEquivalenceTest|CodecFaultTest|CacheFaultTest|CachePipelineTest|CacheStalenessTest|CacheDegradedTest|CacheKeyTest|FaultPipelineTest|ServiceTest|ServiceJsonTest|ProtocolTest'
+  -R 'ThreadPoolTest|MetricsTest|TraceTest|MetricsPipelineTest|PipelineParallelTest|CompileTest|CompiledEquivalenceTest|CodecFaultTest|CacheFaultTest|CachePipelineTest|CacheStalenessTest|CacheDegradedTest|CacheKeyTest|FaultPipelineTest|ServiceTest|ServiceJsonTest|ProtocolTest|ShardCodecTest|ShardCodecFaultTest|ShardCacheFaultTest|ShardPipelineTest|ShardStalenessTest|ShardKeyTest|ShardWarmStartTest|ShardFallbackTest|ShardDegradedTest|ShardPipelineComboTest'
 
 echo
 echo "=== metrics smoke: seldon learn --metrics-out on a toy repo ==="
@@ -107,6 +108,70 @@ if m["timers"].get("cache.load_seconds", {"count": 0})["count"] != hits:
     sys.exit("FAIL: cache.load_seconds count disagrees with cache.hits")
 print(f"OK: warm run served {hits} project(s) from the graph cache, "
       "specs byte-identical")
+EOF
+
+echo
+echo "=== incremental smoke: --shard-cache re-learn after one edit ==="
+mkdir -p "$SMOKE/incr/p1" "$SMOKE/incr/p2"
+cp "$SMOKE/app.py" "$SMOKE/incr/p1/app.py"
+cp "$SMOKE/app.py" "$SMOKE/incr/p2/app.py"
+# Cold learn populates the graph + shard caches and writes the spec a
+# later warm start reads.
+"$ROOT/build/tools/seldon" learn --cutoff 1 --iters 100 --jobs 2 \
+  --cache-dir "$SMOKE/incr/cache" --shard-cache \
+  --out "$SMOKE/incr/learned.spec" "$SMOKE/incr/p1" "$SMOKE/incr/p2"
+# The edit: one project grows a handler; the other is untouched.
+cat >> "$SMOKE/incr/p1/app.py" <<'PY'
+
+def extra():
+    v = request.args.get('v')
+    flask.make_response(flask.escape(v))
+PY
+# From-scratch reference on the edited corpus (no caches).
+"$ROOT/build/tools/seldon" learn --cutoff 1 --iters 100 --jobs 2 \
+  --out "$SMOKE/incr/fresh.spec" "$SMOKE/incr/p1" "$SMOKE/incr/p2"
+# Incremental re-learn with warm start disabled: exactly one shard
+# rebuilds and the composed spec is byte-identical to from-scratch.
+"$ROOT/build/tools/seldon" learn --cutoff 1 --iters 100 --jobs 2 \
+  --cache-dir "$SMOKE/incr/cache" --shard-cache --no-warm-start \
+  --metrics-out "$SMOKE/incr/metrics.json" \
+  --out "$SMOKE/incr/learned.spec" "$SMOKE/incr/p1" "$SMOKE/incr/p2"
+cmp "$SMOKE/incr/learned.spec" "$SMOKE/incr/fresh.spec" \
+  || { echo "FAIL: incremental spec differs from from-scratch run"; exit 1; }
+python3 - "$SMOKE/incr/metrics.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    m = json.load(f)
+g = m["gauges"]
+if g.get("incr.shards_rebuilt") != 1:
+    sys.exit(f"FAIL: expected 1 shard rebuild after one edit, got "
+             f"{g.get('incr.shards_rebuilt')}")
+if g.get("incr.shards_hit") != 1:
+    sys.exit(f"FAIL: expected 1 shard hit, got {g.get('incr.shards_hit')}")
+if g.get("incr.warm_start") != 0:
+    sys.exit("FAIL: --no-warm-start run still flagged incr.warm_start")
+if m["timers"].get("incr.merge_seconds", {"count": 0})["count"] == 0:
+    sys.exit("FAIL: composed run recorded no merge time")
+print("OK: one edit -> one shard rebuilt, one replayed, spec "
+      "byte-identical to from-scratch")
+EOF
+# Warm-started re-learn: --out exists, so the solve seeds from it.
+"$ROOT/build/tools/seldon" learn --cutoff 1 --iters 100 --jobs 2 \
+  --cache-dir "$SMOKE/incr/cache" --shard-cache \
+  --metrics-out "$SMOKE/incr/warm-metrics.json" \
+  --out "$SMOKE/incr/learned.spec" "$SMOKE/incr/p1" "$SMOKE/incr/p2"
+python3 - "$SMOKE/incr/warm-metrics.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    m = json.load(f)
+g = m["gauges"]
+if g.get("incr.warm_start") != 1:
+    sys.exit("FAIL: re-learn over an existing --out did not warm-start")
+if g.get("incr.shards_rebuilt") != 0 or g.get("incr.shards_hit") != 2:
+    sys.exit(f"FAIL: expected all-hit replay, got hit="
+             f"{g.get('incr.shards_hit')} rebuilt="
+             f"{g.get('incr.shards_rebuilt')}")
+print("OK: warm-started re-learn replayed every shard")
 EOF
 
 echo

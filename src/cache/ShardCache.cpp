@@ -1,15 +1,16 @@
-//===- cache/GraphCache.cpp - Persistent propagation-graph cache ----------===//
+//===- cache/ShardCache.cpp - Persistent constraint-shard cache -----------===//
 
-#include "cache/GraphCache.h"
+#include "cache/ShardCache.h"
 
-#include "propgraph/GraphCodec.h"
+#include "constraints/ShardCodec.h"
 #include "support/BinaryCodec.h"
 #include "support/Metrics.h"
 #include "support/StrUtil.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <atomic>
-#include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <system_error>
@@ -19,73 +20,77 @@ using namespace seldon::cache;
 
 namespace fs = std::filesystem;
 
-std::string CacheKey::hex() const {
-  char Buf[17];
-  std::snprintf(Buf, sizeof(Buf), "%016llx",
-                static_cast<unsigned long long>(Hash));
-  return std::string(Buf);
-}
-
 namespace {
 
-/// Entry files are the codec blob prefixed by the 8-byte little-endian
-/// key hash, so a load can verify the entry actually belongs to its key.
 constexpr size_t KeyPrefixBytes = 8;
-constexpr const char *EntrySuffix = ".spg";
-
-using codec::hashChunk;
-using codec::hashValue;
+constexpr const char *EntrySuffix = ".scs";
 
 } // namespace
 
-CacheKey seldon::cache::projectCacheKey(const pysem::Project &Proj,
-                                        const propgraph::BuildOptions &Opts) {
+CacheKey seldon::cache::projectShardKey(const CacheKey &GraphKey,
+                                        const constraints::GenOptions &Gen,
+                                        const spec::SeedSpec &Seed) {
   uint64_t Hash = 0xcbf29ce484222325ull;
-  hashChunk(Hash, "seldon-graph-cache");
-  hashValue(Hash, propgraph::GraphCodecVersion);
+  codec::hashChunk(Hash, "seldon-shard-cache");
+  codec::hashValue(Hash, constraints::ShardCodecVersion);
 
-  // Every frontend knob participates: flipping any of them must rebuild.
-  hashValue(Hash, static_cast<uint64_t>(Opts.MaxInlineDepth));
-  hashValue(Hash, Opts.ModelLocals);
-  hashValue(Hash, Opts.UsePointsTo);
-  hashValue(Hash, Opts.ArgPositionReps);
-  hashValue(Hash, Opts.PreciseInlining);
-  hashValue(Hash, Opts.CrossModuleFlows);
+  // Every generation knob participates: flipping any must regenerate.
+  uint64_t CBits;
+  static_assert(sizeof(CBits) == sizeof(Gen.C), "C must be a double");
+  std::memcpy(&CBits, &Gen.C, sizeof(CBits));
+  codec::hashValue(Hash, CBits);
+  codec::hashValue(Hash, Gen.RepCutoff);
+  codec::hashValue(Hash, Gen.MaxPairsPerAnchor);
 
-  hashValue(Hash, Proj.modules().size());
-  for (const pysem::ModuleInfo &M : Proj.modules()) {
-    hashChunk(Hash, M.Path);
-    hashChunk(Hash, M.Source);
+  // The seed spec drives both the blacklist filter and the pins. entries()
+  // iterates an unordered_map, so sort for a process-independent hash.
+  std::vector<std::pair<std::string, uint64_t>> Entries;
+  Entries.reserve(Seed.Spec.entries().size());
+  for (const auto &[Rep, Mask] : Seed.Spec.entries())
+    Entries.emplace_back(Rep, Mask);
+  std::sort(Entries.begin(), Entries.end());
+  codec::hashValue(Hash, Entries.size());
+  for (const auto &[Rep, Mask] : Entries) {
+    codec::hashChunk(Hash, Rep);
+    codec::hashValue(Hash, Mask);
   }
+  codec::hashValue(Hash, Seed.Blacklist.patterns().size());
+  for (const std::string &Pattern : Seed.Blacklist.patterns())
+    codec::hashChunk(Hash, Pattern);
+
+  // The graph key covers the sources and every frontend knob, so a source
+  // touch or build-option flip invalidates the shard too.
+  codec::hashValue(Hash, GraphKey.Hash);
+
   CacheKey Key;
   Key.Hash = Hash;
   return Key;
 }
 
-GraphCache::GraphCache(std::string Dir) : Dir(std::move(Dir)) {
+ShardCache::ShardCache(std::string Dir) : Dir(std::move(Dir)) {
   std::error_code Ec;
   fs::create_directories(this->Dir, Ec);
   if (Ec) {
-    DirError = formatString("cannot create cache directory %s: %s",
+    DirError = formatString("cannot create shard cache directory %s: %s",
                             this->Dir.c_str(), Ec.message().c_str());
     return;
   }
   if (!fs::is_directory(this->Dir, Ec))
-    DirError = formatString("cache path %s is not a directory",
+    DirError = formatString("shard cache path %s is not a directory",
                             this->Dir.c_str());
 }
 
-std::string GraphCache::entryPath(const CacheKey &Key) const {
+std::string ShardCache::entryPath(const CacheKey &Key) const {
   return Dir + "/" + Key.hex() + EntrySuffix;
 }
 
-void GraphCache::recordError(std::string Message) {
+void ShardCache::recordError(std::string Message) {
   std::lock_guard<std::mutex> Lock(Mutex);
   Stats.Errors.push_back(std::move(Message));
 }
 
-std::optional<propgraph::PropagationGraph>
-GraphCache::load(const CacheKey &Key) {
+std::optional<constraints::ConstraintShard>
+ShardCache::load(const CacheKey &Key) {
   metrics::Registry &Reg = metrics::Registry::global();
   auto Miss = [&] {
     std::lock_guard<std::mutex> Lock(Mutex);
@@ -94,7 +99,7 @@ GraphCache::load(const CacheKey &Key) {
   if (!valid()) {
     Miss();
     if (Reg.enabled())
-      Reg.counter("cache.misses").add();
+      Reg.counter("shard.misses").add();
     return std::nullopt;
   }
 
@@ -105,7 +110,7 @@ GraphCache::load(const CacheKey &Key) {
     // Absent entry: a plain miss, not an error.
     Miss();
     if (Reg.enabled())
-      Reg.counter("cache.misses").add();
+      Reg.counter("shard.misses").add();
     return std::nullopt;
   }
   std::string Bytes((std::istreambuf_iterator<char>(In)),
@@ -114,7 +119,7 @@ GraphCache::load(const CacheKey &Key) {
 
   std::string Problem;
   if (Bytes.size() < KeyPrefixBytes) {
-    Problem = formatString("truncated cache entry (%zu byte(s), need at "
+    Problem = formatString("truncated shard entry (%zu byte(s), need at "
                            "least %zu for the key prefix)",
                            Bytes.size(), KeyPrefixBytes);
   } else {
@@ -125,11 +130,11 @@ GraphCache::load(const CacheKey &Key) {
                    << (8 * I);
     if (StoredKey != Key.Hash) {
       Problem = formatString(
-          "cache entry key mismatch: stored %016llx, expected %s",
+          "shard entry key mismatch: stored %016llx, expected %s",
           static_cast<unsigned long long>(StoredKey), Key.hex().c_str());
     } else {
-      io::IOResult<propgraph::PropagationGraph> Decoded =
-          propgraph::decodeGraph(
+      io::IOResult<constraints::ConstraintShard> Decoded =
+          constraints::decodeShard(
               std::string_view(Bytes).substr(KeyPrefixBytes));
       if (Decoded.ok()) {
         {
@@ -138,9 +143,9 @@ GraphCache::load(const CacheKey &Key) {
           Stats.BytesRead += Bytes.size();
         }
         if (Reg.enabled()) {
-          Reg.counter("cache.hits").add();
-          Reg.counter("cache.bytes_read").add(Bytes.size());
-          Reg.timer("cache.load_seconds").record(LoadTimer.seconds());
+          Reg.counter("shard.hits").add();
+          Reg.counter("shard.bytes_read").add(Bytes.size());
+          Reg.timer("shard.load_seconds").record(LoadTimer.seconds());
         }
         return std::move(Decoded.Value);
       }
@@ -149,7 +154,7 @@ GraphCache::load(const CacheKey &Key) {
   }
 
   // Corrupt entry: evict it so the rebuild's write-back starts clean, and
-  // report a miss so the caller falls back to a cold build.
+  // report a miss so the caller falls back to fresh extraction.
   std::error_code Ec;
   fs::remove(Path, Ec);
   {
@@ -160,14 +165,14 @@ GraphCache::load(const CacheKey &Key) {
                                         Problem.c_str()));
   }
   if (Reg.enabled()) {
-    Reg.counter("cache.misses").add();
-    Reg.counter("cache.evictions").add();
+    Reg.counter("shard.misses").add();
+    Reg.counter("shard.evictions").add();
   }
   return std::nullopt;
 }
 
-bool GraphCache::store(const CacheKey &Key,
-                       const propgraph::PropagationGraph &Graph) {
+bool ShardCache::store(const CacheKey &Key,
+                       const constraints::ConstraintShard &Shard) {
   metrics::Registry &Reg = metrics::Registry::global();
   if (!valid()) {
     recordError(formatString("cannot store %s: %s", Key.hex().c_str(),
@@ -180,7 +185,7 @@ bool GraphCache::store(const CacheKey &Key,
   Bytes.reserve(KeyPrefixBytes + 64);
   for (size_t I = 0; I < KeyPrefixBytes; ++I)
     Bytes.push_back(static_cast<char>((Key.Hash >> (8 * I)) & 0xff));
-  Bytes += encodeGraph(Graph);
+  Bytes += constraints::encodeShard(Shard);
 
   // Unique temp name per store call: two workers may store the same key
   // when a corpus contains byte-identical projects.
@@ -195,7 +200,7 @@ bool GraphCache::store(const CacheKey &Key,
     if (Out)
       Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
     if (!Out) {
-      recordError(formatString("cannot write cache entry %s",
+      recordError(formatString("cannot write shard entry %s",
                                TmpPath.c_str()));
       std::error_code Ec;
       fs::remove(TmpPath, Ec);
@@ -205,7 +210,7 @@ bool GraphCache::store(const CacheKey &Key,
   std::error_code Ec;
   fs::rename(TmpPath, Path, Ec);
   if (Ec) {
-    recordError(formatString("cannot publish cache entry %s: %s",
+    recordError(formatString("cannot publish shard entry %s: %s",
                              Path.c_str(), Ec.message().c_str()));
     fs::remove(TmpPath, Ec);
     return false;
@@ -216,14 +221,14 @@ bool GraphCache::store(const CacheKey &Key,
     Stats.BytesWritten += Bytes.size();
   }
   if (Reg.enabled()) {
-    Reg.counter("cache.stores").add();
-    Reg.counter("cache.bytes_written").add(Bytes.size());
-    Reg.timer("cache.store_seconds").record(StoreTimer.seconds());
+    Reg.counter("shard.stores").add();
+    Reg.counter("shard.bytes_written").add(Bytes.size());
+    Reg.timer("shard.store_seconds").record(StoreTimer.seconds());
   }
   return true;
 }
 
-CacheStats GraphCache::stats() const {
+CacheStats ShardCache::stats() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return Stats;
 }

@@ -1,0 +1,97 @@
+//===- cache/ShardCache.h - Persistent constraint-shard cache ----*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An on-disk cache of per-project constraint shards
+/// (constraints/ConstraintShard.h), next to GraphCache: where the graph
+/// cache makes parse+build O(delta), the shard cache makes constraint
+/// *extraction* O(delta) — re-learning after touching one project replays
+/// every other project's cached reachability structure instead of redoing
+/// its per-file BFS sweeps.
+///
+/// Keying / invalidation: an entry is addressed by a 64-bit FNV-1a content
+/// hash of the shard codec version, every constraints::GenOptions field,
+/// the full seed spec (entries sorted by representation, plus the blacklist
+/// patterns in order), and the project's *graph* cache key — which already
+/// covers the sources and every frontend knob. Any change to any input of
+/// constraint generation produces a different key, so stale entries are
+/// never hit. (Shard *content* only depends on the graph; the options and
+/// seed participate conservatively, trading spurious misses for the
+/// guarantee that a hit is always safe to replay.)
+///
+/// Failure discipline and concurrency match GraphCache: a missing entry is
+/// a miss; a corrupt one is evicted and reported as a miss; stores go
+/// through a unique temp file + rename; an unusable directory degrades to
+/// all-miss operation. A load never yields a partial shard.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_CACHE_SHARDCACHE_H
+#define SELDON_CACHE_SHARDCACHE_H
+
+#include "cache/GraphCache.h"
+#include "constraints/ConstraintShard.h"
+
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace seldon {
+namespace cache {
+
+/// Computes the shard cache key for the project identified by \p GraphKey
+/// under generation options \p Gen and seed \p Seed. Deterministic across
+/// processes (seed entries are hashed in sorted order).
+CacheKey projectShardKey(const CacheKey &GraphKey,
+                         const constraints::GenOptions &Gen,
+                         const spec::SeedSpec &Seed);
+
+/// The on-disk shard store. Same lifecycle and degradation contract as
+/// GraphCache; entries use the ".scs" suffix, so both caches can share a
+/// directory without colliding.
+class ShardCache {
+public:
+  explicit ShardCache(std::string Dir);
+
+  ShardCache(const ShardCache &) = delete;
+  ShardCache &operator=(const ShardCache &) = delete;
+
+  const std::string &dir() const { return Dir; }
+
+  /// False when the cache directory could not be created/used; error()
+  /// then describes why.
+  bool valid() const { return DirError.empty(); }
+  const std::string &error() const { return DirError; }
+
+  /// Path of \p Key's entry file inside dir().
+  std::string entryPath(const CacheKey &Key) const;
+
+  /// Loads and decodes \p Key's entry. nullopt on miss — including every
+  /// corruption case, which additionally evicts the bad entry and records
+  /// a descriptive error in stats(). Thread-safe.
+  std::optional<constraints::ConstraintShard> load(const CacheKey &Key);
+
+  /// Encodes and atomically writes \p Shard as \p Key's entry. Returns
+  /// false (recording an error) when the write fails. Thread-safe.
+  bool store(const CacheKey &Key, const constraints::ConstraintShard &Shard);
+
+  /// Snapshot of the counters and recorded errors.
+  CacheStats stats() const;
+
+private:
+  void recordError(std::string Message);
+
+  std::string Dir;
+  std::string DirError;
+  mutable std::mutex Mutex;
+  CacheStats Stats;
+};
+
+} // namespace cache
+} // namespace seldon
+
+#endif // SELDON_CACHE_SHARDCACHE_H

@@ -183,13 +183,10 @@ private:
 } // namespace
 
 ConstraintSystem
-seldon::constraints::generateConstraints(const PropagationGraph &Graph,
-                                         const RepTable &Reps,
-                                         const spec::SeedSpec &Seed,
-                                         const GenOptions &Opts,
-                                         ThreadPool *Pool,
-                                         std::vector<double> *ShardSecondsOut,
-                                         const Deadline *StopAt) {
+seldon::constraints::prepareSystem(const PropagationGraph &Graph,
+                                   const RepTable &Reps,
+                                   const spec::SeedSpec &Seed,
+                                   const GenOptions &Opts, ThreadPool *Pool) {
   ConstraintSystem Sys;
   const std::vector<Event> &Events = Graph.events();
   Sys.EventReps.resize(Events.size());
@@ -235,6 +232,19 @@ seldon::constraints::generateConstraints(const PropagationGraph &Graph,
       Sys.Pinned.emplace_back(V, maskHas(Mask, R) ? 1.0 : 0.0);
     }
   }
+  return Sys;
+}
+
+ConstraintSystem
+seldon::constraints::generateConstraints(const PropagationGraph &Graph,
+                                         const RepTable &Reps,
+                                         const spec::SeedSpec &Seed,
+                                         const GenOptions &Opts,
+                                         ThreadPool *Pool,
+                                         std::vector<double> *ShardSecondsOut,
+                                         const Deadline *StopAt) {
+  ConstraintSystem Sys = prepareSystem(Graph, Reps, Seed, Opts, Pool);
+  const std::vector<Event> &Events = Graph.events();
 
   // Group events by file and extract per file into private buffers. Each
   // shard interns variables into its own local table, so extraction

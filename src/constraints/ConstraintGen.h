@@ -80,6 +80,18 @@ ConstraintSystem generateConstraints(const propgraph::PropagationGraph &Graph,
                                          nullptr,
                                      const Deadline *StopAt = nullptr);
 
+/// The pre-extraction scaffolding shared by generateConstraints and the
+/// incremental composeConstraints (ConstraintShard.h): the per-event
+/// surviving backoff options (frequency cutoff + blacklist), the candidate
+/// statistics, and the seed pins — which intern the corpus's first
+/// variables, so pins must be created before any constraint extraction
+/// replays. Returns a system with no constraints yet.
+ConstraintSystem prepareSystem(const propgraph::PropagationGraph &Graph,
+                               const propgraph::RepTable &Reps,
+                               const spec::SeedSpec &Seed,
+                               const GenOptions &Opts = GenOptions(),
+                               ThreadPool *Pool = nullptr);
+
 } // namespace constraints
 } // namespace seldon
 

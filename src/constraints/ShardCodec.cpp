@@ -1,0 +1,252 @@
+//===- constraints/ShardCodec.cpp - Binary shard serialization ------------===//
+
+#include "constraints/ShardCodec.h"
+
+#include "support/BinaryCodec.h"
+#include "support/StrUtil.h"
+
+#include <cstring>
+
+using namespace seldon;
+using namespace seldon::constraints;
+using codec::ByteReader;
+using codec::putFixed64;
+using codec::putString;
+using codec::putVarint;
+
+namespace {
+
+constexpr char Magic[4] = {'S', 'C', 'S', 'H'};
+
+void putEventList(std::string &Out, const std::vector<ShardEventId> &Ids) {
+  putVarint(Out, Ids.size());
+  for (ShardEventId Id : Ids)
+    putVarint(Out, Id);
+}
+
+std::string encodePayload(const ConstraintShard &Shard) {
+  std::string Payload;
+  putVarint(Payload, Shard.Strings.size());
+  for (const std::string &Text : Shard.Strings)
+    putString(Payload, Text);
+
+  putVarint(Payload, Shard.Events.size());
+  for (const ShardEvent &E : Shard.Events) {
+    putVarint(Payload, E.Reps.size());
+    for (ShardStrId S : E.Reps)
+      putVarint(Payload, S);
+  }
+
+  putVarint(Payload, Shard.Files.size());
+  for (const ShardFile &File : Shard.Files) {
+    putVarint(Payload, File.SanAnchors.size());
+    for (const ShardSanAnchor &A : File.SanAnchors) {
+      putVarint(Payload, A.San);
+      putEventList(Payload, A.SourcesBefore);
+      putEventList(Payload, A.SinksAfter);
+    }
+    putVarint(Payload, File.SrcAnchors.size());
+    for (const ShardSrcAnchor &A : File.SrcAnchors) {
+      putVarint(Payload, A.Src);
+      putVarint(Payload, A.Pairs.size());
+      for (const ShardSrcPair &P : A.Pairs) {
+        putVarint(Payload, P.Snk);
+        putEventList(Payload, P.Mids);
+      }
+    }
+  }
+  return Payload;
+}
+
+/// Reads a list of event ids, validating each against \p NumEvents.
+std::vector<ShardEventId> getEventList(ByteReader &Reader, size_t NumEvents,
+                                       const char *What) {
+  std::vector<ShardEventId> Out;
+  uint64_t Count = Reader.getVarint(What);
+  for (uint64_t I = 0; Reader.ok() && I < Count; ++I) {
+    uint64_t Id = Reader.getVarint(What);
+    if (!Reader.ok())
+      break;
+    if (Id >= NumEvents) {
+      Reader.fail(formatString("%s event id %llu out of range (%zu "
+                               "event(s))",
+                               What, static_cast<unsigned long long>(Id),
+                               NumEvents));
+      break;
+    }
+    Out.push_back(static_cast<ShardEventId>(Id));
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string seldon::constraints::encodeShard(const ConstraintShard &Shard) {
+  std::string Payload = encodePayload(Shard);
+  std::string Out;
+  Out.reserve(Payload.size() + 24);
+  Out.append(Magic, sizeof(Magic));
+  putVarint(Out, ShardCodecVersion);
+  putFixed64(Out, codec::fnv1a64(Payload));
+  putVarint(Out, Payload.size());
+  Out += Payload;
+  return Out;
+}
+
+io::IOResult<ConstraintShard>
+seldon::constraints::decodeShard(std::string_view Bytes) {
+  using Result = io::IOResult<ConstraintShard>;
+  ByteReader Reader(Bytes);
+
+  if (Bytes.size() < sizeof(Magic))
+    return Result::failure(formatString(
+        "truncated shard header: %zu byte(s), need at least %zu",
+        Bytes.size(), sizeof(Magic)));
+  if (std::memcmp(Bytes.data(), Magic, sizeof(Magic)) != 0)
+    return Result::failure("bad magic: not a serialized constraint shard");
+  for (size_t I = 0; I < sizeof(Magic); ++I)
+    Reader.getByte("magic");
+
+  uint64_t Version = Reader.getVarint("format version");
+  if (!Reader.ok())
+    return Result::failure(Reader.error());
+  if (Version != ShardCodecVersion)
+    return Result::failure(formatString(
+        "unsupported shard format version %llu (this build reads "
+        "version %u)",
+        static_cast<unsigned long long>(Version), ShardCodecVersion));
+
+  uint64_t StoredChecksum = Reader.getFixed64("payload checksum");
+  uint64_t PayloadLen = Reader.getVarint("payload length");
+  if (!Reader.ok())
+    return Result::failure(Reader.error());
+  if (PayloadLen != Reader.remaining())
+    return Result::failure(formatString(
+        "payload size mismatch: header declares %llu byte(s), %zu "
+        "follow (%s)",
+        static_cast<unsigned long long>(PayloadLen), Reader.remaining(),
+        PayloadLen > Reader.remaining() ? "truncated entry"
+                                        : "trailing garbage"));
+  uint64_t ActualChecksum = codec::fnv1a64(Bytes.substr(Reader.offset()));
+  if (ActualChecksum != StoredChecksum)
+    return Result::failure(formatString(
+        "payload checksum mismatch: stored %016llx, computed %016llx "
+        "(corrupt entry)",
+        static_cast<unsigned long long>(StoredChecksum),
+        static_cast<unsigned long long>(ActualChecksum)));
+
+  // Integrity-checked; remaining failures are structural (a corrupt
+  // encoder or version-1 layout drift) and still reported descriptively
+  // rather than trusted.
+  ConstraintShard Shard;
+
+  uint64_t NumStrings = Reader.getVarint("string count");
+  Shard.Strings.reserve(Reader.ok() ? NumStrings : 0);
+  for (uint64_t I = 0; Reader.ok() && I < NumStrings; ++I) {
+    std::string_view Text = Reader.getString("representation string");
+    if (Reader.ok())
+      Shard.Strings.emplace_back(Text);
+  }
+
+  uint64_t NumEvents = Reader.getVarint("event count");
+  Shard.Events.reserve(Reader.ok() ? NumEvents : 0);
+  for (uint64_t I = 0; Reader.ok() && I < NumEvents; ++I) {
+    uint64_t NumReps = Reader.getVarint("event rep count");
+    if (!Reader.ok())
+      break;
+    if (NumReps == 0) {
+      Reader.fail("shard event with no representations");
+      break;
+    }
+    ShardEvent E;
+    E.Reps.reserve(NumReps);
+    for (uint64_t R = 0; Reader.ok() && R < NumReps; ++R) {
+      uint64_t S = Reader.getVarint("event rep string id");
+      if (!Reader.ok())
+        break;
+      if (S >= Shard.Strings.size()) {
+        Reader.fail(formatString(
+            "rep string id %llu out of range (%zu string(s))",
+            static_cast<unsigned long long>(S), Shard.Strings.size()));
+        break;
+      }
+      E.Reps.push_back(static_cast<ShardStrId>(S));
+    }
+    if (Reader.ok())
+      Shard.Events.push_back(std::move(E));
+  }
+
+  auto CheckEvent = [&](uint64_t Id, const char *What) -> bool {
+    if (Id < Shard.Events.size())
+      return true;
+    Reader.fail(formatString("%s event id %llu out of range (%zu "
+                             "event(s))",
+                             What, static_cast<unsigned long long>(Id),
+                             Shard.Events.size()));
+    return false;
+  };
+
+  uint64_t NumFiles = Reader.getVarint("file count");
+  Shard.Files.reserve(Reader.ok() ? NumFiles : 0);
+  for (uint64_t F = 0; Reader.ok() && F < NumFiles; ++F) {
+    ShardFile File;
+    uint64_t NumSan = Reader.getVarint("sanitizer anchor count");
+    for (uint64_t I = 0; Reader.ok() && I < NumSan; ++I) {
+      ShardSanAnchor A;
+      uint64_t San = Reader.getVarint("sanitizer anchor");
+      if (!Reader.ok() || !CheckEvent(San, "sanitizer anchor"))
+        break;
+      A.San = static_cast<ShardEventId>(San);
+      A.SourcesBefore =
+          getEventList(Reader, Shard.Events.size(), "sources-before");
+      A.SinksAfter =
+          getEventList(Reader, Shard.Events.size(), "sinks-after");
+      if (!Reader.ok())
+        break;
+      if (A.SourcesBefore.empty() && A.SinksAfter.empty()) {
+        Reader.fail("empty sanitizer anchor");
+        break;
+      }
+      File.SanAnchors.push_back(std::move(A));
+    }
+    uint64_t NumSrc = Reader.getVarint("source anchor count");
+    for (uint64_t I = 0; Reader.ok() && I < NumSrc; ++I) {
+      ShardSrcAnchor A;
+      uint64_t Src = Reader.getVarint("source anchor");
+      if (!Reader.ok() || !CheckEvent(Src, "source anchor"))
+        break;
+      A.Src = static_cast<ShardEventId>(Src);
+      uint64_t NumPairs = Reader.getVarint("pair count");
+      if (!Reader.ok())
+        break;
+      if (NumPairs == 0) {
+        Reader.fail("source anchor with no pairs");
+        break;
+      }
+      for (uint64_t P = 0; Reader.ok() && P < NumPairs; ++P) {
+        ShardSrcPair Pair;
+        uint64_t Snk = Reader.getVarint("pair sink");
+        if (!Reader.ok() || !CheckEvent(Snk, "pair sink"))
+          break;
+        Pair.Snk = static_cast<ShardEventId>(Snk);
+        Pair.Mids = getEventList(Reader, Shard.Events.size(), "pair mid");
+        if (Reader.ok())
+          A.Pairs.push_back(std::move(Pair));
+      }
+      if (Reader.ok())
+        File.SrcAnchors.push_back(std::move(A));
+    }
+    if (Reader.ok())
+      Shard.Files.push_back(std::move(File));
+  }
+
+  if (Reader.ok() && Reader.remaining() != 0)
+    Reader.fail(formatString("%zu unconsumed payload byte(s)",
+                             Reader.remaining()));
+  if (!Reader.ok())
+    return Result::failure(Reader.error());
+
+  Result Out;
+  Out.Value = std::move(Shard);
+  return Out;
+}

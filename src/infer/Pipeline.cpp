@@ -2,6 +2,7 @@
 
 #include "infer/Pipeline.h"
 
+#include "constraints/ConstraintShard.h"
 #include "support/FaultInjection.h"
 #include "support/Metrics.h"
 #include "support/ThreadPool.h"
@@ -65,6 +66,12 @@ Session &Session::enableCache(const std::string &Dir) {
   return *this;
 }
 
+Session &Session::enableShardCache(const std::string &Dir) {
+  assert(!GraphReady && "enableShardCache must precede buildGraph");
+  SCache = std::make_unique<cache::ShardCache>(Dir);
+  return *this;
+}
+
 Session &Session::adoptGraph(PropagationGraph NewGraph) {
   Graph = std::move(NewGraph);
   GraphReady = true;
@@ -72,6 +79,10 @@ Session &Session::adoptGraph(PropagationGraph NewGraph) {
   BuildSeconds = 0.0;
   BuildShardSeconds.clear();
   SystemReady = false;
+  // An adopted graph has no per-project structure to slice shards from;
+  // generateConstraints falls back to direct generation.
+  Slices.clear();
+  SlicesValid = false;
   return *this;
 }
 
@@ -96,6 +107,7 @@ Session &Session::buildGraph() {
       Reg.enabled() ? &Reg.timer("build.project_seconds") : nullptr;
   const size_t Total = Projects.size();
   std::vector<PropagationGraph> PerProject(Total);
+  std::vector<cache::CacheKey> Keys(Total);
   BuildShardSeconds.assign(P ? P->numWorkers() : 1, 0.0);
 
   // Per-project isolation boundary. Failures land in per-index slots, so
@@ -130,8 +142,13 @@ Session &Session::buildGraph() {
       // the cache is transparent, so the run stays byte-identical.
       std::optional<PropagationGraph> FromCache;
       cache::CacheKey Key;
-      if (Cache) {
+      // The shard cache keys off the graph key even when the graph cache
+      // itself is disabled.
+      if (Cache || SCache) {
         Key = cache::projectCacheKey(*Projects[I], Opts.Build);
+        Keys[I] = Key;
+      }
+      if (Cache) {
         try {
           if (fault::enabled())
             fault::maybeThrow(fault::Point::CacheRead, I);
@@ -201,8 +218,11 @@ Session &Session::buildGraph() {
 
   // Deterministic merge: append the survivors in corpus order, so event
   // ids and file indices are identical to a serial walk over only the
-  // surviving projects — quarantined ones contribute nothing.
+  // surviving projects — quarantined ones contribute nothing. With a
+  // shard cache, each survivor's file range within the global graph is
+  // recorded so generateConstraints can slice its shard back out.
   NumFiles = 0;
+  Slices.clear();
   bool DeadlineHit = false;
   for (size_t I = 0; I < Total; ++I) {
     if (FailedAt[I]) {
@@ -220,9 +240,14 @@ Session &Session::buildGraph() {
       continue;
     }
     NumFiles += Projects[I]->modules().size();
+    uint32_t FileBegin = static_cast<uint32_t>(Graph.files().size());
     Graph.append(PerProject[I]);
+    if (SCache)
+      Slices.push_back({I, Keys[I], FileBegin,
+                        static_cast<uint32_t>(Graph.files().size())});
     PerProject[I] = PropagationGraph(); // Free as we go.
   }
+  SlicesValid = SCache != nullptr;
   if (DeadlineHit) {
     Health.DeadlineExpired = true;
     Health.DeadlineStage = phaseName(Phase::BuildGraph);
@@ -266,10 +291,20 @@ Session &Session::generateConstraints(const spec::SeedSpec &Seed) {
   // would starve the §4.3 frequency cutoff.
   Reps = RepTable();
   Reps.countOccurrences(Graph);
+  Incr = IncrStats();
+  // The incremental path composes per-project shards; it requires the
+  // per-project slices buildGraph records (adopted graphs have none) and
+  // an uncollapsed learning graph — vertex contraction crosses project
+  // boundaries, so a collapsed system is not per-project composable.
+  bool UseShards = SCache && SlicesValid && !Opts.CollapseForLearning;
   try {
-    System = constraints::generateConstraints(*LearnGraph, Reps, Seed,
-                                              Opts.Gen, P, &GenShardSeconds,
-                                              &RunDeadline);
+    if (UseShards)
+      System = composeFromShards(Seed, P);
+    else
+      System = constraints::generateConstraints(*LearnGraph, Reps, Seed,
+                                                Opts.Gen, P,
+                                                &GenShardSeconds,
+                                                &RunDeadline);
   } catch (const DeadlineError &) {
     // Constraint generation is all-or-nothing (a truncated system would
     // change the learned scores silently), so expiry propagates — but the
@@ -278,6 +313,7 @@ Session &Session::generateConstraints(const spec::SeedSpec &Seed) {
     Health.DeadlineStage = phaseName(Phase::GenerateConstraints);
     throw;
   }
+  SystemFromShards = UseShards;
   GenSeconds = GenSpan.finish();
   if (Reg.enabled()) {
     Reg.gauge("gen.constraints")
@@ -287,11 +323,98 @@ Session &Session::generateConstraints(const spec::SeedSpec &Seed) {
         .set(static_cast<double>(System.NumCandidates));
     Reg.gauge("gen.avg_backoff").set(System.AvgBackoffOptions);
     Reg.gauge("gen.pinned").set(static_cast<double>(System.Pinned.size()));
+    if (UseShards) {
+      Reg.gauge("incr.shards_hit")
+          .set(static_cast<double>(Incr.ShardsHit));
+      Reg.gauge("incr.shards_rebuilt")
+          .set(static_cast<double>(Incr.ShardsRebuilt));
+      Reg.gauge("incr.shards_stored")
+          .set(static_cast<double>(Incr.ShardsStored));
+    }
   }
   if (Observer)
     Observer->onStageFinished(Phase::GenerateConstraints, GenSeconds);
   SystemReady = true;
   return *this;
+}
+
+constraints::ConstraintSystem
+Session::composeFromShards(const spec::SeedSpec &Seed, ThreadPool *P) {
+  metrics::Registry &Reg = metrics::Registry::global();
+  const size_t N = Slices.size();
+  std::vector<constraints::ConstraintShard> Shards(N);
+  std::vector<uint8_t> Hit(N, 0), Stored(N, 0);
+  std::mutex HealthMutex;
+  GenShardSeconds.assign(P ? P->numWorkers() : 1, 0.0);
+
+  // Load-or-extract fans out over projects; each worker touches disjoint
+  // slots. Like the graph cache, a *throwing* shard cache degrades to a
+  // re-extraction / skipped write-back — the cache is transparent, so the
+  // composed system stays byte-identical either way.
+  auto ShardOne = [&](size_t I, unsigned Worker) {
+    // Cooperative cancellation at the project boundary: composition is
+    // all-or-nothing, so expiry is a hard error (rethrown
+    // deterministically by parallelFor).
+    if (RunDeadline.expired())
+      throw DeadlineError("deadline expired during shard extraction");
+    Timer ShardTimer;
+    const ProjectSlice &Slice = Slices[I];
+    cache::CacheKey Key =
+        cache::projectShardKey(Slice.GraphKey, Opts.Gen, Seed);
+    std::optional<constraints::ConstraintShard> FromCache;
+    try {
+      FromCache = SCache->load(Key);
+    } catch (const std::exception &E) {
+      std::lock_guard<std::mutex> Lock(HealthMutex);
+      Health.CacheIncidents.push_back(
+          "project " + Projects[Slice.ProjectIndex]->name() +
+          ": shard read degraded to re-extraction: " + E.what());
+    }
+    if (FromCache) {
+      Shards[I] = std::move(*FromCache);
+      Hit[I] = 1;
+    } else {
+      if (fault::enabled())
+        fault::maybeThrow(fault::Point::ConstraintGen, I);
+      Shards[I] = constraints::extractShard(Graph, Slice.FileBegin,
+                                            Slice.FileEnd);
+      try {
+        if (SCache->store(Key, Shards[I]))
+          Stored[I] = 1;
+      } catch (const std::exception &E) {
+        std::lock_guard<std::mutex> Lock(HealthMutex);
+        Health.CacheIncidents.push_back(
+            "project " + Projects[Slice.ProjectIndex]->name() +
+            ": shard write skipped: " + E.what());
+      }
+    }
+    GenShardSeconds[Worker] += ShardTimer.seconds();
+  };
+  if (P)
+    P->parallelFor(N, ShardOne);
+  else
+    for (size_t I = 0; I < N; ++I)
+      ShardOne(I, 0);
+
+  for (size_t I = 0; I < N; ++I) {
+    Incr.ShardsHit += Hit[I];
+    Incr.ShardsRebuilt += 1 - Hit[I];
+    Incr.ShardsStored += Stored[I];
+  }
+
+  // Deterministic delta merge: replay the shards in corpus order. The
+  // merge is serial — it is cheap relative to extraction — so the result
+  // is byte-identical to direct generation at any Jobs value.
+  Timer MergeTimer;
+  std::vector<const constraints::ConstraintShard *> Ptrs;
+  Ptrs.reserve(N);
+  for (const constraints::ConstraintShard &Shard : Shards)
+    Ptrs.push_back(&Shard);
+  constraints::ConstraintSystem Sys = constraints::composeConstraints(
+      Graph, Reps, Seed, Ptrs, Opts.Gen, P, &RunDeadline);
+  if (Reg.enabled())
+    Reg.timer("incr.merge_seconds").record(MergeTimer.seconds());
+  return Sys;
 }
 
 PipelineResult Session::solve() {
@@ -317,8 +440,28 @@ PipelineResult Session::solve() {
   Result.UsedCache = Cache != nullptr;
   if (Cache)
     Result.Cache = Cache->stats();
+  Result.UsedShardCache = SystemFromShards;
+  if (SCache)
+    Result.ShardCacheStats = SCache->stats();
 
   solver::SolveOptions SolveOpts = Opts.Solve;
+  if (Opts.WarmStart) {
+    // Seed each variable with the previous run's score for its
+    // (representation, role); variables new to this system start at the
+    // cold init (zero — scores for unseen representations are zero, and
+    // minimize() projects the point, re-applying the seed pins). A
+    // warm start moves only the starting iterate: the objective, its
+    // minimizers, and the convergence test are unchanged.
+    const constraints::VarTable &Vars = Result.System.Vars;
+    std::vector<double> Warm(Vars.numVars(), 0.0);
+    for (uint32_t V = 0; V < Vars.numVars(); ++V) {
+      const std::string &Rep = Result.Reps.repString(Vars.repOf(V));
+      Warm[V] = Opts.WarmStart->score(Rep, Vars.roleOf(V));
+    }
+    SolveOpts.WarmStart = std::move(Warm);
+  }
+  Incr.WarmStarted = Opts.WarmStart != nullptr;
+  Result.Incr = Incr;
   if (RunDeadline.armed()) {
     // Cap the solver's own budget by what the run budget has left, and let
     // it poll the shared deadline between iterations.
@@ -347,23 +490,12 @@ PipelineResult Session::solve() {
   // Either evaluator runs the same optimizer loop over the same system;
   // the learned scores are byte-identical (see docs/architecture.md).
   auto RunSolver = [&](const auto &Obj) {
-    std::vector<double> X0 = Obj.initialPoint();
-    if (Opts.WarmStart) {
-      // Seed each variable with the previous run's score for its
-      // (representation, role); new variables start at zero.
-      const constraints::VarTable &Vars = Result.System.Vars;
-      for (uint32_t V = 0; V < Vars.numVars(); ++V) {
-        const std::string &Rep = Result.Reps.repString(Vars.repOf(V));
-        X0[V] = Opts.WarmStart->score(Rep, Vars.roleOf(V));
-      }
-      Obj.project(X0);
-    }
     if (Opts.UseAdam) {
       solver::AdamOptimizer Optimizer(SolveOpts);
-      Result.Solve = Optimizer.minimize(Obj, std::move(X0));
+      Result.Solve = Optimizer.minimize(Obj);
     } else {
       solver::ProjectedGradient Optimizer(SolveOpts);
-      Result.Solve = Optimizer.minimize(Obj, std::move(X0));
+      Result.Solve = Optimizer.minimize(Obj);
     }
   };
   if (Opts.UseCompiledSolver) {
@@ -403,6 +535,7 @@ PipelineResult Session::solve() {
         .set(Result.UsedCompiledSolver ? 1.0 : 0.0);
     Reg.gauge("solve.final_objective").set(Result.Solve.FinalObjective);
     Reg.gauge("solve.converged").set(Result.Solve.Converged ? 1.0 : 0.0);
+    Reg.gauge("incr.warm_start").set(Incr.WarmStarted ? 1.0 : 0.0);
     if (Health.SolverNonFiniteSteps > 0)
       Reg.counter("health.solver_nonfinite")
           .add(static_cast<uint64_t>(Health.SolverNonFiniteSteps));
@@ -429,24 +562,4 @@ PipelineResult Session::solve() {
     Result.Learned.setScore(Rep, Vars.roleOf(V), Result.Solve.X[V]);
   }
   return Result;
-}
-
-PipelineResult
-seldon::infer::runPipeline(const std::vector<pysem::Project> &Corpus,
-                           const spec::SeedSpec &Seed,
-                           const PipelineOptions &Opts) {
-  Session S(Opts);
-  S.addProjects(Corpus);
-  S.generateConstraints(Seed);
-  return S.solve();
-}
-
-PipelineResult
-seldon::infer::runPipelineOnGraph(PropagationGraph Graph,
-                                  const spec::SeedSpec &Seed,
-                                  const PipelineOptions &Opts) {
-  Session S(Opts);
-  S.adoptGraph(std::move(Graph));
-  S.generateConstraints(Seed);
-  return S.solve();
 }

@@ -30,6 +30,7 @@
 #define SELDON_INFER_PIPELINE_H
 
 #include "cache/GraphCache.h"
+#include "cache/ShardCache.h"
 #include "constraints/ConstraintGen.h"
 #include "infer/RunHealth.h"
 #include "propgraph/GraphBuilder.h"
@@ -126,6 +127,21 @@ public:
   }
 };
 
+/// Delta statistics of one incremental run: how much of the constraint
+/// system was replayed from cached shards versus regenerated, and whether
+/// the solve was warm-started. All zero when the shard cache is off.
+struct IncrStats {
+  /// Projects whose constraint shard was replayed from the cache.
+  uint64_t ShardsHit = 0;
+  /// Projects whose shard was extracted fresh (miss, eviction, or no
+  /// usable cache entry).
+  uint64_t ShardsRebuilt = 0;
+  /// Freshly extracted shards written back to the cache.
+  uint64_t ShardsStored = 0;
+  /// The solve was seeded from a previous LearnedSpec.
+  bool WarmStarted = false;
+};
+
 /// Everything the pipeline produced, including the intermediate artifacts
 /// the evaluation and the benches inspect.
 struct PipelineResult {
@@ -152,6 +168,15 @@ struct PipelineResult {
   /// byte-identical to an uncached run.
   bool UsedCache = false;
   cache::CacheStats Cache;
+
+  /// Whether a shard cache was enabled and usable for this run's
+  /// constraint generation, its counters at solve() time, and the delta
+  /// statistics. Like the graph cache, shard hits change timings only —
+  /// the composed system and the learned scores are byte-identical to an
+  /// uncached run.
+  bool UsedShardCache = false;
+  cache::CacheStats ShardCacheStats;
+  IncrStats Incr;
 
   /// What the fault-tolerant runtime had to do: quarantined projects,
   /// solver recoveries, deadline expiries, degraded cache operations.
@@ -215,6 +240,24 @@ public:
   /// The enabled cache, or null. Valid for the Session's lifetime.
   const cache::GraphCache *graphCache() const { return Cache.get(); }
 
+  /// Enables the persistent constraint-shard cache rooted at \p Dir
+  /// (created if missing). Must be called before buildGraph(). With it,
+  /// generateConstraints() replays cached per-project shards and extracts
+  /// only the projects whose shard key changed; the composed system is
+  /// byte-identical to uncached generation. Ignored (with a plain
+  /// regeneration) when the graph was adopted rather than built from
+  /// projects, or when CollapseForLearning is set — vertex contraction
+  /// crosses project boundaries, so the system is not per-project
+  /// composable. An unusable directory degrades to all-miss operation.
+  Session &enableShardCache(const std::string &Dir);
+
+  /// The enabled shard cache, or null. Valid for the Session's lifetime.
+  const cache::ShardCache *shardCache() const { return SCache.get(); }
+
+  /// Delta statistics of the most recent generateConstraints() (all zero
+  /// without a shard cache; WarmStarted is filled in by solve()).
+  const IncrStats &incrStats() const { return Incr; }
+
   /// Builds the global propagation graph: per-project extraction fans out
   /// over Jobs workers; the per-project graphs are merged in corpus order,
   /// so event ids match the serial run exactly. No-op if a graph was
@@ -251,13 +294,33 @@ private:
   unsigned resolveJobs() const;
   ThreadPool *poolFor(unsigned Jobs);
   void armDeadline();
+  /// The incremental generation path: per-project shards are loaded from
+  /// the shard cache or extracted fresh (in parallel), then composed in
+  /// corpus order into a system byte-identical to direct generation.
+  constraints::ConstraintSystem
+  composeFromShards(const spec::SeedSpec &Seed, ThreadPool *P);
 
   PipelineOptions Opts;
   ProgressObserver *Observer = nullptr;
   std::vector<const pysem::Project *> Projects;
   std::unique_ptr<cache::GraphCache> Cache;
+  std::unique_ptr<cache::ShardCache> SCache;
   RunHealth Health;
   Deadline RunDeadline;
+
+  /// One surviving project's slice of the built global graph: its file
+  /// range plus its graph cache key (the shard key's content anchor).
+  /// Recorded by buildGraph() when a shard cache is enabled; empty (and
+  /// SlicesValid false) for adopted graphs.
+  struct ProjectSlice {
+    size_t ProjectIndex = 0;
+    cache::CacheKey GraphKey;
+    uint32_t FileBegin = 0;
+    uint32_t FileEnd = 0;
+  };
+  std::vector<ProjectSlice> Slices;
+  bool SlicesValid = false;
+  IncrStats Incr;
 
   propgraph::PropagationGraph Graph;
   bool GraphReady = false;
@@ -268,29 +331,13 @@ private:
   propgraph::RepTable Reps;
   constraints::ConstraintSystem System;
   bool SystemReady = false;
+  bool SystemFromShards = false;
   double GenSeconds = 0.0;
   std::vector<double> GenShardSeconds;
   unsigned JobsUsed = 1;
 
   std::unique_ptr<ThreadPool> Pool;
 };
-
-/// Deprecated: use Session. Runs the full pipeline over already-parsed
-/// \p Corpus with seeds \p Seed.
-[[deprecated("use infer::Session (addProjects / generateConstraints / "
-             "solve)")]]
-PipelineResult runPipeline(const std::vector<pysem::Project> &Corpus,
-                           const spec::SeedSpec &Seed,
-                           const PipelineOptions &Opts = PipelineOptions());
-
-/// Deprecated: use Session::adoptGraph. Runs constraint generation +
-/// solving over an existing global graph.
-[[deprecated("use infer::Session::adoptGraph + generateConstraints + "
-             "solve")]]
-PipelineResult runPipelineOnGraph(propgraph::PropagationGraph Graph,
-                                  const spec::SeedSpec &Seed,
-                                  const PipelineOptions &Opts =
-                                      PipelineOptions());
 
 } // namespace infer
 } // namespace seldon

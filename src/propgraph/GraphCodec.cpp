@@ -2,120 +2,25 @@
 
 #include "propgraph/GraphCodec.h"
 
+#include "support/BinaryCodec.h"
 #include "support/StrUtil.h"
 
 #include <cstring>
 
 using namespace seldon;
 using namespace seldon::propgraph;
+using codec::ByteReader;
+using codec::putFixed64;
+using codec::putString;
+using codec::putVarint;
 
 uint64_t seldon::propgraph::fnv1a64(std::string_view Bytes, uint64_t Seed) {
-  uint64_t Hash = Seed;
-  for (unsigned char C : Bytes) {
-    Hash ^= C;
-    Hash *= 0x100000001b3ull;
-  }
-  return Hash;
+  return codec::fnv1a64(Bytes, Seed);
 }
 
 namespace {
 
 constexpr char Magic[4] = {'S', 'P', 'G', 'C'};
-
-void putVarint(std::string &Out, uint64_t Value) {
-  while (Value >= 0x80) {
-    Out.push_back(static_cast<char>(Value | 0x80));
-    Value >>= 7;
-  }
-  Out.push_back(static_cast<char>(Value));
-}
-
-void putString(std::string &Out, std::string_view Text) {
-  putVarint(Out, Text.size());
-  Out.append(Text);
-}
-
-void putFixed64(std::string &Out, uint64_t Value) {
-  for (int Shift = 0; Shift < 64; Shift += 8)
-    Out.push_back(static_cast<char>((Value >> Shift) & 0xff));
-}
-
-/// Strict forward-only reader over the encoded bytes. Every getter either
-/// succeeds or records a descriptive error (with the current offset) and
-/// makes all further reads fail, so decode logic can chain reads and check
-/// once per section.
-class ByteReader {
-public:
-  explicit ByteReader(std::string_view Bytes) : Bytes(Bytes) {}
-
-  bool ok() const { return Error.empty(); }
-  const std::string &error() const { return Error; }
-  size_t offset() const { return Pos; }
-  size_t remaining() const { return Bytes.size() - Pos; }
-
-  void fail(const std::string &What) {
-    if (Error.empty())
-      Error = formatString("%s at byte %zu", What.c_str(), Pos);
-  }
-
-  uint64_t getVarint(const char *What) {
-    uint64_t Value = 0;
-    for (int Shift = 0; Shift < 64; Shift += 7) {
-      if (Pos >= Bytes.size()) {
-        fail(formatString("truncated input reading %s", What));
-        return 0;
-      }
-      unsigned char Byte = static_cast<unsigned char>(Bytes[Pos++]);
-      Value |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
-      if ((Byte & 0x80) == 0)
-        return Value;
-    }
-    fail(formatString("varint overflow reading %s", What));
-    return 0;
-  }
-
-  uint8_t getByte(const char *What) {
-    if (Pos >= Bytes.size()) {
-      fail(formatString("truncated input reading %s", What));
-      return 0;
-    }
-    return static_cast<uint8_t>(Bytes[Pos++]);
-  }
-
-  uint64_t getFixed64(const char *What) {
-    if (remaining() < 8) {
-      fail(formatString("truncated input reading %s", What));
-      return 0;
-    }
-    uint64_t Value = 0;
-    for (int Shift = 0; Shift < 64; Shift += 8)
-      Value |= static_cast<uint64_t>(
-                   static_cast<unsigned char>(Bytes[Pos++]))
-               << Shift;
-    return Value;
-  }
-
-  std::string_view getString(const char *What) {
-    uint64_t Len = getVarint(What);
-    if (!ok())
-      return {};
-    if (Len > remaining()) {
-      fail(formatString("truncated input reading %s (need %llu bytes, "
-                        "have %zu)",
-                        What, static_cast<unsigned long long>(Len),
-                        remaining()));
-      return {};
-    }
-    std::string_view Out = Bytes.substr(Pos, Len);
-    Pos += Len;
-    return Out;
-  }
-
-private:
-  std::string_view Bytes;
-  size_t Pos = 0;
-  std::string Error;
-};
 
 std::string encodePayload(const PropagationGraph &Graph) {
   std::string Payload;

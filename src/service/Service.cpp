@@ -92,37 +92,17 @@ bool Service::start(std::string &Error) {
     Error = "no corpus directories to serve";
     return false;
   }
-  std::vector<std::vector<std::string>> LoadErrors;
-  std::vector<std::optional<pysem::Project>> Loaded =
-      pysem::loadProjectsFromDirs(Opts.CorpusDirs, pysem::LoadOptions(),
-                                  Opts.Jobs, &LoadErrors);
-  for (size_t I = 0; I < Loaded.size(); ++I) {
-    for (const std::string &E : LoadErrors[I])
-      std::fprintf(stderr, "warning: %s\n", E.c_str());
-    if (!Loaded[I]) {
-      Error = Opts.CorpusDirs[I] + " is not a directory";
-      return false;
-    }
-    Corpus.push_back(std::move(*Loaded[I]));
-  }
+  if (!loadCorpus(Corpus, Error))
+    return false;
 
-  infer::PipelineOptions P;
-  P.Solve.MaxIterations = Opts.Iterations;
-  P.Gen.RepCutoff = Opts.RepCutoff;
-  P.Jobs = Opts.Jobs;
-  P.UseCompiledSolver = !Opts.LegacySolver;
-  P.Strict = Opts.Strict;
-  // Session::armDeadline is one-shot, which is wrong for a daemon: the
-  // run deadline stays disarmed forever and per-request budgets flow
-  // through SolveOptions (learn) or per-stage polls (query/taint).
-  P.DeadlineSeconds = 0.0;
-  Session = std::make_unique<infer::Session>(P);
-  if (!Opts.CacheDir.empty()) {
-    Session->enableCache(Opts.CacheDir);
-    if (!Session->graphCache()->valid()) {
-      Error = Session->graphCache()->error();
-      return false;
-    }
+  Session = makeSession();
+  if (!Opts.CacheDir.empty() && !Session->graphCache()->valid()) {
+    Error = Session->graphCache()->error();
+    return false;
+  }
+  if (!Opts.ShardCacheDir.empty() && !Session->shardCache()->valid()) {
+    Error = Session->shardCache()->error();
+    return false;
   }
   Session->addProjects(Corpus);
   try {
@@ -134,6 +114,43 @@ bool Service::start(std::string &Error) {
   }
   Started = true;
   return true;
+}
+
+bool Service::loadCorpus(std::vector<pysem::Project> &Out,
+                         std::string &Error) {
+  std::vector<std::vector<std::string>> LoadErrors;
+  std::vector<std::optional<pysem::Project>> Loaded =
+      pysem::loadProjectsFromDirs(Opts.CorpusDirs, pysem::LoadOptions(),
+                                  Opts.Jobs, &LoadErrors);
+  for (size_t I = 0; I < Loaded.size(); ++I) {
+    for (const std::string &E : LoadErrors[I])
+      std::fprintf(stderr, "warning: %s\n", E.c_str());
+    if (!Loaded[I]) {
+      Error = Opts.CorpusDirs[I] + " is not a directory";
+      return false;
+    }
+    Out.push_back(std::move(*Loaded[I]));
+  }
+  return true;
+}
+
+std::unique_ptr<infer::Session> Service::makeSession() {
+  infer::PipelineOptions P;
+  P.Solve.MaxIterations = Opts.Iterations;
+  P.Gen.RepCutoff = Opts.RepCutoff;
+  P.Jobs = Opts.Jobs;
+  P.UseCompiledSolver = !Opts.LegacySolver;
+  P.Strict = Opts.Strict;
+  // Session::armDeadline is one-shot, which is wrong for a daemon: the
+  // run deadline stays disarmed forever and per-request budgets flow
+  // through SolveOptions (learn) or per-stage polls (query/taint).
+  P.DeadlineSeconds = 0.0;
+  auto S = std::make_unique<infer::Session>(P);
+  if (!Opts.CacheDir.empty())
+    S->enableCache(Opts.CacheDir);
+  if (!Opts.ShardCacheDir.empty())
+    S->enableShardCache(Opts.ShardCacheDir);
+  return S;
 }
 
 bool Service::tryAdmit() {
@@ -291,44 +308,92 @@ std::string Service::opQuery(const Request &Req, Deadline &D) {
 std::string Service::opLearn(const Request &Req, Deadline &D) {
   long Iters =
       readIntParam(Req, "iters", Opts.Iterations, 1, 10'000'000);
-  bool WarmStart = readBoolParam(Req, "warm", false);
+  bool Reload = readBoolParam(Req, "reload", false);
+  // A reload defaults to a warm start — the point of an incremental
+  // re-learn is converging quickly from the served spec; a plain re-solve
+  // stays cold by default so differential clients get the exact
+  // reference trajectory.
+  bool WarmStart = readBoolParam(Req, "warm", Reload);
 
-  checkDeadline(D, "solve");
+  checkDeadline(D, Reload ? "reload" : "solve");
   std::unique_lock<std::shared_mutex> Lock(WarmMutex);
-  solver::SolveOptions &SO = Session->options().Solve;
-  SO.MaxIterations = static_cast<int>(Iters);
-  if (D.armed())
-    SO.BudgetSeconds = D.remainingSeconds();
-  SO.ShouldStop = [&D]() { return D.expired(); };
+  infer::PipelineResult R;
+  // The warm-start spec must outlive the solve; options().WarmStart is a
+  // borrowed pointer.
   spec::LearnedSpec WarmCopy;
-  if (WarmStart) {
-    WarmCopy = Warm.Learned;
-    Session->options().WarmStart = &WarmCopy;
-  }
-  auto Restore = [&]() {
+  if (Reload) {
+    // Re-read the corpus into a *fresh* session: the served state stays
+    // untouched (and keeps serving reads after we release the lock on a
+    // throw) until the new solve has fully succeeded. With the graph and
+    // shard caches enabled, unchanged projects replay their cached graph
+    // and constraint shard — only the delta re-parses and re-extracts.
+    std::vector<pysem::Project> NewCorpus;
+    std::string Error;
+    if (!loadCorpus(NewCorpus, Error))
+      throw OpError(ErrorCode::Internal, Error);
+    std::unique_ptr<infer::Session> NewSession = makeSession();
+    NewSession->addProjects(NewCorpus);
+    solver::SolveOptions &SO = NewSession->options().Solve;
+    SO.MaxIterations = static_cast<int>(Iters);
+    if (D.armed())
+      SO.BudgetSeconds = D.remainingSeconds();
+    SO.ShouldStop = [&D]() { return D.expired(); };
+    if (WarmStart) {
+      WarmCopy = Warm.Learned;
+      NewSession->options().WarmStart = &WarmCopy;
+    }
+    NewSession->generateConstraints(Seed);
+    R = NewSession->solve();
+    // Clear the per-request knobs before the session becomes the warm
+    // one — D and WarmCopy die with this request.
     SO.MaxIterations = Opts.Iterations;
     SO.BudgetSeconds = 0.0;
     SO.ShouldStop = nullptr;
-    Session->options().WarmStart = nullptr;
-  };
-  infer::PipelineResult R;
-  try {
-    // The graph and constraint system are warm (GraphReady/SystemReady
-    // from start()); solve() alone re-optimizes — no re-parse, no re-gen.
-    R = Session->solve();
-  } catch (...) {
+    NewSession->options().WarmStart = nullptr;
+    // Moving the vector moves its buffer, not its elements, so the
+    // Project pointers the new session borrowed stay valid.
+    Corpus = std::move(NewCorpus);
+    Session = std::move(NewSession);
+  } else {
+    solver::SolveOptions &SO = Session->options().Solve;
+    SO.MaxIterations = static_cast<int>(Iters);
+    if (D.armed())
+      SO.BudgetSeconds = D.remainingSeconds();
+    SO.ShouldStop = [&D]() { return D.expired(); };
+    if (WarmStart) {
+      WarmCopy = Warm.Learned;
+      Session->options().WarmStart = &WarmCopy;
+    }
+    auto Restore = [&]() {
+      SO.MaxIterations = Opts.Iterations;
+      SO.BudgetSeconds = 0.0;
+      SO.ShouldStop = nullptr;
+      Session->options().WarmStart = nullptr;
+    };
+    try {
+      // The graph and constraint system are warm (GraphReady/SystemReady
+      // from start()); solve() alone re-optimizes — no re-parse, no
+      // re-gen.
+      R = Session->solve();
+    } catch (...) {
+      Restore();
+      throw;
+    }
     Restore();
-    throw;
   }
-  Restore();
   Warm = std::move(R);
   return formatString(
       "{\"iterations\":%d,\"converged\":%s,\"constraints\":%zu,"
       "\"candidates\":%zu,\"spec_size\":%zu,\"warm_started\":%s,"
+      "\"incremental\":{\"shards_hit\":%llu,\"shards_rebuilt\":%llu,"
+      "\"warm_start\":%s},"
       "\"health\":\"%s\"}",
       Warm.Solve.Iterations, Warm.Solve.Converged ? "true" : "false",
       Warm.System.Constraints.size(), Warm.System.NumCandidates,
       Warm.Learned.size(), WarmStart ? "true" : "false",
+      static_cast<unsigned long long>(Warm.Incr.ShardsHit),
+      static_cast<unsigned long long>(Warm.Incr.ShardsRebuilt),
+      Warm.Incr.WarmStarted ? "true" : "false",
       infer::runStatusName(Warm.Health.status()));
 }
 

@@ -19,7 +19,11 @@
 ///             answer is byte-identical to `seldon explain --json`
 ///   learn     re-solve with the warm graph and constraint system
 ///             (optionally warm-started from the current spec); swaps the
-///             served specification atomically
+///             served specification atomically. With "reload": true, the
+///             corpus is re-read from the configured directories into a
+///             fresh session first — with the graph + shard caches
+///             enabled, only changed projects re-parse and re-extract, so
+///             an incremental re-learn costs O(delta) + solve
 ///   taint     analyze a payload project (inline sources or a directory)
 ///             against the warm seed + learned specification
 ///   shutdown  drain: every later request gets a `shutting-down` error
@@ -72,6 +76,11 @@ public:
     std::vector<std::string> CorpusDirs;
     /// Persistent propagation-graph cache directory (empty = no cache).
     std::string CacheDir;
+    /// Persistent constraint-shard cache directory (empty = no shard
+    /// cache). With it, a `learn` request with "reload" re-generates
+    /// constraints only for projects whose sources changed; everything
+    /// else replays its cached shard. See cache/ShardCache.h.
+    std::string ShardCacheDir;
     /// Solver iterations for the initial solve and the `learn` default.
     int Iterations = 600;
     size_t RepCutoff = 5;
@@ -134,6 +143,11 @@ public:
 
 private:
   std::string dispatch(const Request &Req, Deadline &D);
+  /// Loads the configured corpus directories into \p Out; false with a
+  /// diagnostic in \p Error when a directory is unreadable.
+  bool loadCorpus(std::vector<pysem::Project> &Out, std::string &Error);
+  /// A fresh Session wired to the configured options and caches.
+  std::unique_ptr<infer::Session> makeSession();
   std::string opStatus();
   std::string opQuery(const Request &Req, Deadline &D);
   std::string opLearn(const Request &Req, Deadline &D);

@@ -15,6 +15,12 @@ using namespace seldon::solver;
 
 template <class ObjT>
 SolveResult AdamOptimizer::minimize(const ObjT &Obj) const {
+  // A warm-start point for a different variable count is a caller bug
+  // (stale spec mapped onto the wrong system); fall back to the exact
+  // cold start rather than solving the wrong problem.
+  if (!Options.WarmStart.empty() &&
+      Options.WarmStart.size() == Obj.numVars())
+    return minimize(Obj, Options.WarmStart);
   return minimize(Obj, Obj.initialPoint());
 }
 

@@ -14,6 +14,11 @@ using namespace seldon::solver;
 
 template <class ObjT>
 SolveResult ProjectedGradient::minimize(const ObjT &Obj) const {
+  // Same contract as AdamOptimizer: a size-mismatched warm-start point is
+  // ignored in favor of the exact cold start.
+  if (!Options.WarmStart.empty() &&
+      Options.WarmStart.size() == Obj.numVars())
+    return minimize(Obj, Options.WarmStart);
   return minimize(Obj, Obj.initialPoint());
 }
 

@@ -1,0 +1,165 @@
+//===- support/BinaryCodec.h - Shared binary codec primitives ----*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The primitives shared by every checksummed binary format in the tree
+/// (propgraph/GraphCodec.h, constraints/ShardCodec.h): LEB128 varints,
+/// length-prefixed strings, little-endian fixed64 words, the FNV-1a-64
+/// payload checksum, and the strict forward-only ByteReader. Grown out of
+/// GraphCodec so new formats inherit the same failure discipline — every
+/// read either succeeds or records a descriptive error with the byte
+/// offset, and all subsequent reads fail.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_SUPPORT_BINARYCODEC_H
+#define SELDON_SUPPORT_BINARYCODEC_H
+
+#include "support/StrUtil.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace seldon {
+namespace codec {
+
+/// FNV-1a 64-bit over \p Bytes, continuing from \p Seed. Each step is
+/// injective in the accumulator, so two equal-length inputs differing in
+/// one byte always hash differently — a single bit flip in a stored
+/// payload is guaranteed to be detected.
+inline uint64_t fnv1a64(std::string_view Bytes,
+                        uint64_t Seed = 0xcbf29ce484222325ull) {
+  uint64_t Hash = Seed;
+  for (unsigned char C : Bytes) {
+    Hash ^= C;
+    Hash *= 0x100000001b3ull;
+  }
+  return Hash;
+}
+
+/// Appends \p Value as an LEB128 varint.
+inline void putVarint(std::string &Out, uint64_t Value) {
+  while (Value >= 0x80) {
+    Out.push_back(static_cast<char>(Value | 0x80));
+    Value >>= 7;
+  }
+  Out.push_back(static_cast<char>(Value));
+}
+
+/// Appends \p Text length-prefixed (varint length, then the bytes).
+inline void putString(std::string &Out, std::string_view Text) {
+  putVarint(Out, Text.size());
+  Out.append(Text);
+}
+
+/// Appends \p Value as 8 little-endian bytes.
+inline void putFixed64(std::string &Out, uint64_t Value) {
+  for (int Shift = 0; Shift < 64; Shift += 8)
+    Out.push_back(static_cast<char>((Value >> Shift) & 0xff));
+}
+
+/// Folds a length-prefixed chunk into a running FNV-1a hash, so the chunk
+/// sequences ("ab","c") and ("a","bc") hash differently. The building
+/// block of every content-hash cache key.
+inline void hashChunk(uint64_t &Hash, std::string_view Bytes) {
+  uint64_t Len = Bytes.size();
+  Hash = fnv1a64(
+      std::string_view(reinterpret_cast<const char *>(&Len), sizeof(Len)),
+      Hash);
+  Hash = fnv1a64(Bytes, Hash);
+}
+
+/// Folds one 64-bit word into a running FNV-1a hash.
+inline void hashValue(uint64_t &Hash, uint64_t Value) {
+  Hash = fnv1a64(
+      std::string_view(reinterpret_cast<const char *>(&Value),
+                       sizeof(Value)),
+      Hash);
+}
+
+/// Strict forward-only reader over encoded bytes. Every getter either
+/// succeeds or records a descriptive error (with the current offset) and
+/// makes all further reads fail, so decode logic can chain reads and check
+/// once per section.
+class ByteReader {
+public:
+  explicit ByteReader(std::string_view Bytes) : Bytes(Bytes) {}
+
+  bool ok() const { return Error.empty(); }
+  const std::string &error() const { return Error; }
+  size_t offset() const { return Pos; }
+  size_t remaining() const { return Bytes.size() - Pos; }
+
+  void fail(const std::string &What) {
+    if (Error.empty())
+      Error = formatString("%s at byte %zu", What.c_str(), Pos);
+  }
+
+  uint64_t getVarint(const char *What) {
+    uint64_t Value = 0;
+    for (int Shift = 0; Shift < 64; Shift += 7) {
+      if (Pos >= Bytes.size()) {
+        fail(formatString("truncated input reading %s", What));
+        return 0;
+      }
+      unsigned char Byte = static_cast<unsigned char>(Bytes[Pos++]);
+      Value |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
+      if ((Byte & 0x80) == 0)
+        return Value;
+    }
+    fail(formatString("varint overflow reading %s", What));
+    return 0;
+  }
+
+  uint8_t getByte(const char *What) {
+    if (Pos >= Bytes.size()) {
+      fail(formatString("truncated input reading %s", What));
+      return 0;
+    }
+    return static_cast<uint8_t>(Bytes[Pos++]);
+  }
+
+  uint64_t getFixed64(const char *What) {
+    if (remaining() < 8) {
+      fail(formatString("truncated input reading %s", What));
+      return 0;
+    }
+    uint64_t Value = 0;
+    for (int Shift = 0; Shift < 64; Shift += 8)
+      Value |= static_cast<uint64_t>(
+                   static_cast<unsigned char>(Bytes[Pos++]))
+               << Shift;
+    return Value;
+  }
+
+  std::string_view getString(const char *What) {
+    uint64_t Len = getVarint(What);
+    if (!ok())
+      return {};
+    if (Len > remaining()) {
+      fail(formatString("truncated input reading %s (need %llu bytes, "
+                        "have %zu)",
+                        What, static_cast<unsigned long long>(Len),
+                        remaining()));
+      return {};
+    }
+    std::string_view Out = Bytes.substr(Pos, Len);
+    Pos += Len;
+    return Out;
+  }
+
+private:
+  std::string_view Bytes;
+  size_t Pos = 0;
+  std::string Error;
+};
+
+} // namespace codec
+} // namespace seldon
+
+#endif // SELDON_SUPPORT_BINARYCODEC_H

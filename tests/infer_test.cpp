@@ -11,15 +11,22 @@
 
 #include <gtest/gtest.h>
 
-// These tests deliberately cover the deprecated one-shot wrappers; they must
-// keep working (and matching Session) until the wrappers are removed.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 using namespace seldon;
 using namespace seldon::infer;
 using namespace seldon::propgraph;
 
 namespace {
+
+/// One-shot convenience over the staged Session API, so the Fig. 4
+/// micro-corpus tests read as a single learning step.
+PipelineResult runPipeline(const std::vector<pysem::Project> &Corpus,
+                           const spec::SeedSpec &Seed,
+                           const PipelineOptions &Opts) {
+  Session S(Opts);
+  S.addProjects(Corpus);
+  S.generateConstraints(Seed);
+  return S.solve();
+}
 
 /// Builds a corpus of \p Copies single-file projects with identical
 /// \p Source (distinct paths), so representations clear the frequency

@@ -89,20 +89,6 @@ TEST(PipelineParallelTest, FourJobsBitIdenticalToSerial) {
             spec::writeLearnedSpec(Parallel.Learned));
 }
 
-TEST(PipelineParallelTest, DeprecatedWrapperMatchesSession) {
-  corpus::Corpus Data = smallCorpus();
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  PipelineResult FromWrapper =
-      runPipeline(Data.Projects, Data.Seed, testOptions(1));
-#pragma GCC diagnostic pop
-  PipelineResult FromSession = runWithJobs(Data, 1);
-  EXPECT_EQ(spec::writeLearnedSpec(FromWrapper.Learned),
-            spec::writeLearnedSpec(FromSession.Learned));
-  EXPECT_EQ(FromWrapper.System.Constraints.size(),
-            FromSession.System.Constraints.size());
-}
-
 TEST(PipelineParallelTest, StagedReuseSkipsReparsing) {
   corpus::Corpus Data = smallCorpus();
   Session S(testOptions(4));

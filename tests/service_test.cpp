@@ -287,6 +287,60 @@ TEST_F(ServiceTest, LearnThenQueryServesTheNewSolve) {
   EXPECT_EQ(resultOf(After), resultOf(Before));
 }
 
+TEST_F(ServiceTest, LearnResponseCarriesIncrementalStats) {
+  auto Svc = startService(testOptions());
+  ASSERT_TRUE(Svc);
+  // No shard cache configured: the delta counters are zero but present,
+  // and a plain re-solve is never warm unless asked.
+  std::string Learn =
+      Svc->serve("{\"v\":1,\"id\":1,\"op\":\"learn\",\"iters\":200}");
+  EXPECT_NE(Learn.find("\"ok\":true"), std::string::npos) << Learn;
+  EXPECT_NE(Learn.find("\"incremental\":{\"shards_hit\":0,"
+                       "\"shards_rebuilt\":0,\"warm_start\":false}"),
+            std::string::npos)
+      << Learn;
+}
+
+TEST_F(ServiceTest, LearnReloadReplaysUnchangedShards) {
+  fs::create_directories(Root / "cache");
+  Service::Options Opts = testOptions();
+  Opts.CacheDir = (Root / "cache").string();
+  Opts.ShardCacheDir = (Root / "cache" / "shards").string();
+  auto Svc = startService(Opts);
+  ASSERT_TRUE(Svc);
+
+  // Nothing changed: the reload replays the cached graph and shard, and
+  // defaults to a warm start from the served spec.
+  std::string Same = Svc->serve(
+      "{\"v\":1,\"id\":1,\"op\":\"learn\",\"iters\":200,\"reload\":true}");
+  EXPECT_NE(Same.find("\"ok\":true"), std::string::npos) << Same;
+  EXPECT_NE(Same.find("\"incremental\":{\"shards_hit\":1,"
+                      "\"shards_rebuilt\":0,\"warm_start\":true}"),
+            std::string::npos)
+      << Same;
+  EXPECT_NE(Same.find("\"warm_started\":true"), std::string::npos) << Same;
+
+  // Touch the corpus on disk; the next reload re-extracts exactly the
+  // changed project and the served answers reflect the new source.
+  {
+    std::ofstream Out(Root / "repo" / "extra.py");
+    Out << "import flask\n"
+           "def extra():\n"
+           "    v = flask.request.args.get('x')\n"
+           "    flask.make_response(v)\n";
+  }
+  std::string Changed = Svc->serve(
+      "{\"v\":1,\"id\":2,\"op\":\"learn\",\"iters\":200,\"reload\":true,"
+      "\"warm\":false}");
+  EXPECT_NE(Changed.find("\"ok\":true"), std::string::npos) << Changed;
+  EXPECT_NE(Changed.find("\"incremental\":{\"shards_hit\":0,"
+                         "\"shards_rebuilt\":1,\"warm_start\":false}"),
+            std::string::npos)
+      << Changed;
+  std::string Status = Svc->serve("{\"v\":1,\"id\":3,\"op\":\"status\"}");
+  EXPECT_NE(Status.find("\"files\":2"), std::string::npos) << Status;
+}
+
 TEST_F(ServiceTest, TaintAnalyzesAnInlinePayload) {
   auto Svc = startService(testOptions());
   ASSERT_TRUE(Svc);

@@ -65,6 +65,8 @@ struct CliOptions {
   bool Strict = false;
   double DeadlineSeconds = 0.0;
   std::string CacheDir;
+  bool ShardCache = false;
+  bool NoWarmStart = false;
   bool CacheStats = false;
   bool Progress = false;
   bool Metrics = false;
@@ -146,6 +148,15 @@ void registerFlags(ArgParser &Parser, CliOptions &Opts,
               "learn/explain: persistent propagation-graph\n"
               "cache; projects whose sources are unchanged\n"
               "skip parsing (identical learned specs)")
+      .flag("--shard-cache", &Opts.ShardCache,
+            "learn: also cache per-project constraint shards\n"
+            "under DIR/shards (requires --cache-dir); re-learns\n"
+            "re-extract only changed projects and warm-start\n"
+            "from the existing --out spec (identical specs when\n"
+            "warm start is off)")
+      .flag("--no-warm-start", &Opts.NoWarmStart,
+            "learn: start the solve cold even when --shard-cache\n"
+            "could seed it from the existing --out spec")
       .flag("--cache-stats", &Opts.CacheStats,
             "print cache hit/miss/eviction counts to stderr")
       .flag("--progress", &Opts.Progress,
@@ -228,6 +239,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
   }
   Opts.Jobs = static_cast<unsigned>(Raw.Jobs);
   Opts.Dedup = !Raw.NoDedup;
+  if (Opts.ShardCache && Opts.CacheDir.empty()) {
+    std::fprintf(stderr, "error: --shard-cache requires --cache-dir\n");
+    return false;
+  }
   return true;
 }
 
@@ -299,6 +314,14 @@ bool setupCache(infer::Session &Session, const CliOptions &Opts) {
                  Session.graphCache()->error().c_str());
     return false;
   }
+  if (Opts.ShardCache) {
+    Session.enableShardCache(Opts.CacheDir + "/shards");
+    if (!Session.shardCache()->valid()) {
+      std::fprintf(stderr, "error: %s\n",
+                   Session.shardCache()->error().c_str());
+      return false;
+    }
+  }
   return true;
 }
 
@@ -324,6 +347,20 @@ void printCacheStats(const infer::PipelineResult &R,
                static_cast<unsigned long long>(S.BytesWritten));
   for (const std::string &E : S.Errors)
     std::fprintf(stderr, "cache: %s\n", E.c_str());
+  if (!R.UsedShardCache)
+    return;
+  const cache::CacheStats &Sh = R.ShardCacheStats;
+  std::fprintf(stderr,
+               "shards: %llu replayed, %llu re-extracted, %llu evicted, "
+               "%llu stored, %llu bytes read, %llu bytes written\n",
+               static_cast<unsigned long long>(R.Incr.ShardsHit),
+               static_cast<unsigned long long>(R.Incr.ShardsRebuilt),
+               static_cast<unsigned long long>(Sh.Evictions),
+               static_cast<unsigned long long>(Sh.Stores),
+               static_cast<unsigned long long>(Sh.BytesRead),
+               static_cast<unsigned long long>(Sh.BytesWritten));
+  for (const std::string &E : Sh.Errors)
+    std::fprintf(stderr, "shards: %s\n", E.c_str());
 }
 
 /// Prints the run-health summary to stderr and returns the exit code the
@@ -391,6 +428,29 @@ int cmdLearn(const CliOptions &Opts) {
     Session.setObserver(&Progress);
   if (!setupCache(Session, Opts))
     return 1;
+
+  // Incremental re-learns warm-start from the spec the previous run wrote
+  // to --out (kept alive here; options().WarmStart borrows). The cold
+  // start stays the default everywhere else so differential runs see the
+  // exact reference trajectory.
+  spec::LearnedSpec PreviousSpec;
+  if (Opts.ShardCache && !Opts.NoWarmStart && !Opts.OutFile.empty() &&
+      std::ifstream(Opts.OutFile).good()) {
+    spec::IOResult<spec::LearnedSpec> Previous =
+        spec::loadLearnedSpec(Opts.OutFile);
+    if (Previous) {
+      PreviousSpec = std::move(Previous.Value);
+      Session.options().WarmStart = &PreviousSpec;
+      std::fprintf(stderr,
+                   "warm start: seeding solve from %s (disable with "
+                   "--no-warm-start)\n",
+                   Opts.OutFile.c_str());
+    } else {
+      std::fprintf(stderr, "warm start: skipped (%s)\n",
+                   Previous.Error.c_str());
+    }
+  }
+
   Session.addProjects(Corpus);
   Session.generateConstraints(Seed);
   infer::PipelineResult R = Session.solve();

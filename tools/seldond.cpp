@@ -38,6 +38,7 @@ struct DaemonOptions {
   service::Service::Options Svc;
   std::string SocketPath;
   bool Once = false;
+  bool ShardCache = false;
   bool Metrics = false;
   std::string MetricsOut;
   bool Help = false;
@@ -73,6 +74,10 @@ bool parseDaemonArgs(int Argc, char **Argv, DaemonOptions &Opts,
   Parser.string("--cache-dir", &Opts.Svc.CacheDir, "DIR",
                 "persistent propagation-graph cache; unchanged projects\n"
                 "skip parsing on restart");
+  Parser.flag("--shard-cache", &Opts.ShardCache,
+              "also cache per-project constraint shards under\n"
+              "DIR/shards (requires --cache-dir); a `learn` with\n"
+              "\"reload\" then re-extracts only changed projects");
   Parser.unsignedInt("--iters", &Iters, "N",
                      "solver iterations (default 600)");
   Parser.unsignedInt("--cutoff", &Cutoff, "N",
@@ -125,6 +130,13 @@ bool parseDaemonArgs(int Argc, char **Argv, DaemonOptions &Opts,
     return false;
   }
   Opts.Svc.MaxInFlight = static_cast<size_t>(MaxInFlight);
+  if (Opts.ShardCache) {
+    if (Opts.Svc.CacheDir.empty()) {
+      std::fprintf(stderr, "error: --shard-cache requires --cache-dir\n");
+      return false;
+    }
+    Opts.Svc.ShardCacheDir = Opts.Svc.CacheDir + "/shards";
+  }
   return true;
 }
 
