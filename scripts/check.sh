@@ -25,11 +25,24 @@ cmake -B "$ROOT/build-tsan" -S "$ROOT" \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -g"
 cmake --build "$ROOT/build-tsan" -j "$JOBS" \
   --target threadpool_test metrics_test pipeline_parallel_test \
-           compiled_objective_test cache_fault_test cache_pipeline_test \
-           fault_pipeline_test service_test shard_fault_test \
-           shard_pipeline_test
+           compiled_objective_test simd_objective_test cache_fault_test \
+           cache_pipeline_test fault_pipeline_test service_test \
+           shard_fault_test shard_pipeline_test
 ctest --test-dir "$ROOT/build-tsan" --output-on-failure -j "$JOBS" \
-  -R 'ThreadPoolTest|MetricsTest|TraceTest|MetricsPipelineTest|PipelineParallelTest|CompileTest|CompiledEquivalenceTest|CodecFaultTest|CacheFaultTest|CachePipelineTest|CacheStalenessTest|CacheDegradedTest|CacheKeyTest|FaultPipelineTest|ServiceTest|ServiceJsonTest|ProtocolTest|ShardCodecTest|ShardCodecFaultTest|ShardCacheFaultTest|ShardPipelineTest|ShardStalenessTest|ShardKeyTest|ShardWarmStartTest|ShardFallbackTest|ShardDegradedTest|ShardPipelineComboTest'
+  -R 'ThreadPoolTest|MetricsTest|TraceTest|MetricsPipelineTest|PipelineParallelTest|CompileTest|CompiledEquivalenceTest|SimdLayoutTest|SimdEquivalenceTest|SimdDispatchTest|SimdF32Test|CodecFaultTest|CacheFaultTest|CachePipelineTest|CacheStalenessTest|CacheDegradedTest|CacheKeyTest|FaultPipelineTest|ServiceTest|ServiceJsonTest|ProtocolTest|ShardCodecTest|ShardCodecFaultTest|ShardCacheFaultTest|ShardPipelineTest|ShardStalenessTest|ShardKeyTest|ShardWarmStartTest|ShardFallbackTest|ShardDegradedTest|ShardPipelineComboTest'
+
+echo
+echo "=== ubsan: solver backends under UndefinedBehaviorSanitizer ==="
+# float-cast-overflow matters here: the fp32 kernels convert doubles to
+# float, and a coefficient overflowing to inf must be a caught bug, not
+# silent UB.
+cmake -B "$ROOT/build-ubsan" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=undefined,float-cast-overflow -fno-sanitize-recover=all -g"
+cmake --build "$ROOT/build-ubsan" -j "$JOBS" \
+  --target compiled_objective_test simd_objective_test solver_test
+ctest --test-dir "$ROOT/build-ubsan" --output-on-failure -j "$JOBS" \
+  -R 'CompileTest|CompiledEquivalenceTest|SimdLayoutTest|SimdEquivalenceTest|SimdDispatchTest|SimdF32Test|ObjectiveTest|AdamTest|ProjectedGradientTest'
 
 echo
 echo "=== metrics smoke: seldon learn --metrics-out on a toy repo ==="

@@ -9,6 +9,7 @@
 #include "support/Timer.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -37,6 +38,35 @@ using codec::hashChunk;
 using codec::hashValue;
 
 } // namespace
+
+size_t seldon::cache::sweepStaleTemps(const std::string &Dir,
+                                      const char *Suffix,
+                                      unsigned MaxAgeSeconds) {
+  const std::string TempMarker = std::string(Suffix) + ".tmp";
+  const auto Now = fs::file_time_type::clock::now();
+  size_t Removed = 0;
+  std::error_code Ec;
+  for (fs::directory_iterator It(Dir, Ec), End; !Ec && It != End;
+       It.increment(Ec)) {
+    const fs::path &P = It->path();
+    const std::string Name = P.filename().string();
+    size_t At = Name.find(TempMarker);
+    // The marker must be followed by the sequence digits only — an entry
+    // legitimately named "...tmp..." earlier in the stem is not a temp.
+    if (At == std::string::npos ||
+        Name.find_first_not_of("0123456789", At + TempMarker.size()) !=
+            std::string::npos)
+      continue;
+    std::error_code FileEc;
+    fs::file_time_type Mtime = fs::last_write_time(P, FileEc);
+    if (FileEc ||
+        Now - Mtime < std::chrono::seconds(MaxAgeSeconds))
+      continue; // Possibly a live writer in another process.
+    if (fs::remove(P, FileEc) && !FileEc)
+      ++Removed;
+  }
+  return Removed;
+}
 
 CacheKey seldon::cache::projectCacheKey(const pysem::Project &Proj,
                                         const propgraph::BuildOptions &Opts) {
@@ -70,9 +100,15 @@ GraphCache::GraphCache(std::string Dir) : Dir(std::move(Dir)) {
                             this->Dir.c_str(), Ec.message().c_str());
     return;
   }
-  if (!fs::is_directory(this->Dir, Ec))
+  if (!fs::is_directory(this->Dir, Ec)) {
     DirError = formatString("cache path %s is not a directory",
                             this->Dir.c_str());
+    return;
+  }
+  // A store that crashed between writing its temp and the publishing
+  // rename leaks "<entry>.spg.tmp<seq>" files; sweep the old ones now so
+  // they cannot accumulate across runs.
+  Stats.StaleTempsRemoved = sweepStaleTemps(this->Dir, EntrySuffix);
 }
 
 std::string GraphCache::entryPath(const CacheKey &Key) const {

@@ -69,10 +69,21 @@ struct CacheStats {
   uint64_t Stores = 0;     ///< Entries written back.
   uint64_t BytesRead = 0;  ///< Total size of successfully loaded entries.
   uint64_t BytesWritten = 0;
+  /// Crash-leaked "<entry>.tmp<seq>" files swept when the cache opened.
+  uint64_t StaleTempsRemoved = 0;
   /// Descriptive messages of every rejected entry and failed store, in
   /// occurrence order.
   std::vector<std::string> Errors;
 };
+
+/// Removes crash-leaked store temporaries from \p Dir: files named
+/// "<stem><EntrySuffix>.tmp<seq>" (the unique-temp pattern both caches
+/// write before their publishing rename) whose mtime is at least
+/// \p MaxAgeSeconds old. The age guard keeps a concurrent process's
+/// in-flight store alive; a crashed writer's leftovers are far older by
+/// the time anything reopens the cache. Returns the number removed.
+size_t sweepStaleTemps(const std::string &Dir, const char *EntrySuffix,
+                       unsigned MaxAgeSeconds = 15 * 60);
 
 /// The on-disk store. Construction creates the directory (recursively);
 /// an unusable directory leaves the cache in a degraded valid()==false

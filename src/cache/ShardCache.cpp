@@ -75,9 +75,14 @@ ShardCache::ShardCache(std::string Dir) : Dir(std::move(Dir)) {
                             this->Dir.c_str(), Ec.message().c_str());
     return;
   }
-  if (!fs::is_directory(this->Dir, Ec))
+  if (!fs::is_directory(this->Dir, Ec)) {
     DirError = formatString("shard cache path %s is not a directory",
                             this->Dir.c_str());
+    return;
+  }
+  // Same crash-leak discipline as GraphCache: sweep old
+  // "<entry>.scs.tmp<seq>" files a dead writer left behind.
+  Stats.StaleTempsRemoved = sweepStaleTemps(this->Dir, EntrySuffix);
 }
 
 std::string ShardCache::entryPath(const CacheKey &Key) const {

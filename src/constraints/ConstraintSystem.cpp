@@ -19,3 +19,12 @@ ConstraintSystem::makeCompiledObjective(double Lambda) const {
     Obj.pin(Var, Value);
   return Obj;
 }
+
+solver::SimdObjective
+ConstraintSystem::makeSimdObjective(double Lambda,
+                                    solver::SimdPrecision Precision) const {
+  solver::SimdObjective Obj(Vars.numVars(), Constraints, Lambda, Precision);
+  for (const auto &[Var, Value] : Pinned)
+    Obj.pin(Var, Value);
+  return Obj;
+}

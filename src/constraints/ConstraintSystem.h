@@ -19,6 +19,7 @@
 #include "constraints/VarTable.h"
 #include "solver/CompiledObjective.h"
 #include "solver/Objective.h"
+#include "solver/SimdObjective.h"
 
 #include <vector>
 
@@ -50,6 +51,13 @@ struct ConstraintSystem {
   /// Compiles the system directly into the fused CSR form (same semantics
   /// as makeObjective; see solver/CompiledObjective.h).
   solver::CompiledObjective makeCompiledObjective(double Lambda) const;
+
+  /// Compiles the system into the blocked SIMD form (same semantics; fp64
+  /// is bit-identical to the compiled kernel — see solver/SimdObjective.h).
+  solver::SimdObjective
+  makeSimdObjective(double Lambda,
+                    solver::SimdPrecision Precision =
+                        solver::SimdPrecision::F64) const;
 };
 
 } // namespace constraints

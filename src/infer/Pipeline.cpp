@@ -498,17 +498,36 @@ PipelineResult Session::solve() {
       Result.Solve = Optimizer.minimize(Obj);
     }
   };
-  if (Opts.UseCompiledSolver) {
+  Result.Backend = SolveOpts.Backend;
+  switch (SolveOpts.Backend) {
+  case solver::SolverBackend::Legacy: {
+    solver::Objective Obj = Result.System.makeObjective(Opts.Lambda);
+    Obj.setThreadPool(P);
+    RunSolver(Obj);
+    break;
+  }
+  case solver::SolverBackend::Compiled: {
     solver::CompiledObjective Obj =
         Result.System.makeCompiledObjective(Opts.Lambda);
     Obj.setThreadPool(P);
     Result.UsedCompiledSolver = true;
     Result.SolverStats = Obj.stats();
     RunSolver(Obj);
-  } else {
-    solver::Objective Obj = Result.System.makeObjective(Opts.Lambda);
+    break;
+  }
+  case solver::SolverBackend::Simd:
+  case solver::SolverBackend::SimdF32: {
+    solver::SimdObjective Obj = Result.System.makeSimdObjective(
+        Opts.Lambda, SolveOpts.Backend == solver::SolverBackend::SimdF32
+                         ? solver::SimdPrecision::F32
+                         : solver::SimdPrecision::F64);
     Obj.setThreadPool(P);
+    Result.UsedCompiledSolver = true;
+    Result.SolverStats = Obj.stats();
+    Result.SimdActive = Obj.simdActive();
     RunSolver(Obj);
+    break;
+  }
   }
   Result.SolveSeconds = SolveSpan.finish();
 
@@ -533,6 +552,9 @@ PipelineResult Session::solve() {
         .set(static_cast<double>(CS.MaxMultiplicity));
     Reg.gauge("solver.compiled")
         .set(Result.UsedCompiledSolver ? 1.0 : 0.0);
+    Reg.gauge("solver.backend")
+        .set(static_cast<double>(Result.Backend));
+    Reg.gauge("solver.simd_active").set(Result.SimdActive ? 1.0 : 0.0);
     Reg.gauge("solve.final_objective").set(Result.Solve.FinalObjective);
     Reg.gauge("solve.converged").set(Result.Solve.Converged ? 1.0 : 0.0);
     Reg.gauge("incr.warm_start").set(Incr.WarmStarted ? 1.0 : 0.0);

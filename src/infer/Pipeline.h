@@ -60,11 +60,11 @@ struct PipelineOptions {
   /// Use projected Adam (the paper's optimizer); false switches to plain
   /// projected subgradient descent (ablation).
   bool UseAdam = true;
-  /// Lower the constraint system into the compiled fused kernel
-  /// (solver/CompiledObjective.h) before solving. The learned scores are
-  /// byte-identical to the legacy evaluator; false keeps the reference
-  /// Objective path (`--legacy-solver`, comparison benches).
-  bool UseCompiledSolver = true;
+  // The evaluator backend lives in Solve.Backend
+  // (legacy | compiled | simd | simd-f32): legacy keeps the reference
+  // Objective, compiled lowers into the fused CSR kernel, simd adds the
+  // blocked AVX2 layout (byte-identical scores for all three), simd-f32
+  // trades bit equality for wider lanes under a documented tolerance.
   /// Warm-start the optimizer from a previously learned specification
   /// (matched by representation string): retraining after the corpus
   /// grows converges in far fewer iterations. Null starts from zero.
@@ -156,11 +156,17 @@ struct PipelineResult {
   double GenSeconds = 0.0;
   double SolveSeconds = 0.0;
 
-  /// Whether the solve used the compiled kernel, and what its compilation
-  /// pass did (rows coalesced, CSR non-zeros). Stats are zero when the
-  /// legacy path ran.
+  /// Whether the solve used a compiled (CSR-lowered) kernel — the
+  /// compiled or either simd backend — and what the compilation pass did
+  /// (rows coalesced, CSR non-zeros). Stats are zero when the legacy path
+  /// ran.
   bool UsedCompiledSolver = false;
   solver::CompileStats SolverStats;
+  /// The backend that ran, and whether the AVX2 kernels were active (true
+  /// only for the simd backends on AVX2 hosts without SELDON_SIMD=off;
+  /// the scalar fallback computes bit-identical results).
+  solver::SolverBackend Backend = solver::SolverBackend::Compiled;
+  bool SimdActive = false;
 
   /// Whether a graph cache was enabled, and its counters at solve() time
   /// (hits + misses == project count when the cache was active during

@@ -4,10 +4,10 @@
 
 #include "support/StrUtil.h"
 
-#include <cerrno>
+#include <charconv>
 #include <cmath>
-#include <cstdlib>
 #include <cstring>
+#include <system_error>
 
 using namespace seldon;
 using namespace seldon::service;
@@ -43,17 +43,28 @@ JsonValue JsonValue::makeString(std::string S) {
 std::string seldon::service::renderJsonNumber(double N) {
   if (!std::isfinite(N))
     return "null"; // JSON has no NaN/Inf; the protocol never emits them.
+  // std::to_chars, not printf: number formatting must not follow
+  // LC_NUMERIC — a host locale with a ',' decimal separator would
+  // otherwise corrupt the wire protocol ("0,1" is not JSON).
+  char Buf[64];
   double Integral;
-  if (std::modf(N, &Integral) == 0.0 && std::fabs(N) < 1e15)
-    return formatString("%.0f", N);
-  // Shortest %g that round-trips: 0.1 renders as "0.1", not the full
-  // 17-digit expansion, while arbitrary doubles still survive exactly.
-  for (int Precision = 1; Precision < 17; ++Precision) {
-    std::string Candidate = formatString("%.*g", Precision, N);
-    if (std::strtod(Candidate.c_str(), nullptr) == N)
-      return Candidate;
+  if (std::modf(N, &Integral) == 0.0 && std::fabs(N) < 1e15) {
+    auto R = std::to_chars(Buf, Buf + sizeof(Buf), N,
+                           std::chars_format::fixed, 0);
+    return std::string(Buf, R.ptr);
   }
-  return formatString("%.17g", N);
+  // Shortest general form that round-trips: 0.1 renders as "0.1", not the
+  // full 17-digit expansion, while arbitrary doubles still survive exactly.
+  for (int Precision = 1; Precision < 17; ++Precision) {
+    auto R = std::to_chars(Buf, Buf + sizeof(Buf), N,
+                           std::chars_format::general, Precision);
+    double Back = 0.0;
+    if (std::from_chars(Buf, R.ptr, Back).ec == std::errc() && Back == N)
+      return std::string(Buf, R.ptr);
+  }
+  auto R = std::to_chars(Buf, Buf + sizeof(Buf), N,
+                         std::chars_format::general, 17);
+  return std::string(Buf, R.ptr);
 }
 
 std::string JsonValue::render() const {
@@ -363,11 +374,14 @@ private:
       if (!Digits())
         return fail("invalid number (no exponent digits)");
     }
-    std::string Slice(Text.substr(Start, Pos - Start));
-    errno = 0;
-    char *End = nullptr;
-    double Value = std::strtod(Slice.c_str(), &End);
-    if (errno == ERANGE || End != Slice.c_str() + Slice.size())
+    // std::from_chars, not strtod: parsing must not follow LC_NUMERIC —
+    // under a ',' decimal locale strtod would stop at the '.' and reject
+    // every fractional number on the wire.
+    const char *First = Text.data() + Start;
+    const char *Last = Text.data() + Pos;
+    double Value = 0.0;
+    auto R = std::from_chars(First, Last, Value);
+    if (R.ec != std::errc() || R.ptr != Last)
       return fail("number out of range");
     Out = JsonValue::makeNumber(Value);
     return true;

@@ -139,7 +139,7 @@ std::unique_ptr<infer::Session> Service::makeSession() {
   P.Solve.MaxIterations = Opts.Iterations;
   P.Gen.RepCutoff = Opts.RepCutoff;
   P.Jobs = Opts.Jobs;
-  P.UseCompiledSolver = !Opts.LegacySolver;
+  P.Solve.Backend = Opts.Backend;
   P.Strict = Opts.Strict;
   // Session::armDeadline is one-shot, which is wrong for a daemon: the
   // run deadline stays disarmed forever and per-request budgets flow
@@ -314,6 +314,15 @@ std::string Service::opLearn(const Request &Req, Deadline &D) {
   // stays cold by default so differential clients get the exact
   // reference trajectory.
   bool WarmStart = readBoolParam(Req, "warm", Reload);
+  // Optional per-request evaluator override; the daemon default is
+  // restored once the solve finishes (or throws).
+  solver::SolverBackend Backend = Opts.Backend;
+  if (const JsonValue *B = Req.Params.get("backend")) {
+    if (!B->isString() ||
+        !solver::parseSolverBackend(B->stringValue(), Backend))
+      badRequest(
+          "\"backend\" must be one of legacy|compiled|simd|simd-f32");
+  }
 
   checkDeadline(D, Reload ? "reload" : "solve");
   std::unique_lock<std::shared_mutex> Lock(WarmMutex);
@@ -335,6 +344,7 @@ std::string Service::opLearn(const Request &Req, Deadline &D) {
     NewSession->addProjects(NewCorpus);
     solver::SolveOptions &SO = NewSession->options().Solve;
     SO.MaxIterations = static_cast<int>(Iters);
+    SO.Backend = Backend;
     if (D.armed())
       SO.BudgetSeconds = D.remainingSeconds();
     SO.ShouldStop = [&D]() { return D.expired(); };
@@ -347,6 +357,7 @@ std::string Service::opLearn(const Request &Req, Deadline &D) {
     // Clear the per-request knobs before the session becomes the warm
     // one — D and WarmCopy die with this request.
     SO.MaxIterations = Opts.Iterations;
+    SO.Backend = Opts.Backend;
     SO.BudgetSeconds = 0.0;
     SO.ShouldStop = nullptr;
     NewSession->options().WarmStart = nullptr;
@@ -357,6 +368,7 @@ std::string Service::opLearn(const Request &Req, Deadline &D) {
   } else {
     solver::SolveOptions &SO = Session->options().Solve;
     SO.MaxIterations = static_cast<int>(Iters);
+    SO.Backend = Backend;
     if (D.armed())
       SO.BudgetSeconds = D.remainingSeconds();
     SO.ShouldStop = [&D]() { return D.expired(); };
@@ -366,6 +378,7 @@ std::string Service::opLearn(const Request &Req, Deadline &D) {
     }
     auto Restore = [&]() {
       SO.MaxIterations = Opts.Iterations;
+      SO.Backend = Opts.Backend;
       SO.BudgetSeconds = 0.0;
       SO.ShouldStop = nullptr;
       Session->options().WarmStart = nullptr;
@@ -385,12 +398,15 @@ std::string Service::opLearn(const Request &Req, Deadline &D) {
   return formatString(
       "{\"iterations\":%d,\"converged\":%s,\"constraints\":%zu,"
       "\"candidates\":%zu,\"spec_size\":%zu,\"warm_started\":%s,"
+      "\"backend\":\"%s\",\"simd_active\":%s,"
       "\"incremental\":{\"shards_hit\":%llu,\"shards_rebuilt\":%llu,"
       "\"warm_start\":%s},"
       "\"health\":\"%s\"}",
       Warm.Solve.Iterations, Warm.Solve.Converged ? "true" : "false",
       Warm.System.Constraints.size(), Warm.System.NumCandidates,
       Warm.Learned.size(), WarmStart ? "true" : "false",
+      solver::solverBackendName(Warm.Backend),
+      Warm.SimdActive ? "true" : "false",
       static_cast<unsigned long long>(Warm.Incr.ShardsHit),
       static_cast<unsigned long long>(Warm.Incr.ShardsRebuilt),
       Warm.Incr.WarmStarted ? "true" : "false",

@@ -141,7 +141,14 @@ void SocketServer::serveConnection(int Fd) {
     ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
     if (N < 0 && errno == EINTR)
       continue;
-    if (N <= 0) {
+    if (N < 0) {
+      // Hard transport error (ECONNRESET and friends): whatever sits in
+      // the buffer is an arbitrary truncation of a request the peer never
+      // finished sending — drop it unanswered. Only a clean EOF below
+      // promises the peer stopped at a deliberate point.
+      break;
+    }
+    if (N == 0) {
       // EOF: a trailing unterminated line still gets an answer below.
       Open = false;
     } else {

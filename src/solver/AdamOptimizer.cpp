@@ -4,6 +4,7 @@
 
 #include "solver/CompiledObjective.h"
 #include "solver/NumericGuard.h"
+#include "solver/SimdObjective.h"
 #include "solver/SolveTelemetry.h"
 #include "support/Timer.h"
 
@@ -169,6 +170,11 @@ AdamOptimizer::minimize<CompiledObjective>(const CompiledObjective &) const;
 template SolveResult
 AdamOptimizer::minimize<CompiledObjective>(const CompiledObjective &,
                                            std::vector<double>) const;
+template SolveResult
+AdamOptimizer::minimize<SimdObjective>(const SimdObjective &) const;
+template SolveResult
+AdamOptimizer::minimize<SimdObjective>(const SimdObjective &,
+                                       std::vector<double>) const;
 
 } // namespace solver
 } // namespace seldon

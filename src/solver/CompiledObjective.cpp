@@ -6,7 +6,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -72,6 +75,21 @@ std::string keyOf(const CanonicalRow &Row) {
   return Key;
 }
 
+/// RowBegin/VarIdx are uint32_t; a corpus past ~4.29B rows or non-zeros
+/// would silently wrap the offsets and corrupt every row after the
+/// overflow point. Compilation checks against this limit and fails with a
+/// descriptive error instead. SELDON_TEST_CSR_LIMIT lowers the limit so
+/// the guard can be unit-tested without allocating four billion entries.
+uint64_t csrIndexLimit() {
+  if (const char *Env = std::getenv("SELDON_TEST_CSR_LIMIT")) {
+    char *End = nullptr;
+    unsigned long long V = std::strtoull(Env, &End, 10);
+    if (End != Env && *End == '\0' && V > 0)
+      return V;
+  }
+  return std::numeric_limits<uint32_t>::max();
+}
+
 } // namespace
 
 CompiledObjective::CompiledObjective(
@@ -87,6 +105,7 @@ CompiledObjective::CompiledObjective(
   std::unordered_map<std::string, uint32_t> RowIndex;
   RowIndex.reserve(Constraints.size());
   RowBegin.push_back(0);
+  const uint64_t IndexLimit = csrIndexLimit();
   for (const LinearConstraint &LC : Constraints) {
     Stats.TermsBefore += LC.Lhs.size() + LC.Rhs.size();
     CanonicalRow Row = canonicalize(LC);
@@ -102,6 +121,15 @@ CompiledObjective::CompiledObjective(
       Weight[It->second] += 1.0;
       continue;
     }
+    if (static_cast<uint64_t>(C.size()) >= IndexLimit ||
+        static_cast<uint64_t>(VarIdx.size()) + Row.Terms.size() > IndexLimit)
+      throw std::runtime_error(
+          "constraint system overflows the 32-bit CSR layout: " +
+          std::to_string(C.size() + 1) + " coalesced rows / " +
+          std::to_string(VarIdx.size() + Row.Terms.size()) +
+          " non-zeros exceed the index limit of " +
+          std::to_string(IndexLimit) +
+          "; split the corpus into smaller solves");
     for (const auto &[Var, CoefV] : Row.Terms) {
       VarIdx.push_back(Var);
       Coef.push_back(CoefV);

@@ -131,6 +131,17 @@ public:
   const CompileStats &stats() const { return Stats; }
   size_t numShards() const { return Shards.size(); }
 
+  /// Read-only views of the compiled CSR arrays and pin state. The SIMD
+  /// backend builds its blocked layout from these rows and keeps this
+  /// exact layout for its original-order gradient epilogue.
+  const std::vector<uint32_t> &rowBegin() const { return RowBegin; }
+  const std::vector<uint32_t> &varIdx() const { return VarIdx; }
+  const std::vector<double> &coef() const { return Coef; }
+  const std::vector<double> &weight() const { return Weight; }
+  const std::vector<double> &rowConstant() const { return C; }
+  const std::vector<uint8_t> &pinnedMask() const { return Pinned; }
+  const std::vector<double> &pinnedValues() const { return PinnedValues; }
+
 private:
   /// Half-open row range [Begin, End) accumulated serially.
   struct Shard {

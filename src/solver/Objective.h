@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 namespace seldon {
@@ -145,6 +146,24 @@ private:
   mutable std::vector<std::vector<double>> ShardGrad;
 };
 
+/// Which evaluator backend a solve runs on. Legacy/Compiled/Simd all
+/// produce byte-identical learned specifications; SimdF32 trades bit
+/// equality for 8-wide lanes under a documented tolerance (see
+/// docs/architecture.md "Solver backends").
+enum class SolverBackend {
+  Legacy,   ///< Reference Objective: two sweeps per iteration.
+  Compiled, ///< Fused CSR kernel (the bit-exact reference for Simd).
+  Simd,     ///< Blocked CSR + AVX2 fp64; byte-identical to Compiled.
+  SimdF32,  ///< Blocked CSR + AVX2 fp32 compute / fp64 accumulate.
+};
+
+/// CLI/wire name of \p Backend: legacy | compiled | simd | simd-f32.
+const char *solverBackendName(SolverBackend Backend);
+
+/// Parses a CLI/wire backend name; returns false on unknown names without
+/// touching \p Out.
+bool parseSolverBackend(const std::string &Name, SolverBackend &Out);
+
 /// Shared optimizer knobs and results.
 struct SolveOptions {
   int MaxIterations = 500;
@@ -180,6 +199,10 @@ struct SolveOptions {
   /// count; the point is projected before the first iteration. Empty (the
   /// default) keeps the exact cold start from Obj.initialPoint().
   std::vector<double> WarmStart;
+  /// Evaluator backend Session::solve builds for the run. Legacy,
+  /// Compiled, and Simd yield byte-identical specifications; Simd falls
+  /// back to a bit-identical scalar kernel on non-AVX2 hosts.
+  SolverBackend Backend = SolverBackend::Compiled;
 };
 
 struct SolveResult {

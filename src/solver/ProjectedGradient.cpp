@@ -4,6 +4,7 @@
 
 #include "solver/CompiledObjective.h"
 #include "solver/NumericGuard.h"
+#include "solver/SimdObjective.h"
 #include "solver/SolveTelemetry.h"
 #include "support/Timer.h"
 
@@ -127,6 +128,11 @@ template SolveResult ProjectedGradient::minimize<CompiledObjective>(
 template SolveResult
 ProjectedGradient::minimize<CompiledObjective>(const CompiledObjective &,
                                                std::vector<double>) const;
+template SolveResult
+ProjectedGradient::minimize<SimdObjective>(const SimdObjective &) const;
+template SolveResult
+ProjectedGradient::minimize<SimdObjective>(const SimdObjective &,
+                                           std::vector<double>) const;
 
 } // namespace solver
 } // namespace seldon

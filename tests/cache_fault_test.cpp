@@ -11,12 +11,14 @@
 #include "TestCorpus.h"
 
 #include "cache/GraphCache.h"
+#include "cache/ShardCache.h"
 #include "infer/Pipeline.h"
 #include "propgraph/GraphCodec.h"
 #include "spec/SpecIO.h"
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 
@@ -261,6 +263,73 @@ TEST(CacheFaultTest, SessionRebuildsCorruptEntriesTransparently) {
     EXPECT_EQ(Warm.Cache.Misses, 0u);
     EXPECT_EQ(spec::writeLearnedSpec(Warm.Learned), RefSpec);
   }
+  fs::remove_all(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// Crash-leaked store temporaries
+//===----------------------------------------------------------------------===//
+
+TEST(CacheFaultTest, StaleStoreTempsAreSweptOnOpen) {
+  Fixture F;
+  std::string Dir = testutil::makeScratchDir("cache-tmp-sweep");
+  std::string Entry;
+  {
+    cache::GraphCache Cache(Dir);
+    ASSERT_TRUE(Cache.valid()) << Cache.error();
+    ASSERT_TRUE(Cache.store(F.Key, F.Graph));
+    Entry = Cache.entryPath(F.Key);
+  }
+  // Plant: an hour-old temp (a crashed store), a fresh temp (a live
+  // writer in another process), and a temp-lookalike whose suffix is not
+  // all digits (never produced by a store — must survive).
+  std::string OldTmp = Entry + ".tmp7";
+  std::string FreshTmp = Entry + ".tmp8";
+  std::string Lookalike = Entry + ".tmp9x";
+  writeFileBytes(OldTmp, "half-written");
+  writeFileBytes(FreshTmp, "in-flight");
+  writeFileBytes(Lookalike, "not a temp");
+  fs::last_write_time(OldTmp, fs::file_time_type::clock::now() -
+                                  std::chrono::hours(1));
+
+  cache::GraphCache Reopened(Dir);
+  ASSERT_TRUE(Reopened.valid()) << Reopened.error();
+  EXPECT_EQ(Reopened.stats().StaleTempsRemoved, 1u);
+  EXPECT_FALSE(fs::exists(OldTmp)) << "aged temp must be swept";
+  EXPECT_TRUE(fs::exists(FreshTmp)) << "recent temp may be a live writer";
+  EXPECT_TRUE(fs::exists(Lookalike)) << "non-numeric suffix is not a temp";
+  // The published entry is untouched and still loads.
+  EXPECT_TRUE(Reopened.load(F.Key).has_value());
+  fs::remove_all(Dir);
+}
+
+TEST(CacheFaultTest, ShardCacheSweepsItsOwnTemps) {
+  std::string Dir = testutil::makeScratchDir("shard-tmp-sweep");
+  std::string OldTmp = Dir + "/0123456789abcdef.scs.tmp3";
+  // A GraphCache temp in the same directory belongs to a different
+  // suffix and must not match the shard sweep.
+  std::string OtherSuffix = Dir + "/0123456789abcdef.spg.tmp4";
+  writeFileBytes(OldTmp, "half-written");
+  writeFileBytes(OtherSuffix, "different cache");
+  auto Old = fs::file_time_type::clock::now() - std::chrono::hours(1);
+  fs::last_write_time(OldTmp, Old);
+  fs::last_write_time(OtherSuffix, Old);
+
+  cache::ShardCache Cache(Dir);
+  ASSERT_TRUE(Cache.valid()) << Cache.error();
+  EXPECT_EQ(Cache.stats().StaleTempsRemoved, 1u);
+  EXPECT_FALSE(fs::exists(OldTmp));
+  EXPECT_TRUE(fs::exists(OtherSuffix));
+  fs::remove_all(Dir);
+}
+
+TEST(CacheFaultTest, SweepHonorsAgeThreshold) {
+  std::string Dir = testutil::makeScratchDir("sweep-age");
+  std::string Tmp = Dir + "/aa.spg.tmp0";
+  writeFileBytes(Tmp, "x");
+  // Age 0 disables the live-writer grace period: even a fresh temp goes.
+  EXPECT_EQ(cache::sweepStaleTemps(Dir, ".spg", /*MaxAgeSeconds=*/0), 1u);
+  EXPECT_FALSE(fs::exists(Tmp));
   fs::remove_all(Dir);
 }
 

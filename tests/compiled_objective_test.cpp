@@ -20,8 +20,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <random>
+#include <stdexcept>
+#include <string>
 
 using namespace seldon;
 using namespace seldon::solver;
@@ -134,6 +137,50 @@ TEST(CompileTest, PinsBehaveLikeLegacy) {
   Obj.project(X);
   EXPECT_DOUBLE_EQ(X[0], 1.0);
   EXPECT_DOUBLE_EQ(X[1], 0.0);
+}
+
+TEST(CompileTest, RejectsSystemsOverflowingThe32BitCsrLayout) {
+  // RowBegin/VarIdx are uint32_t; past ~4.29B entries the offsets would
+  // wrap silently. SELDON_TEST_CSR_LIMIT shrinks the limit so the guard
+  // can be exercised without allocating billions of entries.
+  setenv("SELDON_TEST_CSR_LIMIT", "6", 1);
+  // Four distinct 2-term rows = 8 non-zeros > 6: must throw, descriptively.
+  std::vector<LinearConstraint> Big;
+  for (int I = 0; I < 4; ++I) {
+    LinearConstraint LC;
+    LC.Lhs = {{static_cast<uint32_t>(2 * I), 1.0f},
+              {static_cast<uint32_t>(2 * I + 1), 0.5f}};
+    LC.C = 0.25;
+    Big.push_back(LC);
+  }
+  try {
+    CompiledObjective Obj(8, Big, 0.1);
+    unsetenv("SELDON_TEST_CSR_LIMIT");
+    FAIL() << "expected the CSR overflow guard to throw";
+  } catch (const std::runtime_error &E) {
+    EXPECT_NE(std::string(E.what()).find("32-bit CSR layout"),
+              std::string::npos)
+        << E.what();
+  }
+
+  // Rows past the limit trip the guard even when non-zeros stay under it.
+  setenv("SELDON_TEST_CSR_LIMIT", "3", 1);
+  std::vector<LinearConstraint> ManyRows;
+  for (int I = 0; I < 4; ++I) {
+    LinearConstraint LC;
+    LC.Lhs = {{static_cast<uint32_t>(I), 1.0f}};
+    LC.C = 0.25;
+    ManyRows.push_back(LC);
+  }
+  EXPECT_THROW(CompiledObjective(4, ManyRows, 0.1), std::runtime_error);
+
+  // Duplicates coalesce before the check: many copies of few rows pass.
+  std::vector<LinearConstraint> Duplicates(100, ManyRows[0]);
+  EXPECT_NO_THROW(CompiledObjective(4, Duplicates, 0.1));
+  unsetenv("SELDON_TEST_CSR_LIMIT");
+
+  // Back at the real limit, ordinary systems compile.
+  EXPECT_NO_THROW(CompiledObjective(8, Big, 0.1));
 }
 
 TEST(CompileTest, CompileCopiesPinsFromLegacyObjective) {

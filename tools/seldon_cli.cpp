@@ -72,7 +72,8 @@ struct CliOptions {
   bool Metrics = false;
   std::string MetricsOut;
   bool SolverStats = false;
-  bool LegacySolver = false;
+  std::string SolverBackend = "compiled";
+  bool LegacySolver = false; // Deprecated alias for --solver-backend=legacy.
   bool Dot = false;
   bool Dedup = true;
   bool Json = false;
@@ -80,6 +81,21 @@ struct CliOptions {
   std::string ExplainRole = "source";
   std::vector<std::string> Paths;
 };
+
+/// Resolves --solver-backend (and the deprecated --legacy-solver alias)
+/// into a SolveOptions backend; false + stderr diagnostic on bad names.
+bool resolveBackend(const CliOptions &Opts, solver::SolverBackend &Out) {
+  if (!solver::parseSolverBackend(Opts.SolverBackend, Out)) {
+    std::fprintf(stderr,
+                 "error: unknown --solver-backend '%s' (expected "
+                 "legacy|compiled|simd|simd-f32)\n",
+                 Opts.SolverBackend.c_str());
+    return false;
+  }
+  if (Opts.LegacySolver)
+    Out = solver::SolverBackend::Legacy;
+  return true;
+}
 
 /// Renders pipeline progress to stderr. The Session serializes callbacks,
 /// so plain fprintf is safe even with a parallel frontend.
@@ -168,9 +184,15 @@ void registerFlags(ArgParser &Parser, CliOptions &Opts,
       .flag("--solver-stats", &Opts.SolverStats,
             "learn: print compiled-system statistics (rows\n"
             "before/after dedup, non-zeros, ms/iteration)")
+      .string("--solver-backend", &Opts.SolverBackend, "B",
+              "learn/explain: evaluator backend —\n"
+              "legacy|compiled|simd|simd-f32 (default compiled;\n"
+              "legacy/compiled/simd learn byte-identical specs,\n"
+              "simd-f32 matches within a documented tolerance)")
       .flag("--legacy-solver", &Opts.LegacySolver,
             "learn/explain: solve with the uncompiled\n"
-            "reference evaluator (same learned spec, slower)")
+            "reference evaluator (same learned spec, slower;\n"
+            "alias for --solver-backend=legacy)")
       .flag("--no-dedup", &Raw.NoDedup,
             "keep duplicate (source, sink) API pairs")
       .flag("--json", &Opts.Json,
@@ -418,7 +440,8 @@ int cmdLearn(const CliOptions &Opts) {
   PipelineOpts.Solve.MaxIterations = Opts.Iterations;
   PipelineOpts.Gen.RepCutoff = Opts.RepCutoff;
   PipelineOpts.Jobs = Opts.Jobs;
-  PipelineOpts.UseCompiledSolver = !Opts.LegacySolver;
+  if (!resolveBackend(Opts, PipelineOpts.Solve.Backend))
+    return 1;
   PipelineOpts.Strict = Opts.Strict;
   PipelineOpts.DeadlineSeconds = Opts.DeadlineSeconds;
 
@@ -466,9 +489,11 @@ int cmdLearn(const CliOptions &Opts) {
     if (R.UsedCompiledSolver) {
       const solver::CompileStats &S = R.SolverStats;
       std::fprintf(stderr,
-                   "solver: %zu rows -> %zu after dedup (%.2fx), "
-                   "%zu non-zeros, max multiplicity %zu\n",
-                   S.RowsBefore, S.RowsAfter, S.dedupRatio(), S.NonZeros,
+                   "solver: %s backend%s, %zu rows -> %zu after dedup "
+                   "(%.2fx), %zu non-zeros, max multiplicity %zu\n",
+                   solver::solverBackendName(R.Backend),
+                   R.SimdActive ? " (avx2)" : "", S.RowsBefore,
+                   S.RowsAfter, S.dedupRatio(), S.NonZeros,
                    S.MaxMultiplicity);
     } else {
       std::fprintf(stderr, "solver: legacy evaluator (no compilation)\n");
@@ -633,7 +658,8 @@ int cmdExplain(const CliOptions &Opts) {
   PipelineOpts.Solve.MaxIterations = Opts.Iterations;
   PipelineOpts.Gen.RepCutoff = Opts.RepCutoff;
   PipelineOpts.Jobs = Opts.Jobs;
-  PipelineOpts.UseCompiledSolver = !Opts.LegacySolver;
+  if (!resolveBackend(Opts, PipelineOpts.Solve.Backend))
+    return 1;
   PipelineOpts.Strict = Opts.Strict;
   PipelineOpts.DeadlineSeconds = Opts.DeadlineSeconds;
 
