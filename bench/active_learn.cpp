@@ -1,0 +1,161 @@
+//===- bench/active_learn.cpp - Oracle queries to target F1 ---------------===//
+//
+// Measures what uncertainty-guided active learning buys on label cost.
+// The experiment withholds half the hand-written seed specification and
+// asks: how many oracle labels does the query→pin→re-solve loop need to
+// recover the quality a passive solve gets from the full seed?
+//
+//   passive (full seed)    — the quality target: macro-F1 against the
+//                            corpus ground truth at the report threshold.
+//   passive (halved seed)  — where the active run starts from.
+//   active (halved seed)   — queries a ground-truth oracle round by
+//                            round, pinning answers, until it matches the
+//                            full-seed F1 or exhausts its budget.
+//
+// Both F1s exclude the halved seed's entries, so the withheld seed half
+// counts as predictions the loop must genuinely recover. Gated, not just
+// timed: the active run must reach the passive F1 while querying at most
+// half the candidate variables (the "pin everything" labeling cost). With
+// SELDON_ACTIVE_OUT=FILE the comparison is written as a JSON fragment
+// that scripts/bench_solver.sh merges into BENCH_solver.json.
+//
+// Knobs: SELDON_PROJECTS (default 300; the script passes 60), SELDON_JOBS,
+// SELDON_SOLVER_ITERS, SELDON_ACTIVE_QPR (queries per round, default 25),
+// SELDON_ACTIVE_ROUNDS (round budget, default 40).
+//
+//===----------------------------------------------------------------------===//
+
+#include "active/ActiveLearner.h"
+#include "active/Oracle.h"
+#include "eval/ExperimentDriver.h"
+#include "support/StrUtil.h"
+#include "support/TablePrinter.h"
+#include "support/ThreadPool.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+using namespace seldon;
+using namespace seldon::eval;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+} // namespace
+
+int main() {
+  corpus::CorpusOptions CorpusOpts = standardCorpusOptions();
+  infer::PipelineOptions PipelineOpts = standardPipelineOptions();
+  PipelineOpts.Jobs = static_cast<unsigned>(
+      envInt("SELDON_JOBS",
+             static_cast<int>(ThreadPool::hardwareConcurrency())));
+  size_t QueriesPerRound =
+      static_cast<size_t>(envInt("SELDON_ACTIVE_QPR", 25));
+  int MaxRounds = envInt("SELDON_ACTIVE_ROUNDS", 40);
+
+  corpus::Corpus Data = corpus::generateCorpus(CorpusOpts);
+  spec::SeedSpec Half = Data.Seed.halved();
+
+  std::cout << formatString(
+      "=== Active learning: queries to full-seed F1, %d project(s), "
+      "%zu/round, %d round budget ===\n\n",
+      CorpusOpts.NumProjects, QueriesPerRound, MaxRounds);
+
+  auto passiveRun = [&](const spec::SeedSpec &Seed, double &Seconds) {
+    auto Start = std::chrono::steady_clock::now();
+    infer::Session S(PipelineOpts);
+    S.addProjects(Data.Projects);
+    S.generateConstraints(Seed);
+    infer::PipelineResult R = S.solve();
+    Seconds = secondsSince(Start);
+    return eval::macroF1(R.Learned, Data.Truth, Half, ScoreThreshold);
+  };
+
+  // The quality target: what passive inference achieves with the full
+  // hand-written seed.
+  double PassiveSeconds = 0.0;
+  double PassiveF1 = passiveRun(Data.Seed, PassiveSeconds);
+
+  // The starting point: the same passive solve with only half the seed.
+  double HalvedSeconds = 0.0;
+  double HalvedF1 = passiveRun(Half, HalvedSeconds);
+
+  // The headline run: active learning from the halved seed against a
+  // ground-truth oracle, stopping the moment the target F1 is reached.
+  active::GroundTruthOracle Oracle(Data.Truth);
+  active::ActiveOptions AO;
+  AO.Threshold = ScoreThreshold;
+  AO.QueriesPerRound = QueriesPerRound;
+  AO.MaxRounds = MaxRounds;
+  AO.StopWhen = [&](const infer::PipelineResult &R) {
+    return eval::macroF1(R.Learned, Data.Truth, Half, ScoreThreshold) >=
+           PassiveF1 - 1e-9;
+  };
+  auto ActiveStart = std::chrono::steady_clock::now();
+  infer::Session S(PipelineOpts);
+  S.addProjects(Data.Projects);
+  active::ActiveResult AR = active::runActiveLoop(S, Half, Oracle, AO);
+  double ActiveSeconds = secondsSince(ActiveStart);
+  double ActiveF1 =
+      eval::macroF1(AR.Final.Learned, Data.Truth, Half, ScoreThreshold);
+
+  double QueryFraction =
+      AR.Candidates
+          ? static_cast<double>(AR.TotalQueries) /
+                static_cast<double>(AR.Candidates)
+          : 0.0;
+  bool ReachedTarget = ActiveF1 >= PassiveF1 - 1e-9;
+  bool HalfTheLabels = AR.TotalQueries * 2 <= AR.Candidates;
+
+  TablePrinter Table(
+      {"Run", "Seed", "Labels", "Rounds", "Macro-F1", "Time (s)"});
+  Table.addRow({"passive (target)", "full", "-", "-",
+                formatString("%.4f", PassiveF1),
+                formatString("%.3f", PassiveSeconds)});
+  Table.addRow({"passive (start)", "half", "-", "-",
+                formatString("%.4f", HalvedF1),
+                formatString("%.3f", HalvedSeconds)});
+  Table.addRow({"active", "half", std::to_string(AR.TotalQueries),
+                std::to_string(AR.Rounds.size()),
+                formatString("%.4f", ActiveF1),
+                formatString("%.3f", ActiveSeconds)});
+  Table.addRow({"pin everything", "half", std::to_string(AR.Candidates),
+                "1", "-", "-"});
+  Table.print(std::cout);
+
+  std::cout << formatString(
+      "\nreached full-seed F1: %s (%.4f vs %.4f target)\n"
+      "labels spent: %zu of %zu candidate(s) (%.1f%%) — %s\n",
+      ReachedTarget ? "yes" : "NO — BUDGET EXHAUSTED", ActiveF1, PassiveF1,
+      AR.TotalQueries, AR.Candidates, QueryFraction * 100.0,
+      HalfTheLabels ? "within the half-label gate"
+                    : "OVER THE HALF-LABEL GATE");
+
+  if (const char *Out = std::getenv("SELDON_ACTIVE_OUT")) {
+    std::ofstream Json(Out, std::ios::trunc);
+    Json << "{\n";
+    Json << formatString("  \"projects\": %d,\n", CorpusOpts.NumProjects);
+    Json << formatString("  \"candidates\": %zu,\n", AR.Candidates);
+    Json << formatString("  \"queries\": %zu,\n", AR.TotalQueries);
+    Json << formatString("  \"query_fraction\": %.4f,\n", QueryFraction);
+    Json << formatString("  \"rounds\": %zu,\n", AR.Rounds.size());
+    Json << formatString("  \"queries_per_round\": %zu,\n",
+                         QueriesPerRound);
+    Json << formatString("  \"passive_f1\": %.6f,\n", PassiveF1);
+    Json << formatString("  \"halved_f1\": %.6f,\n", HalvedF1);
+    Json << formatString("  \"active_f1\": %.6f,\n", ActiveF1);
+    Json << formatString("  \"reached_target\": %s,\n",
+                         ReachedTarget ? "true" : "false");
+    Json << formatString("  \"passive_seconds\": %.6f,\n", PassiveSeconds);
+    Json << formatString("  \"active_seconds\": %.6f\n", ActiveSeconds);
+    Json << "}\n";
+  }
+  return (ReachedTarget && HalfTheLabels) ? 0 : 1;
+}

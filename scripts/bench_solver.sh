@@ -19,9 +19,16 @@
 # learn, the warm solve must select the same roles, and the re-learn must
 # be at least 5x faster than the cold learn.
 #
+# A fourth section benchmarks active learning (bench/active_learn):
+# withhold half the seed specification and count the oracle queries the
+# uncertainty-guided loop needs to recover full-seed passive F1. Gated:
+# the target F1 must be reached while querying at most half the
+# candidate variables.
+#
 # Knobs: SELDON_PROJECTS (corpus size, default 300), SELDON_JOBS,
 # SELDON_CACHE_PROJECTS (cache-comparison corpus size, default 60),
-# SELDON_INCR_PROJECTS (incremental corpus size, default 300).
+# SELDON_INCR_PROJECTS (incremental corpus size, default 300),
+# SELDON_ACTIVE_PROJECTS (active-learning corpus size, default 60).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -30,7 +37,7 @@ JOBS="${JOBS:-$(nproc)}"
 
 cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
 cmake --build "$ROOT/build" -j "$JOBS" \
-  --target solver_kernel fig10_scaling incr_learn >/dev/null
+  --target solver_kernel fig10_scaling incr_learn active_learn >/dev/null
 
 "$ROOT/build/bench/solver_kernel" > "$OUT"
 
@@ -38,7 +45,8 @@ cmake --build "$ROOT/build" -j "$JOBS" \
 # fig10_scaling halves SELDON_PROJECTS' doubling, so pass the size as-is.
 CACHE_JSON="$(mktemp)"
 INCR_JSON="$(mktemp)"
-trap 'rm -f "$CACHE_JSON" "$INCR_JSON"' EXIT
+ACTIVE_JSON="$(mktemp)"
+trap 'rm -f "$CACHE_JSON" "$INCR_JSON" "$ACTIVE_JSON"' EXIT
 SELDON_FIG10_SWEEP=0 SELDON_CACHE_OUT="$CACHE_JSON" \
   SELDON_PROJECTS="$(( ${SELDON_CACHE_PROJECTS:-60} / 2 ))" \
   "$ROOT/build/bench/fig10_scaling" >&2
@@ -48,8 +56,14 @@ SELDON_INCR_OUT="$INCR_JSON" \
   SELDON_PROJECTS="${SELDON_INCR_PROJECTS:-300}" \
   "$ROOT/build/bench/incr_learn" >&2
 
-# Merge {"cache": ...} and {"incr": ...} into the solver summary.
-python3 - "$OUT" "$CACHE_JSON" "$INCR_JSON" <<'EOF'
+# Active learning: recover withheld-seed quality from oracle queries.
+SELDON_ACTIVE_OUT="$ACTIVE_JSON" \
+  SELDON_PROJECTS="${SELDON_ACTIVE_PROJECTS:-60}" \
+  "$ROOT/build/bench/active_learn" >&2
+
+# Merge {"cache": ...}, {"incr": ...}, and {"active": ...} into the
+# solver summary.
+python3 - "$OUT" "$CACHE_JSON" "$INCR_JSON" "$ACTIVE_JSON" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     summary = json.load(f)
@@ -57,6 +71,8 @@ with open(sys.argv[2]) as f:
     summary["cache"] = json.load(f)
 with open(sys.argv[3]) as f:
     summary["incr"] = json.load(f)
+with open(sys.argv[4]) as f:
+    summary["active"] = json.load(f)
 with open(sys.argv[1], "w") as f:
     json.dump(summary, f, indent=2)
     f.write("\n")
@@ -136,6 +152,19 @@ if i["shards_hit"] != i["projects"] - 1:
              f"{i['shards_hit']}")
 if i["incr_speedup"] < 5.0:
     sys.exit(f"FAIL: incremental re-learn {i['incr_speedup']:.2f}x < 5x")
+
+# Active learning: from half the seed, the loop must recover full-seed
+# passive F1 while querying at most half the candidate variables.
+a = r["active"]
+if not a["reached_target"]:
+    sys.exit(f"FAIL: active F1 {a['active_f1']:.4f} never reached the "
+             f"passive target {a['passive_f1']:.4f}")
+if a["active_f1"] + 1e-9 < a["passive_f1"]:
+    sys.exit(f"FAIL: active F1 {a['active_f1']:.4f} below passive "
+             f"{a['passive_f1']:.4f}")
+if a["query_fraction"] > 0.5:
+    sys.exit(f"FAIL: active queried {a['query_fraction']:.0%} of "
+             f"candidates (> 50%)")
 print(f"OK: {r['serial_speedup']:.2f}x serial speedup, "
       f"simd {r['simd_serial_speedup']:.2f}x / "
       f"simd-f32 {r['simd_f32_serial_speedup']:.2f}x over compiled, "
@@ -143,5 +172,8 @@ print(f"OK: {r['serial_speedup']:.2f}x serial speedup, "
       f"metrics snapshot consistent; cache warm parse "
       f"{c['warm_parse_speedup']:.2f}x faster, {c['warm_hits']} hit(s); "
       f"incremental re-learn {i['incr_speedup']:.2f}x faster than cold "
-      f"({i['shards_hit']}/{i['projects']} shards replayed)")
+      f"({i['shards_hit']}/{i['projects']} shards replayed); "
+      f"active learning reached F1 {a['active_f1']:.4f} with "
+      f"{a['queries']} label(s) ({a['query_fraction']:.0%} of "
+      f"{a['candidates']} candidates)")
 EOF

@@ -13,10 +13,12 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
 
-echo "=== tier-1: configure + build + ctest ==="
+echo "=== tier-1: configure + build + ctest (smoke tier first) ==="
 cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j "$JOBS"
-ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
+# Fast unit suites first for quick signal, then the full tier.
+ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS" -L smoke
+ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS" -LE smoke
 
 echo
 echo "=== tsan: concurrency-sensitive tests under ThreadSanitizer ==="
@@ -27,9 +29,10 @@ cmake --build "$ROOT/build-tsan" -j "$JOBS" \
   --target threadpool_test metrics_test pipeline_parallel_test \
            compiled_objective_test simd_objective_test cache_fault_test \
            cache_pipeline_test fault_pipeline_test service_test \
-           shard_fault_test shard_pipeline_test
+           shard_fault_test shard_pipeline_test active_learning_test \
+           feedback_test
 ctest --test-dir "$ROOT/build-tsan" --output-on-failure -j "$JOBS" \
-  -R 'ThreadPoolTest|MetricsTest|TraceTest|MetricsPipelineTest|PipelineParallelTest|CompileTest|CompiledEquivalenceTest|SimdLayoutTest|SimdEquivalenceTest|SimdDispatchTest|SimdF32Test|CodecFaultTest|CacheFaultTest|CachePipelineTest|CacheStalenessTest|CacheDegradedTest|CacheKeyTest|FaultPipelineTest|ServiceTest|ServiceJsonTest|ProtocolTest|ShardCodecTest|ShardCodecFaultTest|ShardCacheFaultTest|ShardPipelineTest|ShardStalenessTest|ShardKeyTest|ShardWarmStartTest|ShardFallbackTest|ShardDegradedTest|ShardPipelineComboTest'
+  -R 'ThreadPoolTest|MetricsTest|TraceTest|MetricsPipelineTest|PipelineParallelTest|CompileTest|CompiledEquivalenceTest|SimdLayoutTest|SimdEquivalenceTest|SimdDispatchTest|SimdF32Test|CodecFaultTest|CacheFaultTest|CachePipelineTest|CacheStalenessTest|CacheDegradedTest|CacheKeyTest|FaultPipelineTest|ServiceTest|ServiceJsonTest|ProtocolTest|ShardCodecTest|ShardCodecFaultTest|ShardCacheFaultTest|ShardPipelineTest|ShardStalenessTest|ShardKeyTest|ShardWarmStartTest|ShardFallbackTest|ShardDegradedTest|ShardPipelineComboTest|ActiveLearningTest|UncertaintyTest|FileOracleTest|FeedbackTest'
 
 echo
 echo "=== ubsan: solver backends under UndefinedBehaviorSanitizer ==="
@@ -185,6 +188,73 @@ if g.get("incr.shards_rebuilt") != 0 or g.get("incr.shards_hit") != 2:
              f"{g.get('incr.shards_hit')} rebuilt="
              f"{g.get('incr.shards_rebuilt')}")
 print("OK: warm-started re-learn replayed every shard")
+EOF
+
+echo
+echo "=== active smoke: seldon learn --active with a file oracle ==="
+# Own corpus directory: later smokes treat "$SMOKE" itself as a corpus
+# root, so the wrapper app must not land inside it.
+ASMOKE="$(mktemp -d)"
+trap 'rm -rf "$SMOKE" "$ASMOKE"' EXIT
+# The wrapper sanitizer is the point: clean() is not in the built-in
+# seed, so its score variable is unpinned and the loop has candidates to
+# query (the seeded flask.* reps are pinned and never proposed).
+cat > "$ASMOKE/app.py" <<'PY'
+from flask import request
+import flask
+
+def clean(value):
+    return flask.escape(value)
+
+def greet():
+    name = request.args.get('name')
+    flask.make_response('<h1>' + name + '</h1>')
+
+def safe():
+    name = request.args.get('name')
+    flask.make_response(clean(name))
+
+def page():
+    v = request.args.get('v')
+    flask.make_response(clean(v))
+PY
+cat > "$ASMOKE/oracle.json" <<'JSON'
+{"answers":[{"rep":"clean()","role":"sanitizer","truth":true}]}
+JSON
+"$ROOT/build/tools/seldon" learn --cutoff 1 --iters 100 --jobs 2 \
+  --active --oracle "$ASMOKE/oracle.json" \
+  --rounds 2 --queries-per-round 4 \
+  --oracle-out "$ASMOKE/transcript.json" \
+  --metrics-out "$ASMOKE/metrics.json" \
+  --out "$ASMOKE/learned.spec" "$ASMOKE"
+python3 - "$ASMOKE/metrics.json" "$ASMOKE/transcript.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    m = json.load(f)
+c, g = m["counters"], m["gauges"]
+if c.get("active.queries", 0) < 1:
+    sys.exit("FAIL: active run recorded no oracle queries")
+if c.get("active.answers", 0) != 1 or c.get("active.pins_true", 0) != 1:
+    sys.exit(f"FAIL: expected 1 answered query pinned true, got "
+             f"answers={c.get('active.answers')} "
+             f"pins_true={c.get('active.pins_true')}")
+if g.get("active.rounds") != 2:
+    sys.exit(f"FAIL: expected 2 rounds, got {g.get('active.rounds')}")
+if g.get("active.candidates", 0) < 1 or g.get("active.pinned") != 1:
+    sys.exit(f"FAIL: candidates={g.get('active.candidates')} "
+             f"pinned={g.get('active.pinned')}")
+if g.get("active.queried_fraction", 0) <= 0:
+    sys.exit("FAIL: active.queried_fraction not populated")
+rounds = m["timers"].get("active.round_seconds", {"count": 0})["count"]
+if rounds != g["active.rounds"]:
+    sys.exit("FAIL: active.round_seconds count disagrees with rounds")
+with open(sys.argv[2]) as f:
+    t = json.load(f)
+if t != {"answers": [{"rep": "clean()", "role": "sanitizer",
+                      "truth": True}]}:
+    sys.exit(f"FAIL: unexpected replay transcript: {t}")
+print(f"OK: active run queried {c['active.queries']} candidate(s) over "
+      f"2 rounds, pinned clean() as a sanitizer, transcript replayable")
 EOF
 
 echo

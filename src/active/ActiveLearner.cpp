@@ -1,0 +1,135 @@
+//===- active/ActiveLearner.cpp - Query→pin→re-solve loop -----------------===//
+
+#include "active/ActiveLearner.h"
+
+#include "support/Metrics.h"
+
+#include <algorithm>
+#include <utility>
+
+using namespace seldon;
+using namespace seldon::active;
+
+namespace {
+
+/// The selected role set at the threshold, as a sorted key list (role
+/// stability is about selections, not raw scores).
+std::vector<std::string> selectedRoleKeys(const spec::LearnedSpec &Learned,
+                                          double Threshold) {
+  std::vector<std::string> Keys;
+  for (int R = 0; R < propgraph::NumRoles; ++R)
+    for (const auto &[Rep, Score] :
+         Learned.ranked(static_cast<propgraph::Role>(R), Threshold)) {
+      (void)Score;
+      Keys.push_back(Rep + '\x1F' + static_cast<char>('0' + R));
+    }
+  std::sort(Keys.begin(), Keys.end());
+  return Keys;
+}
+
+} // namespace
+
+ActiveResult seldon::active::runActiveLoop(infer::Session &S,
+                                           const spec::SeedSpec &Seed,
+                                           Oracle &O,
+                                           const ActiveOptions &Opts) {
+  metrics::Registry &Reg = metrics::Registry::global();
+  infer::PipelineOptions &P = S.options();
+  const spec::LearnedSpec *SavedWarm = P.WarmStart;
+  int SavedIterations = P.Solve.MaxIterations;
+
+  ActiveResult Result;
+  S.generateConstraints(Seed);
+  Result.Final = S.solve(); // Round 0: the passive solve.
+
+  const size_t NumVars = S.system().Vars.numVars();
+  Result.Candidates = NumVars - S.system().Pinned.size();
+  std::vector<uint8_t> Queried(NumVars, 0);
+  std::vector<std::string> PrevRoles =
+      selectedRoleKeys(Result.Final.Learned, Opts.Threshold);
+  int Stable = 0;
+  spec::LearnedSpec WarmCopy; // Keeps the borrowed WarmStart alive.
+
+  for (int Round = 1; Round <= Opts.MaxRounds; ++Round) {
+    size_t K = Opts.QueriesPerRound;
+    if (Opts.MaxQueries) {
+      if (Result.TotalQueries >= Opts.MaxQueries)
+        break; // Budget stop, not convergence.
+      K = std::min(K, Opts.MaxQueries - Result.TotalQueries);
+    }
+    std::vector<Candidate> Cands =
+        rankUncertain(S.system(), S.reps(), Result.Final.Solve.X,
+                      Opts.Threshold, K, Opts.UncertaintyBand, Queried);
+    if (Cands.empty()) {
+      Result.Converged = true; // Nothing uncertain left to ask about.
+      break;
+    }
+
+    ActiveRoundStats RS;
+    RS.Round = Round;
+    for (const Candidate &C : Cands) {
+      Queried[C.Var] = 1;
+      OracleAnswer A = O.answer(C.Rep, C.R);
+      Result.Transcript.push_back({C.Rep, C.R, A});
+      ++Result.TotalQueries;
+      ++RS.Queried;
+      if (A == OracleAnswer::Unknown)
+        continue;
+      ++RS.Answered;
+      bool Truth = A == OracleAnswer::Yes;
+      S.pinVariable(C.Rep, C.R, Truth ? 1.0 : 0.0);
+      ++Result.TotalPinned;
+      if (Truth)
+        ++RS.PinnedTrue;
+      else
+        ++RS.PinnedFalse;
+    }
+
+    // Re-solve with the new pins, warm-started from the previous round.
+    WarmCopy = std::move(Result.Final.Learned);
+    P.WarmStart = &WarmCopy;
+    if (Opts.RoundIterations > 0)
+      P.Solve.MaxIterations = Opts.RoundIterations;
+    Result.Final = S.solve();
+    RS.SolveSeconds = Result.Final.SolveSeconds;
+    Result.Rounds.push_back(RS);
+
+    if (Reg.enabled()) {
+      Reg.counter("active.queries").add(RS.Queried);
+      Reg.counter("active.answers").add(RS.Answered);
+      Reg.counter("active.pins_true").add(RS.PinnedTrue);
+      Reg.counter("active.pins_false").add(RS.PinnedFalse);
+      Reg.timer("active.round_seconds").record(RS.SolveSeconds);
+    }
+
+    std::vector<std::string> Roles =
+        selectedRoleKeys(Result.Final.Learned, Opts.Threshold);
+    if (Opts.StableRounds > 0)
+      Stable = Roles == PrevRoles ? Stable + 1 : 0;
+    PrevRoles = std::move(Roles);
+    if (Opts.StopWhen && Opts.StopWhen(Result.Final)) {
+      Result.Converged = true;
+      break;
+    }
+    if (Opts.StableRounds > 0 && Stable >= Opts.StableRounds) {
+      Result.Converged = true;
+      break;
+    }
+  }
+
+  P.WarmStart = SavedWarm;
+  P.Solve.MaxIterations = SavedIterations;
+  if (Reg.enabled()) {
+    Reg.gauge("active.rounds").set(static_cast<double>(Result.Rounds.size()));
+    Reg.gauge("active.candidates")
+        .set(static_cast<double>(Result.Candidates));
+    Reg.gauge("active.pinned").set(static_cast<double>(Result.TotalPinned));
+    Reg.gauge("active.converged").set(Result.Converged ? 1.0 : 0.0);
+    Reg.gauge("active.queried_fraction")
+        .set(Result.Candidates == 0
+                 ? 0.0
+                 : static_cast<double>(Result.TotalQueries) /
+                       static_cast<double>(Result.Candidates));
+  }
+  return Result;
+}

@@ -1,0 +1,108 @@
+//===- active/Oracle.h - Oracles for active learning -------------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The oracle side of the active-learning loop ("Active Learning of
+/// Points-To Specifications", Bastani et al.): something that can answer
+/// "does representation r truly hold role R?". Two implementations:
+///
+///  * GroundTruthOracle — backed by corpus::GroundTruth, the generated
+///    corpus's exact oracle; always answers.
+///  * FileOracle — a replayable JSON answer file for the CLI and seldond;
+///    pairs it has no entry for stay Unknown (queried but unpinned).
+///
+/// A run's query transcript serializes to the same JSON shape
+/// (writeOracleFile), so any run — including one driven by the ground
+/// truth — can be replayed exactly from a file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_ACTIVE_ORACLE_H
+#define SELDON_ACTIVE_ORACLE_H
+
+#include "propgraph/Event.h"
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace seldon {
+
+namespace corpus {
+class GroundTruth;
+}
+
+namespace active {
+
+/// What an oracle said about one (representation, role) pair.
+enum class OracleAnswer { Yes, No, Unknown };
+
+/// Printable name ("yes", "no", "unknown").
+const char *oracleAnswerName(OracleAnswer A);
+
+/// Answers membership queries about the true specification.
+class Oracle {
+public:
+  virtual ~Oracle() = default;
+
+  /// Does \p Rep truly hold role \p R? Unknown leaves the variable
+  /// unpinned (the query still counts against the budget).
+  virtual OracleAnswer answer(const std::string &Rep,
+                              propgraph::Role R) = 0;
+};
+
+/// The generated corpus's exact oracle; never answers Unknown.
+class GroundTruthOracle : public Oracle {
+public:
+  explicit GroundTruthOracle(const corpus::GroundTruth &Truth)
+      : Truth(&Truth) {}
+  OracleAnswer answer(const std::string &Rep, propgraph::Role R) override;
+
+private:
+  const corpus::GroundTruth *Truth;
+};
+
+/// A replayable answer file:
+///   {"answers":[{"rep":"flask.escape()","role":"sanitizer","truth":true},
+///               ...]}
+/// Pairs without an entry answer Unknown. Duplicate entries: last wins.
+class FileOracle : public Oracle {
+public:
+  /// Parses the JSON text; false (with a message) on malformed input.
+  static bool parse(const std::string &JsonText, FileOracle &Out,
+                    std::string &Error);
+  /// Reads and parses \p Path; false (with a message) on IO/parse errors.
+  static bool load(const std::string &Path, FileOracle &Out,
+                   std::string &Error);
+
+  void add(const std::string &Rep, propgraph::Role R, bool Truth) {
+    Answers[{Rep, static_cast<int>(R)}] = Truth;
+  }
+  size_t size() const { return Answers.size(); }
+
+  OracleAnswer answer(const std::string &Rep, propgraph::Role R) override;
+
+private:
+  std::map<std::pair<std::string, int>, bool> Answers;
+};
+
+/// One asked-and-answered query of a run.
+struct OracleExchange {
+  std::string Rep;
+  propgraph::Role R = propgraph::Role::Source;
+  OracleAnswer A = OracleAnswer::Unknown;
+};
+
+/// Serializes a transcript in the FileOracle format (Unknown answers are
+/// skipped — replaying them would pin nothing either way).
+std::string writeOracleFile(const std::vector<OracleExchange> &Transcript);
+
+} // namespace active
+} // namespace seldon
+
+#endif // SELDON_ACTIVE_ORACLE_H

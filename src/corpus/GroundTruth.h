@@ -19,6 +19,7 @@
 
 #include "propgraph/Event.h"
 
+#include <array>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -49,6 +50,21 @@ public:
   /// Vulnerability class of \p Rep ("xss", "sqli", ...; empty if none).
   const std::string &vulnClassOf(const std::string &Rep) const;
 
+  /// Every representation truly holding \p R, sorted lexicographically.
+  /// Derived lazily — one pass over the entries fills all three role
+  /// lists — and memoized until the next add(), so oracle/recall loops
+  /// stop paying O(corpus) per query. Not thread-safe with concurrent
+  /// first calls (fill the memo once before fanning out readers).
+  const std::vector<std::string> &repsWithRole(Role R) const;
+
+  /// Count of representations truly holding \p R (same memo).
+  size_t countWithRole(Role R) const { return repsWithRole(R).size(); }
+
+  /// How many times the role lists were derived from scratch — the
+  /// regression hook: any number of repsWithRole()/countWithRole() calls
+  /// on an unmodified corpus must keep this at one.
+  size_t derivations() const { return Derivations; }
+
   size_t size() const { return Entries.size(); }
 
 private:
@@ -57,6 +73,9 @@ private:
     std::string VulnClass;
   };
   std::unordered_map<std::string, Entry> Entries;
+  mutable std::array<std::vector<std::string>, propgraph::NumRoles> ByRole;
+  mutable bool ByRoleValid = false;
+  mutable size_t Derivations = 0;
   static const std::string Empty;
 };
 

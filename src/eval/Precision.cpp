@@ -74,6 +74,34 @@ RolePrecision seldon::eval::topKPrecision(const spec::LearnedSpec &Learned,
   return P;
 }
 
+RoleF1 seldon::eval::exactF1(const spec::LearnedSpec &Learned,
+                             const GroundTruth &Truth,
+                             const spec::SeedSpec &Seed, Role R,
+                             double Threshold) {
+  RoleF1 F;
+  for (const ScoredPrediction &Pred :
+       predictionsAbove(Learned, Truth, Seed, R, Threshold)) {
+    ++F.Predicted;
+    F.Correct += Pred.Correct;
+  }
+  // The recall denominator reads the memoized role list (one derivation
+  // per corpus however many thresholds/roles are swept).
+  for (const std::string &Rep : Truth.repsWithRole(R))
+    if (Seed.Spec.rolesOf(Rep) == 0)
+      ++F.TruthReps;
+  return F;
+}
+
+double seldon::eval::macroF1(const spec::LearnedSpec &Learned,
+                             const GroundTruth &Truth,
+                             const spec::SeedSpec &Seed, double Threshold) {
+  double Sum = 0.0;
+  for (int R = 0; R < propgraph::NumRoles; ++R)
+    Sum += exactF1(Learned, Truth, Seed, static_cast<Role>(R), Threshold)
+               .f1();
+  return Sum / propgraph::NumRoles;
+}
+
 std::vector<double> seldon::eval::cumulativePrecision(
     const std::vector<ScoredPrediction> &Sample) {
   std::vector<double> Out;

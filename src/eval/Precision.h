@@ -82,6 +82,41 @@ RolePrecision topKPrecision(const spec::LearnedSpec &Learned,
 std::vector<double>
 cumulativePrecision(const std::vector<ScoredPrediction> &Sample);
 
+/// A precision/recall/F1 figure for one role. Recall is over the
+/// non-seed ground-truth representations of the role (via the memoized
+/// GroundTruth::repsWithRole lists, so sweeping thresholds does not
+/// re-derive the role maps).
+struct RoleF1 {
+  size_t Predicted = 0;
+  size_t Correct = 0;
+  size_t TruthReps = 0;
+
+  double precision() const {
+    return Predicted == 0
+               ? 0.0
+               : static_cast<double>(Correct) / static_cast<double>(Predicted);
+  }
+  double recall() const {
+    return TruthReps == 0
+               ? 0.0
+               : static_cast<double>(Correct) / static_cast<double>(TruthReps);
+  }
+  double f1() const {
+    double P = precision(), R = recall();
+    return P + R == 0.0 ? 0.0 : 2.0 * P * R / (P + R);
+  }
+};
+
+/// Exact precision/recall/F1 of role \p R at \p Threshold (seeded
+/// representations excluded from both predictions and the truth
+/// denominator).
+RoleF1 exactF1(const spec::LearnedSpec &Learned, const GroundTruth &Truth,
+               const spec::SeedSpec &Seed, Role R, double Threshold);
+
+/// Mean F1 over the three roles (the bench's queries-to-target metric).
+double macroF1(const spec::LearnedSpec &Learned, const GroundTruth &Truth,
+               const spec::SeedSpec &Seed, double Threshold);
+
 } // namespace eval
 } // namespace seldon
 

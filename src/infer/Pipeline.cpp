@@ -417,6 +417,23 @@ Session::composeFromShards(const spec::SeedSpec &Seed, ThreadPool *P) {
   return Sys;
 }
 
+bool Session::pinVariable(const std::string &Rep, propgraph::Role R,
+                          double Value) {
+  assert(SystemReady &&
+         "Session::pinVariable() requires generateConstraints() first");
+  propgraph::RepId Id;
+  constraints::VarId V;
+  if (!Reps.lookup(Rep, Id) || !System.Vars.lookup(Id, R, V))
+    return false;
+  for (auto &[Var, Pinned] : System.Pinned)
+    if (Var == V) {
+      Pinned = Value;
+      return true;
+    }
+  System.Pinned.emplace_back(V, Value);
+  return true;
+}
+
 PipelineResult Session::solve() {
   assert(SystemReady &&
          "Session::solve() requires generateConstraints() first");
@@ -443,6 +460,17 @@ PipelineResult Session::solve() {
   Result.UsedShardCache = SystemFromShards;
   if (SCache)
     Result.ShardCacheStats = SCache->stats();
+
+  // Feedback reweighting: append the evidence rows to this solve's copy
+  // of the system (the session's own System stays row-clean, so dropping
+  // the feedback later needs no regeneration). The rows are ordinary
+  // constraints, so every backend sees them identically; an empty set
+  // appends nothing and the run is byte-identical to the passive path.
+  if (Opts.Feedback && !Opts.Feedback->empty()) {
+    Result.UsedFeedback = true;
+    Result.Feedback = constraints::applyFeedback(
+        Result.System, Result.Reps, *Opts.Feedback, Opts.FeedbackOpts);
+  }
 
   solver::SolveOptions SolveOpts = Opts.Solve;
   if (Opts.WarmStart) {
@@ -558,6 +586,16 @@ PipelineResult Session::solve() {
     Reg.gauge("solve.final_objective").set(Result.Solve.FinalObjective);
     Reg.gauge("solve.converged").set(Result.Solve.Converged ? 1.0 : 0.0);
     Reg.gauge("incr.warm_start").set(Incr.WarmStarted ? 1.0 : 0.0);
+    if (Result.UsedFeedback) {
+      Reg.gauge("feedback.matched")
+          .set(static_cast<double>(Result.Feedback.Matched));
+      Reg.gauge("feedback.unmatched")
+          .set(static_cast<double>(Result.Feedback.Unmatched));
+      Reg.gauge("feedback.evidence_rows")
+          .set(static_cast<double>(Result.Feedback.EvidenceRows));
+      Reg.gauge("feedback.propagated_rows")
+          .set(static_cast<double>(Result.Feedback.PropagatedRows));
+    }
     if (Health.SolverNonFiniteSteps > 0)
       Reg.counter("health.solver_nonfinite")
           .add(static_cast<uint64_t>(Health.SolverNonFiniteSteps));

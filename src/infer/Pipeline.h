@@ -32,6 +32,7 @@
 #include "cache/GraphCache.h"
 #include "cache/ShardCache.h"
 #include "constraints/ConstraintGen.h"
+#include "constraints/Feedback.h"
 #include "infer/RunHealth.h"
 #include "propgraph/GraphBuilder.h"
 #include "spec/LearnedSpec.h"
@@ -69,6 +70,12 @@ struct PipelineOptions {
   /// (matched by representation string): retraining after the corpus
   /// grows converges in far fewer iterations. Null starts from zero.
   const spec::LearnedSpec *WarmStart = nullptr;
+  /// User feedback applied at solve time (borrowed; keep alive through
+  /// solve()). Accepted/rejected specs append weighted evidence rows to
+  /// the solved system — see constraints/Feedback.h. Null or empty is the
+  /// passive path, byte for byte.
+  const constraints::FeedbackSet *Feedback = nullptr;
+  constraints::FeedbackOptions FeedbackOpts;
   /// Learn over the vertex-contracted graph (paper §6.4: the collapsed
   /// graph is unusable for taint analysis but still usable for
   /// specification learning). The result's Graph member stays uncollapsed
@@ -184,6 +191,12 @@ struct PipelineResult {
   cache::CacheStats ShardCacheStats;
   IncrStats Incr;
 
+  /// Whether feedback evidence rows were applied to this solve's System
+  /// (the returned System then includes them), and what the application
+  /// matched/appended.
+  bool UsedFeedback = false;
+  constraints::FeedbackStats Feedback;
+
   /// What the fault-tolerant runtime had to do: quarantined projects,
   /// solver recoveries, deadline expiries, degraded cache operations.
   /// Health.status() is Clean on an undisturbed run.
@@ -290,6 +303,21 @@ public:
   /// The built or adopted global graph (valid after buildGraph()).
   const propgraph::PropagationGraph &graph() const { return Graph; }
   bool hasGraph() const { return GraphReady; }
+
+  /// The generated constraint system (valid after generateConstraints();
+  /// solve() copies it — plus any feedback rows — into its result).
+  const constraints::ConstraintSystem &system() const { return System; }
+  /// The corpus representation table (valid after generateConstraints()).
+  const propgraph::RepTable &reps() const { return Reps; }
+
+  /// Pins the (\p Rep, \p R) score variable to \p Value for every
+  /// subsequent solve() — the same §4.1 mechanism seed labels use, and
+  /// how the active-learning loop applies oracle answers. An existing pin
+  /// of the variable is updated in place. Returns false (and changes
+  /// nothing) when the pair has no score variable. Requires
+  /// generateConstraints(); re-running generateConstraints() rebuilds the
+  /// seed-only pin set.
+  bool pinVariable(const std::string &Rep, propgraph::Role R, double Value);
 
   /// The health report accumulated so far (quarantines after buildGraph,
   /// solver fields after solve — solve() also embeds a snapshot in its

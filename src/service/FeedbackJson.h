@@ -1,0 +1,50 @@
+//===- service/FeedbackJson.h - Feedback wire/file format --------*- C++ -*-===//
+//
+// Part of seldon-cpp, a reproduction of "Scalable Taint Specification
+// Inference with Big Code" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared JSON shape of user feedback, used by both the `seldond`
+/// `feedback` op (request params) and the CLI's `--feedback` file:
+///
+///   {"accept":[{"rep":"flask.escape()","role":"sanitizer"}, ...],
+///    "reject":[{"rep":"eval()","role":"sanitizer"}, ...]}
+///
+/// Either array may be absent; at least one non-empty array is required.
+/// One parser for both front-ends keeps the validation — and the
+/// structured bad-request messages — identical on the wire and on disk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELDON_SERVICE_FEEDBACKJSON_H
+#define SELDON_SERVICE_FEEDBACKJSON_H
+
+#include "constraints/Feedback.h"
+#include "service/Json.h"
+
+#include <cstddef>
+#include <string>
+
+namespace seldon {
+namespace service {
+
+/// Merges the "accept"/"reject" members of \p Doc into \p Out. Returns
+/// false with a message on malformed entries (non-array members, entries
+/// without a string "rep", unknown roles, or neither array present /
+/// both empty). \p Accepted / \p Rejected (optional) receive the entry
+/// counts of this document.
+bool feedbackFromJson(const JsonValue &Doc, constraints::FeedbackSet &Out,
+                      std::string &Error, size_t *Accepted = nullptr,
+                      size_t *Rejected = nullptr);
+
+/// Reads \p Path and parses it with feedbackFromJson.
+bool loadFeedbackFile(const std::string &Path, constraints::FeedbackSet &Out,
+                      std::string &Error, size_t *Accepted = nullptr,
+                      size_t *Rejected = nullptr);
+
+} // namespace service
+} // namespace seldon
+
+#endif // SELDON_SERVICE_FEEDBACKJSON_H

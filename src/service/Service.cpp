@@ -4,6 +4,7 @@
 
 #include "propgraph/GraphBuilder.h"
 #include "pysem/ProjectLoader.h"
+#include "service/FeedbackJson.h"
 #include "service/QueryResult.h"
 #include "spec/SpecIO.h"
 #include "support/Metrics.h"
@@ -145,6 +146,10 @@ std::unique_ptr<infer::Session> Service::makeSession() {
   // run deadline stays disarmed forever and per-request budgets flow
   // through SolveOptions (learn) or per-stage polls (query/taint).
   P.DeadlineSeconds = 0.0;
+  // Every session solves against the service's cumulative feedback set;
+  // while it is empty applyFeedback never runs and the solve is
+  // byte-identical to the passive path.
+  P.Feedback = &Feedback;
   auto S = std::make_unique<infer::Session>(P);
   if (!Opts.CacheDir.empty())
     S->enableCache(Opts.CacheDir);
@@ -234,6 +239,8 @@ std::string Service::dispatch(const Request &Req, Deadline &D) {
     return opQuery(Req, D);
   if (Req.Op == "learn")
     return opLearn(Req, D);
+  if (Req.Op == "feedback")
+    return opFeedback(Req, D);
   if (Req.Op == "taint")
     return opTaint(Req, D);
   if (Req.Op == "shutdown") {
@@ -242,7 +249,7 @@ std::string Service::dispatch(const Request &Req, Deadline &D) {
   }
   throw OpError(ErrorCode::UnknownOp,
                 formatString("unknown op \"%s\" (expected status, query, "
-                             "learn, taint, or shutdown)",
+                             "learn, feedback, taint, or shutdown)",
                              Req.Op.c_str()));
 }
 
@@ -411,6 +418,85 @@ std::string Service::opLearn(const Request &Req, Deadline &D) {
       static_cast<unsigned long long>(Warm.Incr.ShardsRebuilt),
       Warm.Incr.WarmStarted ? "true" : "false",
       infer::runStatusName(Warm.Health.status()));
+}
+
+std::string Service::opFeedback(const Request &Req, Deadline &D) {
+  long Iters =
+      readIntParam(Req, "iters", Opts.Iterations, 1, 10'000'000);
+  // Feedback exists to nudge the served spec, so it warm-starts by
+  // default; "warm": false forces the cold reference trajectory.
+  bool WarmStart = readBoolParam(Req, "warm", true);
+  constraints::FeedbackOptions FO;
+  if (const JsonValue *W = Req.Params.get("weight")) {
+    if (!W->isNumber() || W->numberValue() <= 0.0)
+      badRequest("\"weight\" must be a positive number");
+    FO.AcceptWeight = FO.RejectWeight = W->numberValue();
+  }
+  if (const JsonValue *Dk = Req.Params.get("decay")) {
+    if (!Dk->isNumber() || Dk->numberValue() < 0.0 ||
+        Dk->numberValue() > 1.0)
+      badRequest("\"decay\" must be a number in [0, 1]");
+    FO.SimilarityDecay = Dk->numberValue();
+  }
+  constraints::FeedbackSet Delta;
+  std::string Error;
+  size_t Accepted = 0, Rejected = 0;
+  if (!feedbackFromJson(Req.Params, Delta, Error, &Accepted, &Rejected))
+    badRequest(Error);
+
+  checkDeadline(D, "feedback solve");
+  std::unique_lock<std::shared_mutex> Lock(WarmMutex);
+  // Merge the delta into the cumulative set; a repeated pair keeps the
+  // newest verdict. The session's options already point at Feedback, so
+  // the re-solve below (and every later learn) sees the merged set.
+  for (const constraints::FeedbackEntry &E : Delta.entries()) {
+    if (E.Accepted)
+      Feedback.accept(E.Rep, E.R);
+    else
+      Feedback.reject(E.Rep, E.R);
+  }
+  infer::PipelineOptions &P = Session->options();
+  constraints::FeedbackOptions SavedFO = P.FeedbackOpts;
+  P.FeedbackOpts = FO;
+  solver::SolveOptions &SO = P.Solve;
+  SO.MaxIterations = static_cast<int>(Iters);
+  if (D.armed())
+    SO.BudgetSeconds = D.remainingSeconds();
+  SO.ShouldStop = [&D]() { return D.expired(); };
+  // The warm-start spec must outlive the solve; options().WarmStart is a
+  // borrowed pointer.
+  spec::LearnedSpec WarmCopy;
+  if (WarmStart) {
+    WarmCopy = Warm.Learned;
+    P.WarmStart = &WarmCopy;
+  }
+  auto Restore = [&]() {
+    P.FeedbackOpts = SavedFO;
+    SO.MaxIterations = Opts.Iterations;
+    SO.BudgetSeconds = 0.0;
+    SO.ShouldStop = nullptr;
+    P.WarmStart = nullptr;
+  };
+  infer::PipelineResult R;
+  try {
+    R = Session->solve();
+  } catch (...) {
+    Restore();
+    throw;
+  }
+  Restore();
+  Warm = std::move(R);
+  return formatString(
+      "{\"accepted\":%zu,\"rejected\":%zu,\"total_feedback\":%zu,"
+      "\"matched\":%zu,\"unmatched\":%zu,\"evidence_rows\":%zu,"
+      "\"propagated_rows\":%zu,"
+      "\"iterations\":%d,\"converged\":%s,\"spec_size\":%zu,"
+      "\"warm_started\":%s}",
+      Accepted, Rejected, Feedback.size(), Warm.Feedback.Matched,
+      Warm.Feedback.Unmatched, Warm.Feedback.EvidenceRows,
+      Warm.Feedback.PropagatedRows, Warm.Solve.Iterations,
+      Warm.Solve.Converged ? "true" : "false", Warm.Learned.size(),
+      WarmStart ? "true" : "false");
 }
 
 std::string Service::opTaint(const Request &Req, Deadline &D) {

@@ -24,13 +24,22 @@
 ///             fresh session first — with the graph + shard caches
 ///             enabled, only changed projects re-parse and re-extract, so
 ///             an incremental re-learn costs O(delta) + solve
+///   feedback  merge accept/reject verdicts on (representation, role)
+///             pairs into the service's cumulative feedback set, re-solve
+///             with the feedback-weighted constraint system (warm-started
+///             from the served spec by default), and swap the served
+///             specification atomically. Verdicts accumulate across
+///             requests; an accepted pair raises evidence for the pair
+///             (and, decayed, for representations sharing backoff
+///             prefixes), a rejected pair lowers it. See
+///             constraints/Feedback.h
 ///   taint     analyze a payload project (inline sources or a directory)
 ///             against the warm seed + learned specification
 ///   shutdown  drain: every later request gets a `shutting-down` error
 ///
 /// Threading: handle() is safe to call from any number of threads. Reads
-/// (status/query/taint) share the warm state under a shared_mutex; learn
-/// takes it exclusively and is the only writer. Admission is a counted
+/// (status/query/taint) share the warm state under a shared_mutex;
+/// learn/feedback take it exclusively and are the only writers. Admission is a counted
 /// gate sized by Options::MaxInFlight — the transport admits a request
 /// before handing it to the ThreadPool and releases it after the response
 /// is written, so a flood degrades into `overloaded` errors instead of an
@@ -154,12 +163,19 @@ private:
   std::string opStatus();
   std::string opQuery(const Request &Req, Deadline &D);
   std::string opLearn(const Request &Req, Deadline &D);
+  std::string opFeedback(const Request &Req, Deadline &D);
   std::string opTaint(const Request &Req, Deadline &D);
 
   Options Opts;
   spec::SeedSpec Seed;
   std::vector<pysem::Project> Corpus;
   std::unique_ptr<infer::Session> Session;
+  /// Cumulative accept/reject verdicts merged by `feedback` requests.
+  /// The session's PipelineOptions::Feedback points here, so every solve
+  /// (initial, learn, feedback) reweights with the same set; while it is
+  /// empty the pipeline's passive path is byte-identical. Guarded by
+  /// WarmMutex (only `feedback` mutates it, exclusively).
+  constraints::FeedbackSet Feedback;
 
   /// Warm state served to query/taint/status; guarded by WarmMutex
   /// (shared for reads, exclusive for learn).

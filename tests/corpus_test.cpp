@@ -38,6 +38,38 @@ TEST(GroundTruthTest, AnyTrueOverBackoffOptions) {
   EXPECT_FALSE(T.anyTrue({"specific()"}, Role::Source));
 }
 
+TEST(GroundTruthTest, RoleListsAreSortedAndComplete) {
+  GroundTruth T;
+  T.add("z()", SourceMask);
+  T.add("a()", SourceMask | SinkMask);
+  T.add("m()", SanitizerMask);
+  const std::vector<std::string> &Sources = T.repsWithRole(Role::Source);
+  ASSERT_EQ(Sources.size(), 2u);
+  EXPECT_EQ(Sources[0], "a()");
+  EXPECT_EQ(Sources[1], "z()");
+  EXPECT_EQ(T.countWithRole(Role::Sanitizer), 1u);
+  EXPECT_EQ(T.countWithRole(Role::Sink), 1u);
+}
+
+TEST(GroundTruthTest, RoleListsAreDerivedOncePerCorpus) {
+  GroundTruth T;
+  T.add("a()", SourceMask);
+  T.add("b()", SinkMask);
+  EXPECT_EQ(T.derivations(), 0u); // Lazy: nothing derived until asked.
+  for (int I = 0; I < 10; ++I) {
+    T.repsWithRole(Role::Source);
+    T.countWithRole(Role::Sink);
+    T.countWithRole(Role::Sanitizer);
+  }
+  EXPECT_EQ(T.derivations(), 1u)
+      << "repeated role queries must hit the memo, not re-derive";
+  // A mutation invalidates the memo; the next query re-derives once.
+  T.add("c()", SanitizerMask);
+  EXPECT_EQ(T.repsWithRole(Role::Sanitizer).size(), 1u);
+  EXPECT_EQ(T.countWithRole(Role::Source), 1u);
+  EXPECT_EQ(T.derivations(), 2u);
+}
+
 //===----------------------------------------------------------------------===//
 // ApiUniverse
 //===----------------------------------------------------------------------===//

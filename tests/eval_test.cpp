@@ -90,6 +90,29 @@ TEST(PrecisionTest, CumulativePrecisionCurve) {
   EXPECT_DOUBLE_EQ(Curve[3], 0.75);
 }
 
+TEST(PrecisionTest, ExactF1CountsRecallOverNonSeedTruth) {
+  PrecisionFixture F;
+  RoleF1 R = exactF1(F.Learned, F.Truth, F.Seed, Role::Source, 0.1);
+  EXPECT_EQ(R.Predicted, 4u); // good1-3 + bad; seeded excluded, tiny below.
+  EXPECT_EQ(R.Correct, 3u);
+  EXPECT_EQ(R.TruthReps, 4u); // good1-3 + tiny; seeded() excluded.
+  EXPECT_DOUBLE_EQ(R.precision(), 0.75);
+  EXPECT_DOUBLE_EQ(R.recall(), 0.75);
+  EXPECT_DOUBLE_EQ(R.f1(), 0.75);
+}
+
+TEST(PrecisionTest, MacroF1AveragesRolesAndHitsTheRoleMemo) {
+  PrecisionFixture F;
+  // Source scores 0.75 F1; sanitizer and sink have no truth and no
+  // predictions, contributing zero each.
+  EXPECT_DOUBLE_EQ(macroF1(F.Learned, F.Truth, F.Seed, 0.1), 0.25);
+  // A threshold sweep reuses the memoized role lists: the truth role maps
+  // are derived exactly once no matter how many F1s are computed.
+  for (double T : {0.05, 0.1, 0.3, 0.6, 0.9})
+    macroF1(F.Learned, F.Truth, F.Seed, T);
+  EXPECT_EQ(F.Truth.derivations(), 1u);
+}
+
 //===----------------------------------------------------------------------===//
 // Report classification (Tab. 6)
 //===----------------------------------------------------------------------===//

@@ -428,6 +428,86 @@ TEST_F(ServiceTest, TaintAnalyzesAnInlinePayload) {
       << "responses must be single lines";
 }
 
+TEST_F(ServiceTest, FeedbackRoundTripNudgesTheServedSpec) {
+  auto Svc = startService(testOptions());
+  ASSERT_TRUE(Svc);
+  std::string R = Svc->serve(
+      "{\"v\":1,\"id\":1,\"op\":\"feedback\",\"iters\":200,"
+      "\"accept\":[{\"rep\":\"flask.escape()\",\"role\":\"sanitizer\"}],"
+      "\"reject\":[{\"rep\":\"no.such.rep()\",\"role\":\"sink\"}]}");
+  EXPECT_NE(R.find("\"ok\":true"), std::string::npos) << R;
+  EXPECT_NE(R.find("\"accepted\":1"), std::string::npos) << R;
+  EXPECT_NE(R.find("\"rejected\":1"), std::string::npos) << R;
+  EXPECT_NE(R.find("\"total_feedback\":2"), std::string::npos) << R;
+  EXPECT_NE(R.find("\"matched\":1"), std::string::npos) << R;
+  EXPECT_NE(R.find("\"unmatched\":1"), std::string::npos) << R;
+  // Feedback nudges the served spec, so it warm-starts by default.
+  EXPECT_NE(R.find("\"warm_started\":true"), std::string::npos) << R;
+  EXPECT_EQ(R.find('\n'), std::string::npos)
+      << "responses must be single lines";
+
+  // Warm-swap consistency: a query after the swap is byte-identical to a
+  // direct render of the post-feedback artifacts.
+  std::string Q = Svc->serve(
+      "{\"v\":1,\"id\":2,\"op\":\"query\",\"rep\":\"flask.escape()\","
+      "\"role\":\"sanitizer\"}");
+  ASSERT_NE(Q.find("\"ok\":true"), std::string::npos) << Q;
+  const infer::PipelineResult &Warm = Svc->warm();
+  QueryResult Direct =
+      queryRep(Warm.System, Warm.Reps, "flask.escape()",
+               propgraph::Role::Sanitizer, Warm.Solve.X);
+  EXPECT_TRUE(Direct.Found);
+  EXPECT_EQ(resultOf(Q), renderQueryJson(Direct));
+
+  // The set is cumulative: a repeat of the same verdicts reports the same
+  // totals, not doubled ones.
+  std::string Again = Svc->serve(
+      "{\"v\":1,\"id\":3,\"op\":\"feedback\",\"iters\":200,"
+      "\"accept\":[{\"rep\":\"flask.escape()\",\"role\":\"sanitizer\"}],"
+      "\"reject\":[{\"rep\":\"no.such.rep()\",\"role\":\"sink\"}]}");
+  EXPECT_NE(Again.find("\"total_feedback\":2"), std::string::npos) << Again;
+}
+
+TEST_F(ServiceTest, ConcurrentQueriesRaceFeedbackSafely) {
+  // Same shared_mutex contract as the learn race: readers (query/status)
+  // race the feedback writer. Under TSan this is the data-race proof;
+  // everywhere it checks that every response is well-formed. (Answers may
+  // legitimately change once feedback lands, so readers only assert
+  // structure, not bytes.)
+  auto Svc = startService(testOptions());
+  ASSERT_TRUE(Svc);
+  const std::string QueryLine =
+      "{\"v\":1,\"id\":0,\"op\":\"query\",\"rep\":\"flask.escape()\","
+      "\"role\":\"sanitizer\"}";
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&] {
+      for (int I = 0; I < 25; ++I)
+        if (Svc->serve(QueryLine).find("\"ok\":true") == std::string::npos)
+          Failures.fetch_add(1);
+    });
+  Threads.emplace_back([&] {
+    for (int I = 0; I < 3; ++I) {
+      std::string R = Svc->serve(
+          "{\"v\":1,\"id\":0,\"op\":\"feedback\",\"iters\":200,"
+          "\"accept\":[{\"rep\":\"flask.escape()\","
+          "\"role\":\"sanitizer\"}]}");
+      if (R.find("\"ok\":true") == std::string::npos)
+        Failures.fetch_add(1);
+    }
+  });
+  Threads.emplace_back([&] {
+    for (int I = 0; I < 25; ++I)
+      if (Svc->serve("{\"v\":1,\"id\":0,\"op\":\"status\"}")
+              .find("\"ok\":true") == std::string::npos)
+        Failures.fetch_add(1);
+  });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+}
+
 TEST_F(ServiceTest, OperationErrorsAreStructured) {
   auto Svc = startService(testOptions());
   ASSERT_TRUE(Svc);
@@ -443,6 +523,21 @@ TEST_F(ServiceTest, OperationErrorsAreStructured) {
        "\"bad-request\""},
       {"{\"v\":1,\"id\":4,\"op\":\"learn\",\"iters\":0}", "\"bad-request\""},
       {"{\"v\":1,\"id\":5,\"op\":\"taint\"}", "\"bad-request\""},
+      {"{\"v\":1,\"id\":20,\"op\":\"feedback\"}", "\"bad-request\""},
+      {"{\"v\":1,\"id\":21,\"op\":\"feedback\",\"accept\":{}}",
+       "\"bad-request\""},
+      {"{\"v\":1,\"id\":22,\"op\":\"feedback\","
+       "\"accept\":[{\"rep\":\"f()\",\"role\":\"boss\"}]}",
+       "\"bad-request\""},
+      {"{\"v\":1,\"id\":23,\"op\":\"feedback\","
+       "\"accept\":[{\"role\":\"sink\"}]}",
+       "\"bad-request\""},
+      {"{\"v\":1,\"id\":24,\"op\":\"feedback\",\"weight\":0,"
+       "\"accept\":[{\"rep\":\"f()\",\"role\":\"sink\"}]}",
+       "\"bad-request\""},
+      {"{\"v\":1,\"id\":25,\"op\":\"feedback\",\"decay\":2,"
+       "\"accept\":[{\"rep\":\"f()\",\"role\":\"sink\"}]}",
+       "\"bad-request\""},
       {"{\"v\":1,\"id\":6,\"op\":\"taint\",\"files\":{}}",
        "\"bad-request\""},
       {"{\"v\":1,\"id\":7,\"op\":\"status\",\"deadline_s\":-1}",

@@ -19,10 +19,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "active/ActiveLearner.h"
 #include "infer/Pipeline.h"
 #include "propgraph/GraphExport.h"
 #include "propgraph/GraphStats.h"
 #include "pysem/ProjectLoader.h"
+#include "service/FeedbackJson.h"
 #include "service/QueryResult.h"
 #include "spec/SpecIO.h"
 #include "taint/JsonExport.h"
@@ -77,6 +79,12 @@ struct CliOptions {
   bool Dot = false;
   bool Dedup = true;
   bool Json = false;
+  bool Active = false;
+  std::string OracleFile;
+  std::string OracleOut;
+  int Rounds = 10;
+  size_t QueriesPerRound = 8;
+  std::string FeedbackFile;
   std::string ExplainRep;
   std::string ExplainRole = "source";
   std::vector<std::string> Paths;
@@ -128,6 +136,8 @@ struct RawCliOptions {
   unsigned long Cutoff = 5;
   unsigned long Top = 25;
   unsigned long Jobs = 0;
+  unsigned long Rounds = 10;
+  unsigned long QueriesPerRound = 8;
   bool NoDedup = false;
 };
 
@@ -193,6 +203,27 @@ void registerFlags(ArgParser &Parser, CliOptions &Opts,
             "learn/explain: solve with the uncompiled\n"
             "reference evaluator (same learned spec, slower;\n"
             "alias for --solver-backend=legacy)")
+      .flag("--active", &Opts.Active,
+            "learn: run the active-learning loop — rank uncertain\n"
+            "scores, query the --oracle file, pin the answers, and\n"
+            "re-solve warm-started each round")
+      .string("--oracle", &Opts.OracleFile, "FILE",
+              "learn: replayable JSON answer file for --active\n"
+              "({\"answers\":[{\"rep\":...,\"role\":...,\"truth\":...}]});\n"
+              "pairs without an entry stay unpinned")
+      .string("--oracle-out", &Opts.OracleOut, "FILE",
+              "learn: write the active run's query transcript in\n"
+              "the --oracle format (replays byte-identically)")
+      .unsignedInt("--rounds", &Raw.Rounds, "N",
+                   "learn: active query rounds after the passive\n"
+                   "solve (default 10)")
+      .unsignedInt("--queries-per-round", &Raw.QueriesPerRound, "N",
+                   "learn: oracle queries proposed per round\n"
+                   "(default 8)")
+      .string("--feedback", &Opts.FeedbackFile, "FILE",
+              "learn: accept/reject verdict file\n"
+              "({\"accept\":[{\"rep\":...,\"role\":...}],\"reject\":[...]})\n"
+              "reweighting the constraint system before the solve")
       .flag("--no-dedup", &Raw.NoDedup,
             "keep duplicate (source, sink) API pairs")
       .flag("--json", &Opts.Json,
@@ -263,6 +294,25 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
   Opts.Dedup = !Raw.NoDedup;
   if (Opts.ShardCache && Opts.CacheDir.empty()) {
     std::fprintf(stderr, "error: --shard-cache requires --cache-dir\n");
+    return false;
+  }
+  if (Raw.Rounds == 0 || Raw.Rounds > 1'000'000) {
+    std::fprintf(stderr, "error: --rounds must be in [1, 1000000], got %lu\n",
+                 Raw.Rounds);
+    return false;
+  }
+  Opts.Rounds = static_cast<int>(Raw.Rounds);
+  if (Raw.QueriesPerRound == 0) {
+    std::fprintf(stderr, "error: --queries-per-round must be positive\n");
+    return false;
+  }
+  Opts.QueriesPerRound = static_cast<size_t>(Raw.QueriesPerRound);
+  if (Opts.Active && Opts.OracleFile.empty()) {
+    std::fprintf(stderr, "error: --active requires --oracle FILE\n");
+    return false;
+  }
+  if (!Opts.OracleFile.empty() && !Opts.Active) {
+    std::fprintf(stderr, "error: --oracle requires --active\n");
     return false;
   }
   return true;
@@ -445,6 +495,22 @@ int cmdLearn(const CliOptions &Opts) {
   PipelineOpts.Strict = Opts.Strict;
   PipelineOpts.DeadlineSeconds = Opts.DeadlineSeconds;
 
+  // A --feedback verdict file reweights the constraint system on every
+  // solve; the set is borrowed by the options, so it lives here.
+  constraints::FeedbackSet Verdicts;
+  if (!Opts.FeedbackFile.empty()) {
+    std::string Error;
+    size_t Accepted = 0, Rejected = 0;
+    if (!service::loadFeedbackFile(Opts.FeedbackFile, Verdicts, Error,
+                                   &Accepted, &Rejected)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "feedback: %zu accepted, %zu rejected from %s\n",
+                 Accepted, Rejected, Opts.FeedbackFile.c_str());
+    PipelineOpts.Feedback = &Verdicts;
+  }
+
   infer::Session Session(PipelineOpts);
   CliProgress Progress;
   if (Opts.Progress)
@@ -475,8 +541,44 @@ int cmdLearn(const CliOptions &Opts) {
   }
 
   Session.addProjects(Corpus);
-  Session.generateConstraints(Seed);
-  infer::PipelineResult R = Session.solve();
+  infer::PipelineResult R;
+  if (Opts.Active) {
+    active::FileOracle Oracle;
+    std::string Error;
+    if (!active::FileOracle::load(Opts.OracleFile, Oracle, Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    active::ActiveOptions AO;
+    AO.MaxRounds = Opts.Rounds;
+    AO.QueriesPerRound = Opts.QueriesPerRound;
+    AO.Threshold = Opts.Threshold;
+    active::ActiveResult AR =
+        active::runActiveLoop(Session, Seed, Oracle, AO);
+    std::fprintf(stderr,
+                 "active: %zu round(s), %zu of %zu candidate(s) queried, "
+                 "%zu pinned, %s\n",
+                 AR.Rounds.size(), AR.TotalQueries, AR.Candidates,
+                 AR.TotalPinned,
+                 AR.Converged ? "converged" : "budget exhausted");
+    if (!Opts.OracleOut.empty()) {
+      std::ofstream Out(Opts.OracleOut,
+                        std::ios::binary | std::ios::trunc);
+      if (Out)
+        Out << active::writeOracleFile(AR.Transcript);
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     Opts.OracleOut.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote transcript to %s (%zu exchange(s))\n",
+                   Opts.OracleOut.c_str(), AR.Transcript.size());
+    }
+    R = std::move(AR.Final);
+  } else {
+    Session.generateConstraints(Seed);
+    R = Session.solve();
+  }
   printCacheStats(R, Opts);
 
   std::fprintf(stderr,
@@ -485,6 +587,12 @@ int cmdLearn(const CliOptions &Opts) {
                R.NumFiles, R.JobsUsed, R.System.NumCandidates,
                R.System.Constraints.size(), R.SolveSeconds,
                R.Solve.Iterations);
+  if (R.UsedFeedback)
+    std::fprintf(stderr,
+                 "feedback: %zu matched, %zu unmatched, %zu evidence "
+                 "row(s), %zu propagated\n",
+                 R.Feedback.Matched, R.Feedback.Unmatched,
+                 R.Feedback.EvidenceRows, R.Feedback.PropagatedRows);
   if (Opts.SolverStats) {
     if (R.UsedCompiledSolver) {
       const solver::CompileStats &S = R.SolverStats;

@@ -52,7 +52,7 @@ void usage(const ArgParser &Parser) {
                "specification warm,\n"
                "and serves versioned JSON requests (one per line): status, "
                "query,\n"
-               "learn, taint, shutdown.\n"
+               "learn, feedback, taint, shutdown.\n"
                "\n"
                "options:\n%s",
                Parser.usage().c_str());
