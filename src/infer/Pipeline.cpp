@@ -623,3 +623,52 @@ PipelineResult Session::solve() {
   }
   return Result;
 }
+
+bool Session::restoreSolve(const solver::SolveResult &Restored,
+                           PipelineResult &Out) {
+  assert(SystemReady &&
+         "Session::restoreSolve() requires generateConstraints() first");
+  if (Restored.X.size() != System.Vars.numVars())
+    return false;
+
+  // Mirror solve()'s artifact copies so a restored result is
+  // indistinguishable from a freshly solved one to every consumer.
+  PipelineResult Result;
+  Result.Graph = Graph;
+  Result.Reps = Reps;
+  Result.System = System;
+  Result.NumFiles = NumFiles;
+  Result.BuildSeconds = BuildSeconds;
+  Result.BuildShardSeconds = BuildShardSeconds;
+  Result.GenSeconds = GenSeconds;
+  Result.GenShardSeconds = GenShardSeconds;
+  Result.JobsUsed = resolveJobs();
+  Result.UsedCache = Cache != nullptr;
+  if (Cache)
+    Result.Cache = Cache->stats();
+  Result.UsedShardCache = SystemFromShards;
+  if (SCache)
+    Result.ShardCacheStats = SCache->stats();
+
+  // Feedback rows land on the result's System copy exactly as in solve():
+  // a query against the restored result sees the same rows a pre-crash
+  // query saw.
+  if (Opts.Feedback && !Opts.Feedback->empty()) {
+    Result.UsedFeedback = true;
+    Result.Feedback = constraints::applyFeedback(
+        Result.System, Result.Reps, *Opts.Feedback, Opts.FeedbackOpts);
+  }
+  Incr.WarmStarted = Opts.WarmStart != nullptr;
+  Result.Incr = Incr;
+  Result.Backend = Opts.Solve.Backend;
+  Result.Solve = Restored;
+  Result.Health = Health;
+
+  const constraints::VarTable &Vars = Result.System.Vars;
+  for (uint32_t V = 0; V < Vars.numVars(); ++V) {
+    const std::string &Rep = Result.Reps.repString(Vars.repOf(V));
+    Result.Learned.setScore(Rep, Vars.roleOf(V), Result.Solve.X[V]);
+  }
+  Out = std::move(Result);
+  return true;
+}

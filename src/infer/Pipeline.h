@@ -300,6 +300,17 @@ public:
   /// returned PipelineResult.
   PipelineResult solve();
 
+  /// Installs a previously computed solver result instead of optimizing:
+  /// builds a PipelineResult from the session's artifacts exactly as
+  /// solve() would — including applying options().Feedback evidence rows
+  /// to the result's System copy — but adopts \p Restored wholesale in
+  /// place of running the optimizer, then extracts the LearnedSpec from
+  /// Restored.X. Requires generateConstraints(); returns false (leaving
+  /// \p Out untouched) when Restored.X does not match the system's
+  /// variable count. The seldond durability layer uses this to re-serve a
+  /// snapshot's scores byte-identically without re-solving.
+  bool restoreSolve(const solver::SolveResult &Restored, PipelineResult &Out);
+
   /// The built or adopted global graph (valid after buildGraph()).
   const propgraph::PropagationGraph &graph() const { return Graph; }
   bool hasGraph() const { return GraphReady; }

@@ -105,16 +105,168 @@ bool Service::start(std::string &Error) {
     Error = Session->shardCache()->error();
     return false;
   }
+  if (!Opts.StateDir.empty()) {
+    Durable = std::make_unique<StateStore>(Opts.StateDir);
+    if (!Durable->valid()) {
+      // Refuse to start rather than silently running without the
+      // durability the operator asked for.
+      Error = Durable->error();
+      return false;
+    }
+  }
+
   Session->addProjects(Corpus);
   try {
     Session->generateConstraints(Seed);
-    Warm = Session->solve();
+    if (Durable) {
+      if (!recoverDurableState(Error))
+        return false;
+    } else {
+      Warm = Session->solve();
+    }
   } catch (const std::exception &E) {
     Error = E.what();
     return false;
   }
   Started = true;
   return true;
+}
+
+bool Service::recoverDurableState(std::string &Error) {
+  io::IOResult<RecoveredState> Recovered = Durable->recover();
+  if (!Recovered) {
+    Error = Recovered.Error;
+    return false;
+  }
+  RecoveredState &RS = Recovered.Value;
+  for (const std::string &W : Durable->stats().Errors)
+    std::fprintf(stderr, "state: %s\n", W.c_str());
+
+  bool Restored = false;
+  if (RS.HasSnapshot) {
+    // Verdicts first: restoreSolve applies the session's feedback
+    // pointer (which is this set) to its System copy, so the restored
+    // Warm carries the same evidence rows the pre-crash one did.
+    for (const constraints::FeedbackEntry &E : RS.Snapshot.Feedback) {
+      if (E.Accepted)
+        Feedback.accept(E.Rep, E.R);
+      else
+        Feedback.reject(E.Rep, E.R);
+    }
+    WarmFO = RS.Snapshot.FeedbackOpts;
+    uint64_t Fingerprint =
+        systemFingerprint(Session->system(), Session->reps());
+    if (Fingerprint == RS.Snapshot.Fingerprint) {
+      infer::PipelineOptions &P = Session->options();
+      constraints::FeedbackOptions SavedFO = P.FeedbackOpts;
+      P.FeedbackOpts = WarmFO;
+      Restored = Session->restoreSolve(RS.Snapshot.Solve, Warm);
+      P.FeedbackOpts = SavedFO;
+    }
+    if (!Restored)
+      std::fprintf(stderr,
+                   "state: snapshot %llu no longer matches the corpus "
+                   "(fingerprint/shape changed); restoring verdicts and "
+                   "re-solving cold\n",
+                   static_cast<unsigned long long>(RS.Snapshot.LastSeq));
+    NextSeq = RS.Snapshot.LastSeq + 1;
+  }
+  if (!Restored) {
+    // No (usable) snapshot: cold solve, with whatever verdicts were
+    // restored above — the irreplaceable part of the state survives even
+    // when the corpus changed out from under the snapshot.
+    Warm = Session->solve();
+    WarmFO = Session->options().FeedbackOpts;
+  }
+
+  // Re-execute the journal suffix through the same code path live
+  // requests use; the state after replay is exactly the pre-crash state.
+  for (const JournalRecord &R : RS.Replay) {
+    NextSeq = std::max(NextSeq, R.Seq + 1);
+    try {
+      if (R.Op == JournalOp::Feedback)
+        applyFeedbackRecord(R, nullptr);
+      else
+        applyLearnRecord(R, nullptr);
+    } catch (const std::exception &E) {
+      // A record that fails to apply is treated as aborted — the same
+      // outcome its request would have had — instead of bricking the
+      // daemon behind a permanently unreplayable journal.
+      std::fprintf(stderr,
+                   "state: skipping journal record %llu (replay failed: "
+                   "%s)\n",
+                   static_cast<unsigned long long>(R.Seq), E.what());
+    }
+  }
+
+  // Baseline snapshot: everything recovered is now covered by one
+  // snapshot and the journal is compact, so the next crash replays at
+  // most the op in flight.
+  takeSnapshotLocked();
+  return true;
+}
+
+void Service::persist() {
+  std::unique_lock<std::shared_mutex> Lock(WarmMutex);
+  if (!Durable || !Started)
+    return;
+  if (EverSnapshotted && LastSnapshotSeq == NextSeq - 1)
+    return; // Nothing changed since the last snapshot.
+  takeSnapshotLocked();
+}
+
+void Service::takeSnapshotLocked() {
+  StateSnapshot Snapshot;
+  Snapshot.LastSeq = NextSeq - 1;
+  Snapshot.Fingerprint =
+      systemFingerprint(Session->system(), Session->reps());
+  Snapshot.Solve = Warm.Solve;
+  Snapshot.FeedbackOpts = WarmFO;
+  Snapshot.Feedback = Feedback.entries();
+  std::string Error;
+  if (!Durable->writeSnapshot(Snapshot, Error)) {
+    // The journal still holds every op; losing one snapshot degrades
+    // recovery time, not correctness.
+    std::fprintf(stderr, "state: snapshot failed: %s\n", Error.c_str());
+    return;
+  }
+  OpsSinceSnapshot = 0;
+  LastSnapshotSeq = Snapshot.LastSeq;
+  EverSnapshotted = true;
+}
+
+void Service::journalAppend(JournalRecord &Rec) {
+  if (!Durable)
+    return;
+  Rec.Seq = NextSeq++;
+  std::string Error;
+  if (!Durable->appendRecord(Rec, Error))
+    throw OpError(ErrorCode::Internal,
+                  formatString("cannot journal op: %s", Error.c_str()));
+}
+
+void Service::journalAbort(uint64_t Seq) {
+  if (!Durable || Seq == 0)
+    return;
+  JournalRecord Abort;
+  Abort.Op = JournalOp::Abort;
+  Abort.AbortedSeq = Seq;
+  // Best-effort, from a catch block: a failed abort append means the op
+  // gets replayed on recovery and fails again there — annoying, not
+  // incorrect — and must not mask the original error.
+  try {
+    journalAppend(Abort);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "state: %s\n", E.what());
+  }
+}
+
+void Service::maybeSnapshot() {
+  if (!Durable)
+    return;
+  ++OpsSinceSnapshot;
+  if (Opts.SnapshotEvery > 0 && OpsSinceSnapshot >= Opts.SnapshotEvery)
+    takeSnapshotLocked();
 }
 
 bool Service::loadCorpus(std::vector<pysem::Project> &Out,
@@ -256,6 +408,27 @@ std::string Service::dispatch(const Request &Req, Deadline &D) {
 std::string Service::opStatus() {
   std::shared_lock<std::shared_mutex> Lock(WarmMutex);
   metrics::Registry &Reg = metrics::Registry::global();
+  std::string Durability = "{\"enabled\":false}";
+  if (Durable) {
+    DurabilityStats DS = Durable->stats();
+    Durability = formatString(
+        "{\"enabled\":true,\"appends\":%llu,\"fsyncs\":%llu,"
+        "\"journal_bytes\":%llu,\"snapshots\":%llu,\"compactions\":%llu,"
+        "\"replayed\":%llu,\"truncated_tail_bytes\":%llu,"
+        "\"evicted_snapshots\":%llu,\"evicted_journals\":%llu,"
+        "\"stale_temps_removed\":%llu,\"recovery_seconds\":%s}",
+        static_cast<unsigned long long>(DS.Appends),
+        static_cast<unsigned long long>(DS.Fsyncs),
+        static_cast<unsigned long long>(DS.BytesAppended),
+        static_cast<unsigned long long>(DS.Snapshots),
+        static_cast<unsigned long long>(DS.Compactions),
+        static_cast<unsigned long long>(DS.ReplayedRecords),
+        static_cast<unsigned long long>(DS.TruncatedTailBytes),
+        static_cast<unsigned long long>(DS.EvictedSnapshots),
+        static_cast<unsigned long long>(DS.EvictedJournals),
+        static_cast<unsigned long long>(DS.StaleTempsRemoved),
+        renderJsonNumber(DS.RecoverySeconds).c_str());
+  }
   return formatString(
       "{\"protocol\":%d,"
       "\"corpus\":{\"projects\":%zu,\"files\":%zu,\"events\":%zu,"
@@ -267,6 +440,7 @@ std::string Service::opStatus() {
       "\"cache\":{\"enabled\":%s,\"hits\":%llu,\"misses\":%llu,"
       "\"stores\":%llu},"
       "\"requests\":{\"handled\":%llu,\"failed\":%llu,\"active\":%zu},"
+      "\"durability\":%s,"
       "\"metrics\":{\"parse_files\":%llu,\"taint_analyses\":%llu}}",
       ProtocolVersion, Corpus.size(), Warm.NumFiles,
       Warm.Graph.numEvents(), Warm.Graph.numEdges(),
@@ -284,7 +458,7 @@ std::string Service::opStatus() {
           Handled.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(
           Failed.load(std::memory_order_relaxed)),
-      Admitted.load(std::memory_order_relaxed),
+      Admitted.load(std::memory_order_relaxed), Durability.c_str(),
       static_cast<unsigned long long>(Reg.counter("parse.files").value()),
       static_cast<unsigned long long>(
           Reg.counter("taint.analyses").value()));
@@ -332,76 +506,24 @@ std::string Service::opLearn(const Request &Req, Deadline &D) {
   }
 
   checkDeadline(D, Reload ? "reload" : "solve");
+  JournalRecord Rec;
+  Rec.Op = JournalOp::Learn;
+  Rec.Iters = static_cast<uint64_t>(Iters);
+  Rec.WarmStart = WarmStart;
+  Rec.Reload = Reload;
+  Rec.Backend = Backend;
+
   std::unique_lock<std::shared_mutex> Lock(WarmMutex);
-  infer::PipelineResult R;
-  // The warm-start spec must outlive the solve; options().WarmStart is a
-  // borrowed pointer.
-  spec::LearnedSpec WarmCopy;
-  if (Reload) {
-    // Re-read the corpus into a *fresh* session: the served state stays
-    // untouched (and keeps serving reads after we release the lock on a
-    // throw) until the new solve has fully succeeded. With the graph and
-    // shard caches enabled, unchanged projects replay their cached graph
-    // and constraint shard — only the delta re-parses and re-extracts.
-    std::vector<pysem::Project> NewCorpus;
-    std::string Error;
-    if (!loadCorpus(NewCorpus, Error))
-      throw OpError(ErrorCode::Internal, Error);
-    std::unique_ptr<infer::Session> NewSession = makeSession();
-    NewSession->addProjects(NewCorpus);
-    solver::SolveOptions &SO = NewSession->options().Solve;
-    SO.MaxIterations = static_cast<int>(Iters);
-    SO.Backend = Backend;
-    if (D.armed())
-      SO.BudgetSeconds = D.remainingSeconds();
-    SO.ShouldStop = [&D]() { return D.expired(); };
-    if (WarmStart) {
-      WarmCopy = Warm.Learned;
-      NewSession->options().WarmStart = &WarmCopy;
-    }
-    NewSession->generateConstraints(Seed);
-    R = NewSession->solve();
-    // Clear the per-request knobs before the session becomes the warm
-    // one — D and WarmCopy die with this request.
-    SO.MaxIterations = Opts.Iterations;
-    SO.Backend = Opts.Backend;
-    SO.BudgetSeconds = 0.0;
-    SO.ShouldStop = nullptr;
-    NewSession->options().WarmStart = nullptr;
-    // Moving the vector moves its buffer, not its elements, so the
-    // Project pointers the new session borrowed stay valid.
-    Corpus = std::move(NewCorpus);
-    Session = std::move(NewSession);
-  } else {
-    solver::SolveOptions &SO = Session->options().Solve;
-    SO.MaxIterations = static_cast<int>(Iters);
-    SO.Backend = Backend;
-    if (D.armed())
-      SO.BudgetSeconds = D.remainingSeconds();
-    SO.ShouldStop = [&D]() { return D.expired(); };
-    if (WarmStart) {
-      WarmCopy = Warm.Learned;
-      Session->options().WarmStart = &WarmCopy;
-    }
-    auto Restore = [&]() {
-      SO.MaxIterations = Opts.Iterations;
-      SO.Backend = Opts.Backend;
-      SO.BudgetSeconds = 0.0;
-      SO.ShouldStop = nullptr;
-      Session->options().WarmStart = nullptr;
-    };
-    try {
-      // The graph and constraint system are warm (GraphReady/SystemReady
-      // from start()); solve() alone re-optimizes — no re-parse, no
-      // re-gen.
-      R = Session->solve();
-    } catch (...) {
-      Restore();
-      throw;
-    }
-    Restore();
+  // Journal + fsync *before* the solve mutates anything: a crash at any
+  // later point replays this op from the journal.
+  journalAppend(Rec);
+  try {
+    applyLearnRecord(Rec, &D);
+  } catch (...) {
+    journalAbort(Rec.Seq);
+    throw;
   }
-  Warm = std::move(R);
+  maybeSnapshot();
   return formatString(
       "{\"iterations\":%d,\"converged\":%s,\"constraints\":%zu,"
       "\"candidates\":%zu,\"spec_size\":%zu,\"warm_started\":%s,"
@@ -445,11 +567,117 @@ std::string Service::opFeedback(const Request &Req, Deadline &D) {
     badRequest(Error);
 
   checkDeadline(D, "feedback solve");
+  JournalRecord Rec;
+  Rec.Op = JournalOp::Feedback;
+  Rec.Entries = Delta.entries();
+  Rec.FeedbackOpts = FO;
+  Rec.Iters = static_cast<uint64_t>(Iters);
+  Rec.WarmStart = WarmStart;
+
   std::unique_lock<std::shared_mutex> Lock(WarmMutex);
+  // Journal + fsync *before* the verdict merge and re-solve: a crash at
+  // any later point replays this op from the journal.
+  journalAppend(Rec);
+  try {
+    applyFeedbackRecord(Rec, &D);
+  } catch (...) {
+    journalAbort(Rec.Seq);
+    throw;
+  }
+  maybeSnapshot();
+  return formatString(
+      "{\"accepted\":%zu,\"rejected\":%zu,\"total_feedback\":%zu,"
+      "\"matched\":%zu,\"unmatched\":%zu,\"evidence_rows\":%zu,"
+      "\"propagated_rows\":%zu,"
+      "\"iterations\":%d,\"converged\":%s,\"spec_size\":%zu,"
+      "\"warm_started\":%s}",
+      Accepted, Rejected, Feedback.size(), Warm.Feedback.Matched,
+      Warm.Feedback.Unmatched, Warm.Feedback.EvidenceRows,
+      Warm.Feedback.PropagatedRows, Warm.Solve.Iterations,
+      Warm.Solve.Converged ? "true" : "false", Warm.Learned.size(),
+      WarmStart ? "true" : "false");
+}
+
+void Service::applyLearnRecord(const JournalRecord &Rec, Deadline *D) {
+  infer::PipelineResult R;
+  // The warm-start spec must outlive the solve; options().WarmStart is a
+  // borrowed pointer.
+  spec::LearnedSpec WarmCopy;
+  if (Rec.Reload) {
+    // Re-read the corpus into a *fresh* session: the served state stays
+    // untouched (and keeps serving reads after we release the lock on a
+    // throw) until the new solve has fully succeeded. With the graph and
+    // shard caches enabled, unchanged projects replay their cached graph
+    // and constraint shard — only the delta re-parses and re-extracts.
+    std::vector<pysem::Project> NewCorpus;
+    std::string Error;
+    if (!loadCorpus(NewCorpus, Error))
+      throw OpError(ErrorCode::Internal, Error);
+    std::unique_ptr<infer::Session> NewSession = makeSession();
+    NewSession->addProjects(NewCorpus);
+    solver::SolveOptions &SO = NewSession->options().Solve;
+    SO.MaxIterations = static_cast<int>(Rec.Iters);
+    SO.Backend = Rec.Backend;
+    if (D && D->armed()) {
+      SO.BudgetSeconds = D->remainingSeconds();
+      SO.ShouldStop = [D]() { return D->expired(); };
+    }
+    if (Rec.WarmStart) {
+      WarmCopy = Warm.Learned;
+      NewSession->options().WarmStart = &WarmCopy;
+    }
+    NewSession->generateConstraints(Seed);
+    R = NewSession->solve();
+    // Clear the per-request knobs before the session becomes the warm
+    // one — D and WarmCopy die with this request.
+    SO.MaxIterations = Opts.Iterations;
+    SO.Backend = Opts.Backend;
+    SO.BudgetSeconds = 0.0;
+    SO.ShouldStop = nullptr;
+    NewSession->options().WarmStart = nullptr;
+    // Moving the vector moves its buffer, not its elements, so the
+    // Project pointers the new session borrowed stay valid.
+    Corpus = std::move(NewCorpus);
+    Session = std::move(NewSession);
+  } else {
+    solver::SolveOptions &SO = Session->options().Solve;
+    SO.MaxIterations = static_cast<int>(Rec.Iters);
+    SO.Backend = Rec.Backend;
+    if (D && D->armed()) {
+      SO.BudgetSeconds = D->remainingSeconds();
+      SO.ShouldStop = [D]() { return D->expired(); };
+    }
+    if (Rec.WarmStart) {
+      WarmCopy = Warm.Learned;
+      Session->options().WarmStart = &WarmCopy;
+    }
+    auto Restore = [&]() {
+      SO.MaxIterations = Opts.Iterations;
+      SO.Backend = Opts.Backend;
+      SO.BudgetSeconds = 0.0;
+      SO.ShouldStop = nullptr;
+      Session->options().WarmStart = nullptr;
+    };
+    try {
+      // The graph and constraint system are warm (GraphReady/SystemReady
+      // from start()); solve() alone re-optimizes — no re-parse, no
+      // re-gen.
+      R = Session->solve();
+    } catch (...) {
+      Restore();
+      throw;
+    }
+    Restore();
+  }
+  Warm = std::move(R);
+  WarmFO = Session->options().FeedbackOpts;
+}
+
+void Service::applyFeedbackRecord(const JournalRecord &Rec, Deadline *D) {
   // Merge the delta into the cumulative set; a repeated pair keeps the
   // newest verdict. The session's options already point at Feedback, so
   // the re-solve below (and every later learn) sees the merged set.
-  for (const constraints::FeedbackEntry &E : Delta.entries()) {
+  for (const constraints::FeedbackEntry &E : Rec.Entries) {
     if (E.Accepted)
       Feedback.accept(E.Rep, E.R);
     else
@@ -457,16 +685,17 @@ std::string Service::opFeedback(const Request &Req, Deadline &D) {
   }
   infer::PipelineOptions &P = Session->options();
   constraints::FeedbackOptions SavedFO = P.FeedbackOpts;
-  P.FeedbackOpts = FO;
+  P.FeedbackOpts = Rec.FeedbackOpts;
   solver::SolveOptions &SO = P.Solve;
-  SO.MaxIterations = static_cast<int>(Iters);
-  if (D.armed())
-    SO.BudgetSeconds = D.remainingSeconds();
-  SO.ShouldStop = [&D]() { return D.expired(); };
+  SO.MaxIterations = static_cast<int>(Rec.Iters);
+  if (D && D->armed()) {
+    SO.BudgetSeconds = D->remainingSeconds();
+    SO.ShouldStop = [D]() { return D->expired(); };
+  }
   // The warm-start spec must outlive the solve; options().WarmStart is a
   // borrowed pointer.
   spec::LearnedSpec WarmCopy;
-  if (WarmStart) {
+  if (Rec.WarmStart) {
     WarmCopy = Warm.Learned;
     P.WarmStart = &WarmCopy;
   }
@@ -486,17 +715,7 @@ std::string Service::opFeedback(const Request &Req, Deadline &D) {
   }
   Restore();
   Warm = std::move(R);
-  return formatString(
-      "{\"accepted\":%zu,\"rejected\":%zu,\"total_feedback\":%zu,"
-      "\"matched\":%zu,\"unmatched\":%zu,\"evidence_rows\":%zu,"
-      "\"propagated_rows\":%zu,"
-      "\"iterations\":%d,\"converged\":%s,\"spec_size\":%zu,"
-      "\"warm_started\":%s}",
-      Accepted, Rejected, Feedback.size(), Warm.Feedback.Matched,
-      Warm.Feedback.Unmatched, Warm.Feedback.EvidenceRows,
-      Warm.Feedback.PropagatedRows, Warm.Solve.Iterations,
-      Warm.Solve.Converged ? "true" : "false", Warm.Learned.size(),
-      WarmStart ? "true" : "false");
+  WarmFO = Rec.FeedbackOpts;
 }
 
 std::string Service::opTaint(const Request &Req, Deadline &D) {

@@ -45,6 +45,15 @@
 /// is written, so a flood degrades into `overloaded` errors instead of an
 /// unbounded queue.
 ///
+/// Durability: with Options::StateDir set, every accepted mutating op
+/// (feedback, learn) is journaled and fsynced *before* its re-solve runs,
+/// the served state is snapshotted (and the journal compacted) every
+/// SnapshotEvery ops and at persist(), and start() recovers the exact
+/// pre-crash state: newest valid snapshot installed through
+/// Session::restoreSolve (byte-identical scores, no re-optimization),
+/// then the journal suffix re-executed through the same code path live
+/// requests use. See service/StateStore.h for the on-disk protocol.
+///
 /// Deadlines: each request gets a cooperative support/Deadline (server
 /// default, overridable per request via "deadline_s"). The Session's own
 /// run deadline stays disarmed — Session::armDeadline is one-shot, which
@@ -63,6 +72,7 @@
 #include "infer/Pipeline.h"
 #include "pysem/Project.h"
 #include "service/Protocol.h"
+#include "service/StateStore.h"
 #include "spec/SeedSpec.h"
 #include "support/Deadline.h"
 
@@ -111,6 +121,16 @@ public:
     size_t MaxInFlight = 64;
     /// Request frame cap in bytes.
     size_t MaxRequestBytes = DefaultMaxRequestBytes;
+    /// Durable-state directory (empty = no durability). With it, every
+    /// accepted mutating op is journaled + fsynced before its re-solve,
+    /// and start() recovers the exact pre-crash state from the newest
+    /// snapshot plus the journal suffix. See service/StateStore.h.
+    std::string StateDir;
+    /// Snapshot + compact the journal after every Nth applied mutating
+    /// op (0 = only at persist()/shutdown). Default 1: the journal stays
+    /// one op deep, so recovery replays at most the op in flight at the
+    /// crash.
+    uint64_t SnapshotEvery = 1;
   };
 
   explicit Service(Options Opts);
@@ -149,6 +169,15 @@ public:
 
   const Options &options() const { return Opts; }
 
+  /// Writes a final snapshot (and compacts the journal) when durability
+  /// is enabled and state changed since the last snapshot — the orderly
+  /// half of shutdown, called by seldond after the serve loop drains.
+  /// No-op without --state-dir. Thread-safe.
+  void persist();
+
+  /// The durable store (test hook); null without --state-dir.
+  const StateStore *stateStore() const { return Durable.get(); }
+
   /// The warm pipeline result (test hook). Not synchronized against a
   /// concurrent `learn`; call only when no requests are in flight.
   const infer::PipelineResult &warm() const { return Warm; }
@@ -166,6 +195,30 @@ private:
   std::string opFeedback(const Request &Req, Deadline &D);
   std::string opTaint(const Request &Req, Deadline &D);
 
+  /// Executes a feedback/learn op from its journal-record form — the one
+  /// code path shared by live requests and recovery replay, so a replayed
+  /// op reproduces the original solve exactly. Caller holds WarmMutex
+  /// exclusively; \p D may be null (replay runs without a deadline).
+  void applyFeedbackRecord(const JournalRecord &Rec, Deadline *D);
+  void applyLearnRecord(const JournalRecord &Rec, Deadline *D);
+  /// Assigns the next sequence number and appends \p Rec to the journal
+  /// (fsynced). Throws OpError(Internal) when the record cannot be made
+  /// durable — the op must fail rather than mutate unjournaled state.
+  /// No-op without durability. Caller holds WarmMutex exclusively.
+  void journalAppend(JournalRecord &Rec);
+  /// Best-effort abort record for a journaled op that failed to apply.
+  void journalAbort(uint64_t Seq);
+  /// Counts one applied op and snapshots per Options::SnapshotEvery.
+  void maybeSnapshot();
+  /// Publishes a snapshot of the served state and compacts the journal.
+  /// Caller holds WarmMutex exclusively (or is single-threaded startup).
+  void takeSnapshotLocked();
+  /// Recovers durable state after the initial generateConstraints():
+  /// installs the newest valid snapshot (or degrades to a cold solve) and
+  /// re-executes the journal replay suffix. Fills Warm. False with a
+  /// diagnostic in \p Error on unrecoverable IO.
+  bool recoverDurableState(std::string &Error);
+
   Options Opts;
   spec::SeedSpec Seed;
   std::vector<pysem::Project> Corpus;
@@ -182,6 +235,20 @@ private:
   mutable std::shared_mutex WarmMutex;
   infer::PipelineResult Warm;
   bool Started = false;
+
+  /// Durable store (null without --state-dir) and its bookkeeping, all
+  /// guarded by WarmMutex exclusively (mutating ops are the only users).
+  std::unique_ptr<StateStore> Durable;
+  /// Next journal sequence number to assign.
+  uint64_t NextSeq = 1;
+  /// Applied mutating ops since the last snapshot.
+  uint64_t OpsSinceSnapshot = 0;
+  /// Sequence number covered by the last snapshot (0 = none yet).
+  uint64_t LastSnapshotSeq = 0;
+  bool EverSnapshotted = false;
+  /// The FeedbackOptions the solve that produced Warm applied its
+  /// evidence rows with; snapshotted so recovery re-applies identically.
+  constraints::FeedbackOptions WarmFO;
 
   std::atomic<size_t> Admitted{0};
   std::atomic<uint64_t> Handled{0};

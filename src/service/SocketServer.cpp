@@ -117,7 +117,20 @@ size_t SocketServer::run() {
       break; // stop() shut the listener down, or it failed hard.
     }
     Served.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> Lock(LiveMutex);
+      LiveFds.insert(Fd);
+    }
     Connections.emplace_back([this, Fd]() { serveConnection(Fd); });
+  }
+  // Drain: a connection parked in recv() on an idle client would block
+  // the joins below forever; shutting the fd down makes its recv return
+  // so the thread can exit. Runs in normal (non-signal) context — stop()
+  // itself stays async-signal-safe.
+  {
+    std::lock_guard<std::mutex> Lock(LiveMutex);
+    for (int Fd : LiveFds)
+      ::shutdown(Fd, SHUT_RDWR);
   }
   for (std::thread &T : Connections)
     T.join();
@@ -216,6 +229,10 @@ void SocketServer::serveConnection(int Fd) {
                        "\n");
       Open = false;
     }
+  }
+  {
+    std::lock_guard<std::mutex> Lock(LiveMutex);
+    LiveFds.erase(Fd);
   }
   ::close(Fd);
 }

@@ -24,6 +24,8 @@
 #define SELDON_SERVICE_SOCKETSERVER_H
 
 #include <atomic>
+#include <mutex>
+#include <set>
 #include <string>
 
 namespace seldon {
@@ -70,6 +72,10 @@ private:
   int ListenFd = -1;
   std::atomic<bool> Stopping{false};
   std::atomic<size_t> Served{0};
+  /// Live connection fds, so a drain can shut them down: a stop() with
+  /// an idle client parked in recv() must not hang the join in run().
+  std::mutex LiveMutex;
+  std::set<int> LiveFds;
 };
 
 /// Minimal blocking client for tests and scripts: one connection, one

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <vector>
 
@@ -31,11 +32,17 @@ struct ArmedKey {
 struct PointState {
   bool All = false; ///< `point:*` — trips for every key, never consumed.
   std::vector<ArmedKey> Keys;
+  /// `crash:point:...` arms, kept separate so a throwing arm and a crash
+  /// arm of the same point coexist.
+  bool CrashAll = false;
+  std::vector<ArmedKey> CrashKeys;
   std::atomic<uint64_t> Trips{0};
 
   void clear() {
     All = false;
     Keys.clear();
+    CrashAll = false;
+    CrashKeys.clear();
     Trips.store(0, std::memory_order_relaxed);
   }
 };
@@ -66,6 +73,18 @@ const char *seldon::fault::pointName(Point P) {
     return "constraint-gen";
   case Point::SolverStep:
     return "solver-step";
+  case Point::JournalAppend:
+    return "journal-append";
+  case Point::JournalFsync:
+    return "journal-fsync";
+  case Point::JournalSynced:
+    return "journal-synced";
+  case Point::SnapshotWrite:
+    return "snapshot-write";
+  case Point::SnapshotRename:
+    return "snapshot-rename";
+  case Point::JournalReset:
+    return "journal-reset";
   }
   return "?";
 }
@@ -88,11 +107,18 @@ bool seldon::fault::configure(const std::string &Spec, std::string *Error) {
     Item = trim(Item);
     if (Item.empty())
       continue;
+    // `crash:` turns the item into a process-crash arm.
+    bool Crash = false;
+    constexpr std::string_view CrashPrefix = "crash:";
+    if (Item.substr(0, CrashPrefix.size()) == CrashPrefix) {
+      Crash = true;
+      Item = Item.substr(CrashPrefix.size());
+    }
     size_t Colon = Item.find(':');
     if (Colon == std::string_view::npos) {
       if (Error)
         *Error = "fault item '" + std::string(Item) +
-                 "' is not of the form point:key";
+                 "' is not of the form [crash:]point:key";
       reset();
       return false;
     }
@@ -112,7 +138,7 @@ bool seldon::fault::configure(const std::string &Spec, std::string *Error) {
 
     PointState &PS = state().Points[Found];
     if (Key == "*") {
-      PS.All = true;
+      (Crash ? PS.CrashAll : PS.All) = true;
     } else {
       errno = 0;
       char *End = nullptr;
@@ -124,7 +150,8 @@ bool seldon::fault::configure(const std::string &Spec, std::string *Error) {
         reset();
         return false;
       }
-      PS.Keys.emplace_back(static_cast<uint64_t>(Value));
+      (Crash ? PS.CrashKeys : PS.Keys)
+          .emplace_back(static_cast<uint64_t>(Value));
     }
     Armed = true;
   }
@@ -139,16 +166,16 @@ bool seldon::fault::configureFromEnv(std::string *Error) {
   return configure(Spec, Error);
 }
 
-bool seldon::fault::shouldTrip(Point P, uint64_t Key) {
-  FaultState &S = state();
-  if (!S.AnyArmed.load(std::memory_order_relaxed))
-    return false;
-  PointState &PS = S.Points[static_cast<int>(P)];
-  if (PS.All) {
+namespace {
+
+/// Shared matcher for the throwing and crash arm sets of one point.
+bool tripArm(PointState &PS, bool All, std::vector<ArmedKey> &Keys,
+             uint64_t Key) {
+  if (All) {
     PS.Trips.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
-  for (ArmedKey &A : PS.Keys) {
+  for (ArmedKey &A : Keys) {
     if (A.Key != Key)
       continue;
     // One-shot: the first evaluation wins the exchange and trips; a retry
@@ -159,6 +186,39 @@ bool seldon::fault::shouldTrip(Point P, uint64_t Key) {
     }
   }
   return false;
+}
+
+} // namespace
+
+bool seldon::fault::shouldTrip(Point P, uint64_t Key) {
+  FaultState &S = state();
+  if (!S.AnyArmed.load(std::memory_order_relaxed))
+    return false;
+  PointState &PS = S.Points[static_cast<int>(P)];
+  return tripArm(PS, PS.All, PS.Keys, Key);
+}
+
+bool seldon::fault::crashArmed(Point P, uint64_t Key) {
+  FaultState &S = state();
+  if (!S.AnyArmed.load(std::memory_order_relaxed))
+    return false;
+  PointState &PS = S.Points[static_cast<int>(P)];
+  return tripArm(PS, PS.CrashAll, PS.CrashKeys, Key);
+}
+
+void seldon::fault::crashExit(Point P, uint64_t Key) {
+  std::fprintf(stderr, "injected crash at %s #%llu\n", pointName(P),
+               static_cast<unsigned long long>(Key));
+  std::fflush(stderr);
+  // _Exit: no destructors, no atexit, no stream flushes — pending writes
+  // that the call site did not explicitly push to the OS are lost, which
+  // is exactly the crash model the recovery harness needs.
+  std::_Exit(CrashExitCode);
+}
+
+void seldon::fault::maybeCrash(Point P, uint64_t Key) {
+  if (crashArmed(P, Key))
+    crashExit(P, Key);
 }
 
 void seldon::fault::maybeThrow(Point P, uint64_t Key) {

@@ -16,10 +16,19 @@
 ///                                          poison solver iteration 5
 ///   SELDON_FAULT="cache-read:*"            fail every cache read
 ///
+/// A `crash:` prefix turns an armed point into a *process-crash* point:
+/// instead of throwing, the process exits immediately (no destructors, no
+/// flushes beyond what the call site already wrote) — the primitive the
+/// durability layer's kill-and-restart recovery harness is built on:
+///
+///   SELDON_FAULT="crash:journal-append:2"  die while appending journal
+///                                          record #2
+///
 /// The key is always a value the *caller* owns (project index, file index,
-/// solver iteration), never an invocation ordinal, so an armed fault trips
-/// at the same place regardless of thread schedule — recovery tests stay
-/// deterministic at any `--jobs`, including under TSan.
+/// solver iteration, journal sequence number), never an invocation
+/// ordinal, so an armed fault trips at the same place regardless of thread
+/// schedule — recovery tests stay deterministic at any `--jobs`, including
+/// under TSan.
 ///
 /// A keyed arm is one-shot: it trips the first time its (point, key) pair
 /// is evaluated and is consumed, so a retry of the same work item (the
@@ -49,8 +58,17 @@ enum class Point {
   CacheWrite,    ///< Per-project graph-cache write-back.
   ConstraintGen, ///< Per-file constraint-extraction shard.
   SolverStep,    ///< One optimizer iteration (poisons the objective).
+  // Durability boundaries (service/StateStore). Keyed by the journal
+  // sequence number / the snapshot's covered sequence number; exercised
+  // through the `crash:` arms by the recovery harness.
+  JournalAppend,  ///< Mid-append: only a prefix of the record lands.
+  JournalFsync,   ///< Record fully written, fsync not yet issued.
+  JournalSynced,  ///< Record durable, the op not yet applied or acked.
+  SnapshotWrite,  ///< Snapshot temp fully written, not yet renamed.
+  SnapshotRename, ///< Snapshot published, journal not yet compacted.
+  JournalReset,   ///< Fresh compacted journal written, not yet renamed.
 };
-constexpr int NumPoints = 6;
+constexpr int NumPoints = 12;
 
 /// The spec-string name of \p P ("parse", "graph-build", ...).
 const char *pointName(Point P);
@@ -68,8 +86,10 @@ bool enabled();
 
 /// Arms the faults described by \p Spec — a comma-separated list of
 /// `point:key` (decimal key) or `point:*` items over the pointName()
-/// names. Replaces the previous configuration. Returns false and writes a
-/// description into \p Error (may be null) on a malformed spec.
+/// names, each optionally prefixed with `crash:` to arm a process-crash
+/// instead of a thrown fault. Replaces the previous configuration.
+/// Returns false and writes a description into \p Error (may be null) on
+/// a malformed spec.
 bool configure(const std::string &Spec, std::string *Error = nullptr);
 
 /// Arms faults from the SELDON_FAULT environment variable. Returns false
@@ -88,6 +108,25 @@ bool shouldTrip(Point P, uint64_t Key);
 /// Throws InjectedFault("injected fault at <point> #<key>") when \p P is
 /// armed for \p Key.
 void maybeThrow(Point P, uint64_t Key);
+
+/// The exit code a crash arm dies with (distinguishable from every normal
+/// seldon exit: 0 ok, 1 error, 2 degraded).
+constexpr int CrashExitCode = 86;
+
+/// True — consuming a one-shot `crash:` arm — when a process crash is
+/// armed at \p P for \p Key. Call sites that need to crash *mid*-effect
+/// (a torn journal append) test this, emit their partial effect, then
+/// call crashExit().
+bool crashArmed(Point P, uint64_t Key);
+
+/// Prints the injected-crash diagnostic to stderr and terminates the
+/// process immediately via _Exit(CrashExitCode): no destructors, no
+/// stream flushes, no atexit handlers — the closest portable stand-in
+/// for SIGKILL that still reports where it happened.
+[[noreturn]] void crashExit(Point P, uint64_t Key);
+
+/// crashArmed() + crashExit() in one call — the plain boundary crash.
+void maybeCrash(Point P, uint64_t Key);
 
 /// Times \p P tripped since the last configure()/reset().
 uint64_t tripCount(Point P);

@@ -468,6 +468,76 @@ TEST_F(ServiceTest, FeedbackRoundTripNudgesTheServedSpec) {
   EXPECT_NE(Again.find("\"total_feedback\":2"), std::string::npos) << Again;
 }
 
+TEST_F(ServiceTest, DurableRestartServesByteIdenticalState) {
+  fs::create_directories(Root / "state");
+  Service::Options Opts = testOptions();
+  Opts.StateDir = (Root / "state").string();
+
+  const std::string FeedbackLine =
+      "{\"v\":1,\"id\":1,\"op\":\"feedback\",\"iters\":200,"
+      "\"accept\":[{\"rep\":\"flask.escape()\",\"role\":\"sanitizer\"}]}";
+  const std::string QueryLine =
+      "{\"v\":1,\"id\":2,\"op\":\"query\",\"rep\":\"flask.escape()\","
+      "\"role\":\"sanitizer\"}";
+
+  std::string Before;
+  {
+    auto Svc = startService(Opts);
+    ASSERT_TRUE(Svc);
+    ASSERT_NE(Svc->stateStore(), nullptr);
+    std::string R = Svc->serve(FeedbackLine);
+    ASSERT_NE(R.find("\"ok\":true"), std::string::npos) << R;
+    Before = Svc->serve(QueryLine);
+    Svc->persist();
+  }
+  // A second service on the same state directory serves the same bytes —
+  // restoreSolve, not a re-optimization.
+  auto Restarted = startService(Opts);
+  ASSERT_TRUE(Restarted);
+  EXPECT_EQ(Restarted->serve(QueryLine), Before);
+  // The cumulative feedback set came back too: the repeat verdict is not
+  // counted twice.
+  std::string Again = Restarted->serve(FeedbackLine);
+  EXPECT_NE(Again.find("\"total_feedback\":1"), std::string::npos) << Again;
+}
+
+TEST_F(ServiceTest, StatusReportsDurabilityCounters) {
+  fs::create_directories(Root / "state");
+  Service::Options Opts = testOptions();
+  Opts.StateDir = (Root / "state").string();
+  auto Svc = startService(Opts);
+  ASSERT_TRUE(Svc);
+  std::string R = Svc->serve("{\"v\":1,\"id\":1,\"op\":\"status\"}");
+  EXPECT_NE(R.find("\"durability\":{\"enabled\":true"), std::string::npos)
+      << R;
+  for (const char *Key :
+       {"\"appends\":", "\"fsyncs\":", "\"journal_bytes\":",
+        "\"snapshots\":", "\"compactions\":", "\"replayed\":",
+        "\"truncated_tail_bytes\":", "\"recovery_seconds\":"})
+    EXPECT_NE(R.find(Key), std::string::npos) << Key << " missing: " << R;
+
+  // Without a state dir the section stays, but reports disabled.
+  auto Plain = startService(testOptions());
+  ASSERT_TRUE(Plain);
+  std::string P = Plain->serve("{\"v\":1,\"id\":1,\"op\":\"status\"}");
+  EXPECT_NE(P.find("\"durability\":{\"enabled\":false}"), std::string::npos)
+      << P;
+  EXPECT_EQ(Plain->stateStore(), nullptr);
+}
+
+TEST_F(ServiceTest, PersistIsIdempotent) {
+  fs::create_directories(Root / "state");
+  Service::Options Opts = testOptions();
+  Opts.StateDir = (Root / "state").string();
+  auto Svc = startService(Opts);
+  ASSERT_TRUE(Svc);
+  Svc->persist();
+  uint64_t Snapshots = Svc->stateStore()->stats().Snapshots;
+  // Nothing changed since: a second persist writes nothing.
+  Svc->persist();
+  EXPECT_EQ(Svc->stateStore()->stats().Snapshots, Snapshots);
+}
+
 TEST_F(ServiceTest, ConcurrentQueriesRaceFeedbackSafely) {
   // Same shared_mutex contract as the learn race: readers (query/status)
   // race the feedback writer. Under TSan this is the data-race proof;

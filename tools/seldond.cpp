@@ -24,7 +24,10 @@
 #include "support/Metrics.h"
 #include "support/ThreadPool.h"
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -33,6 +36,33 @@
 using namespace seldon;
 
 namespace {
+
+/// SIGTERM/SIGINT handling: the handler only stores an atomic flag and
+/// calls SocketServer::stop() (an atomic store plus ::shutdown — both
+/// async-signal-safe). Handlers are installed without SA_RESTART, so the
+/// blocking stdin read of --once mode wakes with EINTR instead of riding
+/// out the signal. The drain, the final snapshot, and the socket-file
+/// unlink all run in normal context after the serve loop returns — an
+/// orderly `kill` is a clean shutdown, not a crash.
+std::atomic<service::SocketServer *> ActiveServer{nullptr};
+std::atomic<bool> SignalStop{false};
+
+extern "C" void onTermSignal(int) {
+  SignalStop.store(true, std::memory_order_release);
+  if (service::SocketServer *S =
+          ActiveServer.load(std::memory_order_acquire))
+    S->stop();
+}
+
+void installSignalHandlers() {
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onTermSignal;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = 0; // No SA_RESTART: blocking reads must wake.
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::sigaction(SIGINT, &SA, nullptr);
+}
 
 struct DaemonOptions {
   service::Service::Options Svc;
@@ -64,6 +94,7 @@ bool parseDaemonArgs(int Argc, char **Argv, DaemonOptions &Opts,
   unsigned long Cutoff = 5;
   unsigned long Jobs = 0;
   unsigned long MaxInFlight = 64;
+  unsigned long SnapshotEvery = 1;
   std::string Backend = "compiled";
   bool LegacySolver = false;
 
@@ -80,6 +111,14 @@ bool parseDaemonArgs(int Argc, char **Argv, DaemonOptions &Opts,
               "also cache per-project constraint shards under\n"
               "DIR/shards (requires --cache-dir); a `learn` with\n"
               "\"reload\" then re-extracts only changed projects");
+  Parser.string("--state-dir", &Opts.Svc.StateDir, "DIR",
+                "durable state: journal every accepted feedback/learn op\n"
+                "(fsynced before the re-solve), snapshot the served spec,\n"
+                "and recover the exact pre-crash state on restart");
+  Parser.unsignedInt("--snapshot-every", &SnapshotEvery, "N",
+                     "with --state-dir: snapshot + compact the journal\n"
+                     "after every Nth applied op (default 1; 0 = only on\n"
+                     "orderly shutdown)");
   Parser.unsignedInt("--iters", &Iters, "N",
                      "solver iterations (default 600)");
   Parser.unsignedInt("--cutoff", &Cutoff, "N",
@@ -137,6 +176,11 @@ bool parseDaemonArgs(int Argc, char **Argv, DaemonOptions &Opts,
     return false;
   }
   Opts.Svc.MaxInFlight = static_cast<size_t>(MaxInFlight);
+  Opts.Svc.SnapshotEvery = static_cast<uint64_t>(SnapshotEvery);
+  if (SnapshotEvery != 1 && Opts.Svc.StateDir.empty()) {
+    std::fprintf(stderr, "error: --snapshot-every requires --state-dir\n");
+    return false;
+  }
   if (!solver::parseSolverBackend(Backend, Opts.Svc.Backend)) {
     std::fprintf(stderr,
                  "error: unknown --solver-backend '%s' (expected "
@@ -160,7 +204,10 @@ bool parseDaemonArgs(int Argc, char **Argv, DaemonOptions &Opts,
 /// stdout line, flushed eagerly so a driving script can interleave.
 int runOnce(service::Service &Svc) {
   std::string Line;
-  while (std::getline(std::cin, Line)) {
+  // A SIGTERM/SIGINT interrupts the blocking read (no SA_RESTART), the
+  // stream fails, and the loop exits into the orderly shutdown path.
+  while (!SignalStop.load(std::memory_order_acquire) &&
+         std::getline(std::cin, Line)) {
     if (!Line.empty() && Line.back() == '\r')
       Line.pop_back();
     if (Line.empty())
@@ -184,7 +231,14 @@ int runSocket(service::Service &Svc, const std::string &SocketPath) {
     return 1;
   }
   std::fprintf(stderr, "seldond: listening on %s\n", SocketPath.c_str());
+  // Publish the server for the signal handler; a SIGTERM from here on
+  // drives stop() → drain → the normal return path below (which removes
+  // the socket file and lets main() write the final snapshot).
+  ActiveServer.store(&Server, std::memory_order_release);
+  if (SignalStop.load(std::memory_order_acquire))
+    Server.stop(); // Signal raced the publication; don't serve forever.
   size_t Connections = Server.run();
+  ActiveServer.store(nullptr, std::memory_order_release);
   std::fprintf(stderr, "seldond: served %zu connection(s), draining\n",
                Connections);
   return 0;
@@ -260,6 +314,8 @@ int main(int Argc, char **Argv) {
                Warm.System.Constraints.size(), Warm.Learned.size(),
                infer::runStatusName(Warm.Health.status()));
 
+  installSignalHandlers();
+
   int Rc;
   try {
     Rc = Opts.Once ? runOnce(Svc) : runSocket(Svc, Opts.SocketPath);
@@ -267,6 +323,11 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "error: %s\n", E.what());
     Rc = 1;
   }
+  // Orderly shutdown (EOF, `shutdown` request, or SIGTERM/SIGINT): write
+  // the final snapshot so restart recovers without replaying the journal.
+  Svc.persist();
+  if (SignalStop.load(std::memory_order_acquire))
+    std::fprintf(stderr, "seldond: terminated by signal, state persisted\n");
   if (!emitMetrics(Opts) && Rc == 0)
     Rc = 1;
   return Rc;
